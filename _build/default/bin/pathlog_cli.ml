@@ -1,0 +1,370 @@
+(* pathlog — command-line driver.
+
+   pathlog run FILE [--query Q]... [--dump] [--stats] [--naive] [--types]
+   pathlog check FILE            parse + well-formedness + stratification
+   pathlog repl [FILE]           interactive queries against a loaded program
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let config_of ~naive ~hilog ~max_rounds ~max_objects =
+  {
+    Pathlog.Fixpoint.default_config with
+    mode = (if naive then Pathlog.Fixpoint.Naive else Seminaive);
+    hilog_virtual = hilog;
+    max_rounds;
+    max_objects;
+  }
+
+let with_errors store f =
+  try f () with
+  | Pathlog.Program.Invalid msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | e -> (
+    match Option.bind store (fun st -> Pathlog.Err.message st e) with
+    | Some msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | None -> raise e)
+
+let print_answer p query answer =
+  Printf.printf "?- %s\n" query;
+  match (answer : Pathlog.Program.answer) with
+  | { columns = []; rows } ->
+    print_endline (if rows = [] then "no" else "yes")
+  | { columns; rows } ->
+    Printf.printf "%s\n" (String.concat "\t" columns);
+    List.iter
+      (fun row -> print_endline (Pathlog.Program.row_to_string p row))
+      rows;
+    Printf.printf "(%d answers)\n" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+
+let run_cmd file queries dump stats naive hilog max_rounds max_objects types =
+  let config = config_of ~naive ~hilog ~max_rounds ~max_objects in
+  let p =
+    with_errors None (fun () ->
+        Pathlog.Program.of_string ~config (read_file file))
+  in
+  let st = Pathlog.Program.store p in
+  with_errors (Some st) (fun () ->
+      let s = Pathlog.Program.run p in
+      if stats then
+        Format.printf "%% %a@." Pathlog.Fixpoint.pp_stats s;
+      List.iter
+        (fun (lits, answer) ->
+          print_answer p
+            (Format.asprintf "%a"
+               (Format.pp_print_list
+                  ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+                  Pathlog.Pretty.pp_literal)
+               lits)
+            answer)
+        (Pathlog.Program.run_queries p);
+      List.iter
+        (fun q -> print_answer p q (Pathlog.Program.query_string p q))
+        queries;
+      if types then begin
+        match Pathlog.Program.check_types p ~mode:`Lenient with
+        | [] -> print_endline "% types: ok"
+        | violations ->
+          List.iter
+            (fun v ->
+              Format.printf "%% type violation: %a@."
+                (Pathlog.Signature.pp_violation st)
+                v)
+            violations;
+          exit 2
+      end;
+      if dump then Format.printf "%a" Pathlog.Store.pp st)
+
+let check_cmd file =
+  let p =
+    with_errors None (fun () -> Pathlog.Program.of_string (read_file file))
+  in
+  let strata = Pathlog.Program.strata p in
+  Printf.printf "ok: %d rules, %d strata\n"
+    (List.length (Pathlog.Program.rules p))
+    (Array.length strata);
+  Array.iteri
+    (fun i rules ->
+      List.iter
+        (fun (r : Pathlog.Rule.t) ->
+          Format.printf "  stratum %d: %a@." i Pathlog.Pretty.pp_rule
+            r.source)
+        rules)
+    strata
+
+let explain_cmd file queries =
+  let p =
+    with_errors None (fun () -> Pathlog.Program.of_string (read_file file))
+  in
+  let st = Pathlog.Program.store p in
+  with_errors (Some st) (fun () ->
+      ignore (Pathlog.Program.run p);
+      List.iter
+        (fun q ->
+          Printf.printf "?- %s\n" q;
+          List.iteri
+            (fun i line -> Printf.printf "  %d. %s\n" (i + 1) line)
+            (Pathlog.Program.explain_string p q))
+        queries)
+
+let query_cmd file strategy queries =
+  let p =
+    with_errors None (fun () -> Pathlog.Program.of_string (read_file file))
+  in
+  let st = Pathlog.Program.store p in
+  with_errors (Some st) (fun () ->
+      List.iter
+        (fun q ->
+          let lits =
+            match Pathlog.Parser.literals q with
+            | lits -> lits
+            | exception Pathlog.Parser.Error (pos, msg) ->
+              Printf.eprintf "error: %s: %s\n"
+                (Format.asprintf "%a" Pathlog.Token.pp_pos pos)
+                msg;
+              exit 1
+          in
+          match strategy with
+          | "full" ->
+            ignore (Pathlog.Program.run p);
+            print_answer p q (Pathlog.Program.query p lits)
+          | "focused" ->
+            let answer, stats, considered =
+              Pathlog.Program.query_focused p lits
+            in
+            Format.printf "%% focused: %d rules, %a@." considered
+              Pathlog.Fixpoint.pp_stats stats;
+            print_answer p q answer
+          | "topdown" -> (
+            match Pathlog.Program.query_topdown p lits with
+            | Some (answer, stats) ->
+              Printf.printf
+                "%% topdown: %d goals, %d tabled tuples, %d passes\n"
+                stats.goals stats.answers stats.passes;
+              print_answer p q answer
+            | None ->
+              print_endline
+                "% topdown: not applicable (falling back to full)";
+              ignore (Pathlog.Program.run p);
+              print_answer p q (Pathlog.Program.query p lits))
+          | other ->
+            Printf.eprintf "error: unknown strategy %s\n" other;
+            exit 1)
+        queries)
+
+let why_cmd file queries =
+  let p =
+    with_errors None (fun () -> Pathlog.Program.of_string (read_file file))
+  in
+  let st = Pathlog.Program.store p in
+  with_errors (Some st) (fun () ->
+      ignore (Pathlog.Program.run p);
+      let u = Pathlog.Program.universe p in
+      List.iter
+        (fun q ->
+          match Pathlog.Program.why_string p q with
+          | Some proof ->
+            Format.printf "%a@." (Pathlog.Provenance.pp_proof u) proof
+          | None -> Printf.printf "%s: not in the model\n" q)
+        queries)
+
+let lint_cmd file =
+  let p =
+    with_errors None (fun () -> Pathlog.Program.of_string (read_file file))
+  in
+  match Pathlog.Program.lint_types p with
+  | [] -> print_endline "lint: no warnings"
+  | warnings ->
+    List.iter
+      (fun w ->
+        Format.printf "warning: %a@." Pathlog.Typecheck.pp_warning w)
+      warnings;
+    exit 2
+
+let fmt_cmd file normalize =
+  let statements =
+    match Pathlog.Parser.program (read_file file) with
+    | stmts -> stmts
+    | exception Pathlog.Parser.Error (pos, msg) ->
+      Format.eprintf "error: %a: %s@." Pathlog.Token.pp_pos pos msg;
+      exit 1
+  in
+  let statements =
+    if not normalize then statements
+    else
+      List.map
+        (function
+          | Syntax.Ast.Rule r -> Syntax.Ast.Rule (Pathlog.Normalize.rule r)
+          | Syntax.Ast.Query lits ->
+            Syntax.Ast.Query (List.map Pathlog.Normalize.literal lits))
+        statements
+  in
+  print_string (Pathlog.Pretty.program_to_string statements)
+
+let repl_cmd file =
+  let p =
+    with_errors None (fun () ->
+        match file with
+        | Some f -> Pathlog.load (read_file f)
+        | None -> Pathlog.load "")
+  in
+  let st = Pathlog.Program.store p in
+  print_endline "PathLog interactive query shell. Enter queries, e.g.";
+  print_endline "  ?- X : employee..vehicles.color[Z].";
+  print_endline "Ctrl-D to exit.";
+  let rec loop () =
+    print_string "?- ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | "" -> loop ()
+    | line ->
+      (try
+         let answer = Pathlog.Program.query_string p line in
+         match answer with
+         | { columns = []; rows } ->
+           print_endline (if rows = [] then "no" else "yes")
+         | { columns; rows } ->
+           Printf.printf "%s\n" (String.concat "\t" columns);
+           List.iter
+             (fun row ->
+               print_endline (Pathlog.Program.row_to_string p row))
+             rows
+       with
+      | Pathlog.Program.Invalid msg -> Printf.eprintf "error: %s\n" msg
+      | e -> (
+        match Pathlog.Err.message st e with
+        | Some msg -> Printf.eprintf "error: %s\n" msg
+        | None -> raise e));
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let queries_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Run $(docv) after loading.")
+
+let dump_arg =
+  Arg.(value & flag & info [ "dump" ] ~doc:"Dump the computed model.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print evaluation statistics.")
+
+let naive_arg =
+  Arg.(
+    value & flag
+    & info [ "naive" ] ~doc:"Use naive instead of semi-naive evaluation.")
+
+let hilog_arg =
+  Arg.(
+    value & flag
+    & info [ "hilog-virtual" ]
+        ~doc:
+          "Enumerate virtual objects for variable method positions (may \
+           diverge; see DESIGN.md).")
+
+let max_rounds_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "max-rounds" ] ~doc:"Fixpoint round budget per stratum.")
+
+let max_objects_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "max-objects" ] ~doc:"Universe size budget.")
+
+let types_arg =
+  Arg.(
+    value & flag
+    & info [ "types" ] ~doc:"Check the model against signature declarations.")
+
+let run_t =
+  Term.(
+    const run_cmd $ file_arg $ queries_arg $ dump_arg $ stats_arg $ naive_arg
+    $ hilog_arg $ max_rounds_arg $ max_objects_arg $ types_arg)
+
+let check_t = Term.(const check_cmd $ file_arg)
+
+let repl_file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let repl_t = Term.(const repl_cmd $ repl_file_arg)
+
+let explain_t = Term.(const explain_cmd $ file_arg $ queries_arg)
+
+let lint_t = Term.(const lint_cmd $ file_arg)
+
+let why_t = Term.(const why_cmd $ file_arg $ queries_arg)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt string "full"
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Evaluation strategy: full, focused, or topdown.")
+
+let query_t = Term.(const query_cmd $ file_arg $ strategy_arg $ queries_arg)
+
+let normalize_arg =
+  Arg.(
+    value & flag
+    & info [ "normalize" ]
+        ~doc:
+          "Also normalise references (drop redundant parentheses and self \
+           steps, sort and deduplicate filter chains).")
+
+let fmt_t = Term.(const fmt_cmd $ file_arg $ normalize_arg)
+
+let () =
+  let info =
+    Cmd.info "pathlog" ~version:"1.0.0"
+      ~doc:"PathLog: access to objects by path expressions and rules"
+  in
+  let cmds =
+    Cmd.group info
+      [
+        Cmd.v (Cmd.info "run" ~doc:"Evaluate a program and its queries") run_t;
+        Cmd.v
+          (Cmd.info "check"
+             ~doc:"Parse, check well-formedness, show stratification")
+          check_t;
+        Cmd.v (Cmd.info "repl" ~doc:"Interactive query shell") repl_t;
+        Cmd.v
+          (Cmd.info "explain" ~doc:"Show the evaluation plan for queries")
+          explain_t;
+        Cmd.v
+          (Cmd.info "lint"
+             ~doc:"Statically check rule heads against signatures")
+          lint_t;
+        Cmd.v
+          (Cmd.info "why" ~doc:"Show the proof tree of a derived fact")
+          why_t;
+        Cmd.v
+          (Cmd.info "query"
+             ~doc:
+               "Answer queries with a chosen evaluation strategy (full, \
+                focused, topdown)")
+          query_t;
+        Cmd.v
+          (Cmd.info "fmt"
+             ~doc:"Reprint a program in canonical concrete syntax")
+          fmt_t;
+      ]
+  in
+  exit (Cmd.eval cmds)

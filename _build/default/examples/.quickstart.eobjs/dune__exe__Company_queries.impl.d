@@ -1,0 +1,1 @@
+examples/company_queries.ml: Format List Pathlog Printf String

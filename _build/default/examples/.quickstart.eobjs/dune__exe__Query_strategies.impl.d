@@ -1,0 +1,1 @@
+examples/query_strategies.ml: Format List Pathlog Printf String

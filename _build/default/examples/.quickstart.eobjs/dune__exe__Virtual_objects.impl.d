@@ -1,0 +1,1 @@
+examples/virtual_objects.ml: List Pathlog Printf String

@@ -1,0 +1,78 @@
+(* Three ways to answer the same query, and proofs of the answers.
+
+   1. Full materialisation: bottom-up fixpoint of the whole program, then
+      solve (the paper's implicit execution model, section 6).
+   2. Demand-focused: run only the rules transitively relevant to the
+      query's relations.
+   3. Goal-directed tabling: push the query's constants into recursion and
+      memoise sub-goals — no materialisation at all.
+
+   Plus: provenance proof trees for derived facts (pathlog why).
+
+   dune exec examples/query_strategies.exe *)
+
+module Program = Pathlog.Program
+
+let program_text =
+  {|
+  % genealogy with a long chain grafted on
+  peter[kids ->> {tim, mary}].
+  tim[kids ->> {sally}].
+  mary[kids ->> {tom, paul}].
+  sally[kids ->> {gen0}].
+  gen0[kids ->> {gen1}]. gen1[kids ->> {gen2}]. gen2[kids ->> {gen3}].
+
+  X[desc ->> {Y}] <- X[kids ->> {Y}].
+  X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+
+  % an unrelated rule family the focused strategies can skip
+  e1 : emp[base -> 100].
+  X[pay -> B] <- X : emp[base -> B].
+  |}
+
+let q = "gen1[desc ->> {X}]"
+
+let () =
+  Printf.printf "query: ?- %s.\n\n" q;
+  let lits = Pathlog.Parser.literals q in
+
+  (* 1. full materialisation *)
+  let p1 = Program.of_string program_text in
+  let stats = Program.run p1 in
+  let full = Program.query p1 lits in
+  Printf.printf "full materialisation:  %d answers, %d firings, %d facts\n"
+    (List.length full.rows) stats.firings
+    (let s = Pathlog.Store.stats (Program.store p1) in
+     s.scalar_tuples + s.set_tuples + s.isa_edges);
+
+  (* 2. demand-focused *)
+  let p2 = Program.of_string program_text in
+  let focused, fstats, considered = Program.query_focused p2 lits in
+  Printf.printf
+    "demand-focused:        %d answers, %d firings, %d of %d rules\n"
+    (List.length focused.rows)
+    fstats.firings considered
+    (List.length (Program.rules p2));
+
+  (* 3. goal-directed tabling *)
+  let p3 = Program.of_string program_text in
+  (match Program.query_topdown p3 lits with
+  | Some (answer, tstats) ->
+    Printf.printf
+      "goal-directed tabling: %d answers, %d goals, %d tabled tuples\n"
+      (List.length answer.rows)
+      tstats.goals tstats.answers
+  | None -> print_endline "goal-directed tabling: not applicable");
+
+  Printf.printf "\nanswers: %s\n"
+    (String.concat ", "
+       (List.sort compare (List.map (Program.row_to_string p1) full.rows)));
+
+  (* why is gen3 a descendant of gen1? *)
+  print_endline "\nproof tree (pathlog why):";
+  match Program.why_string p1 "gen1[desc ->> {gen3}]" with
+  | Some proof ->
+    Format.printf "%a@."
+      (Pathlog.Provenance.pp_proof (Program.universe p1))
+      proof
+  | None -> print_endline "fact not found"

@@ -1,0 +1,62 @@
+(* Quickstart: load a small object base, run rules, ask queries.
+
+   dune exec examples/quickstart.exe *)
+
+let () =
+  (* A program is facts + rules + optional signatures and queries. [:]
+     asserts class membership, [::] a subclass edge, [->] a scalar method,
+     [->>] a set-valued method. *)
+  let program =
+    Pathlog.load
+      {|
+      % schema-ish declarations
+      automobile :: vehicle.
+      manager :: employee.
+      employee[age => integer].
+
+      % objects
+      ann : manager[age -> 44; city -> newYork].
+      bob : employee[age -> 30; city -> newYork; boss -> ann].
+      bob[vehicles ->> {car1, bike1}].
+      car1 : automobile[cylinders -> 4; color -> red].
+      bike1 : vehicle[color -> blue].
+
+      % an intensional method: derived, not stored (section 6 style);
+      % set valued, since an employee may share a city with many others
+      X[commutesWith ->> {Y}] <- X : employee[city -> C], Y : employee[city -> C].
+      |}
+  in
+
+  (* The headline feature: a single two-dimensional path expression. The
+     first dimension walks into depth (vehicles -> color); the second
+     dimension constrains objects along the way (age, class, cylinders). *)
+  let q =
+    "X : employee[age -> 30]..vehicles : automobile[cylinders -> 4].color[Z]"
+  in
+  Printf.printf "?- %s.\n" q;
+  List.iter
+    (fun row -> Printf.printf "   %s\n" (String.concat ", " row))
+    (Pathlog.answers program q);
+
+  (* Nested paths inside filters: employees living where their boss lives. *)
+  let q = "X : employee[city -> X.boss.city]" in
+  Printf.printf "?- %s.\n" q;
+  List.iter
+    (fun row -> Printf.printf "   %s\n" (String.concat ", " row))
+    (Pathlog.answers program q);
+
+  (* Derived methods are queried like stored ones. *)
+  let q = "bob[commutesWith ->> {Y}]" in
+  Printf.printf "?- %s.\n" q;
+  List.iter
+    (fun row -> Printf.printf "   %s\n" (String.concat ", " row))
+    (Pathlog.answers program q);
+
+  (* Ground queries answer yes/no. *)
+  Printf.printf "?- car1 : vehicle.  ->  %b\n"
+    (Pathlog.holds program "car1 : vehicle");
+
+  (* Signature checking (the typing the paper gets from [KLW93]). *)
+  match Pathlog.Program.check_types program ~mode:`Lenient with
+  | [] -> print_endline "types: ok"
+  | vs -> Printf.printf "types: %d violations\n" (List.length vs)

@@ -1,0 +1,1 @@
+lib/baseline/calculus.ml: Format List Oodb String Syntax

@@ -1,0 +1,1 @@
+lib/baseline/calculus.mli: Format Oodb Syntax

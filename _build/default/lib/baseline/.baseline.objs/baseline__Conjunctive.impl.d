@@ -1,0 +1,1 @@
+lib/baseline/conjunctive.ml: Array Fun Hashtbl List Oodb Option Semantics

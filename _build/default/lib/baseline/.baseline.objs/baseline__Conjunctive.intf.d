@@ -1,0 +1,1 @@
+lib/baseline/conjunctive.mli: Oodb Semantics

@@ -1,0 +1,1 @@
+lib/baseline/o2sql.ml: Format List Oodb String Syntax

@@ -1,0 +1,1 @@
+lib/baseline/o2sql.mli: Format Oodb Syntax

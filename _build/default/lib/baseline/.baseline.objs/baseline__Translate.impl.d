@@ -1,0 +1,1 @@
+lib/baseline/translate.ml: List Oodb Printf Semantics String

@@ -1,0 +1,1 @@
+lib/baseline/translate.mli: Oodb Semantics Syntax

@@ -1,0 +1,1 @@
+lib/baseline/xsql.ml: Array Conjunctive Format Hashtbl List Oodb Option Printf Semantics String Syntax

@@ -1,0 +1,1 @@
+lib/baseline/xsql.mli: Format Oodb Syntax

@@ -1,0 +1,88 @@
+module Store = Oodb.Store
+module Set = Oodb.Obj_id.Set
+
+type step = Meth of string | Class of string
+
+type query = { start : start; steps : step list }
+
+and start = From_class of string | From_object of string
+
+let pp ppf q =
+  Format.fprintf ppf "{ Z | %s%s[Z] }"
+    (match q.start with From_class c -> c | From_object o -> o)
+    (String.concat ""
+       (List.map (function Meth m -> "." ^ m | Class c -> "." ^ c) q.steps))
+
+let eval store q =
+  let start_set =
+    match q.start with
+    | From_class c -> Store.members store (Store.name store c)
+    | From_object o -> Set.singleton (Store.name store o)
+  in
+  List.fold_left
+    (fun cur step ->
+      match step with
+      | Class c ->
+        let cls = Store.name store c in
+        Set.filter (fun o -> Store.is_member store o cls) cur
+      | Meth m ->
+        let meth = Store.name store m in
+        Set.fold
+          (fun o acc ->
+            let acc =
+              match Store.scalar_lookup store ~meth ~recv:o ~args:[] with
+              | Some r -> Set.add r acc
+              | None -> acc
+            in
+            Set.union acc (Store.set_lookup store ~meth ~recv:o ~args:[]))
+          cur Set.empty)
+    start_set q.steps
+
+let to_pathlog store q =
+  let open Syntax.Build in
+  (* the calculus traverses scalar and set-valued methods uniformly;
+     PathLog distinguishes them, so pick the separator by which table the
+     method has tuples in (same convention as Xsql.to_pathlog) *)
+  let set_valued m =
+    Oodb.Vec.length (Store.set_bucket store (Store.name store m)) > 0
+  in
+  let root, start_lit =
+    match q.start with
+    | From_class c -> (var "X0", Some (pos (var "X0" @: c)))
+    | From_object o -> ((obj o : Syntax.Ast.reference), None)
+  in
+  let result_ref =
+    List.fold_left
+      (fun acc step ->
+        match step with
+        | Class c -> Syntax.Ast.Isa { recv = acc; cls = Name c }
+        | Meth m -> if set_valued m then dotdot acc m else dot acc m)
+      root q.steps
+  in
+  let selector =
+    Syntax.Ast.Filter
+      {
+        f_recv = result_ref;
+        f_meth = Name "self";
+        f_args = [];
+        f_rhs = Rscalar (var "Z");
+      }
+  in
+  match start_lit with
+  | Some l -> [ l; pos selector ]
+  | None -> [ pos selector ]
+
+let of_string ~classes text =
+  match String.split_on_char '.' (String.trim text) with
+  | [] | [ "" ] -> invalid_arg "Calculus.of_string: empty expression"
+  | first :: rest ->
+    let start =
+      if List.mem first classes then From_class first else From_object first
+    in
+    let steps =
+      List.map
+        (fun name ->
+          if List.mem name classes then Class name else Meth name)
+        rest
+    in
+    { start; steps }

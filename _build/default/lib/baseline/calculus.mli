@@ -1,0 +1,44 @@
+(** The calculus-style path language of Van den Bussche & Vossen [VV93] —
+    the paper's query (1.3):
+
+    {v { Z | employee.vehicles.automobile.color[Z] } v}
+
+    Paths are one-dimensional and variable-free except for the final
+    selector: each step is either a {e method} application (scalar or set
+    valued, traversed uniformly) or a {e class name}, which filters the
+    current object set by membership. The expression denotes the set of
+    objects reached.
+
+    Like the other baselines this is both a comparison point for E1 and an
+    independent implementation to differential-test the PathLog engine
+    against. *)
+
+type step =
+  | Meth of string  (** apply a method, scalar or set valued *)
+  | Class of string  (** keep only members of the class *)
+
+type query = {
+  start : start;
+  steps : step list;
+}
+
+and start =
+  | From_class of string  (** all members of a class, e.g. [employee] *)
+  | From_object of string  (** a named object *)
+
+val pp : Format.formatter -> query -> unit
+
+(** Objects denoted by the expression. *)
+val eval : Oodb.Store.t -> query -> Oodb.Obj_id.Set.t
+
+(** The equivalent PathLog query: one reference, the result bound to [Z].
+    The calculus traverses scalar and set-valued methods uniformly while
+    PathLog distinguishes [.]/[..]; the separator is chosen by which table
+    the method populates in [store] (same convention as
+    {!Xsql.to_pathlog}). *)
+val to_pathlog : Oodb.Store.t -> query -> Syntax.Ast.literal list
+
+(** Parse the paper's concrete notation, e.g.
+    ["employee.vehicles.automobile.color"] — dot-separated names. A name in
+    [classes] becomes a class-filter step, any other name a method step. *)
+val of_string : classes:string list -> string -> query

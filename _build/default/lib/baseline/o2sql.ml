@@ -1,0 +1,183 @@
+module Store = Oodb.Store
+module Set = Oodb.Obj_id.Set
+
+type path = { root : string; steps : string list }
+
+type operand =
+  | Const of string
+  | Const_int of int
+  | Pvar of string
+  | Ppath of path
+
+type range = In_class of string * string | In_path of string * path
+
+type condition = Eq of path * operand | Member of string * string
+
+type query = {
+  select : string list;
+  ranges : range list;
+  conds : condition list;
+}
+
+let pp_path ppf { root; steps } =
+  Format.fprintf ppf "%s%s" root
+    (String.concat "" (List.map (fun s -> "." ^ s) steps))
+
+let pp_operand ppf = function
+  | Const s -> Format.pp_print_string ppf s
+  | Const_int n -> Format.pp_print_int ppf n
+  | Pvar v -> Format.pp_print_string ppf v
+  | Ppath p -> pp_path ppf p
+
+let pp ppf q =
+  Format.fprintf ppf "SELECT %s" (String.concat ", " q.select);
+  List.iter
+    (fun r ->
+      match r with
+      | In_class (v, c) -> Format.fprintf ppf "@ FROM %s IN %s" v c
+      | In_path (v, p) -> Format.fprintf ppf "@ FROM %s IN %a" v pp_path p)
+    q.ranges;
+  List.iteri
+    (fun i c ->
+      let kw = if i = 0 then "WHERE" else "AND" in
+      match c with
+      | Eq (p, op) ->
+        Format.fprintf ppf "@ %s %a = %a" kw pp_path p pp_operand op
+      | Member (v, c) -> Format.fprintf ppf "@ %s %s IN %s" kw v c)
+    q.conds
+
+(* 1-D path evaluation: follow each step through the scalar function or the
+   set-valued method (GEM-style uniform traversal). *)
+let eval_path store env { root; steps } : Set.t =
+  let start =
+    match List.assoc_opt root env with
+    | Some o -> Set.singleton o
+    | None -> Set.empty
+  in
+  List.fold_left
+    (fun cur step ->
+      let meth = Store.name store step in
+      Set.fold
+        (fun o acc ->
+          let acc =
+            match Store.scalar_lookup store ~meth ~recv:o ~args:[] with
+            | Some r -> Set.add r acc
+            | None -> acc
+          in
+          Set.union acc (Store.set_lookup store ~meth ~recv:o ~args:[]))
+        cur Set.empty)
+    start steps
+
+let eval_operand store env = function
+  | Const s -> Set.singleton (Store.name store s)
+  | Const_int n -> Set.singleton (Store.int store n)
+  | Pvar v -> (
+    match List.assoc_opt v env with
+    | Some o -> Set.singleton o
+    | None -> Set.empty)
+  | Ppath p -> eval_path store env p
+
+(* A condition is checked as soon as every variable it mentions is bound. *)
+let condition_vars = function
+  | Eq (p, op) -> (
+    p.root :: (match op with Pvar v -> [ v ] | Ppath p' -> [ p'.root ]
+              | Const _ | Const_int _ -> []))
+  | Member (v, _) -> [ v ]
+
+let check_condition store env = function
+  | Eq (p, op) ->
+    let left = eval_path store env p in
+    let right = eval_operand store env op in
+    not (Set.is_empty (Set.inter left right))
+  | Member (v, c) -> (
+    match List.assoc_opt v env with
+    | Some o -> Store.is_member store o (Store.name store c)
+    | None -> false)
+
+let eval store q =
+  let rows = ref [] in
+  (* After the FROM loops, remaining conditions either check (fully bound)
+     or bind: Eq(path, Pvar v) with [v] unbound enumerates the path's
+     values, which is how "SELECT Z ... WHERE Y.color = Z" projects. *)
+  let rec finish env = function
+    | [] ->
+      let row =
+        List.map
+          (fun v ->
+            match List.assoc_opt v env with
+            | Some o -> o
+            | None -> failwith ("O2SQL: unbound select variable " ^ v))
+          q.select
+      in
+      rows := row :: !rows
+    | Eq (p, Pvar v) :: rest when List.assoc_opt v env = None ->
+      Set.iter (fun o -> finish ((v, o) :: env) rest) (eval_path store env p)
+    | cond :: rest -> if check_condition store env cond then finish env rest
+  in
+  let rec loop env remaining_ranges pending_conds =
+    let bound = List.map fst env in
+    let ready, pending =
+      List.partition
+        (fun c -> List.for_all (fun v -> List.mem v bound) (condition_vars c))
+        pending_conds
+    in
+    if List.for_all (check_condition store env) ready then
+      match remaining_ranges with
+      | [] -> finish env pending
+      | In_class (v, c) :: rest ->
+        Set.iter
+          (fun o -> loop ((v, o) :: env) rest pending)
+          (Store.members store (Store.name store c))
+      | In_path (v, p) :: rest ->
+        Set.iter
+          (fun o -> loop ((v, o) :: env) rest pending)
+          (eval_path store env p)
+  in
+  loop [] q.ranges q.conds;
+  List.rev !rows
+
+(* Translation into PathLog: each range and condition becomes one literal —
+   exactly the "conjunction of several paths" shape (query 1.4). *)
+let to_pathlog q =
+  let open Syntax.Build in
+  let path_ref p =
+    List.fold_left (fun acc m -> dot acc m) (var p.root) p.steps
+  in
+  let range_lit = function
+    | In_class (v, c) -> pos (var v @: c)
+    | In_path (v, p) ->
+      (* v ranges over a set-valued 1-D path: the last step is set valued *)
+      let rec build root = function
+        | [] -> root
+        | [ last ] -> dotdot root last
+        | s :: rest -> build (dot root s) rest
+      in
+      pos
+        (Syntax.Ast.Filter
+           {
+             f_recv = build (var p.root) p.steps;
+             f_meth = Name "self";
+             f_args = [];
+             f_rhs = Rscalar (var v);
+           })
+  in
+  let cond_lit = function
+    | Eq (p, op) ->
+      let rhs =
+        match op with
+        | Const s -> obj s
+        | Const_int n -> int n
+        | Pvar v -> var v
+        | Ppath p' -> path_ref p'
+      in
+      pos
+        (Syntax.Ast.Filter
+           {
+             f_recv = path_ref p;
+             f_meth = Name "self";
+             f_args = [];
+             f_rhs = Rscalar rhs;
+           })
+    | Member (v, c) -> pos (var v @: c)
+  in
+  List.map range_lit q.ranges @ List.map cond_lit q.conds

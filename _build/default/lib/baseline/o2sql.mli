@@ -1,0 +1,54 @@
+(** A miniature O2SQL — the one-dimensional comparison language of the
+    paper's introduction (queries 1.1 and the manager query of section 2).
+
+    {[
+      SELECT Z
+      FROM X IN employee
+      FROM Y IN X.vehicles
+      WHERE Y IN automobile
+      AND Y.color = Z
+    ]}
+
+    Range variables iterate over classes or over the value of a set-valued
+    1-D path rooted at an earlier variable; WHERE conditions compare scalar
+    1-D paths with constants, variables or other paths. Evaluation is the
+    classic naive strategy: nested loops over the FROM clauses {e in the
+    order written}, conditions checked once their variables are bound —
+    no reordering, no indexes. *)
+
+type path = {
+  root : string;  (** range variable *)
+  steps : string list;  (** method names, applied left to right *)
+}
+
+type operand =
+  | Const of string  (** a name *)
+  | Const_int of int
+  | Pvar of string
+  | Ppath of path
+
+type range =
+  | In_class of string * string  (** X IN employee *)
+  | In_path of string * path  (** Y IN X.vehicles *)
+
+type condition =
+  | Eq of path * operand  (** Y.color = red *)
+  | Member of string * string  (** Y IN automobile *)
+
+type query = {
+  select : string list;
+  ranges : range list;
+  conds : condition list;
+}
+
+val pp : Format.formatter -> query -> unit
+
+(** Evaluate with naive nested loops over the store. Rows are the bindings
+    of the SELECT variables. *)
+val eval : Oodb.Store.t -> query -> Oodb.Obj_id.t list list
+
+(** The equivalent PathLog query literals (used to check answer-set
+    equality against the PathLog engine). Restriction: an [In_path] range
+    must have scalar steps followed by one final set-valued step (which is
+    how the paper's O2SQL examples always use them). *)
+val to_pathlog : query -> Syntax.Ast.literal list

@@ -1,0 +1,49 @@
+module Ir = Semantics.Ir
+
+let flatten store reference = Semantics.Flatten.reference store reference
+
+let rec atom_count (a : Ir.atom) =
+  match a with
+  | A_isa _ | A_scalar _ | A_member _ | A_eq _ -> 1
+  | A_subset s -> 1 + List.fold_left (fun n a -> n + atom_count a) 0 s.sub_atoms
+  | A_neg n -> 1 + List.fold_left (fun n a -> n + atom_count a) 0 n.n_atoms
+
+let conjunct_count store reference =
+  let q, _ = flatten store reference in
+  List.fold_left (fun n a -> n + atom_count a) 0 q.atoms
+
+let term_name u (q : Ir.query) = function
+  | Ir.Const o -> Oodb.Universe.to_string u o
+  | Ir.V i -> (
+    match List.find_opt (fun (_, slot) -> slot = i) q.named with
+    | Some (name, _) -> name
+    | None -> Printf.sprintf "_%d" i)
+
+let rec atom_text u q (a : Ir.atom) =
+  let t = term_name u q in
+  match a with
+  | A_isa (o, c) -> Printf.sprintf "%s IN %s" (t o) (t c)
+  | A_scalar { meth; recv; args; res } | A_member { meth; recv; args; res }
+    ->
+    let args_text =
+      match args with
+      | [] -> ""
+      | _ -> "@(" ^ String.concat ", " (List.map t args) ^ ")"
+    in
+    Printf.sprintf "%s.%s%s[%s]" (t recv) (t meth) args_text (t res)
+  | A_eq (a', b) -> Printf.sprintf "%s = %s" (t a') (t b)
+  | A_subset s ->
+    Printf.sprintf "%s.%s CONTAINS { %s | %s }" (t s.s_recv) (t s.s_meth)
+      (t s.member)
+      (String.concat " AND " (List.map (atom_text u q) s.sub_atoms))
+  | A_neg n ->
+    Printf.sprintf "NOT (%s)"
+      (String.concat " AND " (List.map (atom_text u q) n.n_atoms))
+
+let to_xsql_text store ~select reference =
+  let q, _ = flatten store reference in
+  let u = Oodb.Store.universe store in
+  let conds = List.map (atom_text u q) q.atoms in
+  Printf.sprintf "SELECT %s\nWHERE %s"
+    (String.concat ", " select)
+    (String.concat "\nAND   " conds)

@@ -1,0 +1,24 @@
+(** The 2-D -> 1-D translation: every PathLog reference is equivalent to a
+    conjunction of one-dimensional paths over fresh intermediate variables.
+
+    This module makes the paper's conciseness claim measurable: flatten the
+    reference (shared with the solver) and render each core atom back as a
+    one-dimensional XSQL-style condition. {!conjunct_count} is the number
+    of 1-D conditions a one-dimensional language needs for the same
+    reference — experiment E2 reports it next to "1 reference". *)
+
+(** Flattened form (re-exported convenience). *)
+val flatten :
+  Oodb.Store.t -> Syntax.Ast.reference -> Semantics.Ir.query * Semantics.Ir.term
+
+(** How many 1-D conditions the reference flattens to (nested sub-query
+    atoms counted recursively). *)
+val conjunct_count : Oodb.Store.t -> Syntax.Ast.reference -> int
+
+(** Render the flattening as an XSQL-style query text, e.g.
+
+    {v SELECT Z
+       FROM employee X, automobile _2
+       WHERE X.vehicles[_2] AND _2.cylinders[4] AND _2.color[Z] v} *)
+val to_xsql_text :
+  Oodb.Store.t -> select:string list -> Syntax.Ast.reference -> string

@@ -1,0 +1,100 @@
+module Store = Oodb.Store
+
+type selector = Svar of string | Sname of string | Sint of int
+
+type step = { meth : string; selector : selector option }
+
+type root = Rvar of string | Rname of string
+
+type spath = { root : root; steps : step list }
+
+type query = {
+  select : string list;
+  ranges : (string * string) list;
+  paths : spath list;
+}
+
+let pp_selector ppf = function
+  | Svar v -> Format.fprintf ppf "[%s]" v
+  | Sname n -> Format.fprintf ppf "[%s]" n
+  | Sint n -> Format.fprintf ppf "[%d]" n
+
+let pp_path ppf p =
+  (match p.root with
+  | Rvar v -> Format.pp_print_string ppf v
+  | Rname n -> Format.pp_print_string ppf n);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf ".%s" s.meth;
+      Option.iter (pp_selector ppf) s.selector)
+    p.steps
+
+let pp ppf q =
+  Format.fprintf ppf "SELECT %s@ FROM %s"
+    (String.concat ", " q.select)
+    (String.concat ", "
+       (List.map (fun (c, v) -> Printf.sprintf "%s %s" c v) q.ranges));
+  List.iteri
+    (fun i p ->
+      Format.fprintf ppf "@ %s %a" (if i = 0 then "WHERE" else "AND") pp_path
+        p)
+    q.paths
+
+let selector_ref = function
+  | Svar v -> Syntax.Ast.Var v
+  | Sname n -> Syntax.Ast.Name n
+  | Sint n -> Syntax.Ast.Int_lit n
+
+let to_pathlog store q =
+  let open Syntax.Build in
+  let set_valued m =
+    Oodb.Vec.length (Store.set_bucket store (Store.name store m)) > 0
+  in
+  let path_ref p =
+    let start =
+      match p.root with Rvar v -> var v | Rname n -> obj n
+    in
+    List.fold_left
+      (fun acc s ->
+        let acc = if set_valued s.meth then dotdot acc s.meth else dot acc s.meth in
+        match s.selector with
+        | None -> acc
+        | Some sel ->
+          Syntax.Ast.Filter
+            {
+              f_recv = acc;
+              f_meth = Name "self";
+              f_args = [];
+              f_rhs = Rscalar (selector_ref sel);
+            })
+      start p.steps
+  in
+  List.map (fun (c, v) -> pos (var v @: c)) q.ranges
+  @ List.map (fun p -> pos (path_ref p)) q.paths
+
+let eval store q =
+  let lits = to_pathlog store q in
+  let flat = Semantics.Flatten.literals store lits in
+  let rows = Conjunctive.named_solutions store flat in
+  (* project onto the SELECT variables *)
+  let positions =
+    List.map
+      (fun v ->
+        let rec find i = function
+          | [] -> failwith ("XSQL: unknown select variable " ^ v)
+          | (name, _) :: rest -> if name = v then i else find (i + 1) rest
+        in
+        find 0 flat.named)
+      q.select
+  in
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun row ->
+      let arr = Array.of_list row in
+      let projected = List.map (fun i -> arr.(i)) positions in
+      if Hashtbl.mem seen projected then None
+      else begin
+        Hashtbl.add seen projected ();
+        Some projected
+      end)
+    rows

@@ -1,0 +1,42 @@
+(** A miniature XSQL — one-dimensional paths with {e selectors} (Kifer, Kim
+    & Sagiv 1992), the closest prior language the paper compares against
+    (queries 1.2 and 1.4).
+
+    {[
+      SELECT Z
+      FROM employee X, automobile Y
+      WHERE X.vehicles[Y].color[Z]
+      AND Y.cylinders[4]
+    ]}
+
+    A selector [\[Y\]] names (or constrains) the intermediate result of a
+    step. XSQL paths are one-dimensional: restricting a vehicle's
+    cylinders {e and} continuing to its color requires two paths joined on
+    the selector variable — the very limitation PathLog's second dimension
+    removes (section 2). *)
+
+type selector = Svar of string | Sname of string | Sint of int
+
+type step = { meth : string; selector : selector option }
+
+type root = Rvar of string | Rname of string
+
+type spath = { root : root; steps : step list }
+
+type query = {
+  select : string list;
+  ranges : (string * string) list;  (** class, variable *)
+  paths : spath list;  (** conjunction of WHERE paths *)
+}
+
+val pp : Format.formatter -> query -> unit
+
+(** Translate to PathLog literals. Steps are rendered as [..m] when the
+    method has set-valued tuples in the store and [.m] otherwise (XSQL
+    does not syntactically distinguish the two). *)
+val to_pathlog : Oodb.Store.t -> query -> Syntax.Ast.literal list
+
+(** Evaluate: translate, flatten, run the naive left-to-right conjunctive
+    evaluator (XSQL's join-based execution model). Rows bind the SELECT
+    variables. *)
+val eval : Oodb.Store.t -> query -> Oodb.Obj_id.t list list

@@ -1,0 +1,1 @@
+lib/engine/err.ml: Format Oodb Syntax

@@ -1,0 +1,1 @@
+lib/engine/err.mli: Format Oodb Syntax

@@ -1,0 +1,1 @@
+lib/engine/fact.ml: Format Hashtbl List Oodb Syntax

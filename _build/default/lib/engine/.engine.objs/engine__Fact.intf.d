@@ -1,0 +1,1 @@
+lib/engine/fact.mli: Format Oodb Syntax

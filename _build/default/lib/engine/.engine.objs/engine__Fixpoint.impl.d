@@ -1,0 +1,1 @@
+lib/engine/fixpoint.ml: Array Err Format Head List Map Oodb Option Printf Provenance Rule Semantics Stratify

@@ -1,0 +1,1 @@
+lib/engine/fixpoint.mli: Format Oodb Provenance Semantics Stratify

@@ -1,0 +1,1 @@
+lib/engine/head.ml: Err Fact List Oodb Semantics Syntax

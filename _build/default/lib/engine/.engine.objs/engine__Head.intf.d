@@ -1,0 +1,1 @@
+lib/engine/head.mli: Fact Oodb Semantics Syntax

@@ -1,0 +1,1 @@
+lib/engine/production.ml: Array Format Hashtbl Head List Oodb Semantics Syntax

@@ -1,0 +1,1 @@
+lib/engine/production.mli: Oodb Syntax

@@ -1,0 +1,1 @@
+lib/engine/program.ml: Fact Fixpoint Format Head List Oodb Provenance Rule Semantics Stratify String Syntax Topdown Typecheck

@@ -1,0 +1,1 @@
+lib/engine/program.mli: Fixpoint Format Oodb Provenance Rule Syntax Topdown Typecheck

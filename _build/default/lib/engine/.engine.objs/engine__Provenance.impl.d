@@ -1,0 +1,1 @@
+lib/engine/provenance.ml: Array Fact Format Hashtbl List Oodb Option Semantics Syntax

@@ -1,0 +1,1 @@
+lib/engine/provenance.mli: Fact Format Oodb Syntax

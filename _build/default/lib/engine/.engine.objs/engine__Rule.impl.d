@@ -1,0 +1,1 @@
+lib/engine/rule.ml: List Oodb Semantics Syntax

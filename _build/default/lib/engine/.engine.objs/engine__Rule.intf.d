@@ -1,0 +1,1 @@
+lib/engine/rule.mli: Oodb Semantics Syntax

@@ -1,0 +1,1 @@
+lib/engine/stratify.ml: Array Err Format Hashtbl List Map Oodb Option Rule Semantics Seq Syntax

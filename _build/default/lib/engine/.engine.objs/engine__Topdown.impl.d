@@ -1,0 +1,1 @@
+lib/engine/topdown.ml: Array Hashtbl Int List Oodb Option Rule Semantics Syntax

@@ -1,0 +1,1 @@
+lib/engine/topdown.mli: Oodb Rule Semantics

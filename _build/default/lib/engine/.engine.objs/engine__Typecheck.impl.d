@@ -1,0 +1,1 @@
+lib/engine/typecheck.ml: Format Hashtbl List Oodb Option Rule String Syntax

@@ -1,0 +1,1 @@
+lib/engine/typecheck.mli: Format Oodb Rule Syntax

@@ -1,0 +1,36 @@
+type functional_conflict = {
+  c_meth : Oodb.Obj_id.t;
+  c_recv : Oodb.Obj_id.t;
+  c_args : Oodb.Obj_id.t list;
+  existing : Oodb.Obj_id.t;
+  proposed : Oodb.Obj_id.t;
+  rule : Syntax.Ast.rule option;
+}
+
+exception Functional_conflict of functional_conflict
+exception Isa_cycle of Oodb.Obj_id.t * Oodb.Obj_id.t
+exception Reserved_self
+exception Unstratifiable of string
+exception Diverged of string
+
+let pp_functional_conflict store ppf c =
+  let obj = Oodb.Universe.pp_obj (Oodb.Store.universe store) in
+  Format.fprintf ppf
+    "scalar method %a on %a already yields %a; cannot also yield %a" obj
+    c.c_meth obj c.c_recv obj c.existing obj c.proposed;
+  match c.rule with
+  | Some r -> Format.fprintf ppf " (rule: %a)" Syntax.Pretty.pp_rule r
+  | None -> ()
+
+let message store = function
+  | Functional_conflict c ->
+    Some (Format.asprintf "%a" (pp_functional_conflict store) c)
+  | Isa_cycle (o, c) ->
+    let obj = Oodb.Universe.pp_obj (Oodb.Store.universe store) in
+    Some
+      (Format.asprintf "class edge %a : %a would close a hierarchy cycle" obj
+         o obj c)
+  | Reserved_self -> Some "the built-in method 'self' cannot be redefined"
+  | Unstratifiable msg -> Some ("program is not stratifiable: " ^ msg)
+  | Diverged msg -> Some ("evaluation diverged: " ^ msg)
+  | _ -> None

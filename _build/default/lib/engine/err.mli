@@ -1,0 +1,36 @@
+(** Evaluation-time errors shared by the engine modules. *)
+
+type functional_conflict = {
+  c_meth : Oodb.Obj_id.t;
+  c_recv : Oodb.Obj_id.t;
+  c_args : Oodb.Obj_id.t list;
+  existing : Oodb.Obj_id.t;
+  proposed : Oodb.Obj_id.t;
+  rule : Syntax.Ast.rule option;  (** the rule whose head caused it *)
+}
+
+exception Functional_conflict of functional_conflict
+(** Two derivations assign different results to the same scalar method
+    application; scalar methods interpret partial {e functions}
+    (section 3), so this is an inconsistent program. *)
+
+exception Isa_cycle of Oodb.Obj_id.t * Oodb.Obj_id.t
+(** Deriving this class edge would close a hierarchy cycle, breaking the
+    antisymmetry of the partial order [<=_U]. *)
+
+exception Reserved_self
+(** A rule tries to define the built-in method [self]. *)
+
+exception Unstratifiable of string
+(** A set-inclusion body filter or a negation depends recursively on what
+    it needs completed (section 6). *)
+
+exception Diverged of string
+(** Virtual-object creation exceeded the configured object or iteration
+    budget; the program most likely has an infinite minimal model. *)
+
+val pp_functional_conflict :
+  Oodb.Store.t -> Format.formatter -> functional_conflict -> unit
+
+(** Render any of the above exceptions; [None] for other exceptions. *)
+val message : Oodb.Store.t -> exn -> string option

@@ -1,0 +1,96 @@
+type t =
+  | F_isa of Oodb.Obj_id.t * Oodb.Obj_id.t
+  | F_scalar of app
+  | F_set of app
+
+and app = {
+  meth : Oodb.Obj_id.t;
+  recv : Oodb.Obj_id.t;
+  args : Oodb.Obj_id.t list;
+  res : Oodb.Obj_id.t;
+}
+
+let equal (a : t) b = a = b
+let hash = Hashtbl.hash
+
+let pp u ppf fact =
+  let obj = Oodb.Universe.pp_obj u in
+  let pp_args ppf = function
+    | [] -> ()
+    | args ->
+      Format.fprintf ppf "@@(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           obj)
+        args
+  in
+  match fact with
+  | F_isa (o, c) -> Format.fprintf ppf "%a : %a" obj o obj c
+  | F_scalar { meth; recv; args; res } ->
+    Format.fprintf ppf "%a[%a%a -> %a]" obj recv obj meth pp_args args obj
+      res
+  | F_set { meth; recv; args; res } ->
+    Format.fprintf ppf "%a[%a%a ->> {%a}]" obj recv obj meth pp_args args obj
+      res
+
+(* Resolve a ground reference to the object it denotes against the current
+   store, without creating anything: names/literals directly, paths by
+   lookup (including existing skolems). *)
+let rec resolve store (r : Syntax.Ast.reference) : Oodb.Obj_id.t option =
+  match r with
+  | Name n -> Some (Oodb.Store.name store n)
+  | Int_lit n -> Some (Oodb.Store.int store n)
+  | Str_lit s -> Some (Oodb.Store.str store s)
+  | Paren r' -> resolve store r'
+  | Path { p_recv; p_sep = Dot; p_meth; p_args } -> (
+    match (resolve store p_recv, resolve store p_meth) with
+    | Some recv, Some meth -> (
+      match
+        List.fold_left
+          (fun acc a ->
+            match (acc, resolve store a) with
+            | Some acc, Some o -> Some (o :: acc)
+            | _, _ -> None)
+          (Some []) p_args
+      with
+      | Some rev_args ->
+        Oodb.Store.scalar_lookup store ~meth ~recv ~args:(List.rev rev_args)
+      | None -> None)
+    | _, _ -> None)
+  | Var _ | Path { p_sep = Dotdot; _ } | Filter _ | Isa _ -> None
+
+let of_reference store (r : Syntax.Ast.reference) : t option =
+  match r with
+  | Isa { recv; cls } -> (
+    match (resolve store recv, resolve store cls) with
+    | Some o, Some c -> Some (F_isa (o, c))
+    | _, _ -> None)
+  | Filter { f_recv; f_meth; f_args; f_rhs } -> (
+    let positions rhs =
+      match (resolve store f_recv, resolve store f_meth, rhs) with
+      | Some recv, Some meth, Some res -> (
+        match
+          List.fold_left
+            (fun acc a ->
+              match (acc, resolve store a) with
+              | Some acc, Some o -> Some (o :: acc)
+              | _, _ -> None)
+            (Some []) f_args
+        with
+        | Some rev_args ->
+          Some (meth, recv, List.rev rev_args, res)
+        | None -> None)
+      | _, _, _ -> None
+    in
+    match f_rhs with
+    | Rscalar rhs -> (
+      match positions (resolve store rhs) with
+      | Some (meth, recv, args, res) ->
+        Some (F_scalar { meth; recv; args; res })
+      | None -> None)
+    | Rset_enum [ rhs ] -> (
+      match positions (resolve store rhs) with
+      | Some (meth, recv, args, res) -> Some (F_set { meth; recv; args; res })
+      | None -> None)
+    | Rset_enum _ | Rset_ref _ | Rsig_scalar _ | Rsig_set _ -> None)
+  | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ -> None

@@ -1,0 +1,28 @@
+(** Ground facts — the unit of provenance.
+
+    Every tuple the engine inserts is one of these; {!Provenance} maps them
+    to the rule and variable valuation that derived them. *)
+
+type t =
+  | F_isa of Oodb.Obj_id.t * Oodb.Obj_id.t
+  | F_scalar of app
+  | F_set of app
+
+and app = {
+  meth : Oodb.Obj_id.t;
+  recv : Oodb.Obj_id.t;
+  args : Oodb.Obj_id.t list;
+  res : Oodb.Obj_id.t;
+}
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Oodb.Universe.t -> Format.formatter -> t -> unit
+
+(** Recognise a ground fact-shaped reference: [o : c],
+    [o\[m@(args) -> r\]], or [o\[m@(args) ->> {r}\]] with a single element,
+    where every position is a name, literal, or an already-existing path
+    (resolved against the store without creating anything). *)
+val of_reference : Oodb.Store.t -> Syntax.Ast.reference -> t option

@@ -1,0 +1,232 @@
+module Ir = Semantics.Ir
+module Store = Oodb.Store
+
+type mode = Naive | Seminaive
+
+type config = {
+  mode : mode;
+  order : Semantics.Solve.order;
+  hilog_virtual : bool;
+  max_rounds : int;
+  max_objects : int;
+}
+
+let default_config =
+  {
+    mode = Seminaive;
+    order = Semantics.Solve.Greedy;
+    hilog_virtual = false;
+    max_rounds = 10_000;
+    max_objects = 1_000_000;
+  }
+
+type stats = {
+  mutable rounds : int;
+  mutable rule_evaluations : int;
+  mutable firings : int;
+  mutable insertions : int;
+  strata : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "strata: %d, rounds: %d, rule evaluations: %d, firings: %d, insertions: \
+     %d"
+    s.strata s.rounds s.rule_evaluations s.firings s.insertions
+
+module Rel_map = Map.Make (struct
+  type t = Ir.rel
+
+  let compare = Ir.compare_rel
+end)
+
+(* All class memberships share the isa edge log; the per-class refinement
+   only matters to the stratifier, so deltas normalise R_isa_c to R_isa. *)
+let norm_rel = function
+  | Ir.R_isa_c _ -> Ir.R_isa
+  | (Ir.R_isa | Ir.R_scalar _ | Ir.R_set _ | Ir.R_any) as r -> r
+
+let rel_length store = function
+  | Ir.R_isa | Ir.R_isa_c _ -> Oodb.Vec.length (Store.isa_log store)
+  | Ir.R_scalar m -> Oodb.Vec.length (Store.scalar_bucket store m)
+  | Ir.R_set m -> Oodb.Vec.length (Store.set_bucket store m)
+  | Ir.R_any -> 0
+
+(* Snapshot the length of every relation currently present in the store. *)
+let snapshot store =
+  let add acc r = Rel_map.add r (rel_length store r) acc in
+  let acc = add Rel_map.empty Ir.R_isa in
+  let acc =
+    List.fold_left
+      (fun acc m -> add acc (Ir.R_scalar m))
+      acc (Store.scalar_meths store)
+  in
+  List.fold_left
+    (fun acc m -> add acc (Ir.R_set m))
+    acc (Store.set_meths store)
+
+let changed_rels ~before ~after =
+  Rel_map.fold
+    (fun r len acc ->
+      let old = Option.value ~default:0 (Rel_map.find_opt r before) in
+      if len > old then r :: acc else acc)
+    after []
+
+let env_of_binding (body : Ir.query) binding =
+  List.fold_left
+    (fun env (name, slot) ->
+      Semantics.Valuation.Env.add name binding.(slot) env)
+    Semantics.Valuation.Env.empty body.named
+
+(* Evaluate one rule, optionally seeded, executing the head on every body
+   solution. *)
+let evaluate ?provenance config stats store (rule : Rule.t) seed changes =
+  stats.rule_evaluations <- stats.rule_evaluations + 1;
+  Semantics.Solve.iter ~order:config.order ~hilog_virtual:config.hilog_virtual
+    ?seed store rule.body
+    ~f:(fun binding ->
+      stats.firings <- stats.firings + 1;
+      let env = env_of_binding rule.body binding in
+      let on_insert =
+        match provenance with
+        | None -> fun _ -> ()
+        | Some prov ->
+          fun fact ->
+            let source =
+              if rule.source.body = [] then Provenance.Extensional
+              else
+                Provenance.Derived
+                  {
+                    rule = rule.source;
+                    env =
+                      List.map
+                        (fun (name, slot) -> (name, binding.(slot)))
+                        rule.body.named;
+                  }
+            in
+            Provenance.record prov fact source
+      in
+      let before = !changes in
+      ignore
+        (Head.execute ~on_insert store ~env ~rule:rule.source ~changes
+           rule.source.head);
+      stats.insertions <- stats.insertions + (!changes - before))
+
+let check_budget config store stratum_rounds =
+  if stratum_rounds > config.max_rounds then
+    raise
+      (Err.Diverged
+         (Printf.sprintf "stratum exceeded %d rounds" config.max_rounds));
+  let card = Oodb.Universe.cardinality (Store.universe store) in
+  if card > config.max_objects then
+    raise
+      (Err.Diverged
+         (Printf.sprintf
+            "universe grew past %d objects (likely unbounded virtual-object \
+             creation)"
+            config.max_objects))
+
+let run_stratum ?provenance config stats store rules =
+  (* marks at the start of the previous round: the delta a seeded atom
+     scans starts there *)
+  let prev_marks = ref (snapshot store) in
+  let round = ref 0 in
+  let continue = ref true in
+  (* round 1: full evaluation of every rule *)
+  let first_round () =
+    incr round;
+    stats.rounds <- stats.rounds + 1;
+    let changes = ref 0 in
+    List.iter
+      (fun r -> evaluate ?provenance config stats store r None changes)
+      rules;
+    !changes > 0
+  in
+  let next_round () =
+    incr round;
+    stats.rounds <- stats.rounds + 1;
+    check_budget config store !round;
+    let now = snapshot store in
+    let changed = changed_rels ~before:!prev_marks ~after:now in
+    if changed = [] then false
+    else begin
+      let changes = ref 0 in
+      (match config.mode with
+      | Naive ->
+        List.iter
+          (fun r -> evaluate ?provenance config stats store r None changes)
+          rules
+      | Seminaive ->
+        List.iter
+          (fun (rule : Rule.t) ->
+            let reads = List.map norm_rel rule.reads in
+            let relevant =
+              rule.reads_any || List.exists (fun r -> List.mem r reads) changed
+            in
+            if relevant then begin
+              let seeds =
+                if rule.reads_any then []
+                else
+                  List.filter_map
+                    (fun (rel, idx) ->
+                      let rel = norm_rel rel in
+                      if List.mem rel changed then
+                        Some
+                          {
+                            Semantics.Solve.seed_atom = idx;
+                            seed_from =
+                              Option.value ~default:0
+                                (Rel_map.find_opt rel !prev_marks);
+                          }
+                      else None)
+                    rule.seedable
+              in
+              let seeded_rels =
+                List.filter_map
+                  (fun (rel, _) ->
+                    let rel = norm_rel rel in
+                    if List.mem rel changed then Some rel else None)
+                  rule.seedable
+              in
+              let unseedable_change =
+                rule.reads_any
+                || List.exists
+                     (fun r ->
+                       List.mem r reads && not (List.mem r seeded_rels))
+                     changed
+              in
+              if unseedable_change then
+                evaluate ?provenance config stats store rule None changes
+              else
+                List.iter
+                  (fun seed ->
+                    evaluate ?provenance config stats store rule (Some seed)
+                      changes)
+                  seeds
+            end)
+          rules);
+      prev_marks := now;
+      !changes > 0
+    end
+  in
+  if rules <> [] then begin
+    continue := first_round ();
+    while !continue do
+      continue := next_round ()
+    done
+  end
+
+let run ?(config = default_config) ?provenance store (strat : Stratify.t) =
+  let stats =
+    {
+      rounds = 0;
+      rule_evaluations = 0;
+      firings = 0;
+      insertions = 0;
+      strata = Array.length strat.strata;
+    }
+  in
+  Array.iter
+    (fun rules -> run_stratum ?provenance config stats store rules)
+    strat.strata;
+  stats

@@ -1,0 +1,54 @@
+(** Bottom-up evaluation to the minimal model, stratum by stratum.
+
+    Within a stratum the engine iterates rule application until saturation.
+    Two modes:
+
+    - [Naive]: every rule re-evaluated from scratch every round; the
+      baseline the classic semi-naive optimisation is measured against
+      (experiment E7/E10).
+    - [Seminaive]: a rule is re-evaluated only when a relation it reads
+      grew in the previous round, and each matching top-level body atom is
+      {e seeded} with the delta suffix of that relation's bucket, so joins
+      start from the new tuples. Rules whose trigger is not seedable — a
+      variable method position, a changed relation appearing only inside a
+      set-inclusion filter or a head right-hand side — fall back to full
+      re-evaluation for that round.
+
+    Skolemisation can make the minimal model infinite; [max_rounds] and
+    [max_objects] bound the evaluation and {!Err.Diverged} reports the
+    budget exceeded. *)
+
+type mode = Naive | Seminaive
+
+type config = {
+  mode : mode;
+  order : Semantics.Solve.order;  (** join order inside rule bodies *)
+  hilog_virtual : bool;
+      (** enumerate virtual (skolem) objects for variable method positions;
+          see {!Semantics.Solve.iter}. Default [false]: the literal
+          semantics makes programs like the generic [tc] diverge. *)
+  max_rounds : int;  (** per stratum *)
+  max_objects : int;  (** universe cardinality budget *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable rounds : int;  (** total evaluation rounds across strata *)
+  mutable rule_evaluations : int;  (** rule-evaluation passes *)
+  mutable firings : int;  (** body solutions found *)
+  mutable insertions : int;  (** new tuples/edges inserted *)
+  strata : int;  (** number of strata *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Evaluate the stratified program against the store.
+    @raise Err.Functional_conflict
+    @raise Err.Isa_cycle
+    @raise Err.Reserved_self
+    @raise Err.Diverged *)
+val run :
+  ?config:config -> ?provenance:Provenance.t -> Oodb.Store.t -> Stratify.t ->
+  stats
+(** [provenance] records the first derivation of every inserted tuple. *)

@@ -1,0 +1,55 @@
+(** Production rules over PathLog references.
+
+    Sections 2 and 7 of the paper claim the path-expression machinery is
+    orthogonal to the rule-evaluation paradigm: "the techniques we shall
+    propose are applicable for different kinds of rule languages, e.g.
+    deductive, production or active rules". This module makes the claim
+    executable: the same references serve as conditions, and the same
+    head-execution (virtual objects included) serves as the assert action —
+    only the control changes, from fixpoint saturation to a recognise-act
+    cycle with conflict resolution and refractoriness.
+
+    For assert-only rule sets the production engine reaches exactly the
+    deductive minimal model (property-tested), firing one instantiation at
+    a time. *)
+
+type action =
+  | Assert of Syntax.Ast.reference
+      (** make a (scalar, well-formed) reference true, creating virtual
+          objects as in rule heads *)
+  | Message of string
+      (** record ["msg"] with the triggering bindings in the event log *)
+
+type prule = {
+  p_name : string;
+  condition : Syntax.Ast.literal list;
+  actions : action list;
+  priority : int;  (** higher fires first *)
+}
+
+type event = {
+  e_rule : string;
+  e_bindings : (string * Oodb.Obj_id.t) list;
+  e_message : string option;  (** [Some _] for {!Message} actions *)
+}
+
+type t
+
+(** The condition and any [Assert] head are checked like deductive rules
+    (well-formedness, safety). @raise Invalid_argument on violations. *)
+val create : Oodb.Store.t -> prule list -> t
+
+val store : t -> Oodb.Store.t
+
+(** One recognise-act cycle: build the conflict set (all satisfiable rule
+    instantiations not fired before), pick the winner — highest priority,
+    then rule declaration order, then first binding found — fire its
+    actions. Returns [false] when the conflict set is empty. *)
+val step : t -> bool
+
+(** Run cycles until quiescence (or [max_steps]); returns the number of
+    firings. *)
+val run : ?max_steps:int -> t -> int
+
+(** Events in firing order. *)
+val log : t -> event list

@@ -1,0 +1,364 @@
+module Ast = Syntax.Ast
+
+type t = {
+  statements : Ast.statement list;  (* the source, for rebuilds *)
+  store : Oodb.Store.t;
+  signatures : Oodb.Signature.t;
+  rules : Rule.t list;
+  strat : Stratify.t;
+  queries : Ast.literal list list;
+  config : Fixpoint.config;
+  provenance : Provenance.t;
+  mutable facts_loaded : bool;
+}
+
+exception Invalid of string
+
+type answer = {
+  columns : string list;
+  rows : Oodb.Obj_id.t list list;
+}
+
+let invalid fmt = Format.kasprintf (fun msg -> raise (Invalid msg)) fmt
+
+(* Signature declarations name classes with ground simple references. *)
+let ground_object store (r : Ast.reference) =
+  match r with
+  | Name n -> Oodb.Store.name store n
+  | Int_lit n -> Oodb.Store.int store n
+  | Str_lit s -> Oodb.Store.str store s
+  | Paren _ | Var _ | Path _ | Filter _ | Isa _ ->
+    invalid "signature declarations must use ground names: %a"
+      Syntax.Pretty.pp_reference r
+
+let load_signature store signatures (cls, meth, args, result, scal) =
+  let entry =
+    {
+      Oodb.Signature.cls = ground_object store cls;
+      meth = ground_object store meth;
+      arg_classes = List.map (ground_object store) args;
+      result_class = ground_object store result;
+      scalarity =
+        (match scal with
+        | Syntax.Scalarity.Scalar -> Oodb.Signature.Scalar
+        | Syntax.Scalarity.Set_valued -> Oodb.Signature.Set_valued);
+    }
+  in
+  Oodb.Signature.add signatures entry
+
+let create ?(config = Fixpoint.default_config) statements =
+  let store = Oodb.Store.create () in
+  let signatures = Oodb.Signature.create () in
+  let rules = ref [] in
+  let queries = ref [] in
+  List.iter
+    (fun stmt ->
+      match Syntax.Wellformed.signature_of_statement stmt with
+      | Some decl -> load_signature store signatures decl
+      | None -> (
+        match stmt with
+        | Ast.Rule r -> (
+          match Syntax.Wellformed.check_rule r with
+          | Ok () -> rules := Rule.compile store r :: !rules
+          | Error e ->
+            invalid "ill-formed rule %a: %a" Syntax.Pretty.pp_rule r
+              Syntax.Wellformed.pp_error e)
+        | Ast.Query lits -> (
+          match Syntax.Wellformed.check_query lits with
+          | Ok () -> queries := lits :: !queries
+          | Error e ->
+            invalid "ill-formed query: %a" Syntax.Wellformed.pp_error e)))
+    statements;
+  let rules = List.rev !rules in
+  let strat = Stratify.compute store rules in
+  {
+    statements;
+    store;
+    signatures;
+    rules;
+    strat;
+    queries = List.rev !queries;
+    config;
+    provenance = Provenance.create ();
+    facts_loaded = false;
+  }
+
+let of_string ?config text =
+  match Syntax.Parser.program text with
+  | statements -> create ?config statements
+  | exception Syntax.Parser.Error (pos, msg) ->
+    invalid "%a: %s" Syntax.Token.pp_pos pos msg
+
+let store t = t.store
+let universe t = Oodb.Store.universe t.store
+let rules t = t.rules
+let signatures t = t.signatures
+let embedded_queries t = t.queries
+let strata t = t.strat.strata
+
+let run t =
+  t.facts_loaded <- true;
+  Fixpoint.run ~config:t.config ~provenance:t.provenance t.store t.strat
+
+let provenance t = t.provenance
+
+(* Execute the fact statements only (they are ground); idempotent. *)
+let load_facts t =
+  if not t.facts_loaded then begin
+    t.facts_loaded <- true;
+    List.iter
+      (fun (r : Rule.t) ->
+        if r.source.body = [] then begin
+          let changes = ref 0 in
+          let on_insert fact =
+            Provenance.record t.provenance fact Provenance.Extensional
+          in
+          ignore
+            (Head.execute ~on_insert t.store
+               ~env:Semantics.Valuation.Env.empty ~rule:r.source ~changes
+               r.source.head)
+        end)
+      t.rules
+  end
+
+let query t lits =
+  (match Syntax.Wellformed.check_query lits with
+  | Ok () -> ()
+  | Error e -> invalid "ill-formed query: %a" Syntax.Wellformed.pp_error e);
+  let q = Semantics.Flatten.literals t.store lits in
+  let columns = List.map fst q.named in
+  let rows = Semantics.Solve.named_solutions ~order:t.config.order t.store q in
+  let rows =
+    (* a ground query answers with one empty row when entailed *)
+    match (columns, rows) with
+    | [], [] ->
+      if Semantics.Solve.satisfiable ~order:t.config.order t.store q then
+        [ [] ]
+      else []
+    | _ -> rows
+  in
+  { columns; rows }
+
+let strip_query_syntax s =
+  let s = String.trim s in
+  let s =
+    if String.length s >= 2 && String.sub s 0 2 = "?-" then
+      String.sub s 2 (String.length s - 2)
+    else s
+  in
+  let s = String.trim s in
+  if String.length s > 0 && s.[String.length s - 1] = '.' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let query_string t text =
+  match Syntax.Parser.literals (strip_query_syntax text) with
+  | lits -> query t lits
+  | exception Syntax.Parser.Error (pos, msg) ->
+    invalid "%a: %s" Syntax.Token.pp_pos pos msg
+
+let run_queries t = List.map (fun lits -> (lits, query t lits)) t.queries
+
+let row_to_string t row =
+  String.concat ", "
+    (List.map (Oodb.Universe.to_string (universe t)) row)
+
+let pp_answer t ppf answer =
+  match answer.columns with
+  | [] ->
+    Format.fprintf ppf "%s" (if answer.rows = [] then "no" else "yes")
+  | _ ->
+    Format.fprintf ppf "%s@." (String.concat ", " answer.columns);
+    List.iter
+      (fun row -> Format.fprintf ppf "%s@." (row_to_string t row))
+      answer.rows
+
+let check_types t ~mode = Oodb.Signature.check t.store t.signatures ~mode
+
+let lint_types t = Typecheck.check_rules t.store t.signatures t.rules
+
+let add_fact t reference =
+  let rule = Syntax.Ast.fact reference in
+  (match Syntax.Wellformed.check_rule rule with
+  | Ok () -> ()
+  | Error e ->
+    invalid "ill-formed fact %a: %a" Syntax.Pretty.pp_reference reference
+      Syntax.Wellformed.pp_error e);
+  let changes = ref 0 in
+  let on_insert fact =
+    Provenance.record t.provenance fact Provenance.Extensional
+  in
+  ignore
+    (Head.execute ~on_insert t.store ~env:Semantics.Valuation.Env.empty
+       ~rule ~changes reference);
+  !changes
+
+let add_fact_string t text =
+  match Syntax.Parser.statement text with
+  | Syntax.Ast.Rule { head; body = [] } -> add_fact t head
+  | Syntax.Ast.Rule _ | Syntax.Ast.Query _ ->
+    invalid "add_fact expects a single fact statement"
+  | exception Syntax.Parser.Error (pos, msg) ->
+    invalid "%a: %s" Syntax.Token.pp_pos pos msg
+
+let dump_model t = Format.asprintf "%a" Oodb.Store.pp t.store
+
+let explain t lits =
+  let q = Semantics.Flatten.literals t.store lits in
+  Semantics.Solve.explain ~order:t.config.order t.store q
+
+let explain_string t text =
+  match Syntax.Parser.literals (strip_query_syntax text) with
+  | lits -> explain t lits
+  | exception Syntax.Parser.Error (pos, msg) ->
+    invalid "%a: %s" Syntax.Token.pp_pos pos msg
+
+(* ------------------------------------------------------------------ *)
+(* Demand-focused evaluation: run only the rules transitively relevant to
+   a query's relations, then solve. Sound because evaluation is monotone
+   and the skipped rules cannot contribute tuples to any relation the
+   query (or its support) reads. *)
+
+let norm_rel = function
+  | Semantics.Ir.R_isa_c _ -> Semantics.Ir.R_isa
+  | (Semantics.Ir.R_isa | Semantics.Ir.R_scalar _ | Semantics.Ir.R_set _
+    | Semantics.Ir.R_any) as r ->
+    r
+
+let rec query_rels acc (a : Semantics.Ir.atom) =
+  let acc =
+    match Semantics.Ir.atom_rel a with
+    | Some r -> norm_rel r :: acc
+    | None -> acc
+  in
+  match a with
+  | A_subset s -> List.fold_left query_rels acc s.sub_atoms
+  | A_neg n -> List.fold_left query_rels acc n.n_atoms
+  | A_isa _ | A_scalar _ | A_member _ | A_eq _ -> acc
+
+let relevant_rules t (q : Semantics.Ir.query) =
+  let seeds =
+    List.sort_uniq Semantics.Ir.compare_rel
+      (List.fold_left query_rels [] q.atoms)
+  in
+  if List.mem Semantics.Ir.R_any seeds then t.rules
+  else begin
+    let relevant = ref seeds in
+    let selected = ref [] in
+    let remaining = ref t.rules in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let still_out = ref [] in
+      List.iter
+        (fun (rule : Rule.t) ->
+          let defines = List.map norm_rel rule.defines in
+          let touches =
+            List.mem Semantics.Ir.R_any defines
+            || List.exists (fun d -> List.mem d !relevant) defines
+          in
+          if touches then begin
+            selected := rule :: !selected;
+            changed := true;
+            List.iter
+              (fun r ->
+                let r = norm_rel r in
+                if not (List.mem r !relevant) then relevant := r :: !relevant)
+              (rule.reads @ rule.completion_reads)
+          end
+          else still_out := rule :: !still_out)
+        !remaining;
+      remaining := List.rev !still_out
+    done;
+    List.rev !selected
+  end
+
+let query_focused t lits =
+  (match Syntax.Wellformed.check_query lits with
+  | Ok () -> ()
+  | Error e -> invalid "ill-formed query: %a" Syntax.Wellformed.pp_error e);
+  let q = Semantics.Flatten.literals t.store lits in
+  let rules = relevant_rules t q in
+  let strat = Stratify.compute t.store rules in
+  let stats =
+    Fixpoint.run ~config:t.config ~provenance:t.provenance t.store strat
+  in
+  (query t lits, stats, List.length rules)
+
+let query_topdown t lits =
+  (match Syntax.Wellformed.check_query lits with
+  | Ok () -> ()
+  | Error e -> invalid "ill-formed query: %a" Syntax.Wellformed.pp_error e);
+  load_facts t;
+  let q = Semantics.Flatten.literals t.store lits in
+  let idb_rules =
+    List.filter (fun (r : Rule.t) -> r.source.body <> []) t.rules
+  in
+  match Topdown.query t.store idb_rules q with
+  | Some (rows, stats) ->
+    Some ({ columns = List.map fst q.named; rows }, stats)
+  | None -> None
+
+let why t reference =
+  match Fact.of_reference t.store reference with
+  | None ->
+    invalid
+      "why expects a ground membership or method fact, e.g. a : c or \
+       x[m -> y]"
+  | Some fact -> Provenance.explain t.store t.provenance fact
+
+let why_string t text =
+  match Syntax.Parser.reference (strip_query_syntax text) with
+  | r -> why t r
+  | exception Syntax.Parser.Error (pos, msg) ->
+    invalid "%a: %s" Syntax.Token.pp_pos pos msg
+
+(* ------------------------------------------------------------------ *)
+(* What-if analysis: rebuild with edited statements and diff the models.
+   The store is append-only by design (semi-naive deltas rely on it), so
+   retraction is recomputation over the edited source — simple, always
+   correct, and linear in the program, which matches the scale the paper
+   targets. *)
+
+let statements t = t.statements
+
+let rebuild ?(add = []) ?(retract = fun _ -> false) t =
+  let kept = List.filter (fun s -> not (retract s)) t.statements in
+  let p = create ~config:t.config (kept @ add) in
+  ignore (run p);
+  p
+
+let model_lines t =
+  dump_model t |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.sort_uniq compare
+
+let diff_models ~before ~after =
+  let b = model_lines before and a = model_lines after in
+  let added = List.filter (fun l -> not (List.mem l b)) a in
+  let removed = List.filter (fun l -> not (List.mem l a)) b in
+  (added, removed)
+
+let what_if ?(add = []) ?(retract = fun _ -> false) t =
+  (* make sure the base model is computed *)
+  ignore (run t);
+  let after = rebuild ~add ~retract t in
+  diff_models ~before:t ~after
+
+let verify_model t =
+  let rec go = function
+    | [] -> Ok ()
+    | (rule : Rule.t) :: rest -> (
+      match Semantics.Entail.find_violation t.store rule.source with
+      | None -> go rest
+      | Some cex ->
+        let msg =
+          String.concat ", "
+            (List.map
+               (fun (v, o) ->
+                 v ^ " = " ^ Oodb.Universe.to_string (universe t) o)
+               cex)
+        in
+        Error (rule.source, msg))
+  in
+  go t.rules

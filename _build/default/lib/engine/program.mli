@@ -1,0 +1,146 @@
+(** The user-facing engine API: load a PathLog program, evaluate it to its
+    minimal model, answer queries.
+
+    A program is a sequence of statements: facts, rules, signature
+    declarations ([c\[m => r\]], [c\[m =>> r\]]) and queries ([?- ...]).
+    Loading parses, checks well-formedness (Definition 3 plus head and
+    safety conditions), compiles rules, and stratifies. {!run} evaluates to
+    the minimal model; {!query} / {!query_string} answer ad-hoc queries
+    against the current store. *)
+
+type t
+
+exception Invalid of string
+(** Parse error, ill-formed reference, unsafe rule, bad signature
+    declaration — with a human-readable message. *)
+
+type answer = {
+  columns : string list;  (** query variables, first-occurrence order *)
+  rows : Oodb.Obj_id.t list list;  (** distinct bindings *)
+}
+
+val create :
+  ?config:Fixpoint.config -> Syntax.Ast.statement list -> t
+
+val of_string : ?config:Fixpoint.config -> string -> t
+
+val store : t -> Oodb.Store.t
+
+val universe : t -> Oodb.Universe.t
+
+val rules : t -> Rule.t list
+
+val signatures : t -> Oodb.Signature.t
+
+(** Queries that appeared in the program text, in order. *)
+val embedded_queries : t -> Syntax.Ast.literal list list
+
+(** Stratum of each rule (diagnostics; experiment E8). *)
+val strata : t -> Rule.t list array
+
+(** Evaluate to the minimal model. Idempotent: a second call finds nothing
+    new to derive. *)
+val run : t -> Fixpoint.stats
+
+(** Answer a query (the program should normally have been {!run} first).
+    A query with no variables yields one empty row if entailed, no rows
+    otherwise. *)
+val query : t -> Syntax.Ast.literal list -> answer
+
+(** Parse and answer, e.g. [query_string p "?- X : employee."] (the leading
+    [?-] and trailing [.] are optional). *)
+val query_string : t -> string -> answer
+
+(** Run every embedded query. *)
+val run_queries : t -> (Syntax.Ast.literal list * answer) list
+
+(** Render an answer row / table using the program's universe. *)
+val row_to_string : t -> Oodb.Obj_id.t list -> string
+
+val pp_answer : t -> Format.formatter -> answer -> unit
+
+(** Check the store against the program's signature declarations. *)
+val check_types :
+  t -> mode:[ `Lenient | `Strict ] -> Oodb.Signature.violation list
+
+(** Static type lint: check rule heads against signatures without running
+    the program (see {!Typecheck}). *)
+val lint_types : t -> Typecheck.warning list
+
+(** Insert one ground fact into the store (virtual objects created as in
+    rule heads); returns the number of new tuples. Call {!run} afterwards
+    to re-derive the consequences — evaluation is monotone, so this is
+    sound incremental maintenance.
+    @raise Invalid on ill-formed or non-ground facts *)
+val add_fact : t -> Syntax.Ast.reference -> int
+
+val add_fact_string : t -> string -> int
+
+(** The computed model as a PathLog fact program. Reloading the dump with
+    {!of_string} rebuilds an isomorphic store: virtual objects print as the
+    paths that denote them and re-skolemise deterministically. *)
+val dump_model : t -> string
+
+(** The execution plan the solver would follow for a query; one line per
+    flattened atom (see {!Semantics.Solve.explain}). *)
+val explain : t -> Syntax.Ast.literal list -> string list
+
+val explain_string : t -> string -> string list
+
+(** Derivation provenance recorded during {!run}. *)
+val provenance : t -> Provenance.t
+
+(** Demand-focused evaluation: instead of materialising the whole model,
+    run only the rules transitively relevant to the query's relations
+    (classic rule-relevance restriction — weaker than full magic sets but
+    sound and often sufficient), then answer. Returns the answer, the
+    fixpoint statistics of the focused run, and the number of rules it
+    considered. Answers always agree with {!run} + {!query}
+    (property-tested). *)
+val query_focused :
+  t -> Syntax.Ast.literal list -> answer * Fixpoint.stats * int
+
+(** Goal-directed tabled evaluation for the flat-headed fragment (see
+    {!Topdown}): answers point queries without materialising the model,
+    propagating the query's constants into recursion. Loads the program's
+    fact statements into the store (idempotent), then tables sub-goals.
+    [None] when a rule is outside the fragment — fall back to
+    {!query_focused} or {!run}+{!query}. *)
+val query_topdown :
+  t -> Syntax.Ast.literal list -> (answer * Topdown.stats) option
+
+(** The proof tree of a derived or extensional fact ([None] if the store
+    does not contain it). The reference must be ground and fact shaped:
+    [o : c], [o\[m -> r\]] or [o\[m ->> {r}\]]; paths are resolved against
+    the store.
+    @raise Invalid on other shapes *)
+val why : t -> Syntax.Ast.reference -> Provenance.proof option
+
+val why_string : t -> string -> Provenance.proof option
+
+(** The source statements the program was created from. *)
+val statements : t -> Syntax.Ast.statement list
+
+(** Rebuild with edited source: statements matching [retract] dropped,
+    [add] appended; the result is freshly evaluated. The store is
+    append-only (semi-naive deltas rely on it), so retraction is honest
+    recomputation rather than in-place deletion. *)
+val rebuild :
+  ?add:Syntax.Ast.statement list ->
+  ?retract:(Syntax.Ast.statement -> bool) ->
+  t -> t
+
+(** Model difference, as rendered fact lines (stores differ, ids do not
+    transfer): [(added, removed)]. *)
+val diff_models : before:t -> after:t -> string list * string list
+
+(** Evaluate the effect of an edit without committing to it: which model
+    facts would appear, which would vanish. *)
+val what_if :
+  ?add:Syntax.Ast.statement list ->
+  ?retract:(Syntax.Ast.statement -> bool) ->
+  t -> string list * string list
+
+(** Model check: do all rules hold in the current store? Brute force over
+    variable valuations — tests and small programs only. *)
+val verify_model : t -> (unit, Syntax.Ast.rule * string) result

@@ -1,0 +1,136 @@
+module Ir = Semantics.Ir
+
+type source =
+  | Extensional
+  | Derived of {
+      rule : Syntax.Ast.rule;
+      env : (string * Oodb.Obj_id.t) list;
+    }
+
+type proof = {
+  fact : Fact.t;
+  source : source;
+  support : proof list;
+}
+
+module Fact_tbl = Hashtbl.Make (struct
+  type t = Fact.t
+
+  let equal = Fact.equal
+  let hash = Fact.hash
+end)
+
+type t = source Fact_tbl.t
+
+let create () = Fact_tbl.create 256
+
+let record t fact source =
+  if not (Fact_tbl.mem t fact) then Fact_tbl.add t fact source
+
+let lookup t fact = Fact_tbl.find_opt t fact
+
+let size t = Fact_tbl.length t
+
+(* A chain of direct class edges from [o] up to [c]; the facts supporting a
+   derived (transitive) membership. *)
+let isa_support store o c =
+  let direct_parents x =
+    Oodb.Vec.fold
+      (fun acc (src, dst) -> if Oodb.Obj_id.equal src x then dst :: acc else acc)
+      []
+      (Oodb.Store.isa_log store)
+  in
+  let rec search visited x =
+    if Oodb.Obj_id.equal x c then Some []
+    else if Oodb.Obj_id.Set.mem x visited then None
+    else
+      let visited = Oodb.Obj_id.Set.add x visited in
+      let rec try_parents = function
+        | [] -> None
+        | p :: rest -> (
+          match search visited p with
+          | Some chain -> Some (Fact.F_isa (x, p) :: chain)
+          | None -> try_parents rest)
+      in
+      try_parents (direct_parents x)
+  in
+  Option.value ~default:[ Fact.F_isa (o, c) ] (search Oodb.Obj_id.Set.empty o)
+
+(* The ground facts one solution of a rule body rests on. *)
+let body_facts store (q : Ir.query) binding =
+  let self_id = Oodb.Store.name store "self" in
+  let deref = function
+    | Ir.Const o -> o
+    | Ir.V i -> binding.(i)
+  in
+  List.concat_map
+    (fun (atom : Ir.atom) ->
+      match atom with
+      | A_isa (o, c) -> isa_support store (deref o) (deref c)
+      | A_scalar { meth; recv; args; res } ->
+        let meth = deref meth in
+        if Oodb.Obj_id.equal meth self_id && args = [] then []
+        else
+          [
+            Fact.F_scalar
+              {
+                meth;
+                recv = deref recv;
+                args = List.map deref args;
+                res = deref res;
+              };
+          ]
+      | A_member { meth; recv; args; res } ->
+        let meth = deref meth in
+        if Oodb.Obj_id.equal meth self_id && args = [] then []
+        else
+          [
+            Fact.F_set
+              {
+                meth;
+                recv = deref recv;
+                args = List.map deref args;
+                res = deref res;
+              };
+          ]
+      | A_eq _ | A_subset _ | A_neg _ -> [])
+    q.atoms
+
+let rec explain ?(max_depth = 64) store t fact =
+  match lookup t fact with
+  | None -> None
+  | Some Extensional -> Some { fact; source = Extensional; support = [] }
+  | Some (Derived { rule; env } as source) ->
+    if max_depth <= 0 then Some { fact; source; support = [] }
+    else begin
+      let q = Semantics.Flatten.literals store rule.body in
+      let bindings =
+        List.filter_map
+          (fun (name, slot) ->
+            Option.map (fun o -> (slot, o)) (List.assoc_opt name env))
+          q.named
+      in
+      let support = ref [] in
+      Semantics.Solve.iter ~bindings ~limit:1 store q ~f:(fun binding ->
+          support :=
+            List.map
+              (fun sub ->
+                match explain ~max_depth:(max_depth - 1) store t sub with
+                | Some p -> p
+                | None -> { fact = sub; source = Extensional; support = [] })
+              (body_facts store q binding));
+      Some { fact; source; support = !support }
+    end
+
+let pp_proof u ppf proof =
+  let rec go indent ppf p =
+    Format.fprintf ppf "%s%a" indent (Fact.pp u) p.fact;
+    (match p.source with
+    | Extensional -> Format.fprintf ppf "   (fact)"
+    | Derived { rule; _ } ->
+      Format.fprintf ppf "   (by %a)" Syntax.Pretty.pp_rule rule);
+    List.iter
+      (fun child -> Format.fprintf ppf "@,%a" (go (indent ^ "  ")) child)
+      p.support
+  in
+  Format.fprintf ppf "@[<v>%a@]" (go "") proof

@@ -1,0 +1,44 @@
+(** Derivation provenance and proof trees.
+
+    When enabled (the default), the fixpoint records, for every tuple it
+    inserts, the rule and variable valuation of the {e first} derivation.
+    {!explain} then reconstructs a proof tree: the root fact, the rule that
+    derived it, and recursively the body facts that rule matched — replayed
+    through the solver with the recorded valuation pre-bound, so the
+    sub-facts shown are a real support set for the derivation.
+
+    Facts asserted by fact statements (or {!Program.add_fact}) are
+    [Extensional] leaves; skolem-creating insertions point at the rule
+    whose head invented the object. *)
+
+type source =
+  | Extensional  (** asserted by a fact statement *)
+  | Derived of {
+      rule : Syntax.Ast.rule;
+      env : (string * Oodb.Obj_id.t) list;
+    }
+
+type proof = {
+  fact : Fact.t;
+  source : source;
+  support : proof list;  (** body facts of the deriving rule; [] for leaves *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Record the first derivation of a fact (later derivations keep the
+    first). *)
+val record : t -> Fact.t -> source -> unit
+
+val lookup : t -> Fact.t -> source option
+
+val size : t -> int
+
+(** Build the proof tree of a recorded fact. [max_depth] truncates (cycles
+    cannot occur — provenance records first derivations, which are
+    well-founded — but deep chains can). Unknown facts yield [None]. *)
+val explain : ?max_depth:int -> Oodb.Store.t -> t -> Fact.t -> proof option
+
+val pp_proof : Oodb.Universe.t -> Format.formatter -> proof -> unit

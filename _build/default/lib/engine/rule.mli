@@ -1,0 +1,32 @@
+(** Compiled rules: flattened body plus the dependency information the
+    stratifier and the semi-naive fixpoint need. *)
+
+type t = {
+  source : Syntax.Ast.rule;
+  body : Semantics.Ir.query;
+  defines : Semantics.Ir.rel list;
+      (** relations the head may insert into (skolemised paths included) *)
+  reads : Semantics.Ir.rel list;
+      (** relations whose growth must re-trigger this rule: all body
+          relations (top-level and nested) plus the relations a head
+          set-valued right-hand side evaluates *)
+  completion_reads : Semantics.Ir.rel list;
+      (** relations that must be fully computed before this rule runs: the
+          sub-query relations of body set-inclusion filters and of negated
+          literals (section 6 stratification) *)
+  seedable : (Semantics.Ir.rel * int) list;
+      (** top-level body atom indexes usable as semi-naive delta seeds,
+          with the relation each one scans *)
+  reads_any : bool;  (** reads [R_any]: re-evaluate on any change *)
+  class_edges : (Oodb.Obj_id.t * Oodb.Obj_id.t) list;
+      (** constant-to-constant class edges asserted by the head; the
+          stratifier's static class hierarchy *)
+}
+
+(** Compile a well-formedness-checked rule. Interning happens against the
+    store's universe. *)
+val compile : Oodb.Store.t -> Syntax.Ast.rule -> t
+
+(** Relations a reference reads when evaluated (used for head [->>]
+    right-hand sides and query dependency reporting). *)
+val rels_of_reference : Oodb.Store.t -> Syntax.Ast.reference -> Semantics.Ir.rel list

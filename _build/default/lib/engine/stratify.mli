@@ -1,0 +1,32 @@
+(** Stratification (section 6 of the paper).
+
+    A rule whose body contains a set-inclusion filter with a set-valued
+    reference — [... <- X\[friends ->> p1..assistants\]] — or a negated
+    literal must only run once the relations that sub-reference reads are
+    fully computed. We build the dependency graph over relations (an edge
+    [D -> R] whenever a rule defining [D] reads [R], marked {e completion}
+    when the read needs the full extension), condense it into strongly
+    connected components, and reject the program if a completion edge lies
+    inside a component. Strata are numbered so that completion edges
+    strictly descend.
+
+    [R_any] (variable or computed method positions, e.g. the generic
+    [kids.tc] rules) is handled conservatively: a rule defining [R_any] may
+    define anything, a rule reading [R_any] may read anything, and a
+    completion read of [R_any] is rejected outright.
+
+    Class membership is refined per named class ([R_isa_c]): negating
+    [X : hasKids] while deriving [X : leaf] is stratifiable. A membership
+    insert into class [c] also feeds every class above [c]; the hierarchy
+    used is the {e static} one — constant-to-constant class edges visible
+    in rule heads. Class edges created at runtime between objects that are
+    only bound by variables (meta-programming on the hierarchy) escape this
+    approximation, as they do in every practical stratification. *)
+
+type t = {
+  strata : Rule.t list array;  (** rules grouped by stratum, ascending *)
+  rule_stratum : (Rule.t * int) list;
+}
+
+val compute : Oodb.Store.t -> Rule.t list -> t
+(** @raise Err.Unstratifiable *)

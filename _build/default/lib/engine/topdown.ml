@@ -1,0 +1,345 @@
+module Ir = Semantics.Ir
+module Store = Oodb.Store
+module Set = Oodb.Obj_id.Set
+
+type stats = {
+  goals : int;
+  answers : int;
+  passes : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The flat-headed fragment                                            *)
+
+type rel_key = {
+  is_set : bool;
+  meth : Oodb.Obj_id.t;
+  arity : int;  (* number of extra arguments *)
+}
+
+type head_shape = {
+  h_key : rel_key;
+  h_terms : Ir.term list;  (* recv :: args @ [res], over body slots *)
+}
+
+type flat_rule = {
+  rule : Rule.t;
+  head : head_shape;
+}
+
+let term_of_simple store (body : Ir.query) (r : Syntax.Ast.reference) :
+    Ir.term option =
+  match r with
+  | Name n -> Some (Const (Store.name store n))
+  | Int_lit n -> Some (Const (Store.int store n))
+  | Str_lit s -> Some (Const (Store.str store s))
+  | Var v ->
+    Option.map (fun slot -> Ir.V slot) (List.assoc_opt v body.named)
+  | Paren _ | Path _ | Filter _ | Isa _ -> None
+
+let atoms_supported atoms =
+  List.for_all
+    (fun (a : Ir.atom) ->
+      match a with
+      | A_isa _ | A_eq _ -> true
+      | A_scalar { meth = Const _; _ } | A_member { meth = Const _; _ } ->
+        true
+      | A_scalar { meth = V _; _ } | A_member { meth = V _; _ } -> false
+      | A_subset _ | A_neg _ -> false)
+    atoms
+
+let flat_head store (rule : Rule.t) : head_shape option =
+  match rule.source.head with
+  | Filter { f_recv; f_meth; f_args; f_rhs } -> (
+    let recv = term_of_simple store rule.body f_recv in
+    let meth =
+      match f_meth with
+      | Name n -> Some (Store.name store n)
+      | _ -> None
+    in
+    let args =
+      List.fold_left
+        (fun acc a ->
+          match (acc, term_of_simple store rule.body a) with
+          | Some acc, Some t -> Some (t :: acc)
+          | _, _ -> None)
+        (Some []) f_args
+    in
+    let result =
+      match f_rhs with
+      | Rscalar r -> Option.map (fun t -> (false, t)) (term_of_simple store rule.body r)
+      | Rset_enum [ r ] ->
+        Option.map (fun t -> (true, t)) (term_of_simple store rule.body r)
+      | Rset_enum _ | Rset_ref _ | Rsig_scalar _ | Rsig_set _ -> None
+    in
+    match (recv, meth, args, result) with
+    | Some recv, Some meth, Some rev_args, Some (is_set, res) ->
+      let args = List.rev rev_args in
+      Some
+        {
+          h_key = { is_set; meth; arity = List.length args };
+          h_terms = (recv :: args) @ [ res ];
+        }
+    | _ -> None)
+  | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Isa _ ->
+    None
+
+let compile_fragment store (rules : Rule.t list) : flat_rule list option =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | (r : Rule.t) :: rest ->
+      if r.source.body = [] then go acc rest  (* facts are pre-loaded *)
+      else if not (atoms_supported r.body.atoms) then None
+      else (
+        match flat_head store r with
+        | Some head -> go ({ rule = r; head } :: acc) rest
+        | None -> None)
+  in
+  go [] rules
+
+(* ------------------------------------------------------------------ *)
+(* Tabling                                                             *)
+
+type goal = rel_key * Oodb.Obj_id.t option list
+
+type table = {
+  mutable tuples : Oodb.Obj_id.t list list;  (* newest first *)
+  seen : (Oodb.Obj_id.t list, unit) Hashtbl.t;
+}
+
+type state = {
+  store : Store.t;
+  by_rel : (rel_key, flat_rule list) Hashtbl.t;
+  tables : (goal, table) Hashtbl.t;
+  mutable changed : bool;
+  mutable passes : int;
+}
+
+let matches_pattern pattern tuple =
+  List.for_all2
+    (fun pat v ->
+      match pat with Some x -> Oodb.Obj_id.equal x v | None -> true)
+    pattern tuple
+
+(* EDB tuples of a relation matching a pattern, from the store. *)
+let edb_tuples st key pattern =
+  let bucket =
+    if key.is_set then Store.set_bucket st.store key.meth
+    else Store.scalar_bucket st.store key.meth
+  in
+  Oodb.Vec.fold
+    (fun acc (e : Store.mentry) ->
+      if List.length e.args <> key.arity then acc
+      else
+        let tuple = (e.recv :: e.args) @ [ e.res ] in
+        if matches_pattern pattern tuple then tuple :: acc else acc)
+    [] bucket
+
+let is_idb st key = Hashtbl.mem st.by_rel key
+
+(* Create (and EDB-seed) the table of a goal if new. *)
+let ensure_table st (goal : goal) =
+  match Hashtbl.find_opt st.tables goal with
+  | Some t -> t
+  | None ->
+    let t = { tuples = []; seen = Hashtbl.create 16 } in
+    Hashtbl.add st.tables goal t;
+    let key, pattern = goal in
+    List.iter
+      (fun tuple ->
+        if not (Hashtbl.mem t.seen tuple) then begin
+          Hashtbl.add t.seen tuple ();
+          t.tuples <- tuple :: t.tuples
+        end)
+      (edb_tuples st key pattern);
+    st.changed <- true;
+    t
+
+let add_answer st t tuple =
+  if not (Hashtbl.mem t.seen tuple) then begin
+    Hashtbl.add t.seen tuple ();
+    t.tuples <- tuple :: t.tuples;
+    st.changed <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Body evaluation with table consults                                 *)
+
+let deref binding = function
+  | Ir.Const o -> Some o
+  | Ir.V i -> binding.(i)
+
+let bind binding t v k =
+  match t with
+  | Ir.Const c -> if Oodb.Obj_id.equal c v then k ()
+  | Ir.V i -> (
+    match binding.(i) with
+    | Some x -> if Oodb.Obj_id.equal x v then k ()
+    | None ->
+      binding.(i) <- Some v;
+      k ();
+      binding.(i) <- None)
+
+let rec bind_list binding ts vs k =
+  match (ts, vs) with
+  | [], [] -> k ()
+  | t :: ts', v :: vs' -> bind binding t v (fun () -> bind_list binding ts' vs' k)
+  | [], _ :: _ | _ :: _, [] -> ()
+
+let self_id st = Store.name st.store "self"
+
+(* Enumerate matches of one method atom: table answers for IDB relations
+   (creating the sub-goal on first use), store tuples otherwise. *)
+let eval_app st binding which (app : Ir.app) k =
+  match deref binding app.meth with
+  | None -> ()  (* excluded by atoms_supported *)
+  | Some m when Oodb.Obj_id.equal m (self_id st) && app.args = [] -> (
+    if which = `Set then ()  (* no set-valued extension *)
+    else
+      match (deref binding app.recv, deref binding app.res) with
+      | Some r, _ -> bind binding app.res r k
+      | None, Some r -> bind binding app.recv r k
+      | None, None -> ())
+  | Some m ->
+    let key =
+      { is_set = (which = `Set); meth = m; arity = List.length app.args }
+    in
+    let terms = (app.recv :: app.args) @ [ app.res ] in
+    let try_tuple tuple = bind_list binding terms tuple k in
+    if is_idb st key then begin
+      let pattern = List.map (deref binding) terms in
+      let t = ensure_table st (key, pattern) in
+      List.iter try_tuple t.tuples
+    end
+    else List.iter try_tuple (edb_tuples st key (List.map (deref binding) terms))
+
+let eval_isa st binding o c k =
+  match (deref binding o, deref binding c) with
+  | Some uo, Some uc -> if Store.is_member st.store uo uc then k ()
+  | Some uo, None ->
+    Set.iter (fun uc -> bind binding c uc k) (Store.classes_of st.store uo)
+  | None, Some uc ->
+    Set.iter (fun uo -> bind binding o uo k) (Store.members st.store uc)
+  | None, None ->
+    let sources = ref Set.empty in
+    Oodb.Vec.iter
+      (fun (src, _) -> sources := Set.add src !sources)
+      (Store.isa_log st.store);
+    Set.iter
+      (fun uo ->
+        bind binding o uo (fun () ->
+            Set.iter
+              (fun uc -> bind binding c uc k)
+              (Store.classes_of st.store uo)))
+      !sources
+
+let rec eval_atoms st binding atoms k =
+  match atoms with
+  | [] -> k ()
+  | atom :: rest ->
+    let continue () = eval_atoms st binding rest k in
+    (match (atom : Ir.atom) with
+    | A_scalar app -> eval_app st binding `Scalar app continue
+    | A_member app -> eval_app st binding `Set app continue
+    | A_isa (o, c) -> eval_isa st binding o c continue
+    | A_eq (a, b) -> (
+      match (deref binding a, deref binding b) with
+      | Some x, Some y -> if Oodb.Obj_id.equal x y then continue ()
+      | Some x, None -> bind binding b x continue
+      | None, Some y -> bind binding a y continue
+      | None, None -> ())
+    | A_subset _ | A_neg _ -> ())
+
+(* One evaluation pass of every rule producing [goal]'s relation, head
+   bound to the goal pattern. *)
+let eval_goal st ((key, pattern) as goal) =
+  let t = ensure_table st goal in
+  List.iter
+    (fun { rule; head } ->
+      let binding = Array.make rule.body.nvars None in
+      let rec bind_head terms pats k =
+        match (terms, pats) with
+        | [], [] -> k ()
+        | term :: ts, pat :: ps -> (
+          match pat with
+          | Some v -> bind binding term v (fun () -> bind_head ts ps k)
+          | None -> bind_head ts ps k)
+        | [], _ :: _ | _ :: _, [] -> ()
+      in
+      bind_head head.h_terms pattern (fun () ->
+          eval_atoms st binding rule.body.atoms (fun () ->
+              match
+                List.fold_left
+                  (fun acc term ->
+                    match (acc, deref binding term) with
+                    | Some acc, Some v -> Some (v :: acc)
+                    | _, _ -> None)
+                  (Some []) head.h_terms
+              with
+              | Some rev_tuple ->
+                let tuple = List.rev rev_tuple in
+                if matches_pattern pattern tuple then add_answer st t tuple
+              | None -> ())))
+    (Option.value ~default:[] (Hashtbl.find_opt st.by_rel key))
+
+(* ------------------------------------------------------------------ *)
+
+let query store rules (q : Ir.query) =
+  let constrained_slots =
+    List.concat_map Ir.atom_vars q.atoms |> List.sort_uniq Int.compare
+  in
+  if
+    (not (atoms_supported q.atoms))
+    || List.exists
+         (fun (_, slot) -> not (List.mem slot constrained_slots))
+         q.named
+  then None
+  else
+    match compile_fragment store rules with
+    | None -> None
+    | Some flat ->
+      let by_rel = Hashtbl.create 16 in
+      List.iter
+        (fun fr ->
+          let cur =
+            Option.value ~default:[] (Hashtbl.find_opt by_rel fr.head.h_key)
+          in
+          Hashtbl.replace by_rel fr.head.h_key (cur @ [ fr ]))
+        flat;
+      let st =
+        { store; by_rel; tables = Hashtbl.create 64; changed = true;
+          passes = 0 }
+      in
+      let solutions = Hashtbl.create 64 in
+      let rows = ref [] in
+      (* iterate: evaluate the query (creating goals on demand) and every
+         tabled goal, until the table set is stable *)
+      while st.changed do
+        st.changed <- false;
+        st.passes <- st.passes + 1;
+        let binding = Array.make q.nvars None in
+        eval_atoms st binding q.atoms (fun () ->
+            let row =
+              List.map
+                (fun (_, slot) ->
+                  match binding.(slot) with
+                  | Some o -> o
+                  | None -> -1 (* unbound named var: unsupported pattern *))
+                q.named
+            in
+            if (not (List.mem (-1) row)) && not (Hashtbl.mem solutions row)
+            then begin
+              Hashtbl.add solutions row ();
+              rows := row :: !rows;
+              st.changed <- true
+            end);
+        (* snapshot: eval_goal may create new tables *)
+        let goals = Hashtbl.fold (fun g _ acc -> g :: acc) st.tables [] in
+        List.iter (eval_goal st) goals
+      done;
+      let answers =
+        Hashtbl.fold (fun _ t acc -> acc + List.length t.tuples) st.tables 0
+      in
+      Some
+        ( List.rev !rows,
+          { goals = Hashtbl.length st.tables; answers; passes = st.passes } )

@@ -1,0 +1,40 @@
+(** Goal-directed (top-down, tabled) query evaluation.
+
+    Bottom-up evaluation materialises the whole minimal model even when the
+    query asks about one object ([tim\[desc ->> {X}\]]). This module
+    answers such queries by {e tabling}: a goal is a relation plus a
+    binding pattern; rules are run with the goal's constants pushed into
+    their heads, recursive sub-goals are memoised, and the table set is
+    iterated to a fixpoint. Constants thus propagate into recursion — the
+    effect magic-set rewriting achieves — and only the relevant part of
+    the model is ever computed.
+
+    Scope: the {e flat-headed} fragment. Rules with a non-empty body
+    qualify when their head is a single method filter or membership on a
+    variable or constant receiver ([X\[desc ->> {Y}\]], [X\[pay -> B\]],
+    [X : c]) with constant method/class and scalar argument positions, and
+    their bodies contain no set-inclusion filters, no negation and no
+    variable method positions. Heads with paths (virtual objects) are out:
+    skolem inversion is full term unification, and bottom-up handles those.
+    {!query} returns [None] when any rule with a non-empty body is outside
+    the fragment — callers fall back to bottom-up. Fact statements are not
+    restricted (the caller loads them into the store first).
+
+    Termination: flat heads create no objects, so goals and answers range
+    over the finite universe; tabling makes repeated sub-goals free.
+
+    Correct by differential testing against the bottom-up engine. *)
+
+type stats = {
+  goals : int;  (** distinct sub-goals tabled *)
+  answers : int;  (** answer tuples across all tables *)
+  passes : int;  (** global fixpoint passes *)
+}
+
+(** [query store rules q] answers the flattened query [q] — distinct
+    bindings of its named variables — against the fact store plus the
+    given (compiled, non-fact) rules. [None] if some rule is outside the
+    flat-headed fragment. *)
+val query :
+  Oodb.Store.t -> Rule.t list -> Semantics.Ir.query ->
+  (Oodb.Obj_id.t list list * stats) option

@@ -1,0 +1,25 @@
+(** Static rule typing against signature declarations — a lint.
+
+    The paper (section 2) motivates method-based virtual objects partly by
+    the fact that signatures "make type checking techniques applicable" in
+    the sense of [KLW93]. {!Oodb.Signature.check} is the dynamic half
+    (validate the computed model); this module is the static half: without
+    running the program, infer classes for rule variables from the body's
+    membership literals and flag head method assertions that contradict an
+    applicable signature.
+
+    It is an approximation in both directions and is reported as warnings:
+    variables whose class cannot be inferred are not checked, and
+    hierarchy information is limited to the constant class edges visible in
+    the program (same approximation as the stratifier). *)
+
+type warning = {
+  w_rule : Syntax.Ast.rule;
+  w_message : string;
+}
+
+val pp_warning : Format.formatter -> warning -> unit
+
+(** Check every rule of a compiled program against declared signatures. *)
+val check_rules :
+  Oodb.Store.t -> Oodb.Signature.t -> Rule.t list -> warning list

@@ -1,0 +1,1 @@
+lib/oodb/obj_id.ml: Format Hashtbl Int Map Set

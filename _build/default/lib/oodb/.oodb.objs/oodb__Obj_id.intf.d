@@ -1,0 +1,1 @@
+lib/oodb/obj_id.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/oodb/signature.ml: Format List Obj_id Store Universe Vec

@@ -1,0 +1,1 @@
+lib/oodb/signature.mli: Format Obj_id Store

@@ -1,0 +1,1 @@
+lib/oodb/store.ml: Format Hashtbl List Obj_id Universe Vec

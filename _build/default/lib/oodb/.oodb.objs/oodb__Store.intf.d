@@ -1,0 +1,1 @@
+lib/oodb/store.mli: Format Obj_id Universe Vec

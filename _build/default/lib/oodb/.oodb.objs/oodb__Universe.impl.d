@@ -1,0 +1,1 @@
+lib/oodb/universe.ml: Format Hashtbl Obj_id Vec

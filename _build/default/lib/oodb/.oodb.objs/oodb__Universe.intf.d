@@ -1,0 +1,1 @@
+lib/oodb/universe.mli: Format Obj_id

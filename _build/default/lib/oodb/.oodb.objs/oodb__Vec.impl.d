@@ -1,0 +1,1 @@
+lib/oodb/vec.ml: Array List

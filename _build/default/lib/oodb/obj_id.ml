@@ -1,0 +1,16 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp = Format.pp_print_int
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)

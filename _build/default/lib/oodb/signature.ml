@@ -1,0 +1,103 @@
+type scalarity = Scalar | Set_valued
+
+type entry = {
+  cls : Obj_id.t;
+  meth : Obj_id.t;
+  arg_classes : Obj_id.t list;
+  result_class : Obj_id.t;
+  scalarity : scalarity;
+}
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+let add t e = t.entries <- e :: t.entries
+let entries t = List.rev t.entries
+
+let applicable store t ~meth ~recv ~arity ~scalarity =
+  let matches e =
+    Obj_id.equal e.meth meth
+    && e.scalarity = scalarity
+    && List.length e.arg_classes = arity
+    && Store.is_member store recv e.cls
+  in
+  List.filter matches (entries t)
+
+type violation = {
+  entry : entry;
+  v_recv : Obj_id.t;
+  v_args : Obj_id.t list;
+  v_res : Obj_id.t;
+  reason : string;
+}
+
+let no_signature_entry meth =
+  {
+    cls = meth;
+    meth;
+    arg_classes = [];
+    result_class = meth;
+    scalarity = Scalar;
+  }
+
+(* A tuple satisfies a signature when the signature's argument classes match
+   and both the arguments and the result are members of the declared
+   classes. A tuple violates the discipline when some applicable signature
+   has a class the result (or an argument) does not belong to. *)
+let check_tuple store t ~scalarity ~meth (e : Store.mentry) acc =
+  let applicable =
+    applicable store t ~meth ~recv:e.recv ~arity:(List.length e.args)
+      ~scalarity
+  in
+  match applicable with
+  | [] -> `No_signature, acc
+  | _ ->
+    let check_one acc entry =
+      let arg_ok c a = Store.is_member store a c in
+      if not (List.for_all2 arg_ok entry.arg_classes e.args) then
+        (* argument classes do not match: the signature does not constrain
+           this tuple (another overload may) *)
+        acc
+      else if Store.is_member store e.res entry.result_class then acc
+      else
+        {
+          entry;
+          v_recv = e.recv;
+          v_args = e.args;
+          v_res = e.res;
+          reason = "result not a member of the declared result class";
+        }
+        :: acc
+    in
+    `Covered, List.fold_left check_one acc applicable
+
+let check store t ~mode =
+  let acc = ref [] in
+  let handle scalarity meth (e : Store.mentry) =
+    let coverage, acc' = check_tuple store t ~scalarity ~meth e !acc in
+    acc := acc';
+    match coverage, mode with
+    | `No_signature, `Strict ->
+      acc :=
+        {
+          entry = no_signature_entry meth;
+          v_recv = e.recv;
+          v_args = e.args;
+          v_res = e.res;
+          reason = "no signature covers this method application";
+        }
+        :: !acc
+    | (`No_signature | `Covered), _ -> ()
+  in
+  List.iter
+    (fun m -> Vec.iter (handle Scalar m) (Store.scalar_bucket store m))
+    (Store.scalar_meths store);
+  List.iter
+    (fun m -> Vec.iter (handle Set_valued m) (Store.set_bucket store m))
+    (Store.set_meths store);
+  List.rev !acc
+
+let pp_violation store ppf v =
+  let obj = Universe.pp_obj (Store.universe store) in
+  Format.fprintf ppf "%a[%a -> %a]: %s" obj v.v_recv obj v.entry.meth obj
+    v.v_res v.reason

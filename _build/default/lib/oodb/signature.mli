@@ -1,0 +1,51 @@
+(** Method signatures and type checking.
+
+    Section 2 of the paper argues that referencing virtual objects through
+    methods (rather than function symbols) lets the signature-based typing of
+    [KLW93] apply to them unchanged. A signature
+
+    {v  employee[salary@(integer) => integer]    (scalar)
+        employee[vehicles =>> vehicle]           (set valued) v}
+
+    states that applying the method to a member of the class, with arguments
+    that are members of the argument classes, yields a member of the result
+    class. Signatures are inherited downwards along the class hierarchy. *)
+
+type scalarity = Scalar | Set_valued
+
+type entry = {
+  cls : Obj_id.t;  (** receiver class *)
+  meth : Obj_id.t;
+  arg_classes : Obj_id.t list;
+  result_class : Obj_id.t;
+  scalarity : scalarity;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> entry -> unit
+
+val entries : t -> entry list
+
+(** Signatures applicable to applying [meth] (with [arity] extra arguments,
+    [scalarity]) to receiver [recv]: those whose class [recv] belongs to. *)
+val applicable :
+  Store.t -> t -> meth:Obj_id.t -> recv:Obj_id.t -> arity:int ->
+  scalarity:scalarity -> entry list
+
+type violation = {
+  entry : entry;
+  v_recv : Obj_id.t;
+  v_args : Obj_id.t list;
+  v_res : Obj_id.t;
+  reason : string;
+}
+
+(** Check every method tuple of the store against the signatures.
+    In [`Lenient] mode a tuple with no applicable signature is fine; in
+    [`Strict] mode it is a violation (every fact must be covered). *)
+val check : Store.t -> t -> mode:[ `Lenient | `Strict ] -> violation list
+
+val pp_violation : Store.t -> Format.formatter -> violation -> unit

@@ -1,0 +1,354 @@
+type mentry = { recv : Obj_id.t; args : Obj_id.t list; res : Obj_id.t }
+
+type scalar_insert = Added | Duplicate | Conflict of Obj_id.t
+type set_insert = SAdded | SDuplicate
+type isa_insert = IAdded | IDuplicate | ICycle
+
+type mkey = Obj_id.t * Obj_id.t * Obj_id.t list (* meth, recv, args *)
+
+type t = {
+  universe : Universe.t;
+  (* class hierarchy: direct edges of the partial order, both directions *)
+  parents : Obj_id.Set.t Obj_id.Tbl.t;
+  children : Obj_id.Set.t Obj_id.Tbl.t;
+  isa_log : (Obj_id.t * Obj_id.t) Vec.t;
+  mutable class_list : Obj_id.t list;
+  class_seen : unit Obj_id.Tbl.t;
+  (* memoized closures, invalidated whenever an edge is added *)
+  up_cache : Obj_id.Set.t Obj_id.Tbl.t;
+  down_cache : Obj_id.Set.t Obj_id.Tbl.t;
+  (* scalar methods *)
+  scalar : (mkey, Obj_id.t) Hashtbl.t;
+  scalar_buckets : mentry Vec.t Obj_id.Tbl.t;
+  scalar_inv : ((Obj_id.t * Obj_id.t), mentry Vec.t) Hashtbl.t;
+  mutable scalar_meth_list : Obj_id.t list;
+  (* set-valued methods *)
+  set_members : (mkey, Obj_id.Set.t ref) Hashtbl.t;
+  set_buckets : mentry Vec.t Obj_id.Tbl.t;
+  set_inv : ((Obj_id.t * Obj_id.t), mentry Vec.t) Hashtbl.t;
+  mutable set_meth_list : Obj_id.t list;
+}
+
+let create () =
+  {
+    universe = Universe.create ();
+    parents = Obj_id.Tbl.create 64;
+    children = Obj_id.Tbl.create 64;
+    isa_log = Vec.create ();
+    class_list = [];
+    class_seen = Obj_id.Tbl.create 16;
+    up_cache = Obj_id.Tbl.create 64;
+    down_cache = Obj_id.Tbl.create 64;
+    scalar = Hashtbl.create 256;
+    scalar_buckets = Obj_id.Tbl.create 32;
+    scalar_inv = Hashtbl.create 256;
+    scalar_meth_list = [];
+    set_members = Hashtbl.create 256;
+    set_buckets = Obj_id.Tbl.create 32;
+    set_inv = Hashtbl.create 256;
+    set_meth_list = [];
+  }
+
+let universe st = st.universe
+let name st s = Universe.name st.universe s
+let int st n = Universe.int st.universe n
+let str st s = Universe.str st.universe s
+
+(* ------------------------------------------------------------------ *)
+(* Class hierarchy                                                     *)
+
+let direct tbl o =
+  match Obj_id.Tbl.find_opt tbl o with Some s -> s | None -> Obj_id.Set.empty
+
+(* Reachability closure along [tbl] (parents for ancestors, children for
+   descendants), excluding the start object itself unless reachable via a
+   cycle — which add_isa prevents. *)
+let closure cache tbl o =
+  match Obj_id.Tbl.find_opt cache o with
+  | Some s -> s
+  | None ->
+    let visited = ref Obj_id.Set.empty in
+    let rec go x =
+      let nexts = direct tbl x in
+      Obj_id.Set.iter
+        (fun n ->
+          if not (Obj_id.Set.mem n !visited) then begin
+            visited := Obj_id.Set.add n !visited;
+            go n
+          end)
+        nexts
+    in
+    go o;
+    let s = !visited in
+    Obj_id.Tbl.add cache o s;
+    s
+
+let classes_of st o = closure st.up_cache st.parents o
+let members st c = closure st.down_cache st.children c
+
+(* The value classes [integer] and [string] are built in: every integer
+   value-object is a member of [integer], every string value-object of
+   [string]. They hold for membership tests but are not enumerable. *)
+let builtin_member st o c =
+  match Universe.descriptor st.universe c with
+  | Name "integer" -> (
+    match Universe.descriptor st.universe o with
+    | Int _ -> true
+    | Name _ | Str _ | Skolem _ -> false)
+  | Name "string" -> (
+    match Universe.descriptor st.universe o with
+    | Str _ -> true
+    | Name _ | Int _ | Skolem _ -> false)
+  | Name _ | Int _ | Str _ | Skolem _ -> false
+
+(* Strict: an object is not a member of itself. The paper's single
+   hierarchy relation is formally a partial order (hence reflexive), but
+   reflexive membership carries no information and would make every class
+   a member of itself in query answers; we implement the strict part
+   uniformly for tests and enumeration (see DESIGN.md). *)
+let is_member st o c =
+  builtin_member st o c || Obj_id.Set.mem c (classes_of st o)
+
+let add_isa st o c =
+  if Obj_id.equal o c then IDuplicate
+  else if Obj_id.Set.mem c (direct st.parents o) then IDuplicate
+  else if is_member st c o then ICycle
+  else begin
+    Obj_id.Tbl.replace st.parents o (Obj_id.Set.add c (direct st.parents o));
+    Obj_id.Tbl.replace st.children c (Obj_id.Set.add o (direct st.children c));
+    Vec.push st.isa_log (o, c);
+    if not (Obj_id.Tbl.mem st.class_seen c) then begin
+      Obj_id.Tbl.add st.class_seen c ();
+      st.class_list <- c :: st.class_list
+    end;
+    Obj_id.Tbl.reset st.up_cache;
+    Obj_id.Tbl.reset st.down_cache;
+    IAdded
+  end
+
+let isa_log st = st.isa_log
+let known_classes st = List.rev st.class_list
+
+(* ------------------------------------------------------------------ *)
+(* Method tables                                                       *)
+
+let empty_bucket = Vec.create ()
+
+let bucket tbl meth =
+  match Obj_id.Tbl.find_opt tbl meth with
+  | Some v -> v
+  | None ->
+    let v = Vec.create () in
+    Obj_id.Tbl.add tbl meth v;
+    v
+
+let inv_bucket tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = Vec.create () in
+    Hashtbl.add tbl key v;
+    v
+
+let add_scalar st ~meth ~recv ~args ~res =
+  let key = (meth, recv, args) in
+  match Hashtbl.find_opt st.scalar key with
+  | Some existing ->
+    if Obj_id.equal existing res then Duplicate else Conflict existing
+  | None ->
+    Hashtbl.add st.scalar key res;
+    let entry = { recv; args; res } in
+    let b = bucket st.scalar_buckets meth in
+    if Vec.length b = 0 then st.scalar_meth_list <- meth :: st.scalar_meth_list;
+    Vec.push b entry;
+    Vec.push (inv_bucket st.scalar_inv (meth, res)) entry;
+    Added
+
+let scalar_lookup st ~meth ~recv ~args =
+  Hashtbl.find_opt st.scalar (meth, recv, args)
+
+let scalar_bucket st meth =
+  match Obj_id.Tbl.find_opt st.scalar_buckets meth with
+  | Some v -> v
+  | None -> empty_bucket
+
+let scalar_inverse st ~meth ~res =
+  match Hashtbl.find_opt st.scalar_inv (meth, res) with
+  | Some v -> v
+  | None -> empty_bucket
+
+let scalar_meths st = List.rev st.scalar_meth_list
+
+let add_set st ~meth ~recv ~args ~res =
+  let key = (meth, recv, args) in
+  let set =
+    match Hashtbl.find_opt st.set_members key with
+    | Some r -> r
+    | None ->
+      let r = ref Obj_id.Set.empty in
+      Hashtbl.add st.set_members key r;
+      r
+  in
+  if Obj_id.Set.mem res !set then SDuplicate
+  else begin
+    set := Obj_id.Set.add res !set;
+    let entry = { recv; args; res } in
+    let b = bucket st.set_buckets meth in
+    if Vec.length b = 0 then st.set_meth_list <- meth :: st.set_meth_list;
+    Vec.push b entry;
+    Vec.push (inv_bucket st.set_inv (meth, res)) entry;
+    SAdded
+  end
+
+let set_lookup st ~meth ~recv ~args =
+  match Hashtbl.find_opt st.set_members (meth, recv, args) with
+  | Some r -> !r
+  | None -> Obj_id.Set.empty
+
+let set_bucket st meth =
+  match Obj_id.Tbl.find_opt st.set_buckets meth with
+  | Some v -> v
+  | None -> empty_bucket
+
+let set_inverse st ~meth ~res =
+  match Hashtbl.find_opt st.set_inv (meth, res) with
+  | Some v -> v
+  | None -> empty_bucket
+
+let set_meths st = List.rev st.set_meth_list
+
+(* ------------------------------------------------------------------ *)
+(* Statistics and printing                                             *)
+
+type stats = {
+  objects : int;
+  isa_edges : int;
+  scalar_tuples : int;
+  set_tuples : int;
+}
+
+let stats st =
+  let count_buckets tbl =
+    Obj_id.Tbl.fold (fun _ v acc -> acc + Vec.length v) tbl 0
+  in
+  {
+    objects = Universe.cardinality st.universe;
+    isa_edges = Vec.length st.isa_log;
+    scalar_tuples = count_buckets st.scalar_buckets;
+    set_tuples = count_buckets st.set_buckets;
+  }
+
+let check_invariants st =
+  let problems = ref [] in
+  let problem fmt =
+    Format.kasprintf (fun m -> problems := m :: !problems) fmt
+  in
+  let obj = Universe.to_string st.universe in
+  (* scalar: primary table vs buckets, both directions, and inverse *)
+  let scalar_bucket_count = ref 0 in
+  List.iter
+    (fun m ->
+      Vec.iter
+        (fun { recv; args; res } ->
+          incr scalar_bucket_count;
+          (match Hashtbl.find_opt st.scalar (m, recv, args) with
+          | Some res' when Obj_id.equal res res' -> ()
+          | Some _ ->
+            problem "scalar bucket entry disagrees with primary: %s.%s"
+              (obj recv) (obj m)
+          | None ->
+            problem "scalar bucket entry missing from primary: %s.%s"
+              (obj recv) (obj m));
+          let inv =
+            match Hashtbl.find_opt st.scalar_inv (m, res) with
+            | Some v -> v
+            | None -> empty_bucket
+          in
+          if
+            not
+              (Vec.exists
+                 (fun e ->
+                   Obj_id.equal e.recv recv && e.args = args
+                   && Obj_id.equal e.res res)
+                 inv)
+          then
+            problem "scalar entry missing from inverse index: %s.%s"
+              (obj recv) (obj m))
+        (scalar_bucket st m))
+    (scalar_meths st);
+  if Hashtbl.length st.scalar <> !scalar_bucket_count then
+    problem "scalar primary has %d entries but buckets have %d"
+      (Hashtbl.length st.scalar) !scalar_bucket_count;
+  (* set methods: buckets vs member sets *)
+  let set_bucket_count = ref 0 in
+  List.iter
+    (fun m ->
+      Vec.iter
+        (fun { recv; args; res } ->
+          incr set_bucket_count;
+          if not (Obj_id.Set.mem res (set_lookup st ~meth:m ~recv ~args))
+          then
+            problem "set bucket entry missing from member set: %s..%s"
+              (obj recv) (obj m))
+        (set_bucket st m))
+    (set_meths st);
+  let member_total =
+    Hashtbl.fold (fun _ s acc -> acc + Obj_id.Set.cardinal !s) st.set_members 0
+  in
+  if member_total <> !set_bucket_count then
+    problem "set member sets hold %d elements but buckets have %d"
+      member_total !set_bucket_count;
+  (* hierarchy: log vs adjacency (both directions), acyclicity *)
+  Vec.iter
+    (fun (o, c) ->
+      if not (Obj_id.Set.mem c (direct st.parents o)) then
+        problem "isa log edge missing from parents: %s : %s" (obj o) (obj c);
+      if not (Obj_id.Set.mem o (direct st.children c)) then
+        problem "isa log edge missing from children: %s : %s" (obj o) (obj c))
+    st.isa_log;
+  let edge_count =
+    Obj_id.Tbl.fold
+      (fun _ s acc -> acc + Obj_id.Set.cardinal s)
+      st.parents 0
+  in
+  if edge_count <> Vec.length st.isa_log then
+    problem "parents adjacency has %d edges but the log has %d" edge_count
+      (Vec.length st.isa_log);
+  Obj_id.Tbl.iter
+    (fun o _ ->
+      if Obj_id.Set.mem o (classes_of st o) then
+        problem "hierarchy cycle through %s" (obj o))
+    st.parents;
+  List.rev !problems
+
+let pp ppf st =
+  let u = st.universe in
+  let obj = Universe.pp_obj u in
+  Vec.iter
+    (fun (o, c) -> Format.fprintf ppf "%a : %a.@." obj o obj c)
+    st.isa_log;
+  let pp_args ppf = function
+    | [] -> ()
+    | args ->
+      Format.fprintf ppf "@(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           obj)
+        args
+  in
+  List.iter
+    (fun m ->
+      Vec.iter
+        (fun { recv; args; res } ->
+          Format.fprintf ppf "%a[%a%a -> %a].@." obj recv obj m pp_args args
+            obj res)
+        (scalar_bucket st m))
+    (scalar_meths st);
+  List.iter
+    (fun m ->
+      Vec.iter
+        (fun { recv; args; res } ->
+          Format.fprintf ppf "%a[%a%a ->> {%a}].@." obj recv obj m pp_args args
+            obj res)
+        (set_bucket st m))
+    (set_meths st)

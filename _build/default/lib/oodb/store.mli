@@ -1,0 +1,119 @@
+(** The extensional (and, during evaluation, intensional) state of a
+    semantic structure [I = (U, <=_U, I_N, I_->, I_->>)].
+
+    The paper (section 3) folds classes and methods into the universe of
+    objects and keeps a single partial order [<=_U] relating objects to
+    classes; we store its generating edges and answer queries through the
+    transitive closure. [I_->] and [I_->>] interpret scalar and set-valued
+    methods with [k-1 >= 0] extra arguments.
+
+    All method buckets are append-only ({!Vec}), so the fixpoint engine can
+    take watermarks and scan only the delta suffixes (semi-naive
+    evaluation). Nothing is ever deleted. *)
+
+type t
+
+type mentry = { recv : Obj_id.t; args : Obj_id.t list; res : Obj_id.t }
+
+type scalar_insert = Added | Duplicate | Conflict of Obj_id.t
+type set_insert = SAdded | SDuplicate
+type isa_insert = IAdded | IDuplicate | ICycle
+
+val create : unit -> t
+
+val universe : t -> Universe.t
+
+(** Shorthands for interning through the store's universe. *)
+
+val name : t -> string -> Obj_id.t
+
+val int : t -> int -> Obj_id.t
+
+val str : t -> string -> Obj_id.t
+
+(** {1 Class hierarchy / membership}
+
+    One relation, as in the paper: [o : c] and [c :: c'] both assert an edge
+    of the partial order [<=_U]. Queries go through the transitive closure,
+    implemented {e strictly}: an object is not a member of itself, neither
+    for tests nor for enumeration (the reflexive pairs of the formal
+    partial order carry no information). Inserting an edge that would
+    close a cycle is rejected ([ICycle]) to preserve antisymmetry. *)
+
+val add_isa : t -> Obj_id.t -> Obj_id.t -> isa_insert
+
+(** Membership test through the transitive closure, plus the built-in value
+    classes: every integer value-object is a member of the class named
+    [integer] and every string value-object of [string]. Built-in
+    memberships hold for tests but are not enumerated by {!members} (the
+    extensions are infinite in spirit). *)
+val is_member : t -> Obj_id.t -> Obj_id.t -> bool
+
+(** All strict ancestors of [o] (classes it belongs to, transitively). *)
+val classes_of : t -> Obj_id.t -> Obj_id.Set.t
+
+(** All strict descendants of [c] (its members, transitively). *)
+val members : t -> Obj_id.t -> Obj_id.Set.t
+
+(** Append-only log of directly asserted [o : c] edges. *)
+val isa_log : t -> (Obj_id.t * Obj_id.t) Vec.t
+
+(** Objects that appear as the target of an isa edge, i.e. in class
+    position; used to enumerate candidate classes. *)
+val known_classes : t -> Obj_id.t list
+
+(** {1 Scalar methods [I_->]} *)
+
+val add_scalar :
+  t -> meth:Obj_id.t -> recv:Obj_id.t -> args:Obj_id.t list -> res:Obj_id.t ->
+  scalar_insert
+
+val scalar_lookup :
+  t -> meth:Obj_id.t -> recv:Obj_id.t -> args:Obj_id.t list -> Obj_id.t option
+
+(** All tuples of a given method, in insertion order. *)
+val scalar_bucket : t -> Obj_id.t -> mentry Vec.t
+
+(** Tuples of [meth] whose result is [res] (inverse navigation). *)
+val scalar_inverse : t -> meth:Obj_id.t -> res:Obj_id.t -> mentry Vec.t
+
+(** Methods that have at least one scalar tuple. *)
+val scalar_meths : t -> Obj_id.t list
+
+(** {1 Set-valued methods [I_->>]} *)
+
+val add_set :
+  t -> meth:Obj_id.t -> recv:Obj_id.t -> args:Obj_id.t list -> res:Obj_id.t ->
+  set_insert
+
+val set_lookup :
+  t -> meth:Obj_id.t -> recv:Obj_id.t -> args:Obj_id.t list -> Obj_id.Set.t
+
+val set_bucket : t -> Obj_id.t -> mentry Vec.t
+
+val set_inverse : t -> meth:Obj_id.t -> res:Obj_id.t -> mentry Vec.t
+
+val set_meths : t -> Obj_id.t list
+
+(** {1 Statistics} *)
+
+type stats = {
+  objects : int;
+  isa_edges : int;
+  scalar_tuples : int;
+  set_tuples : int;
+}
+
+val stats : t -> stats
+
+(** Dump the whole store as facts, one per line, in program syntax; used by
+    the CLI's [--dump] and by golden tests. Skolem objects print as the
+    paths denoting them. *)
+val pp : Format.formatter -> t -> unit
+
+(** Internal-consistency audit: primary tables agree with their buckets and
+    inverse indexes, set memberships agree with the per-key sets, the
+    hierarchy adjacency agrees with the edge log and stays acyclic.
+    Returns human-readable descriptions of any violations (empty = sound);
+    fuzz-tested after every random workload in the test suite. *)
+val check_invariants : t -> string list

@@ -1,0 +1,86 @@
+type descriptor =
+  | Name of string
+  | Int of int
+  | Str of string
+  | Skolem of skolem
+
+and skolem = {
+  meth : Obj_id.t;
+  recv : Obj_id.t;
+  args : Obj_id.t list;
+  ordinal : int;
+}
+
+type key =
+  | Kname of string
+  | Kint of int
+  | Kstr of string
+  | Kskolem of Obj_id.t * Obj_id.t * Obj_id.t list
+
+type t = {
+  by_key : (key, Obj_id.t) Hashtbl.t;
+  descriptors : descriptor Vec.t;
+  skolem_ids : Obj_id.t Vec.t;
+}
+
+let create () =
+  {
+    by_key = Hashtbl.create 256;
+    descriptors = Vec.create ();
+    skolem_ids = Vec.create ();
+  }
+
+let cardinality u = Vec.length u.descriptors
+
+let intern u key desc =
+  match Hashtbl.find_opt u.by_key key with
+  | Some id -> id
+  | None ->
+    let id = Vec.length u.descriptors in
+    Vec.push u.descriptors desc;
+    Hashtbl.add u.by_key key id;
+    id
+
+let name u s = intern u (Kname s) (Name s)
+let int u n = intern u (Kint n) (Int n)
+let str u s = intern u (Kstr s) (Str s)
+let find_name u s = Hashtbl.find_opt u.by_key (Kname s)
+
+let skolem u ~meth ~recv ~args =
+  let key = Kskolem (meth, recv, args) in
+  match Hashtbl.find_opt u.by_key key with
+  | Some id -> id
+  | None ->
+    let ordinal = Vec.length u.skolem_ids in
+    let id = intern u key (Skolem { meth; recv; args; ordinal }) in
+    Vec.push u.skolem_ids id;
+    id
+
+let skolems u = Vec.to_list u.skolem_ids
+let descriptor u id = Vec.get u.descriptors id
+
+let is_skolem u id =
+  match descriptor u id with Skolem _ -> true | Name _ | Int _ | Str _ -> false
+
+let rec pp_obj u ppf id =
+  match descriptor u id with
+  | Name s -> Format.pp_print_string ppf s
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Skolem { meth; recv; args; _ } ->
+    Format.fprintf ppf "%a.%a" (pp_obj u) recv (pp_obj u) meth;
+    (match args with
+    | [] -> ()
+    | _ ->
+      Format.fprintf ppf "@(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           (pp_obj u))
+        args)
+
+let to_string u id = Format.asprintf "%a" (pp_obj u) id
+
+let iter u f =
+  for id = 0 to cardinality u - 1 do
+    f id (descriptor u id)
+  done

@@ -1,0 +1,59 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create ?(capacity = 8) () = { data = [||]; len = 0 } |> fun v ->
+  ignore capacity;
+  v
+
+let length v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let ensure v n =
+  let cap = Array.length v.data in
+  if n > cap then begin
+    let cap' = max n (max 8 (2 * cap)) in
+    (* The dummy slots beyond [len] hold copies of an existing element (or
+       the pushed one); they are never observed. *)
+    let data' = Array.make cap' v.data.(0) in
+    Array.blit v.data 0 data' 0 v.len;
+    v.data <- data'
+  end
+
+let push v x =
+  if Array.length v.data = 0 then begin
+    v.data <- Array.make 8 x
+  end else ensure v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iter_from f v start =
+  for i = max 0 start to v.len - 1 do
+    f v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let clear v = v.len <- 0

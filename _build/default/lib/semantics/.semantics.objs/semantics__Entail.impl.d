@@ -1,0 +1,1 @@
+lib/semantics/entail.ml: List Oodb Syntax Valuation

@@ -1,0 +1,1 @@
+lib/semantics/entail.mli: Oodb Syntax Valuation

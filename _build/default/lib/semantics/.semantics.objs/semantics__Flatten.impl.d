@@ -1,0 +1,1 @@
+lib/semantics/flatten.ml: Int Ir List Oodb Syntax

@@ -1,0 +1,1 @@
+lib/semantics/flatten.mli: Ir Oodb Syntax

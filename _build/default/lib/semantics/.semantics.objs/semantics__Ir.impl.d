@@ -1,0 +1,1 @@
+lib/semantics/ir.ml: Format List Oodb Stdlib

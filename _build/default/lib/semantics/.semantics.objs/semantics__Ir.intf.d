@@ -1,0 +1,1 @@
+lib/semantics/ir.mli: Format Oodb

@@ -1,0 +1,1 @@
+lib/semantics/solve.ml: Array Format Fun Hashtbl Ir List Oodb Option Printf

@@ -1,0 +1,1 @@
+lib/semantics/solve.mli: Ir Oodb

@@ -1,0 +1,1 @@
+lib/semantics/valuation.ml: List Map Oodb String Syntax

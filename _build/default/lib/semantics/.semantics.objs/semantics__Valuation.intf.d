@@ -1,0 +1,1 @@
+lib/semantics/valuation.mli: Map Oodb Syntax

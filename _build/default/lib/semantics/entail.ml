@@ -1,0 +1,30 @@
+let reference store env t =
+  not (Oodb.Obj_id.Set.is_empty (Valuation.eval store env t))
+
+let literal store env = function
+  | Syntax.Ast.Pos t -> reference store env t
+  | Syntax.Ast.Neg t -> not (reference store env t)
+
+let literals store env lits = List.for_all (literal store env) lits
+
+exception Found of (string * Oodb.Obj_id.t) list
+
+let find_violation store (rule : Syntax.Ast.rule) =
+  let vars = Syntax.Ast.vars_of_rule rule in
+  let card = Oodb.Universe.cardinality (Oodb.Store.universe store) in
+  let rec assign env acc = function
+    | [] ->
+      if
+        literals store env rule.body
+        && not (reference store env rule.head)
+      then raise (Found (List.rev acc))
+    | v :: rest ->
+      for o = 0 to card - 1 do
+        assign (Valuation.Env.add v o env) ((v, o) :: acc) rest
+      done
+  in
+  match assign Valuation.Env.empty [] vars with
+  | () -> None
+  | exception Found cex -> Some cex
+
+let rule_holds store rule = find_violation store rule = None

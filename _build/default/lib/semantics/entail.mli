@@ -1,0 +1,24 @@
+(** Entailment — Definition 5 — on top of the valuation.
+
+    [I |=_sigma t] iff [nu_I(t)] is non-empty; literals, conjunctions and
+    rules follow the usual first-order scheme. Like {!Valuation}, this
+    module is an executable specification used as ground truth in tests:
+    {!rule_holds} checks a rule by brute-force enumeration of variable
+    valuations and is only meant for small universes. *)
+
+val reference :
+  Oodb.Store.t -> Valuation.env -> Syntax.Ast.reference -> bool
+
+val literal : Oodb.Store.t -> Valuation.env -> Syntax.Ast.literal -> bool
+
+val literals :
+  Oodb.Store.t -> Valuation.env -> Syntax.Ast.literal list -> bool
+
+(** [rule_holds store rule] checks that every variable valuation over the
+    current universe satisfying the body satisfies the head — i.e. the
+    store is a model of the rule. Cost is [|U|^(#vars)]. *)
+val rule_holds : Oodb.Store.t -> Syntax.Ast.rule -> bool
+
+(** First counter-example valuation, for test diagnostics. *)
+val find_violation :
+  Oodb.Store.t -> Syntax.Ast.rule -> (string * Oodb.Obj_id.t) list option

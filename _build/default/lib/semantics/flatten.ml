@@ -1,0 +1,144 @@
+open Syntax.Ast
+
+type builder = {
+  store : Oodb.Store.t;
+  mutable nvars : int;
+  mutable named : (string * int) list;
+  mutable atoms : Ir.atom list;  (* reversed *)
+}
+
+let fresh b =
+  let i = b.nvars in
+  b.nvars <- b.nvars + 1;
+  i
+
+let slot b x =
+  if x = "_" then fresh b  (* anonymous: fresh, unnamed slot *)
+  else
+    match List.assoc_opt x b.named with
+    | Some i -> i
+    | None ->
+      let i = fresh b in
+      b.named <- b.named @ [ (x, i) ];
+      i
+
+let emit b a = b.atoms <- a :: b.atoms
+
+(* Capture the atoms emitted by [f] separately from the enclosing
+   conjunction, together with the slots created while running it; used for
+   the sub-queries of A_subset and A_neg. *)
+let captured b f =
+  let outer_atoms = b.atoms in
+  let first_new = b.nvars in
+  b.atoms <- [];
+  let result = f () in
+  let sub_atoms = List.rev b.atoms in
+  b.atoms <- outer_atoms;
+  let created = List.init (b.nvars - first_new) (fun i -> first_new + i) in
+  let named_slots = List.map snd b.named in
+  let locals = List.filter (fun i -> not (List.mem i named_slots)) created in
+  let outer =
+    List.concat_map Ir.atom_vars sub_atoms
+    |> List.filter (fun i -> not (List.mem i locals))
+    |> List.sort_uniq Int.compare
+  in
+  (result, sub_atoms, outer, locals)
+
+let is_self meth args =
+  match meth with Name "self" -> args = [] | _ -> false
+
+let rec flatten b (t : reference) : Ir.term =
+  match t with
+  | Name n -> Const (Oodb.Store.name b.store n)
+  | Int_lit n -> Const (Oodb.Store.int b.store n)
+  | Str_lit s -> Const (Oodb.Store.str b.store s)
+  | Var x -> V (slot b x)
+  | Paren t' -> flatten b t'
+  | Path { p_recv; p_sep; p_meth; p_args } ->
+    let recv = flatten b p_recv in
+    if is_self p_meth p_args then recv
+    else begin
+      let meth = flatten b p_meth in
+      let args = List.map (flatten b) p_args in
+      let res = Ir.V (fresh b) in
+      let app = { Ir.meth; recv; args; res } in
+      emit b
+        (match p_sep with Dot -> A_scalar app | Dotdot -> A_member app);
+      res
+    end
+  | Isa { recv; cls } ->
+    let r = flatten b recv in
+    let c = flatten b cls in
+    emit b (A_isa (r, c));
+    r
+  | Filter { f_recv; f_meth; f_args; f_rhs } ->
+    let recv = flatten b f_recv in
+    (match f_rhs with
+    | Rscalar rhs when is_self f_meth f_args ->
+      let v = flatten b rhs in
+      emit b (A_eq (recv, v))
+    | Rscalar rhs ->
+      let meth = flatten b f_meth in
+      let args = List.map (flatten b) f_args in
+      let res = flatten b rhs in
+      emit b (A_scalar { meth; recv; args; res })
+    | Rset_enum elems ->
+      let meth = flatten b f_meth in
+      let args = List.map (flatten b) f_args in
+      List.iter
+        (fun e ->
+          let res = flatten b e in
+          emit b (A_member { meth; recv; args; res }))
+        elems
+    | Rset_ref s ->
+      let meth = flatten b f_meth in
+      let args = List.map (flatten b) f_args in
+      let member, sub_atoms, outer, locals =
+        captured b (fun () -> flatten b s)
+      in
+      (* the member slot itself is quantified inside the set *)
+      let locals =
+        match member with
+        | Ir.V i when not (List.mem i locals) -> i :: locals
+        | Ir.V _ | Ir.Const _ -> locals
+      in
+      let outer =
+        List.filter
+          (fun i -> match member with Ir.V m -> i <> m | Const _ -> true)
+          outer
+      in
+      emit b
+        (A_subset
+           {
+             s_meth = meth;
+             s_recv = recv;
+             s_args = args;
+             sub_atoms;
+             member;
+             s_outer = outer;
+             s_locals = locals;
+           })
+    | Rsig_scalar _ | Rsig_set _ ->
+      invalid_arg "Flatten: signature declaration used as a formula");
+    recv
+
+let literal b = function
+  | Pos t -> ignore (flatten b t)
+  | Neg t ->
+    let (), sub_atoms, outer, locals = captured b (fun () -> ignore (flatten b t)) in
+    emit b (A_neg { n_atoms = sub_atoms; n_outer = outer; n_locals = locals })
+
+let make_builder store = { store; nvars = 0; named = []; atoms = [] }
+
+let finish b : Ir.query =
+  { atoms = List.rev b.atoms; nvars = b.nvars; named = b.named }
+
+let reference store t =
+  let b = make_builder store in
+  let result = flatten b t in
+  (finish b, result)
+
+let literals store lits =
+  let b = make_builder store in
+  List.iter (literal b) lits;
+  finish b

@@ -1,0 +1,550 @@
+module Store = Oodb.Store
+module Set = Oodb.Obj_id.Set
+
+type order = Greedy | Source
+
+type seed = { seed_atom : int; seed_from : int }
+
+exception Stopped
+
+let infinity_cost = max_int / 2
+
+type ctx = {
+  store : Store.t;
+  self_id : Oodb.Obj_id.t;
+  binding : Oodb.Obj_id.t option array;
+  total_scalar : int;
+  total_set : int;
+  hilog_virtual : bool;
+      (* enumerate skolem objects for variable method positions; off by
+         default because it makes programs like the generic tc of section 6
+         have an infinite minimal model *)
+}
+
+let deref ctx = function
+  | Ir.Const o -> Some o
+  | Ir.V i -> ctx.binding.(i)
+
+(* [bind ctx t v k] unifies term [t] with object [v], runs [k], undoes. *)
+let bind ctx t v k =
+  match t with
+  | Ir.Const c -> if Oodb.Obj_id.equal c v then k ()
+  | Ir.V i -> (
+    match ctx.binding.(i) with
+    | Some x -> if Oodb.Obj_id.equal x v then k ()
+    | None ->
+      ctx.binding.(i) <- Some v;
+      Fun.protect ~finally:(fun () -> ctx.binding.(i) <- None) k)
+
+let rec bind_list ctx ts vs k =
+  match (ts, vs) with
+  | [], [] -> k ()
+  | t :: ts', v :: vs' -> bind ctx t v (fun () -> bind_list ctx ts' vs' k)
+  | [], _ :: _ | _ :: _, [] -> ()
+
+and bind_entry ctx (app : Ir.app) (e : Store.mentry) k =
+  if List.length app.args = List.length e.args then
+    bind ctx app.recv e.recv (fun () ->
+        bind_list ctx app.args e.args (fun () -> bind ctx app.res e.res k))
+
+(* Enumerate the whole universe for term [t] (if unbound). *)
+let enum_universe ctx t k =
+  match deref ctx t with
+  | Some _ -> k ()
+  | None ->
+    let card = Oodb.Universe.cardinality (Store.universe ctx.store) in
+    for o = 0 to card - 1 do
+      bind ctx t o k
+    done
+
+let rec force_bound ctx slots k =
+  match slots with
+  | [] -> k ()
+  | s :: rest -> enum_universe ctx (Ir.V s) (fun () -> force_bound ctx rest k)
+
+(* ------------------------------------------------------------------ *)
+(* Cost estimation                                                     *)
+
+let cost_app ctx which (app : Ir.app) =
+  let bucket_len m =
+    match which with
+    | `Scalar -> Oodb.Vec.length (Store.scalar_bucket ctx.store m)
+    | `Set -> Oodb.Vec.length (Store.set_bucket ctx.store m)
+  in
+  let inverse_len m res =
+    match which with
+    | `Scalar -> Oodb.Vec.length (Store.scalar_inverse ctx.store ~meth:m ~res)
+    | `Set -> Oodb.Vec.length (Store.set_inverse ctx.store ~meth:m ~res)
+  in
+  match deref ctx app.meth with
+  | None -> (
+    (* variable method: scan every method's bucket *)
+    match which with
+    | `Scalar -> ctx.total_scalar + 16
+    | `Set -> ctx.total_set + 16)
+  | Some m ->
+    if Oodb.Obj_id.equal m ctx.self_id && app.args = [] then
+      match (deref ctx app.recv, deref ctx app.res) with
+      | Some _, _ | _, Some _ -> 1
+      | None, None -> infinity_cost
+    else if
+      deref ctx app.recv <> None
+      && List.for_all (fun a -> deref ctx a <> None) app.args
+    then (match which with `Scalar -> 1 | `Set -> 1 + bucket_len m / 8)
+    else (
+      match deref ctx app.res with
+      | Some res -> 1 + inverse_len m res
+      | None -> 1 + bucket_len m)
+
+let cost_isa ctx (o, c) =
+  let log_len = Oodb.Vec.length (Store.isa_log ctx.store) in
+  match (deref ctx o, deref ctx c) with
+  | Some _, Some _ -> 1
+  | Some _, None -> 4
+  | None, Some _ -> 2 + log_len
+  | None, None -> 4 + (log_len * 4)
+
+let cost ctx = function
+  | Ir.A_eq (a, b) -> (
+    match (deref ctx a, deref ctx b) with
+    | Some _, _ | _, Some _ -> 0
+    | None, None -> infinity_cost)
+  | Ir.A_scalar app -> cost_app ctx `Scalar app
+  | Ir.A_member app -> cost_app ctx `Set app
+  | Ir.A_isa (o, c) -> cost_isa ctx (o, c)
+  | Ir.A_subset s ->
+    if List.for_all (fun v -> ctx.binding.(v) <> None) s.s_outer then 64
+    else infinity_cost
+  | Ir.A_neg n ->
+    if List.for_all (fun v -> ctx.binding.(v) <> None) n.n_outer then 32
+    else infinity_cost
+
+(* ------------------------------------------------------------------ *)
+(* Atom execution                                                      *)
+
+let exec_app ctx which (app : Ir.app) k =
+  let lookup m recv args k =
+    match which with
+    | `Scalar -> (
+      match Store.scalar_lookup ctx.store ~meth:m ~recv ~args with
+      | Some res -> bind ctx app.res res k
+      | None -> ())
+    | `Set ->
+      Set.iter
+        (fun res -> bind ctx app.res res k)
+        (Store.set_lookup ctx.store ~meth:m ~recv ~args)
+  in
+  let scan_bucket m k =
+    let bucket =
+      match which with
+      | `Scalar -> Store.scalar_bucket ctx.store m
+      | `Set -> Store.set_bucket ctx.store m
+    in
+    Oodb.Vec.iter (fun e -> bind_entry ctx app e k) bucket
+  in
+  let with_method m k =
+    if Oodb.Obj_id.equal m ctx.self_id && app.args = [] then begin
+      (* built-in identity for method application; no set-valued
+         extension (see DESIGN.md) *)
+      match which with
+      | `Set -> ()
+      | `Scalar -> (
+        match (deref ctx app.recv, deref ctx app.res) with
+        | Some r, _ -> bind ctx app.res r k
+        | None, Some r -> bind ctx app.recv r k
+        | None, None ->
+          enum_universe ctx app.recv (fun () ->
+              match deref ctx app.recv with
+              | Some r -> bind ctx app.res r k
+              | None -> assert false))
+    end
+    else if
+      deref ctx app.recv <> None
+      && List.for_all (fun a -> deref ctx a <> None) app.args
+    then
+      let recv = Option.get (deref ctx app.recv) in
+      let args = List.map (fun a -> Option.get (deref ctx a)) app.args in
+      lookup m recv args k
+    else (
+      match deref ctx app.res with
+      | Some res ->
+        let inv =
+          match which with
+          | `Scalar -> Store.scalar_inverse ctx.store ~meth:m ~res
+          | `Set -> Store.set_inverse ctx.store ~meth:m ~res
+        in
+        Oodb.Vec.iter (fun e -> bind_entry ctx app e k) inv
+      | None -> scan_bucket m k)
+  in
+  match deref ctx app.meth with
+  | Some m -> with_method m k
+  | None ->
+    let meths =
+      match which with
+      | `Scalar -> Store.scalar_meths ctx.store
+      | `Set -> Store.set_meths ctx.store
+    in
+    let u = Store.universe ctx.store in
+    List.iter
+      (fun m ->
+        if ctx.hilog_virtual || not (Oodb.Universe.is_skolem u m) then
+          bind ctx app.meth m (fun () -> with_method m k))
+      meths
+
+let exec_isa ctx o c k =
+  match (deref ctx o, deref ctx c) with
+  | Some uo, Some uc -> if Store.is_member ctx.store uo uc then k ()
+  | Some uo, None ->
+    Set.iter (fun uc -> bind ctx c uc k) (Store.classes_of ctx.store uo)
+  | None, Some uc ->
+    Set.iter (fun uo -> bind ctx o uo k) (Store.members ctx.store uc)
+  | None, None ->
+    (* every object with at least one ancestor, paired with each ancestor *)
+    let sources = ref Set.empty in
+    Oodb.Vec.iter
+      (fun (src, _) -> sources := Set.add src !sources)
+      (Store.isa_log ctx.store);
+    Set.iter
+      (fun uo ->
+        bind ctx o uo (fun () ->
+            Set.iter
+              (fun uc -> bind ctx c uc k)
+              (Store.classes_of ctx.store uo)))
+      !sources
+
+let exec_eq ctx a b k =
+  match (deref ctx a, deref ctx b) with
+  | Some x, Some y -> if Oodb.Obj_id.equal x y then k ()
+  | Some x, None -> bind ctx b x k
+  | None, Some y -> bind ctx a y k
+  | None, None ->
+    enum_universe ctx a (fun () ->
+        match deref ctx a with
+        | Some x -> bind ctx b x k
+        | None -> assert false)
+
+(* Nested enumeration of a sub-query's atoms against the shared binding
+   array; used for A_subset members and A_neg. *)
+let rec solve_atoms ctx order atoms k =
+  match atoms with
+  | [] -> k ()
+  | _ ->
+    let arr = Array.of_list atoms in
+    let used = Array.make (Array.length arr) false in
+    run_atoms ctx order arr used (Array.length arr) k
+
+and run_atoms ctx order arr used remaining k =
+  if remaining = 0 then k ()
+  else begin
+    let best = ref (-1) in
+    let best_cost = ref max_int in
+    (match order with
+    | Source ->
+      let rec first i =
+        if i >= Array.length arr then ()
+        else if used.(i) then first (i + 1)
+        else best := i
+      in
+      first 0
+    | Greedy ->
+      Array.iteri
+        (fun i a ->
+          if not used.(i) then begin
+            let c = cost ctx a in
+            if c < !best_cost then begin
+              best_cost := c;
+              best := i
+            end
+          end)
+        arr);
+    let i = !best in
+    used.(i) <- true;
+    Fun.protect
+      ~finally:(fun () -> used.(i) <- false)
+      (fun () ->
+        exec_atom ctx order arr.(i) (fun () ->
+            run_atoms ctx order arr used (remaining - 1) k))
+  end
+
+and exec_atom ctx order atom k =
+  match atom with
+  | Ir.A_eq (a, b) -> exec_eq ctx a b k
+  | Ir.A_isa (o, c) -> exec_isa ctx o c k
+  | Ir.A_scalar app -> exec_app ctx `Scalar app k
+  | Ir.A_member app -> exec_app ctx `Set app k
+  | Ir.A_subset s -> exec_subset ctx order s k
+  | Ir.A_neg n -> exec_neg ctx order n k
+
+and exec_subset ctx order s k =
+  force_bound ctx s.s_outer (fun () ->
+      enum_universe ctx s.s_meth (fun () ->
+          enum_universe ctx s.s_recv (fun () ->
+              let rec bind_args = function
+                | [] -> check ()
+                | a :: rest -> enum_universe ctx a (fun () -> bind_args rest)
+              and check () =
+                let m = Option.get (deref ctx s.s_meth) in
+                let recv = Option.get (deref ctx s.s_recv) in
+                let args =
+                  List.map (fun a -> Option.get (deref ctx a)) s.s_args
+                in
+                let have =
+                  if Oodb.Obj_id.equal m ctx.self_id && args = [] then
+                    Set.empty
+                  else Store.set_lookup ctx.store ~meth:m ~recv ~args
+                in
+                (* every member of the included set must be in [have] *)
+                let ok = ref true in
+                (try
+                   solve_atoms ctx order s.sub_atoms (fun () ->
+                       match deref ctx s.member with
+                       | Some u ->
+                         if not (Set.mem u have) then begin
+                           ok := false;
+                           raise Stopped
+                         end
+                       | None ->
+                         (* member unconstrained: included set is the whole
+                            universe; only an equal [have] would do *)
+                         ok := false;
+                         raise Stopped)
+                 with Stopped -> ());
+                if !ok then k ()
+              in
+              bind_args s.s_args)))
+
+and exec_neg ctx order n k =
+  force_bound ctx n.n_outer (fun () ->
+      let found = ref false in
+      (try
+         solve_atoms ctx order n.n_atoms (fun () ->
+             found := true;
+             raise Stopped)
+       with Stopped -> ());
+      if not !found then k ())
+
+(* ------------------------------------------------------------------ *)
+(* Seeded (delta) execution                                            *)
+
+let exec_seeded ctx order atom from k =
+  match atom with
+  | Ir.A_scalar app -> (
+    match deref ctx app.meth with
+    | Some m ->
+      Oodb.Vec.iter_from
+        (fun e -> bind_entry ctx app e k)
+        (Store.scalar_bucket ctx.store m)
+        from
+    | None -> exec_atom ctx order atom k)
+  | Ir.A_member app -> (
+    match deref ctx app.meth with
+    | Some m ->
+      Oodb.Vec.iter_from
+        (fun e -> bind_entry ctx app e k)
+        (Store.set_bucket ctx.store m)
+        from
+    | None -> exec_atom ctx order atom k)
+  | Ir.A_isa (o, c) ->
+    (* each new direct edge (src, dst) contributes the derived pairs
+       (x, y) with x <= src and dst <= y *)
+    Oodb.Vec.iter_from
+      (fun (src, dst) ->
+        let xs = Set.add src (Store.members ctx.store src) in
+        let ys = Set.add dst (Store.classes_of ctx.store dst) in
+        Set.iter
+          (fun x -> bind ctx o x (fun () -> Set.iter (fun y -> bind ctx c y k) ys))
+          xs)
+      (Store.isa_log ctx.store)
+      from
+  | Ir.A_eq _ | Ir.A_subset _ | Ir.A_neg _ -> exec_atom ctx order atom k
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let make_ctx ~hilog_virtual store (q : Ir.query) =
+  let total which meths =
+    List.fold_left (fun acc m -> acc + Oodb.Vec.length (which m)) 0 meths
+  in
+  {
+    store;
+    self_id = Store.name store "self";
+    binding = Array.make q.nvars None;
+    total_scalar = total (Store.scalar_bucket store) (Store.scalar_meths store);
+    total_set = total (Store.set_bucket store) (Store.set_meths store);
+    hilog_virtual;
+  }
+
+let iter ?(order = Greedy) ?(hilog_virtual = false) ?(bindings = []) ?seed
+    ?limit store (q : Ir.query) ~f =
+  let ctx = make_ctx ~hilog_virtual store q in
+  List.iter (fun (slot, obj) -> ctx.binding.(slot) <- Some obj) bindings;
+  let produced = ref 0 in
+  let finish () =
+    (* any still-unbound slot ranges over the whole universe *)
+    let rec complete i =
+      if i >= q.nvars then begin
+        f (Array.map Option.get ctx.binding);
+        incr produced;
+        match limit with
+        | Some l when !produced >= l -> raise Stopped
+        | Some _ | None -> ()
+      end
+      else if ctx.binding.(i) <> None then complete (i + 1)
+      else enum_universe ctx (Ir.V i) (fun () -> complete (i + 1))
+    in
+    complete 0
+  in
+  let atoms = Array.of_list q.atoms in
+  let used = Array.make (Array.length atoms) false in
+  let body () =
+    match seed with
+    | None -> run_atoms ctx order atoms used (Array.length atoms) finish
+    | Some { seed_atom; seed_from } ->
+      used.(seed_atom) <- true;
+      exec_seeded ctx order atoms.(seed_atom) seed_from (fun () ->
+          run_atoms ctx order atoms used (Array.length atoms - 1) finish)
+  in
+  try body () with Stopped -> ()
+
+let named_solutions ?(order = Greedy) ?limit store (q : Ir.query) =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  iter ~order ?limit store q ~f:(fun binding ->
+      let row = List.map (fun (_, i) -> binding.(i)) q.named in
+      if not (Hashtbl.mem seen row) then begin
+        Hashtbl.add seen row ();
+        acc := row :: !acc
+      end);
+  List.rev !acc
+
+let satisfiable ?(order = Greedy) store q =
+  let sat = ref false in
+  iter ~order ~limit:1 store q ~f:(fun _ -> sat := true);
+  !sat
+
+let count ?(order = Greedy) store (q : Ir.query) =
+  match q.named with
+  | [] -> if satisfiable ~order store q then 1 else 0
+  | _ -> List.length (named_solutions ~order store q)
+
+(* ------------------------------------------------------------------ *)
+(* Plan explanation                                                    *)
+
+let explain ?(order = Greedy) store (q : Ir.query) =
+  let u = Store.universe store in
+  let bound = Array.make (max q.nvars 1) false in
+  let is_bound = function Ir.Const _ -> true | Ir.V i -> bound.(i) in
+  let bind_term = function Ir.Const _ -> () | Ir.V i -> bound.(i) <- true in
+  let self_id = Store.name store "self" in
+  (* cost mirror of the runtime estimator, over simulated boundness *)
+  let sim_cost (a : Ir.atom) =
+    let app_cost which (app : Ir.app) =
+      let bucket_len m =
+        match which with
+        | `Scalar -> Oodb.Vec.length (Store.scalar_bucket store m)
+        | `Set -> Oodb.Vec.length (Store.set_bucket store m)
+      in
+      match app.meth with
+      | Ir.V i when not bound.(i) -> 100_000
+      | meth -> (
+        let m = match meth with Ir.Const m -> Some m | Ir.V _ -> None in
+        if is_bound app.recv && List.for_all is_bound app.args then 1
+        else if is_bound app.res then
+          4 + (match m with Some m -> bucket_len m / 4 | None -> 64)
+        else 1 + (match m with Some m -> bucket_len m | None -> 1024))
+    in
+    match a with
+    | Ir.A_eq (x, y) -> if is_bound x || is_bound y then 0 else 100_000
+    | Ir.A_scalar app -> app_cost `Scalar app
+    | Ir.A_member app -> app_cost `Set app
+    | Ir.A_isa (o, c) -> (
+      match (is_bound o, is_bound c) with
+      | true, true -> 1
+      | true, false -> 4
+      | false, true -> 16
+      | false, false -> 1024)
+    | Ir.A_subset s ->
+      if List.for_all (fun v -> bound.(v)) s.s_outer then 64 else 100_000
+    | Ir.A_neg n ->
+      if List.for_all (fun v -> bound.(v)) n.n_outer then 32 else 100_000
+  in
+  let describe (a : Ir.atom) =
+    let app_path which (app : Ir.app) =
+      let kind = match which with `Scalar -> "scalar" | `Set -> "set" in
+      match app.meth with
+      | Ir.V i when not bound.(i) ->
+        Printf.sprintf "scan every %s method" kind
+      | meth ->
+        let mname =
+          match meth with
+          | Ir.Const m -> Format.asprintf "%a" (Oodb.Universe.pp_obj u) m
+          | Ir.V i -> Printf.sprintf "_%d" i
+        in
+        if
+          (match meth with
+          | Ir.Const m -> Oodb.Obj_id.equal m self_id && app.args = []
+          | Ir.V _ -> false)
+        then "identity (self)"
+        else if is_bound app.recv && List.for_all is_bound app.args then
+          Printf.sprintf "keyed %s lookup on %s" kind mname
+        else if is_bound app.res then
+          Printf.sprintf "inverse index scan on %s" mname
+        else Printf.sprintf "bucket scan on %s" mname
+    in
+    let path =
+      match a with
+      | Ir.A_eq _ -> "unification"
+      | Ir.A_scalar app -> app_path `Scalar app
+      | Ir.A_member app -> app_path `Set app
+      | Ir.A_isa (o, c) -> (
+        match (is_bound o, is_bound c) with
+        | true, true -> "membership check"
+        | true, false -> "ancestors of receiver"
+        | false, true -> "members of class"
+        | false, false -> "scan class hierarchy")
+      | Ir.A_subset _ -> "nested set-inclusion subquery"
+      | Ir.A_neg _ -> "nested negation subquery"
+    in
+    Format.asprintf "%a  [%s]" (Ir.pp_atom u) a path
+  in
+  let atoms = Array.of_list q.atoms in
+  let used = Array.make (Array.length atoms) false in
+  let lines = ref [] in
+  for _ = 1 to Array.length atoms do
+    let best = ref (-1) in
+    let best_cost = ref max_int in
+    (match order with
+    | Source ->
+      (try
+         Array.iteri
+           (fun i _ ->
+             if not used.(i) then begin
+               best := i;
+               raise Stopped
+             end)
+           atoms
+       with Stopped -> ())
+    | Greedy ->
+      Array.iteri
+        (fun i a ->
+          if not used.(i) then begin
+            let c = sim_cost a in
+            if c < !best_cost then begin
+              best_cost := c;
+              best := i
+            end
+          end)
+        atoms);
+    let i = !best in
+    used.(i) <- true;
+    lines := describe atoms.(i) :: !lines;
+    List.iter
+      (fun v -> bound.(v) <- true)
+      (Ir.atom_vars atoms.(i));
+    (match atoms.(i) with
+    | Ir.A_scalar app | Ir.A_member app ->
+      bind_term app.res;
+      bind_term app.recv
+    | Ir.A_isa _ | Ir.A_eq _ | Ir.A_subset _ | Ir.A_neg _ -> ())
+  done;
+  List.rev !lines

@@ -1,0 +1,77 @@
+(** Enumeration of the variable valuations satisfying a flattened query.
+
+    Where {!Valuation} checks one given valuation, this module {e finds} all
+    of them, driving the search from the store's indexes. It is the
+    workhorse of both query answering and rule bodies in the fixpoint
+    engine.
+
+    Atom scheduling is greedy: at every depth the cheapest remaining atom is
+    executed, where cost is the estimated number of matches under the
+    current partial binding (1 for a fully keyed lookup, the bucket length
+    for a method scan, and so on). [`Source] order — execute atoms
+    left-to-right as written — is kept for the join-order ablation
+    experiment (E10).
+
+    Set-inclusion atoms ([A_subset]) and negation run as nested
+    sub-enumerations once their outer variables are bound; any still-unbound
+    variable (including an output variable constrained by no atom, as in the
+    query [?- X.]) falls back to enumerating the whole universe, which keeps
+    the solver total on well-formed input. *)
+
+type order = Greedy | Source
+
+(** Restrict one atom of the query to the delta suffix of its relation's
+    bucket (tuples with index [>= from]); used by the semi-naive fixpoint.
+    The seeded atom is executed first. For [A_isa] atoms the delta is the
+    suffix of the direct-edge log, expanded through the hierarchy closure. *)
+type seed = { seed_atom : int; seed_from : int }
+
+exception Stopped
+
+(** [iter store q ~f] calls [f] once per satisfying assignment, with a
+    binding array of length [q.nvars] (fully bound). Raise {!Stopped} from
+    [f] to stop early; [iter] catches it.
+
+    @param limit stop after this many solutions. *)
+val iter :
+  ?order:order ->
+  ?hilog_virtual:bool ->
+  ?bindings:(int * Oodb.Obj_id.t) list ->
+  ?seed:seed ->
+  ?limit:int ->
+  Oodb.Store.t ->
+  Ir.query ->
+  f:(Oodb.Obj_id.t array -> unit) ->
+  unit
+(** [bindings] pre-binds slots before the search starts (used to replay a
+    rule body under a known variable valuation, e.g. for provenance).
+
+    [hilog_virtual] (default [false]): when a {e method-position} variable
+    is enumerated (HiLog-style higher-order atoms such as [X\[M ->> {Y}\]]),
+    include virtual (skolem) objects among the candidate methods. Off by
+    default: with it on, the generic transitive-closure program of section
+    6 has an infinite minimal model — [tc] applies to [kids.tc], yielding
+    [(kids.tc).tc], and so on — and bottom-up evaluation only stops at the
+    divergence budget. All the paper's examples work with the restricted
+    enumeration. Explicitly named virtual methods (e.g. the query
+    [peter\[(kids.tc) ->> {X}\]]) are unaffected. *)
+
+(** Distinct bindings of the query's named variables, in the order of
+    [q.named]; answers are deduplicated. *)
+val named_solutions :
+  ?order:order -> ?limit:int -> Oodb.Store.t -> Ir.query ->
+  Oodb.Obj_id.t list list
+
+(** Is the query satisfiable? *)
+val satisfiable : ?order:order -> Oodb.Store.t -> Ir.query -> bool
+
+(** Number of distinct named-variable bindings (or of full bindings when the
+    query names no variable, capped at 1 for a ground query). *)
+val count : ?order:order -> Oodb.Store.t -> Ir.query -> int
+
+(** A static simulation of the plan the solver would follow: the atom
+    execution order and the access path chosen for each atom (lookup,
+    inverse index, bucket scan, ...), one line per atom. The greedy
+    simulation uses the store's current bucket sizes; the runtime order can
+    differ when intermediate bindings change the cost ranking. *)
+val explain : ?order:order -> Oodb.Store.t -> Ir.query -> string list

@@ -1,0 +1,31 @@
+(** The valuation function of Definition 4 — the executable specification.
+
+    [eval store env t] computes [nu_I(t)] for a well-formed reference [t]
+    under the variable valuation [env], literally clause by clause:
+
+    - names denote their interned object (clause 2), variables their binding
+      (clause 1);
+    - a scalar path collects the defined values of the interpreting partial
+      function over all combinations of sub-reference denotations (clause
+      3); a set-valued path unions the interpreting set function (clause 4);
+    - molecules denote the sub-set of their first sub-reference's denotation
+      whose objects satisfy the filter (clauses 5-8).
+
+    For scalar references the result is a singleton or empty; a path such as
+    [john.spouse] with [spouse] undefined evaluates to the empty set, which
+    is exactly why the corresponding formula is false (Definition 5).
+
+    The built-in [self] behaves as the identity method everywhere.
+
+    This module is deliberately naive — no indexes, no planning — so the
+    test suite can use it as ground truth against {!Solve}. *)
+
+module Env : Map.S with type key = string
+
+type env = Oodb.Obj_id.t Env.t
+
+exception Unbound_variable of string
+
+val env_of_list : (string * Oodb.Obj_id.t) list -> env
+
+val eval : Oodb.Store.t -> env -> Syntax.Ast.reference -> Oodb.Obj_id.Set.t

@@ -1,0 +1,1 @@
+lib/syntax/build.ml: Ast List

@@ -1,0 +1,1 @@
+lib/syntax/build.mli: Ast

@@ -1,0 +1,1 @@
+lib/syntax/normalize.mli: Ast

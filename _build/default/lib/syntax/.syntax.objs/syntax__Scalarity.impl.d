@@ -1,0 +1,1 @@
+lib/syntax/scalarity.ml: Ast Format List

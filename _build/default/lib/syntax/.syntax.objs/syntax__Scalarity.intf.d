@@ -1,0 +1,1 @@
+lib/syntax/scalarity.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/syntax/wellformed.ml: Ast Format List Pretty Scalarity

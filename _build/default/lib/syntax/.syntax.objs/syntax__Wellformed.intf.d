@@ -1,0 +1,1 @@
+lib/syntax/wellformed.mli: Ast Format Scalarity

@@ -1,0 +1,13 @@
+(** Hand-written lexer.
+
+    The one interesting decision is the two readings of ['.']: it is a path
+    separator when immediately followed by the start of a simple reference
+    (letter, digit, underscore, ['('] or ['"']), and the statement
+    terminator otherwise (whitespace, comment, end of input, or a closing
+    delimiter). This matches how the paper writes programs: statements end
+    in [". "] while paths never contain spaces around the dot. *)
+
+exception Error of Token.pos * string
+
+(** Tokenise a whole input. Comments run from ['%'] to end of line. *)
+val tokenize : string -> (Token.t * Token.pos) list

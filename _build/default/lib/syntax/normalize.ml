@@ -1,0 +1,94 @@
+open Ast
+
+(* A restriction applied to a base reference: a filter spec or a class
+   membership. Restrictions intersect the base's denotation, hence they
+   commute and duplicate ones are redundant. *)
+type restriction =
+  | Rfilter of reference * reference list * filter_rhs
+  | Risa of reference
+
+let is_self_meth meth args =
+  match meth with Name "self" -> args = [] | _ -> false
+
+let rec normalize (t : reference) : reference =
+  match t with
+  | Name _ | Int_lit _ | Str_lit _ | Var _ -> t
+  | Paren inner -> normalize inner
+  | Path { p_recv; p_sep; p_meth; p_args }
+    when is_self_meth p_meth p_args && p_sep = Dot ->
+    normalize p_recv
+  | Path { p_recv; p_sep; p_meth; p_args }
+    when is_self_meth p_meth p_args && p_sep = Dotdot ->
+    normalize p_recv
+  | Path { p_recv; p_sep; p_meth; p_args } ->
+    Path
+      {
+        p_recv = normalize p_recv;
+        p_sep;
+        p_meth = normalize_simple p_meth;
+        p_args = List.map normalize p_args;
+      }
+  | Filter _ | Isa _ ->
+    (* decompose the maximal restriction chain over its base *)
+    let base, restrictions = collect t [] in
+    let base = normalize base in
+    let restrictions =
+      List.map normalize_restriction restrictions
+      |> List.sort_uniq compare
+    in
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Rfilter (meth, args, rhs) ->
+          Filter { f_recv = acc; f_meth = meth; f_args = args; f_rhs = rhs }
+        | Risa cls -> Isa { recv = acc; cls })
+      base restrictions
+
+(* method/class positions: normalise but keep simple (re-wrap when the
+   normalised form is no longer simple — cannot happen today since
+   normalisation never turns a simple reference complex, but Paren
+   unwrapping can: (M.tc) becomes M.tc, which pretty re-parenthesises) *)
+and normalize_simple m =
+  match m with
+  | Paren inner ->
+    let inner' = normalize inner in
+    if is_simple inner' then inner' else Paren inner'
+  | _ -> normalize m
+
+and collect (t : reference) acc =
+  match t with
+  | Filter { f_recv; f_meth; f_args; f_rhs } ->
+    collect f_recv (Rfilter (f_meth, f_args, f_rhs) :: acc)
+  | Isa { recv; cls } -> collect recv (Risa cls :: acc)
+  | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ -> (t, acc)
+
+and normalize_restriction = function
+  | Rfilter (meth, args, rhs) ->
+    let rhs =
+      match rhs with
+      | Rscalar r -> Rscalar (normalize r)
+      | Rset_ref r -> Rset_ref (normalize r)
+      | Rset_enum rs ->
+        Rset_enum (List.sort_uniq compare (List.map normalize rs))
+      | Rsig_scalar r -> Rsig_scalar (normalize r)
+      | Rsig_set r -> Rsig_set (normalize r)
+    in
+    Rfilter (normalize_simple meth, List.map normalize args, rhs)
+  | Risa cls -> Risa (normalize_simple cls)
+
+(* One pass can expose new opportunities (unwrapping a parenthesised base
+   merges two restriction chains that then need joint sorting); iterate to
+   the syntactic fixpoint. Each productive step shrinks or reorders a
+   finite structure, so this terminates. *)
+let rec reference t =
+  let t' = normalize t in
+  if Ast.equal_reference t' t then t else reference t'
+
+let literal = function
+  | Pos t -> Pos (reference t)
+  | Neg t -> Neg (reference t)
+
+let rule (r : Ast.rule) =
+  { head = reference r.head; body = List.map literal r.body }
+
+let equal a b = Ast.equal_reference (reference a) (reference b)

@@ -1,0 +1,27 @@
+(** Semantics-preserving normalisation of references.
+
+    References admit many syntactic variants with the same valuation —
+    redundant parentheses, [self] steps, duplicate filters, permuted
+    restriction chains ([t\[a -> 1\]\[b -> 2\]] vs [t\[b -> 2\]\[a -> 1\]]
+    vs [t\[a -> 1; b -> 2\]]). {!reference} rewrites to a canonical form:
+
+    - [(t)] is unwrapped ([nu(Paren t) = nu(t)]);
+    - [t.self] and [t..self] become [t] (the identity method);
+    - enumerated sets drop duplicate elements;
+    - maximal chains of {e restrictions} (filters and class memberships
+      over the same base) are deduplicated and sorted canonically —
+      restrictions intersect the base's denotation, so they commute.
+
+    The induced equivalence {!equal} decides "syntactically different but
+    trivially the same" — used by tests and available to users. The
+    valuation-invariance of the rewrite is property-tested against
+    Definition 4. *)
+
+val reference : Ast.reference -> Ast.reference
+
+val literal : Ast.literal -> Ast.literal
+
+val rule : Ast.rule -> Ast.rule
+
+(** Equality modulo normalisation. *)
+val equal : Ast.reference -> Ast.reference -> bool

@@ -1,0 +1,224 @@
+exception Error of Token.pos * string
+
+type state = { mutable toks : (Token.t * Token.pos) list }
+
+let peek st =
+  match st.toks with
+  | (t, p) :: _ -> (t, p)
+  | [] -> (Token.EOF, { Token.line = 0; col = 0 })
+
+let advance st =
+  match st.toks with (_ :: rest) -> st.toks <- rest | [] -> ()
+
+let error_at pos fmt =
+  Format.kasprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+let expect st tok =
+  let t, p = peek st in
+  if t = tok then advance st
+  else error_at p "expected %a but found %a" Token.pp tok Token.pp t
+
+let self_name = "self"
+
+(* --------------------------------------------------------------- *)
+
+let rec primary st : Ast.reference =
+  let t, p = peek st in
+  match t with
+  | NAME s -> advance st; Name s
+  | VAR s -> advance st; Var s
+  | INT n -> advance st; Int_lit n
+  | STRING s -> advance st; Str_lit s
+  | LPAREN ->
+    advance st;
+    let r = reference st in
+    expect st RPAREN;
+    Paren r
+  | _ -> error_at p "expected a reference but found %a" Token.pp t
+
+and simple st : Ast.reference =
+  let r = primary st in
+  r
+
+and args_opt st : Ast.reference list =
+  match peek st with
+  | AT, _ ->
+    advance st;
+    expect st LPAREN;
+    let rec go acc =
+      let r = reference st in
+      match peek st with
+      | COMMA, _ ->
+        advance st;
+        go (r :: acc)
+      | _ -> List.rev (r :: acc)
+    in
+    let args = (match peek st with RPAREN, _ -> [] | _ -> go []) in
+    expect st RPAREN;
+    args
+  | _ -> []
+
+and filter_item st (recv : Ast.reference) : Ast.reference =
+  (* Either a method specification [m@(args) (->|->>|=>|=>>) rhs] or a bare
+     selector reference, which desugars to [self -> r]. We parse a full
+     reference first; if an arrow follows, it must have been a simple
+     method (possibly with arguments). *)
+  let _, start_pos = peek st in
+  let meth = reference st in
+  let args = args_opt st in
+  let check_simple_meth () =
+    if not (Ast.is_simple meth) then
+      error_at start_pos
+        "the method position of a filter must be a simple reference \
+         (use parentheses)"
+  in
+  match peek st with
+  | ARROW, _ ->
+    advance st;
+    check_simple_meth ();
+    let rhs = reference st in
+    Filter { f_recv = recv; f_meth = meth; f_args = args; f_rhs = Rscalar rhs }
+  | DARROW, _ ->
+    advance st;
+    check_simple_meth ();
+    let rhs : Ast.filter_rhs =
+      match peek st with
+      | LBRACE, _ ->
+        advance st;
+        let rec go acc =
+          let r = reference st in
+          match peek st with
+          | COMMA, _ ->
+            advance st;
+            go (r :: acc)
+          | _ -> List.rev (r :: acc)
+        in
+        let elems = (match peek st with RBRACE, _ -> [] | _ -> go []) in
+        expect st RBRACE;
+        Rset_enum elems
+      | _ -> Rset_ref (reference st)
+    in
+    Filter { f_recv = recv; f_meth = meth; f_args = args; f_rhs = rhs }
+  | SIG_ARROW, _ ->
+    advance st;
+    check_simple_meth ();
+    let cls = simple st in
+    Filter
+      { f_recv = recv; f_meth = meth; f_args = args; f_rhs = Rsig_scalar cls }
+  | SIG_DARROW, _ ->
+    advance st;
+    check_simple_meth ();
+    let cls = simple st in
+    Filter
+      { f_recv = recv; f_meth = meth; f_args = args; f_rhs = Rsig_set cls }
+  | _ ->
+    (* selector: [r] abbreviates [self -> r] *)
+    if args <> [] then
+      error_at start_pos "selector references cannot take arguments";
+    Filter
+      {
+        f_recv = recv;
+        f_meth = Name self_name;
+        f_args = [];
+        f_rhs = Rscalar meth;
+      }
+
+and postfixes st (r : Ast.reference) : Ast.reference =
+  match peek st with
+  | DOT, _ ->
+    advance st;
+    let m = simple st in
+    let args = args_opt st in
+    postfixes st
+      (Path { p_recv = r; p_sep = Dot; p_meth = m; p_args = args })
+  | DOTDOT, _ ->
+    advance st;
+    let m = simple st in
+    let args = args_opt st in
+    postfixes st
+      (Path { p_recv = r; p_sep = Dotdot; p_meth = m; p_args = args })
+  | (COLON | COLONCOLON), _ ->
+    advance st;
+    let c = simple st in
+    postfixes st (Isa { recv = r; cls = c })
+  | LBRACKET, _ ->
+    advance st;
+    let rec items acc =
+      let acc = filter_item st acc in
+      match peek st with
+      | SEMI, _ ->
+        advance st;
+        items acc
+      | _ -> acc
+    in
+    let r = items r in
+    expect st RBRACKET;
+    postfixes st r
+  | _ -> r
+
+and reference st : Ast.reference = postfixes st (primary st)
+
+let literal st : Ast.literal =
+  match peek st with
+  | NOT, _ ->
+    advance st;
+    Neg (reference st)
+  | _ -> Pos (reference st)
+
+let literal_list st : Ast.literal list =
+  let rec go acc =
+    let l = literal st in
+    match peek st with
+    | COMMA, _ ->
+      advance st;
+      go (l :: acc)
+    | _ -> List.rev (l :: acc)
+  in
+  go []
+
+let statement_st st : Ast.statement =
+  match peek st with
+  | QUERY, _ ->
+    advance st;
+    let lits = literal_list st in
+    expect st END;
+    Query lits
+  | _ ->
+    let head = reference st in
+    let body =
+      match peek st with
+      | IMPLIED, _ ->
+        advance st;
+        literal_list st
+      | _ -> []
+    in
+    expect st END;
+    Rule { head; body }
+
+(* --------------------------------------------------------------- *)
+(* Entry points *)
+
+let with_input src f =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error (pos, msg) -> raise (Error (pos, msg))
+  in
+  let st = { toks } in
+  let result = f st in
+  (match peek st with
+  | EOF, _ -> ()
+  | t, p -> error_at p "trailing input: %a" Token.pp t);
+  result
+
+let program src =
+  with_input src (fun st ->
+      let rec go acc =
+        match peek st with
+        | EOF, _ -> List.rev acc
+        | _ -> go (statement_st st :: acc)
+      in
+      go [])
+
+let statement src = with_input src statement_st
+let reference src = with_input src reference
+let literals src = with_input src literal_list

@@ -1,0 +1,41 @@
+(** Recursive-descent parser for PathLog programs, statements, references
+    and queries.
+
+    Grammar (references are postfix chains, left associative):
+
+    {v
+      program    ::= { statement }
+      statement  ::= rule END | QUERY literals END
+      rule       ::= reference [ IMPLIED literals ]
+      literals   ::= literal { COMMA literal }
+      literal    ::= [ NOT ] reference
+      reference  ::= primary { postfix }
+      primary    ::= NAME | VAR | INT | STRING | LPAREN reference RPAREN
+      postfix    ::= DOT simple [ args ] | DOTDOT simple [ args ]
+                   | COLON simple | COLONCOLON simple
+                   | LBRACKET item { SEMI item } RBRACKET
+      simple     ::= NAME | VAR | INT | STRING | LPAREN reference RPAREN
+      args       ::= AT LPAREN [ reference { COMMA reference } ] RPAREN
+      item       ::= simple [ args ] ARROW reference
+                   | simple [ args ] DARROW ( reference | LBRACE refs RBRACE )
+                   | simple [ args ] SIG_ARROW simple
+                   | simple [ args ] SIG_DARROW simple
+                   | reference              (selector, sugar for self -> r)
+    v}
+
+    XSQL-style selectors [\[Y\]] are desugared to [\[self -> Y\]] during
+    parsing, as section 4.1 of the paper specifies. [::] is parsed as the
+    same hierarchy relation as [:] (the paper folds both into one partial
+    order). *)
+
+exception Error of Token.pos * string
+
+val program : string -> Ast.program
+
+val statement : string -> Ast.statement
+
+(** Parse a single reference (no trailing [.]). *)
+val reference : string -> Ast.reference
+
+(** Parse a comma-separated literal list (no [?-], no trailing [.]). *)
+val literals : string -> Ast.literal list

@@ -1,0 +1,81 @@
+open Ast
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp_reference ppf = function
+  | Name s -> Format.pp_print_string ppf s
+  | Int_lit n -> Format.pp_print_int ppf n
+  | Str_lit s -> Format.fprintf ppf "\"%s\"" (escape_string s)
+  | Var v -> Format.pp_print_string ppf v
+  | Paren t -> Format.fprintf ppf "(%a)" pp_reference t
+  | Path { p_recv; p_sep; p_meth; p_args } ->
+    let sep = match p_sep with Dot -> "." | Dotdot -> ".." in
+    Format.fprintf ppf "%a%s%a%a" pp_reference p_recv sep pp_simple p_meth
+      pp_args p_args
+  | Filter { f_recv; f_meth; f_args; f_rhs } ->
+    Format.fprintf ppf "%a[%a%a%a]" pp_reference f_recv pp_simple f_meth
+      pp_args f_args pp_rhs f_rhs
+  | Isa { recv; cls } ->
+    Format.fprintf ppf "%a : %a" pp_reference recv pp_simple cls
+
+(* method/class positions must be simple; parenthesise defensively *)
+and pp_simple ppf t =
+  if is_simple t then pp_reference ppf t
+  else Format.fprintf ppf "(%a)" pp_reference t
+
+and pp_args ppf = function
+  | [] -> ()
+  | args ->
+    Format.fprintf ppf "@@(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_reference)
+      args
+
+and pp_rhs ppf = function
+  | Rscalar t -> Format.fprintf ppf " -> %a" pp_reference t
+  | Rset_ref t -> Format.fprintf ppf " ->> %a" pp_reference t
+  | Rset_enum ts ->
+    Format.fprintf ppf " ->> {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_reference)
+      ts
+  | Rsig_scalar t -> Format.fprintf ppf " => %a" pp_simple t
+  | Rsig_set t -> Format.fprintf ppf " =>> %a" pp_simple t
+
+let pp_literal ppf = function
+  | Pos t -> pp_reference ppf t
+  | Neg t -> Format.fprintf ppf "not %a" pp_reference t
+
+let pp_literals ppf lits =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_literal ppf lits
+
+let pp_rule ppf { head; body } =
+  match body with
+  | [] -> Format.fprintf ppf "%a." pp_reference head
+  | _ -> Format.fprintf ppf "%a <- %a." pp_reference head pp_literals body
+
+let pp_statement ppf = function
+  | Rule r -> pp_rule ppf r
+  | Query lits -> Format.fprintf ppf "?- %a." pp_literals lits
+
+let pp_program ppf prog =
+  List.iter (fun s -> Format.fprintf ppf "%a@." pp_statement s) prog
+
+let reference_to_string t = Format.asprintf "%a" pp_reference t
+let rule_to_string r = Format.asprintf "%a" pp_rule r
+let statement_to_string s = Format.asprintf "%a" pp_statement s
+let program_to_string p = Format.asprintf "%a" pp_program p

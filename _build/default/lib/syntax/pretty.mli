@@ -1,0 +1,25 @@
+(** Pretty-printing back to concrete PathLog syntax.
+
+    The output reparses to the same AST ([Parser.reference (to_string t) =
+    t] for parser-produced [t]); property-tested in the test suite.
+    Method and class positions that are not simple references are
+    defensively parenthesised, so printing is total even for hand-built
+    ASTs. *)
+
+val pp_reference : Format.formatter -> Ast.reference -> unit
+
+val pp_literal : Format.formatter -> Ast.literal -> unit
+
+val pp_rule : Format.formatter -> Ast.rule -> unit
+
+val pp_statement : Format.formatter -> Ast.statement -> unit
+
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val reference_to_string : Ast.reference -> string
+
+val rule_to_string : Ast.rule -> string
+
+val statement_to_string : Ast.statement -> string
+
+val program_to_string : Ast.program -> string

@@ -1,0 +1,24 @@
+type t = Scalar | Set_valued
+
+let equal (a : t) b = a = b
+
+let pp ppf = function
+  | Scalar -> Format.pp_print_string ppf "scalar"
+  | Set_valued -> Format.pp_print_string ppf "set valued"
+
+let rec of_reference : Ast.reference -> t = function
+  | Name _ | Int_lit _ | Str_lit _ | Var _ -> Scalar
+  | Paren t -> of_reference t
+  | Path { p_sep = Dotdot; _ } -> Set_valued
+  | Path { p_sep = Dot; p_recv; p_meth; p_args } ->
+    if
+      of_reference p_recv = Set_valued
+      || of_reference p_meth = Set_valued
+      || List.exists (fun a -> of_reference a = Set_valued) p_args
+    then Set_valued
+    else Scalar
+  | Filter { f_recv; _ } -> of_reference f_recv
+  | Isa { recv; _ } -> of_reference recv
+
+let is_scalar t = of_reference t = Scalar
+let is_set_valued t = of_reference t = Set_valued

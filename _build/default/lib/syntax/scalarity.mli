@@ -1,0 +1,18 @@
+(** Scalarity of references — Definition 2 of the paper.
+
+    A reference is set valued iff it is a [..]-path; or a [.]-path whose
+    receiver, method or some argument is set valued; or a molecule or
+    parenthesised reference whose first sub-reference is set valued.
+    Otherwise it is scalar. *)
+
+type t = Scalar | Set_valued
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val of_reference : Ast.reference -> t
+
+val is_scalar : Ast.reference -> bool
+
+val is_set_valued : Ast.reference -> bool

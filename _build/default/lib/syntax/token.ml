@@ -1,0 +1,59 @@
+type t =
+  | NAME of string
+  | VAR of string
+  | INT of int
+  | STRING of string
+  | DOT
+  | DOTDOT
+  | END
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COLON
+  | COLONCOLON
+  | ARROW
+  | DARROW
+  | SIG_ARROW
+  | SIG_DARROW
+  | AT
+  | COMMA
+  | SEMI
+  | IMPLIED
+  | QUERY
+  | NOT
+  | EOF
+
+type pos = { line : int; col : int }
+
+let pp ppf = function
+  | NAME s -> Format.fprintf ppf "name %s" s
+  | VAR s -> Format.fprintf ppf "variable %s" s
+  | INT n -> Format.fprintf ppf "integer %d" n
+  | STRING s -> Format.fprintf ppf "string %S" s
+  | DOT -> Format.pp_print_string ppf "'.'"
+  | DOTDOT -> Format.pp_print_string ppf "'..'"
+  | END -> Format.pp_print_string ppf "'.' (end of statement)"
+  | LBRACKET -> Format.pp_print_string ppf "'['"
+  | RBRACKET -> Format.pp_print_string ppf "']'"
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | COLONCOLON -> Format.pp_print_string ppf "'::'"
+  | ARROW -> Format.pp_print_string ppf "'->'"
+  | DARROW -> Format.pp_print_string ppf "'->>'"
+  | SIG_ARROW -> Format.pp_print_string ppf "'=>'"
+  | SIG_DARROW -> Format.pp_print_string ppf "'=>>'"
+  | AT -> Format.pp_print_string ppf "'@'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | IMPLIED -> Format.pp_print_string ppf "'<-'"
+  | QUERY -> Format.pp_print_string ppf "'?-'"
+  | NOT -> Format.pp_print_string ppf "'not'"
+  | EOF -> Format.pp_print_string ppf "end of input"
+
+let pp_pos ppf { line; col } = Format.fprintf ppf "line %d, column %d" line col

@@ -1,0 +1,35 @@
+(** Tokens of the concrete PathLog syntax. *)
+
+type t =
+  | NAME of string
+  | VAR of string
+  | INT of int
+  | STRING of string
+  | DOT  (** [.] as path separator *)
+  | DOTDOT  (** [..] *)
+  | END  (** [.] as statement terminator *)
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COLON
+  | COLONCOLON
+  | ARROW  (** [->] *)
+  | DARROW  (** [->>] *)
+  | SIG_ARROW  (** [=>] *)
+  | SIG_DARROW  (** [=>>] *)
+  | AT
+  | COMMA
+  | SEMI
+  | IMPLIED  (** [<-] *)
+  | QUERY  (** [?-] *)
+  | NOT
+  | EOF
+
+type pos = { line : int; col : int }
+
+val pp : Format.formatter -> t -> unit
+
+val pp_pos : Format.formatter -> pos -> unit

@@ -1,0 +1,187 @@
+open Ast
+
+type error =
+  | Anonymous_variable_in_head
+  | Anonymous_variable_in_negation
+  | Set_valued_at_scalar_position of Ast.reference
+  | Scalar_at_set_position of Ast.reference
+  | Signature_in_formula of Ast.reference
+  | Set_valued_head of Ast.reference
+  | Unsafe_head_variable of string
+  | Unsafe_negated_variable of string
+
+exception Ill_formed of error
+
+let pp_error ppf = function
+  | Anonymous_variable_in_head ->
+    Format.pp_print_string ppf
+      "the anonymous variable _ cannot appear in a rule head"
+  | Anonymous_variable_in_negation ->
+    Format.pp_print_string ppf
+      "the anonymous variable _ cannot appear under 'not' (each _ is a \
+       fresh variable and would be unbound)"
+  | Set_valued_at_scalar_position t ->
+    Format.fprintf ppf
+      "set-valued reference %a used where a scalar one is required"
+      Pretty.pp_reference t
+  | Scalar_at_set_position t ->
+    Format.fprintf ppf
+      "scalar reference %a used as the result of a set-valued method (write \
+       {%a})"
+      Pretty.pp_reference t Pretty.pp_reference t
+  | Signature_in_formula t ->
+    Format.fprintf ppf
+      "signature declaration %a may only appear as a top-level fact"
+      Pretty.pp_reference t
+  | Set_valued_head t ->
+    Format.fprintf ppf
+      "rule head %a is set valued; set-valued references are forbidden in \
+       rule heads"
+      Pretty.pp_reference t
+  | Unsafe_head_variable v ->
+    Format.fprintf ppf
+      "head variable %s is not bound by any positive body literal" v
+  | Unsafe_negated_variable v ->
+    Format.fprintf ppf
+      "variable %s occurs only under 'not' and is never bound positively" v
+
+let require_scalar t =
+  if Scalarity.is_set_valued t then
+    raise (Ill_formed (Set_valued_at_scalar_position t))
+
+(* Definition 3, applied recursively; signature arrows are rejected unless
+   [sig_ok] (outermost filter of a top-level fact). *)
+let rec check ?(sig_ok = false) t =
+  match t with
+  | Name _ | Int_lit _ | Str_lit _ | Var _ -> ()
+  | Paren t' -> check t'
+  | Path { p_recv; p_meth; p_args; _ } ->
+    check p_recv;
+    check p_meth;
+    List.iter check p_args
+  | Isa { recv; cls } ->
+    check recv;
+    check cls;
+    require_scalar cls
+  | Filter { f_recv; f_meth; f_args; f_rhs } ->
+    check f_recv;
+    check f_meth;
+    require_scalar f_meth;
+    List.iter
+      (fun a ->
+        check a;
+        require_scalar a)
+      f_args;
+    (match f_rhs with
+    | Rscalar r ->
+      check r;
+      require_scalar r
+    | Rset_ref r ->
+      check r;
+      if Scalarity.is_scalar r then
+        raise (Ill_formed (Scalar_at_set_position r))
+    | Rset_enum rs ->
+      List.iter
+        (fun r ->
+          check r;
+          require_scalar r)
+        rs
+    | Rsig_scalar r | Rsig_set r ->
+      if not sig_ok then raise (Ill_formed (Signature_in_formula t));
+      check r;
+      require_scalar r)
+
+let check_reference t =
+  match check t with () -> Ok () | exception Ill_formed e -> Error e
+
+let check_literal = function
+  | Pos t | Neg t -> check t
+
+(* Variables bound by the positive body part. Every variable occurring in a
+   positive literal is bound: the solver enumerates candidates for any
+   position from the store's indexes (including, in the worst case, the
+   whole universe). Safety in the Datalog sense thus only requires head
+   variables and negated variables to occur positively. *)
+let positive_vars body =
+  List.concat_map
+    (function Pos t -> vars_of_reference t | Neg _ -> [])
+    body
+
+let has_anonymous t =
+  fold_reference
+    (fun acc sub -> acc || (match sub with Var "_" -> true | _ -> false))
+    false t
+
+let check_rule_exn { head; body } =
+  check ~sig_ok:(body = []) head;
+  if has_anonymous head then raise (Ill_formed Anonymous_variable_in_head);
+  List.iter
+    (function
+      | Pos _ -> ()
+      | Neg t ->
+        if has_anonymous t then
+          raise (Ill_formed Anonymous_variable_in_negation))
+    body;
+  if Scalarity.is_set_valued head then raise (Ill_formed (Set_valued_head head));
+  List.iter check_literal body;
+  let bound = positive_vars body in
+  List.iter
+    (fun v ->
+      if not (List.mem v bound) then
+        raise (Ill_formed (Unsafe_head_variable v)))
+    (vars_of_reference head);
+  List.iter
+    (function
+      | Pos _ -> ()
+      | Neg t ->
+        List.iter
+          (fun v ->
+            if not (List.mem v bound) then
+              raise (Ill_formed (Unsafe_negated_variable v)))
+          (vars_of_reference t))
+    body
+
+let check_rule r =
+  match check_rule_exn r with
+  | () -> Ok ()
+  | exception Ill_formed e -> Error e
+
+let check_query lits =
+  match
+    List.iter check_literal lits;
+    List.iter
+      (function
+        | Pos _ -> ()
+        | Neg t ->
+          if has_anonymous t then
+            raise (Ill_formed Anonymous_variable_in_negation))
+      lits;
+    let bound = positive_vars lits in
+    List.iter
+      (function
+        | Pos _ -> ()
+        | Neg t ->
+          List.iter
+            (fun v ->
+              if not (List.mem v bound) then
+                raise (Ill_formed (Unsafe_negated_variable v)))
+            (vars_of_reference t))
+      lits
+  with
+  | () -> Ok ()
+  | exception Ill_formed e -> Error e
+
+let signature_of_statement = function
+  | Rule
+      {
+        head =
+          Filter { f_recv; f_meth; f_args; f_rhs = Rsig_scalar result };
+        body = [];
+      } ->
+    Some (f_recv, f_meth, f_args, result, Scalarity.Scalar)
+  | Rule
+      { head = Filter { f_recv; f_meth; f_args; f_rhs = Rsig_set result };
+        body = [];
+      } ->
+    Some (f_recv, f_meth, f_args, result, Scalarity.Set_valued)
+  | Rule _ | Query _ -> None

@@ -1,0 +1,53 @@
+(** Well-formedness — Definition 3 — plus the head and safety conditions of
+    section 6, and the scoping of signature declarations.
+
+    A reference is well-formed iff every sub-reference is and:
+    - in [t0\[m@(t1..tk) -> tr\]], the method, arguments and result are
+      scalar;
+    - in [t0\[m@(t1..tk) ->> s\]], the method and arguments are scalar and
+      [s] is a set-valued reference or an explicit set of scalar references;
+    - in [t0 : c], the class [c] is scalar.
+
+    Signature arrows ([=>], [=>>]) are only legal as the outermost filter of
+    a top-level fact (they are schema declarations, not formulas). *)
+
+type error =
+  | Anonymous_variable_in_head
+      (** [_] in a rule head (each occurrence is fresh, hence unbound) *)
+  | Anonymous_variable_in_negation
+      (** [_] under [not] (fresh, hence unbound) *)
+  | Set_valued_at_scalar_position of Ast.reference
+      (** a set-valued reference where Definition 3 requires a scalar one *)
+  | Scalar_at_set_position of Ast.reference
+      (** [m ->> s] with scalar, non-enumerated [s]: write [{s}] instead *)
+  | Signature_in_formula of Ast.reference
+      (** [=>]/[=>>] nested inside a formula *)
+  | Set_valued_head of Ast.reference
+      (** rule head is a set-valued reference (section 6 forbids this) *)
+  | Unsafe_head_variable of string
+      (** head variable not bound by any positive body literal *)
+  | Unsafe_negated_variable of string
+      (** variable occurring only under [not] *)
+
+exception Ill_formed of error
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Check Definition 3 on one reference. *)
+val check_reference : Ast.reference -> (unit, error) result
+
+(** Check a rule: body references well-formed; head well-formed, scalar and
+    signature-free; range restriction (head variables bound positively;
+    negated variables bound positively). Facts are rules with empty
+    bodies — their "range restriction" is groundness of the head. *)
+val check_rule : Ast.rule -> (unit, error) result
+
+val check_query : Ast.literal list -> (unit, error) result
+
+(** [signature_of_statement stmt] extracts a schema declaration when [stmt]
+    is a fact of the shape [c\[m@(args) => r\]] or [c\[m@(args) =>> r\]]. *)
+val signature_of_statement :
+  Ast.statement ->
+  (Ast.reference * Ast.reference * Ast.reference list * Ast.reference
+  * Scalarity.t)
+  option

@@ -1,0 +1,1 @@
+lib/workload/company.ml: Array List Printf Random Syntax

@@ -1,0 +1,1 @@
+lib/workload/genealogy.ml: Array Hashtbl Int List Option Printf Random Set Syntax

@@ -1,0 +1,1 @@
+lib/workload/graph.mli: Syntax

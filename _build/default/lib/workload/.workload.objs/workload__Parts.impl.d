@@ -1,0 +1,1 @@
+lib/workload/parts.ml: Array Fun Hashtbl Int List Option Printf Random Set Syntax

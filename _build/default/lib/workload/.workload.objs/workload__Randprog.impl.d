@@ -1,0 +1,1 @@
+lib/workload/randprog.ml: Array List Printf Random String

@@ -1,0 +1,155 @@
+open Syntax.Build
+
+type config = {
+  seed : int;
+  employees : int;
+  managers : int;
+  companies : int;
+  cities : int;
+  departments : int;
+  max_vehicles : int;
+  automobile_fraction : float;
+}
+
+let default =
+  {
+    seed = 42;
+    employees = 100;
+    managers = 10;
+    companies = 5;
+    cities = 8;
+    departments = 6;
+    max_vehicles = 3;
+    automobile_fraction = 0.6;
+  }
+
+let scaled n =
+  {
+    default with
+    employees = n;
+    managers = max 1 (n / 10);
+    companies = max 1 (n / 20);
+    cities = max 2 (n / 12);
+    departments = max 1 (n / 15);
+  }
+
+let colors = [| "red"; "blue"; "green"; "black"; "white"; "silver" |]
+let cylinder_choices = [| 4; 6; 8 |]
+
+type gen = {
+  rng : Random.State.t;
+  mutable acc : Syntax.Ast.statement list;  (* reversed *)
+}
+
+let emit g s = g.acc <- s :: g.acc
+let pick g arr = arr.(Random.State.int g.rng (Array.length arr))
+let idx g n = Random.State.int g.rng (max 1 n)
+
+let employee_name i = Printf.sprintf "e%d" i
+let manager_name i = Printf.sprintf "m%d" i
+let vehicle_name i = Printf.sprintf "v%d" i
+let company_name i = Printf.sprintf "comp%d" i
+let city_name i = Printf.sprintf "city%d" i
+let street_name i = Printf.sprintf "street%d" i
+let department_name i = Printf.sprintf "dept%d" i
+
+(* Employees e0..: e0..managers-1 are also managers (their own names; the
+   class edge makes them employees too). *)
+let generate g cfg =
+  emit g (fact (obj "automobile" @: "vehicle"));
+  emit g (fact (obj "manager" @: "employee"));
+  let vehicle_count = ref 0 in
+  let automobile_count = ref 0 in
+  let person name cls =
+    let boss = manager_name (idx g cfg.managers) in
+    let head =
+      obj name @: cls
+      |-> ("age", int (20 + Random.State.int g.rng 45))
+      |-> ("city", obj (city_name (idx g cfg.cities)))
+      |-> ("street", obj (street_name (idx g (cfg.cities * 3))))
+      |-> ("worksFor", obj (department_name (idx g cfg.departments)))
+      |-> ("boss", obj boss)
+    in
+    emit g (fact head);
+    let n_vehicles = Random.State.int g.rng (cfg.max_vehicles + 1) in
+    let vehicles =
+      List.init n_vehicles (fun _ ->
+          let v = vehicle_name !vehicle_count in
+          incr vehicle_count;
+          let is_auto =
+            Random.State.float g.rng 1.0 < cfg.automobile_fraction
+          in
+          let base =
+            obj v
+            @: (if is_auto then "automobile" else "vehicle")
+            |-> ("color", obj (pick g colors))
+            |-> ("producedBy", obj (company_name (idx g cfg.companies)))
+          in
+          let base =
+            if is_auto then begin
+              incr automobile_count;
+              base |-> ("cylinders", int (pick g cylinder_choices))
+            end
+            else base
+          in
+          emit g (fact base);
+          obj v)
+    in
+    if vehicles <> [] then emit g (fact (obj name |->> ("vehicles", vehicles)))
+  in
+  for i = 1 to cfg.managers do
+    person (manager_name i) "manager"
+  done;
+  for i = 1 to cfg.employees - cfg.managers do
+    person (employee_name i) "employee"
+  done;
+  for i = 1 to cfg.companies do
+    emit g
+      (fact
+         (obj (company_name i)
+         @: "company"
+         |-> ("city", obj (city_name (idx g cfg.cities)))
+         |-> ("president", obj (manager_name (idx g cfg.managers)))))
+  done;
+  (* One deterministic witness for the section-2 manager query: m1 owns a
+     red automobile produced by a company located in city1 whose president
+     is m1 itself. *)
+  emit g
+    (fact
+       (obj "planted_car"
+       @: "automobile"
+       |-> ("color", obj "red")
+       |-> ("cylinders", int 4)
+       |-> ("producedBy", obj "planted_co")));
+  emit g (fact (obj (manager_name 1) |->> ("vehicles", [ obj "planted_car" ])));
+  emit g
+    (fact
+       (obj "planted_co"
+       @: "company"
+       |-> ("city", obj "city1")
+       |-> ("president", obj (manager_name 1))));
+  incr vehicle_count;
+  incr automobile_count;
+  (!vehicle_count, !automobile_count)
+
+let statements cfg =
+  let g = { rng = Random.State.make [| cfg.seed |]; acc = [] } in
+  ignore (generate g cfg);
+  List.rev g.acc
+
+type census = {
+  n_employees : int;
+  n_vehicles : int;
+  n_automobiles : int;
+  n_companies : int;
+}
+
+let census cfg =
+  let g = { rng = Random.State.make [| cfg.seed |]; acc = [] } in
+  let n_vehicles, n_automobiles = generate g cfg in
+  {
+    n_employees = cfg.employees;
+    n_vehicles;
+    n_automobiles;
+    n_companies = cfg.companies;
+  }

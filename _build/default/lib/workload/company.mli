@@ -1,0 +1,48 @@
+(** Deterministic generator for the paper's running domain: employees,
+    managers, vehicles, automobiles, companies and cities.
+
+    Shape (matching the examples of sections 1, 2 and 6):
+
+    - [automobile :: vehicle], [manager :: employee];
+    - every employee has [age], [city], [street], [boss] (a manager) and a
+      set [vehicles];
+    - a fraction of vehicles are automobiles with [cylinders] (4, 6 or 8)
+      and every vehicle has a [color] and [producedBy] (a company);
+    - every company has a [city] and a [president] (a manager);
+    - every employee [worksFor] a department.
+
+    The same seed always yields the same statements, so experiments are
+    reproducible. *)
+
+type config = {
+  seed : int;
+  employees : int;
+  managers : int;  (** also employees; bosses and presidents come from here *)
+  companies : int;
+  cities : int;
+  departments : int;
+  max_vehicles : int;  (** per employee, uniform in [0..max] *)
+  automobile_fraction : float;  (** of vehicles *)
+}
+
+val default : config
+(** 100 employees, 10 managers, 5 companies, 8 cities, 6 departments, up to
+    3 vehicles each, 60% automobiles, seed 42. *)
+
+(** [scaled n] is [default] with [n] employees and the other sizes scaled
+    proportionally (at least 1 each). *)
+val scaled : int -> config
+
+(** The facts, as statements ready for [Engine.Program.create]. *)
+val statements : config -> Syntax.Ast.statement list
+
+(** Number of vehicles / automobiles the generated database contains
+    (diagnostics for experiment tables). *)
+type census = {
+  n_employees : int;
+  n_vehicles : int;
+  n_automobiles : int;
+  n_companies : int;
+}
+
+val census : config -> census

@@ -1,0 +1,103 @@
+open Syntax.Build
+
+type shape =
+  | Chain of int
+  | Binary_tree of int
+  | Random_forest of { people : int; max_kids : int; seed : int }
+
+let person i = Printf.sprintf "p%d" i
+
+(* kid edges as (parent index, child index) pairs *)
+let edges = function
+  | Chain n -> List.init n (fun i -> (i, i + 1))
+  | Binary_tree depth ->
+    (* nodes 0 .. 2^(depth+1)-2, node i has kids 2i+1, 2i+2 *)
+    let n_internal = (1 lsl depth) - 1 in
+    List.concat
+      (List.init n_internal (fun i -> [ (i, (2 * i) + 1); (i, (2 * i) + 2) ]))
+  | Random_forest { people; max_kids; seed } ->
+    let rng = Random.State.make [| seed |] in
+    List.concat
+      (List.init people (fun i ->
+           if i >= people - 1 then []
+           else
+             let n = Random.State.int rng (max_kids + 1) in
+             List.init n (fun _ ->
+                 (i, i + 1 + Random.State.int rng (people - 1 - i)))))
+    |> List.sort_uniq compare
+
+let size = function
+  | Chain n -> n + 1
+  | Binary_tree depth -> (1 lsl (depth + 1)) - 1
+  | Random_forest { people; _ } -> people
+
+let statements shape =
+  let by_parent = Hashtbl.create 64 in
+  List.iter
+    (fun (p, k) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_parent p) in
+      Hashtbl.replace by_parent p (k :: cur))
+    (edges shape);
+  Hashtbl.fold
+    (fun p kids acc ->
+      fact
+        (obj (person p)
+        |->> ("kids", List.map (fun k -> obj (person k)) (List.rev kids)))
+      :: acc)
+    by_parent []
+  |> List.sort compare
+
+let desc_rules =
+  let x = var "X" and y = var "Y" in
+  [
+    rule (x |->> ("desc", [ y ])) [ pos (x |->> ("kids", [ y ])) ];
+    rule
+      (x |->> ("desc", [ y ]))
+      [ pos (dotdot x "desc" |->> ("kids", [ y ])) ];
+  ]
+
+let generic_tc_rules =
+  let x = var "X" and y = var "Y" and m = var "M" in
+  let m_tc = paren (dot m "tc") in
+  let filter_set recv rhs =
+    Syntax.Ast.Filter
+      { f_recv = recv; f_meth = m_tc; f_args = []; f_rhs = Rset_enum [ rhs ] }
+  in
+  let body_filter recv =
+    Syntax.Ast.Filter
+      { f_recv = recv; f_meth = m; f_args = []; f_rhs = Rset_enum [ y ] }
+  in
+  [
+    rule (filter_set x y) [ pos (body_filter x) ];
+    rule (filter_set x y) [ pos (body_filter (dotdot_ref x m_tc)) ];
+  ]
+
+let paper_example =
+  [
+    fact (obj "peter" |->> ("kids", [ obj "tim"; obj "mary" ]));
+    fact (obj "tim" |->> ("kids", [ obj "sally" ]));
+    fact (obj "mary" |->> ("kids", [ obj "tom"; obj "paul" ]));
+  ]
+
+let closure shape =
+  let es = edges shape in
+  let n = size shape in
+  let kids = Array.make n [] in
+  List.iter (fun (p, k) -> kids.(p) <- k :: kids.(p)) es;
+  let memo = Array.make n None in
+  let module Iset = Set.Make (Int) in
+  let rec desc i =
+    match memo.(i) with
+    | Some s -> s
+    | None ->
+      memo.(i) <- Some Iset.empty;
+      (* edges are acyclic by construction *)
+      let s =
+        List.fold_left
+          (fun acc k -> Iset.add k (Iset.union acc (desc k)))
+          Iset.empty kids.(i)
+      in
+      memo.(i) <- Some s;
+      s
+  in
+  List.init n (fun i -> (i, Iset.elements (desc i)))

@@ -1,0 +1,31 @@
+(** Kid/descendant workloads for the transitive-closure experiments of
+    section 6 (program 6.4 and the generic [tc]). *)
+
+type shape =
+  | Chain of int  (** [p0\[kids ->> {p1}\]], ..., depth [n] *)
+  | Binary_tree of int  (** complete binary tree of given depth *)
+  | Random_forest of { people : int; max_kids : int; seed : int }
+      (** acyclic: person [i]'s kids are drawn among persons [> i] *)
+
+(** The [kids] facts for a shape. Person names are [p0], [p1], ... *)
+val statements : shape -> Syntax.Ast.statement list
+
+(** The rules of program (6.4): [desc] as the transitive closure of
+    [kids]. *)
+val desc_rules : Syntax.Ast.statement list
+
+(** The generic transitive-closure rules using the higher-order method
+    [tc] (section 6). *)
+val generic_tc_rules : Syntax.Ast.statement list
+
+(** The paper's literal example: peter, tim, mary, sally, tom, paul. *)
+val paper_example : Syntax.Ast.statement list
+
+(** Number of people a shape generates. *)
+val size : shape -> int
+
+(** Reference transitive closure computed directly on the generated edges
+    (no PathLog involved): [closure shape] maps person index [i] to the
+    sorted list of descendant indexes. Ground truth for tests and
+    experiment checks. *)
+val closure : shape -> (int * int list) list

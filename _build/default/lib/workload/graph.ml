@@ -1,0 +1,21 @@
+open Syntax.Build
+
+let scalar_chain ~name ~length =
+  List.init length (fun i ->
+      fact
+        (obj (Printf.sprintf "%s%d" name i)
+        |-> ("next", obj (Printf.sprintf "%s%d" name (i + 1)))))
+
+let dag_node layer pos = Printf.sprintf "node_%d_%d" layer pos
+
+let layered_dag ~layers ~width ~fanout ~seed =
+  let rng = Random.State.make [| seed |] in
+  List.concat
+    (List.init (layers - 1) (fun l ->
+         List.init width (fun p ->
+             let targets =
+               List.init fanout (fun _ ->
+                   obj (dag_node (l + 1) (Random.State.int rng width)))
+               |> List.sort_uniq compare
+             in
+             fact (obj (dag_node l p) |->> ("to", targets)))))

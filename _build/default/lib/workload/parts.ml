@@ -1,0 +1,98 @@
+open Syntax.Build
+
+type config = {
+  seed : int;
+  parts : int;
+  max_subparts : int;
+  depth_layers : int;
+}
+
+let default = { seed = 17; parts = 120; max_subparts = 4; depth_layers = 6 }
+
+let part i = Printf.sprintf "part%d" i
+
+(* Edges (parent, child, qty): part i may use parts from strictly deeper
+   layers, which keeps the DAG acyclic. *)
+let edges cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let layer_of i = i * cfg.depth_layers / max 1 cfg.parts in
+  List.concat
+    (List.init cfg.parts (fun i ->
+         let deeper =
+           List.filter
+             (fun j -> layer_of j > layer_of i)
+             (List.init cfg.parts Fun.id)
+         in
+         if deeper = [] then []
+         else
+           let n = Random.State.int rng (cfg.max_subparts + 1) in
+           List.init n (fun _ ->
+               let j = List.nth deeper (Random.State.int rng (List.length deeper)) in
+               (i, j, 1 + Random.State.int rng 9))
+           |> List.sort_uniq (fun (_, a, _) (_, b, _) -> compare a b)))
+
+let statements cfg =
+  let es = edges cfg in
+  let by_parent = Hashtbl.create 64 in
+  List.iter
+    (fun (p, c, _) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_parent p) in
+      Hashtbl.replace by_parent p (c :: cur))
+    es;
+  let parts =
+    List.init cfg.parts (fun i -> fact (obj (part i) @: "part"))
+  in
+  let subs =
+    Hashtbl.fold
+      (fun p cs acc ->
+        fact
+          (obj (part p)
+          |->> ("sub", List.map (fun c -> obj (part c)) (List.rev cs)))
+        :: acc)
+      by_parent []
+    |> List.sort compare
+  in
+  let qtys =
+    List.map
+      (fun (p, c, q) ->
+        fact
+          (Syntax.Ast.Filter
+             {
+               f_recv = obj (part p);
+               f_meth = Name "qty";
+               f_args = [ obj (part c) ];
+               f_rhs = Rscalar (int q);
+             }))
+      es
+  in
+  parts @ subs @ qtys
+
+let contains_rules =
+  let x = var "X" and y = var "Y" in
+  [
+    rule (x |->> ("contains", [ y ])) [ pos (x |->> ("sub", [ y ])) ];
+    rule
+      (x |->> ("contains", [ y ]))
+      [ pos (dotdot x "contains" |->> ("sub", [ y ])) ];
+  ]
+
+let closure cfg =
+  let es = edges cfg in
+  let succs = Array.make cfg.parts [] in
+  List.iter (fun (p, c, _) -> succs.(p) <- c :: succs.(p)) es;
+  let module Iset = Set.Make (Int) in
+  let memo = Array.make cfg.parts None in
+  let rec down i =
+    match memo.(i) with
+    | Some s -> s
+    | None ->
+      memo.(i) <- Some Iset.empty;
+      let s =
+        List.fold_left
+          (fun acc c -> Iset.add c (Iset.union acc (down c)))
+          Iset.empty succs.(i)
+      in
+      memo.(i) <- Some s;
+      s
+  in
+  List.init cfg.parts (fun i -> (i, Iset.elements (down i)))

@@ -1,0 +1,31 @@
+(** Bill-of-materials (parts explosion) workload — the classic recursive
+    aggregate-free benchmark for deductive engines, here exercising
+    set-valued links and method {e arguments} ([uses@(Sub) -> Qty]).
+
+    A BOM is a DAG of assemblies: each part uses a set of sub-parts, each
+    with a per-edge quantity stored as an argument method. The closure
+    program derives [contains] — which parts (transitively) contain
+    which. *)
+
+type config = {
+  seed : int;
+  parts : int;
+  max_subparts : int;  (** per assembly *)
+  depth_layers : int;  (** parts are layered to keep the DAG acyclic *)
+}
+
+val default : config
+
+(** Facts: [p7 : part.], [p7\[sub ->> {p12, p15}\].],
+    [p7\[qty@(p12) -> 3\].] ... *)
+val statements : config -> Syntax.Ast.statement list
+
+(** The closure rules: [contains] as the transitive closure of [sub]. *)
+val contains_rules : Syntax.Ast.statement list
+
+(** Part name of index [i]. *)
+val part : int -> string
+
+(** Reference closure on the generated DAG (oracle): part index to the
+    sorted list of indexes it transitively contains. *)
+val closure : config -> (int * int list) list

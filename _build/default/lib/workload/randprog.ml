@@ -1,0 +1,42 @@
+type config = {
+  seed : int;
+  facts : int;
+  rules : int;
+}
+
+let default = { seed = 1; facts = 8; rules = 3 }
+
+let objs = [| "o1"; "o2"; "o3"; "o4"; "o5"; "o6" |]
+let classes = [| "ca"; "cb" |]
+let smeths = [| "f"; "g" |]
+let mmeths = [| "r"; "s"; "t" |]
+
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let gen_fact rng =
+  match Random.State.int rng 4 with
+  | 0 | 1 ->
+    Printf.sprintf "%s[%s ->> {%s}]." (pick rng objs) (pick rng mmeths)
+      (pick rng objs)
+  | 2 ->
+    Printf.sprintf "%s[%s -> %s]." (pick rng objs) (pick rng smeths)
+      (pick rng objs)
+  | _ -> Printf.sprintf "%s : %s." (pick rng objs) (pick rng classes)
+
+let gen_rule rng =
+  let head = pick rng mmeths in
+  let first = Printf.sprintf "X[%s ->> {Y}]" (pick rng mmeths) in
+  let extra =
+    match Random.State.int rng 3 with
+    | 0 -> [ Printf.sprintf "X[%s ->> {Y}]" (pick rng mmeths) ]
+    | 1 -> [ Printf.sprintf "X : %s" (pick rng classes) ]
+    | _ -> []
+  in
+  Printf.sprintf "X[%s ->> {Y}] <- %s." head
+    (String.concat ", " (first :: extra))
+
+let generate cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let facts = List.init cfg.facts (fun _ -> gen_fact rng) in
+  let rules = List.init cfg.rules (fun _ -> gen_rule rng) in
+  String.concat "\n" (facts @ rules)

@@ -1,0 +1,19 @@
+(** Random safe, positive, flat rule programs over a small vocabulary —
+    the fuel for differential testing and the soak driver.
+
+    Programs combine membership/scalar/set facts with recursive set-valued
+    rules; every rule is range-restricted by construction. Scalar facts
+    can still conflict (two results for one application) and that is
+    intentional: consumers treat [Functional_conflict] as an expected
+    outcome, not a failure. *)
+
+type config = {
+  seed : int;
+  facts : int;
+  rules : int;
+}
+
+val default : config
+
+val generate : config -> string
+(** Deterministic in [seed]. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Format List Pathlog Printf QCheck QCheck_alcotest String Syntax

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Format Helpers List Pathlog Printf QCheck

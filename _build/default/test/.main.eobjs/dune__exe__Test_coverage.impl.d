@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Helpers List Pathlog String Syntax

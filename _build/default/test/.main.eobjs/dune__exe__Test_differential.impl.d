@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Format Helpers List Pathlog Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Format Helpers List Pathlog Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Format Helpers List Pathlog QCheck String Syntax

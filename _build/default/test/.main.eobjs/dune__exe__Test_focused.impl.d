@@ -1,0 +1,1 @@
+test/test_focused.ml: Alcotest Helpers List Pathlog QCheck

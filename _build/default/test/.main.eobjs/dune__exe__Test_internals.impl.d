@@ -1,0 +1,1 @@
+test/test_internals.ml: Alcotest Format Helpers List Pathlog Syntax

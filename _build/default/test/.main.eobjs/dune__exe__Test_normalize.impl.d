@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Helpers Pathlog QCheck Syntax

@@ -1,0 +1,1 @@
+test/test_oodb.ml: Alcotest Format Fun Helpers List Oodb Pathlog QCheck

@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Fun Helpers List Pathlog Sys

@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Format Helpers List Oodb Pathlog QCheck

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Helpers List Pathlog QCheck Syntax

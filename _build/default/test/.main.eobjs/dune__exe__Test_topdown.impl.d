@@ -1,0 +1,1 @@
+test/test_topdown.ml: Alcotest Helpers List Pathlog Printf QCheck

@@ -1,0 +1,156 @@
+(* Shared helpers and QCheck generators for the PathLog test suite. *)
+
+let check = Alcotest.check
+let string_list = Alcotest.(list string)
+let sorted_rows rows = List.sort_uniq compare rows
+
+(* Load a program, evaluate, return it. *)
+let load = Pathlog.load
+
+(* Answers to a query, each row joined with ", ", sorted + deduplicated. *)
+let answers p q =
+  sorted_rows (List.map (String.concat ", ") (Pathlog.answers p q))
+
+let check_answers msg p q expected =
+  check string_list msg (List.sort_uniq compare expected) (answers p q)
+
+let check_holds msg p q = Alcotest.(check bool) msg true (Pathlog.holds p q)
+
+let check_fails msg p q = Alcotest.(check bool) msg false (Pathlog.holds p q)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* naive substring test, sufficient for assertions on printed output *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Random well-formed references.
+
+   Generates names/vars/paths/filters/isa with scalar positions kept
+   scalar, so every generated reference passes Definition 3. *)
+
+let gen_name =
+  QCheck.Gen.oneofl
+    [ "a"; "b"; "c"; "kids"; "boss"; "color"; "age"; "city"; "emp"; "veh" ]
+
+let gen_var = QCheck.Gen.oneofl [ "X"; "Y"; "Z"; "W" ]
+
+let gen_reference ~allow_vars : Syntax.Ast.reference QCheck.Gen.t =
+  let open QCheck.Gen in
+  let base =
+    if allow_vars then
+      oneof
+        [
+          map (fun n -> Syntax.Ast.Name n) gen_name;
+          map (fun v -> Syntax.Ast.Var v) gen_var;
+          map (fun n -> Syntax.Ast.Int_lit n) (int_range 0 20);
+        ]
+    else
+      oneof
+        [
+          map (fun n -> Syntax.Ast.Name n) gen_name;
+          map (fun n -> Syntax.Ast.Int_lit n) (int_range 0 20);
+        ]
+  in
+  (* scalar references only (set-valued ones are restricted by Definition 3;
+     keeping everything scalar keeps generation simple and valid) *)
+  let rec scalar n =
+    if n <= 0 then base
+    else
+      frequency
+        [
+          (2, base);
+          ( 2,
+            map2
+              (fun r m ->
+                Syntax.Ast.Path
+                  { p_recv = r; p_sep = Dot; p_meth = Name m; p_args = [] })
+              (scalar (n - 1)) gen_name );
+          ( 2,
+            map3
+              (fun r m rhs ->
+                Syntax.Ast.Filter
+                  {
+                    f_recv = r;
+                    f_meth = Name m;
+                    f_args = [];
+                    f_rhs = Rscalar rhs;
+                  })
+              (scalar (n - 1)) gen_name (scalar (n - 1)) );
+          ( 1,
+            map2
+              (fun r c -> Syntax.Ast.Isa { recv = r; cls = Name c })
+              (scalar (n - 1)) gen_name );
+          ( 1,
+            map2
+              (fun r elems ->
+                Syntax.Ast.Filter
+                  {
+                    f_recv = r;
+                    f_meth = Name "kids";
+                    f_args = [];
+                    f_rhs = Rset_enum elems;
+                  })
+              (scalar (n - 1))
+              (list_size (int_range 1 2) (scalar (n - 2))) );
+          (1, map (fun r -> Syntax.Ast.Paren r) (scalar (n - 1)));
+        ]
+  in
+  scalar 3
+
+let arbitrary_reference ~allow_vars =
+  QCheck.make
+    ~print:(fun r -> Syntax.Pretty.reference_to_string r)
+    (gen_reference ~allow_vars)
+
+(* ------------------------------------------------------------------ *)
+(* Random small fact bases over a fixed vocabulary, as program text. *)
+
+let gen_fact_base : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let objs = [ "o1"; "o2"; "o3"; "o4"; "o5" ] in
+  let classes = [ "ca"; "cb"; "cc" ] in
+  let smeths = [ "boss"; "color"; "age" ] in
+  let mmeths = [ "kids"; "friends" ] in
+  let gen_stmt =
+    frequency
+      [
+        ( 3,
+          map3
+            (fun m o r -> Printf.sprintf "%s[%s -> %s]." o m r)
+            (oneofl smeths) (oneofl objs) (oneofl objs) );
+        ( 3,
+          map3
+            (fun m o r -> Printf.sprintf "%s[%s ->> {%s}]." o m r)
+            (oneofl mmeths) (oneofl objs) (oneofl objs) );
+        ( 2,
+          map2 (fun o c -> Printf.sprintf "%s : %s." o c) (oneofl objs)
+            (oneofl classes) );
+        ( 1,
+          map2
+            (fun c1 c2 -> Printf.sprintf "%s :: %s." c1 c2)
+            (oneofl classes) (oneofl classes) );
+      ]
+  in
+  map (String.concat "\n") (list_size (int_range 3 15) gen_stmt)
+
+(* Scalar facts can conflict (same method, same receiver, two results) and
+   class edges can form cycles; loading such a base raises. Generators
+   filter those out by attempting the load. *)
+let gen_loadable_base : Pathlog.program QCheck.Gen.t =
+  let rec try_gen n st =
+    let text = gen_fact_base st in
+    match Pathlog.load text with
+    | p -> p
+    | exception _ -> if n <= 0 then Pathlog.load "" else try_gen (n - 1) st
+  in
+  fun st -> try_gen 10 st
+
+let arbitrary_loadable_base =
+  QCheck.make
+    ~print:(fun p ->
+      Format.asprintf "%a" Pathlog.Store.pp (Pathlog.Program.store p))
+    gen_loadable_base

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "pathlog"
+    [
+      ("oodb", Test_oodb.suite);
+      ("syntax", Test_syntax.suite);
+      ("semantics", Test_semantics.suite);
+      ("engine", Test_engine.suite);
+      ("baseline", Test_baseline.suite);
+      ("paper", Test_paper.suite);
+      ("extensions", Test_extensions.suite);
+      ("provenance", Test_provenance.suite);
+      ("focused", Test_focused.suite);
+      ("topdown", Test_topdown.suite);
+      ("more", Test_more.suite);
+      ("programs", Test_programs.suite);
+      ("cli", Test_cli.suite);
+      ("internals", Test_internals.suite);
+      ("differential", Test_differential.suite);
+      ("normalize", Test_normalize.suite);
+      ("coverage", Test_coverage.suite);
+    ]

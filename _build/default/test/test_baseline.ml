@@ -1,0 +1,236 @@
+(* Baseline languages (O2SQL, XSQL), the 2-D -> 1-D translation, and the
+   workload generators. *)
+
+open Helpers
+module O2sql = Pathlog.O2sql
+module Xsql = Pathlog.Xsql
+module Translate = Pathlog.Translate
+module Program = Pathlog.Program
+
+let company_program ?(n = 40) () =
+  let p = Program.create (Pathlog.Company.statements (Pathlog.Company.scaled n)) in
+  ignore (Program.run p);
+  p
+
+(* paper query 1.1 *)
+let q11 =
+  {
+    O2sql.select = [ "Z" ];
+    ranges =
+      [
+        In_class ("X", "employee");
+        In_path ("Y", { root = "X"; steps = [ "vehicles" ] });
+      ];
+    conds =
+      [
+        Member ("Y", "automobile");
+        Eq ({ root = "Y"; steps = [ "color" ] }, Pvar "Z");
+      ];
+  }
+
+(* paper query 1.4 *)
+let q14 =
+  {
+    Xsql.select = [ "Z" ];
+    ranges = [ ("employee", "X"); ("automobile", "Y") ];
+    paths =
+      [
+        {
+          root = Rvar "X";
+          steps =
+            [
+              { meth = "vehicles"; selector = Some (Svar "Y") };
+              { meth = "color"; selector = Some (Svar "Z") };
+            ];
+        };
+        {
+          root = Rvar "Y";
+          steps = [ { meth = "cylinders"; selector = Some (Sint 4) } ];
+        };
+      ];
+  }
+
+let pathlog_colors p reference =
+  let a = Program.query_string p reference in
+  (* project the Z column *)
+  let zi =
+    match List.mapi (fun i c -> (c, i)) a.columns with
+    | l -> List.assoc "Z" l
+  in
+  sorted_rows (List.map (fun row -> [ List.nth row zi ]) a.rows)
+
+let test_o2sql_vs_pathlog () =
+  let p = company_program () in
+  let store = Program.store p in
+  let o2 = sorted_rows (O2sql.eval store q11) in
+  let pl = pathlog_colors p "X : employee..vehicles : automobile.color[Z]" in
+  Alcotest.(check (list (list int))) "1.1: O2SQL = PathLog" pl o2
+
+let test_o2sql_translation () =
+  let p = company_program () in
+  let store = Program.store p in
+  let lits = O2sql.to_pathlog q11 in
+  let q = Pathlog.Flatten.literals store lits in
+  let via_translation =
+    sorted_rows
+      (List.map
+         (fun row -> [ List.nth row 2 ])
+         (Pathlog.Solve.named_solutions store q))
+  in
+  Alcotest.(check (list (list int)))
+    "translated query agrees" via_translation
+    (sorted_rows (O2sql.eval store q11))
+
+let test_xsql_vs_pathlog () =
+  let p = company_program () in
+  let store = Program.store p in
+  let xs = sorted_rows (Xsql.eval store q14) in
+  let pl =
+    pathlog_colors p
+      "X : employee..vehicles : automobile[cylinders -> 4].color[Z]"
+  in
+  Alcotest.(check (list (list int))) "1.4 = 2.1" pl xs
+
+let test_xsql_pp () =
+  let text = Format.asprintf "%a" Xsql.pp q14 in
+  Alcotest.(check bool) "mentions selector" true (contains ~sub:"[Y]" text);
+  Alcotest.(check bool) "mentions ranges" true (contains ~sub:"employee X" text)
+
+let test_o2sql_pp () =
+  let text = Format.asprintf "%a" O2sql.pp q11 in
+  Alcotest.(check bool) "select" true (contains ~sub:"SELECT Z" text);
+  Alcotest.(check bool) "in-path range" true (contains ~sub:"X.vehicles" text)
+
+let test_translation_text_and_count () =
+  let p = company_program ~n:10 () in
+  let store = Program.store p in
+  let r =
+    Pathlog.Parser.reference
+      "X : employee..vehicles : automobile[cylinders -> 4].color[Z]"
+  in
+  Alcotest.(check int) "six conjuncts" 6 (Translate.conjunct_count store r);
+  let text = Translate.to_xsql_text store ~select:[ "Z" ] r in
+  Alcotest.(check bool) "mentions employee" true (contains ~sub:"IN employee" text);
+  Alcotest.(check bool) "mentions cylinders" true (contains ~sub:"cylinders" text)
+
+let test_conjunct_count_nested () =
+  let p = load "x[m -> y]." in
+  let store = Program.store p in
+  let count src =
+    Translate.conjunct_count store (Pathlog.Parser.reference src)
+  in
+  Alcotest.(check int) "plain name" 0 (count "x");
+  Alcotest.(check int) "subset counts inner" 2
+    (count "p2[friends ->> p1..assistants]")
+
+(* differential: O2SQL evaluated natively = its PathLog translation, on
+   random company databases *)
+let o2sql_matches_translation =
+  QCheck.Test.make ~name:"O2SQL native = PathLog translation" ~count:10
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let cfg = { (Pathlog.Company.scaled 25) with seed } in
+      let p = Program.create (Pathlog.Company.statements cfg) in
+      ignore (Program.run p);
+      let store = Program.store p in
+      let native = sorted_rows (O2sql.eval store q11) in
+      let q = Pathlog.Flatten.literals store (O2sql.to_pathlog q11) in
+      let translated =
+        sorted_rows
+          (List.map
+             (fun row -> [ List.nth row 2 ])
+             (Pathlog.Solve.named_solutions store q))
+      in
+      native = translated)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads *)
+
+let test_company_deterministic () =
+  let a = Pathlog.Company.statements Pathlog.Company.default in
+  let b = Pathlog.Company.statements Pathlog.Company.default in
+  Alcotest.(check bool) "same statements" true (a = b);
+  let c =
+    Pathlog.Company.statements { Pathlog.Company.default with seed = 43 }
+  in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_company_census () =
+  let cfg = Pathlog.Company.scaled 50 in
+  let census = Pathlog.Company.census cfg in
+  Alcotest.(check int) "employees" 50 census.n_employees;
+  Alcotest.(check bool) "vehicles exist" true (census.n_vehicles > 0);
+  Alcotest.(check bool)
+    "automobiles are a subset" true
+    (census.n_automobiles <= census.n_vehicles);
+  (* census matches the loaded store *)
+  let p = Program.create (Pathlog.Company.statements cfg) in
+  ignore (Program.run p);
+  let members cls =
+    List.length (answers p (Printf.sprintf "X : %s" cls))
+  in
+  Alcotest.(check int) "vehicles in store" census.n_vehicles
+    (members "vehicle" - 1)
+  (* minus the class object [automobile], which is a member of vehicle *)
+
+let test_company_planted_witness () =
+  let p = company_program () in
+  check_answers "manager query has its witness" p
+    "X : manager..vehicles[color -> red].producedBy[city -> city1; \
+     president -> X]"
+    [ "m1" ]
+
+let test_genealogy_shapes () =
+  Alcotest.(check int) "chain size" 11
+    (Pathlog.Genealogy.size (Chain 10));
+  Alcotest.(check int) "tree size" 15
+    (Pathlog.Genealogy.size (Binary_tree 3));
+  let closure = Pathlog.Genealogy.closure (Chain 3) in
+  Alcotest.(check (list (list int)))
+    "chain closure"
+    [ [ 1; 2; 3 ]; [ 2; 3 ]; [ 3 ]; [] ]
+    (List.map snd closure)
+
+let test_genealogy_tree_closure () =
+  let closure = Pathlog.Genealogy.closure (Binary_tree 2) in
+  (* root of a depth-2 tree has all other 6 nodes as descendants *)
+  Alcotest.(check (list int)) "root descendants" [ 1; 2; 3; 4; 5; 6 ]
+    (List.assoc 0 closure)
+
+let test_graph_chain () =
+  let stmts = Pathlog.Graph.scalar_chain ~name:"n" ~length:5 in
+  let p = Program.create stmts in
+  ignore (Program.run p);
+  check_answers "navigate chain" p "n0.next.next.next[X]" [ "n3" ]
+
+let test_graph_dag () =
+  let stmts = Pathlog.Graph.layered_dag ~layers:3 ~width:4 ~fanout:2 ~seed:5 in
+  let p = Program.create stmts in
+  ignore (Program.run p);
+  Alcotest.(check bool) "dag navigable" true
+    (answers p "node_0_0..to..to[X]" <> [])
+
+let suite =
+  [
+    Alcotest.test_case "O2SQL vs PathLog (1.1)" `Quick test_o2sql_vs_pathlog;
+    Alcotest.test_case "O2SQL translation" `Quick test_o2sql_translation;
+    Alcotest.test_case "XSQL vs PathLog (1.4 = 2.1)" `Quick
+      test_xsql_vs_pathlog;
+    Alcotest.test_case "XSQL pp" `Quick test_xsql_pp;
+    Alcotest.test_case "O2SQL pp" `Quick test_o2sql_pp;
+    Alcotest.test_case "translation text and count" `Quick
+      test_translation_text_and_count;
+    Alcotest.test_case "conjunct count nested" `Quick
+      test_conjunct_count_nested;
+    qtest o2sql_matches_translation;
+    Alcotest.test_case "company deterministic" `Quick
+      test_company_deterministic;
+    Alcotest.test_case "company census" `Quick test_company_census;
+    Alcotest.test_case "company planted witness" `Quick
+      test_company_planted_witness;
+    Alcotest.test_case "genealogy shapes" `Quick test_genealogy_shapes;
+    Alcotest.test_case "genealogy tree closure" `Quick
+      test_genealogy_tree_closure;
+    Alcotest.test_case "graph chain" `Quick test_graph_chain;
+    Alcotest.test_case "graph dag" `Quick test_graph_dag;
+  ]

@@ -1,0 +1,187 @@
+(* End-to-end tests of the command-line driver: run the real binary on the
+   shipped programs and check its output and exit codes. *)
+
+let find_file candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> Alcotest.failf "not found: %s" (String.concat ", " candidates)
+
+let cli () =
+  find_file
+    [ "../bin/pathlog_cli.exe"; "_build/default/bin/pathlog_cli.exe" ]
+
+let plg name =
+  find_file
+    [ "../examples/programs/" ^ name;
+      "examples/programs/" ^ name;
+      "_build/default/examples/programs/" ^ name ]
+
+(* Run the CLI, return (exit code, combined output). *)
+let run_cli args =
+  let out = Filename.temp_file "pathlog_cli" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote (cli ()))
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in_noerr ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+let contains = Helpers.contains
+
+let test_run_genealogy () =
+  let code, out = run_cli [ "run"; plg "genealogy.plg"; "--stats" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "stats line" true (contains ~sub:"% strata" out);
+  Alcotest.(check bool) "embedded query answered" true
+    (contains ~sub:"(5 answers)" out);
+  Alcotest.(check bool) "sally in closure" true (contains ~sub:"sally" out)
+
+let test_run_query_flag () =
+  let code, out =
+    run_cli [ "run"; plg "genealogy.plg"; "-q"; "tim[desc ->> {X}]" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "answer" true (contains ~sub:"sally" out)
+
+let test_run_types_flag () =
+  let code, out = run_cli [ "run"; plg "university.plg"; "--types" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "types ok" true (contains ~sub:"types: ok" out)
+
+let test_run_dump () =
+  let code, out = run_cli [ "run"; plg "addresses.plg"; "--dump" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "dump has skolem fact" true
+    (contains ~sub:"alice.address[street -> mainSt]." out)
+
+let test_check_shows_strata () =
+  let code, out = run_cli [ "check"; plg "university.plg" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "strata header" true (contains ~sub:"2 strata" out);
+  Alcotest.(check bool) "stratum 1 rule shown" true
+    (contains ~sub:"stratum 1" out)
+
+let test_explain () =
+  let code, out =
+    run_cli [ "explain"; plg "genealogy.plg"; "-q"; "peter[desc ->> {X}]" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "plan step" true (contains ~sub:"1." out);
+  Alcotest.(check bool) "access path" true (contains ~sub:"lookup" out)
+
+let test_why () =
+  let code, out =
+    run_cli [ "why"; plg "genealogy.plg"; "-q"; "peter[desc ->> {sally}]" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "proof leaf" true
+    (contains ~sub:"tim[kids ->> {sally}]   (fact)" out)
+
+let test_error_exit_code () =
+  let bad = Filename.temp_file "bad" ".plg" in
+  let oc = open_out bad in
+  output_string oc "X[a -> 1] <- y.\n";
+  (* unsafe head var *)
+  close_out oc;
+  let code, out = run_cli [ "run"; bad ] in
+  Sys.remove bad;
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check bool) "error message" true (contains ~sub:"error:" out)
+
+let test_conflict_reported () =
+  let bad = Filename.temp_file "bad" ".plg" in
+  let oc = open_out bad in
+  output_string oc "x[m -> a]. x[m -> b].\n";
+  close_out oc;
+  let code, out = run_cli [ "run"; bad ] in
+  Sys.remove bad;
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check bool) "conflict message" true
+    (contains ~sub:"already yields" out)
+
+let suite =
+  [
+    Alcotest.test_case "run genealogy" `Quick test_run_genealogy;
+    Alcotest.test_case "run -q" `Quick test_run_query_flag;
+    Alcotest.test_case "run --types" `Quick test_run_types_flag;
+    Alcotest.test_case "run --dump" `Quick test_run_dump;
+    Alcotest.test_case "check strata" `Quick test_check_shows_strata;
+    Alcotest.test_case "explain" `Quick test_explain;
+    Alcotest.test_case "why proof" `Quick test_why;
+    Alcotest.test_case "error exit code" `Quick test_error_exit_code;
+    Alcotest.test_case "conflict reported" `Quick test_conflict_reported;
+  ]
+
+(* appended: the query subcommand strategies *)
+
+let test_query_strategies () =
+  List.iter
+    (fun strategy ->
+      let code, out =
+        run_cli
+          [ "query"; plg "genealogy.plg"; "-s"; strategy; "-q";
+            "tim[desc ->> {X}]" ]
+      in
+      Alcotest.(check int) (strategy ^ " exit") 0 code;
+      Alcotest.(check bool) (strategy ^ " answer") true
+        (contains ~sub:"sally" out))
+    [ "full"; "focused"; "topdown" ]
+
+let test_query_bad_strategy () =
+  let code, _ =
+    run_cli [ "query"; plg "genealogy.plg"; "-s"; "quantum"; "-q"; "x" ]
+  in
+  Alcotest.(check int) "exit 1" 1 code
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "query strategies" `Quick test_query_strategies;
+      Alcotest.test_case "query bad strategy" `Quick test_query_bad_strategy;
+    ]
+
+(* appended: fmt subcommand *)
+
+let test_fmt_roundtrip () =
+  let code, out = run_cli [ "fmt"; plg "university.plg" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  (* formatted output reparses to the same statements *)
+  let original =
+    Pathlog.Parser.program
+      (let ic = open_in_bin (plg "university.plg") in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
+  in
+  let reparsed = Pathlog.Parser.program out in
+  Alcotest.(check int) "same statement count" (List.length original)
+    (List.length reparsed);
+  Alcotest.(check bool) "same statements" true
+    (List.for_all2 Syntax.Ast.equal_statement original reparsed)
+
+let test_fmt_normalize_idempotent () =
+  let _, once = run_cli [ "fmt"; plg "company.plg"; "--normalize" ] in
+  let tmp = Filename.temp_file "fmt" ".plg" in
+  let oc = open_out tmp in
+  output_string oc once;
+  close_out oc;
+  let _, twice = run_cli [ "fmt"; tmp; "--normalize" ] in
+  Sys.remove tmp;
+  Alcotest.(check string) "fmt --normalize is idempotent" once twice
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "fmt roundtrip" `Quick test_fmt_roundtrip;
+      Alcotest.test_case "fmt normalize idempotent" `Quick
+        test_fmt_normalize_idempotent;
+    ]

@@ -1,0 +1,484 @@
+(* Extensions beyond the core deductive language: production rules
+   (section 2/7 orthogonality claim), the static type lint, model
+   persistence, incremental facts and plan explanation. *)
+
+open Helpers
+module Program = Pathlog.Program
+module Production = Pathlog.Production
+
+(* ------------------------------------------------------------------ *)
+(* Production rules *)
+
+let lits = Pathlog.Parser.literals
+let reference = Pathlog.Parser.reference
+
+let test_production_basic () =
+  let p = load "a : emp[sal -> 10]. b : emp[sal -> 20]." in
+  let store = Program.store p in
+  let eng =
+    Production.create store
+      [
+        {
+          p_name = "mark-rich";
+          condition = lits "X : emp[sal -> 20]";
+          actions = [ Assert (reference "X : rich") ];
+          priority = 0;
+        };
+      ]
+  in
+  let fired = Production.run eng in
+  Alcotest.(check int) "one firing" 1 fired;
+  check_answers "asserted" p "X : rich" [ "b" ]
+
+let test_production_refractoriness () =
+  (* the same instantiation never fires twice, even though its condition
+     stays true *)
+  let p = load "a : emp." in
+  let eng =
+    Production.create (Program.store p)
+      [
+        {
+          p_name = "noop";
+          condition = lits "X : emp";
+          actions = [ Assert (reference "X : seen") ];
+          priority = 0;
+        };
+      ]
+  in
+  Alcotest.(check int) "fires once" 1 (Production.run eng);
+  Alcotest.(check bool) "quiescent" false (Production.step eng)
+
+let test_production_priority () =
+  let p = load "t : trigger." in
+  let eng =
+    Production.create (Program.store p)
+      [
+        {
+          p_name = "low";
+          condition = lits "t : trigger";
+          actions = [ Message "low" ];
+          priority = 1;
+        };
+        {
+          p_name = "high";
+          condition = lits "t : trigger";
+          actions = [ Message "high" ];
+          priority = 5;
+        };
+      ]
+  in
+  ignore (Production.run eng);
+  let messages =
+    List.filter_map (fun (e : Production.event) -> e.e_message)
+      (Production.log eng)
+  in
+  Alcotest.(check (list string)) "priority order" [ "high"; "low" ] messages
+
+let test_production_chaining () =
+  (* firings enable further firings: forward chaining to quiescence *)
+  let p = load "n0[next -> n1]. n1[next -> n2]. n2[next -> n3]. n0 : reach." in
+  let eng =
+    Production.create (Program.store p)
+      [
+        {
+          p_name = "step";
+          condition = lits "X : reach, X[next -> Y]";
+          actions = [ Assert (reference "Y : reach") ];
+          priority = 0;
+        };
+      ]
+  in
+  ignore (Production.run eng);
+  check_answers "chained" p "X : reach" [ "n0"; "n1"; "n2"; "n3" ]
+
+let test_production_virtual_objects () =
+  (* the assert action creates virtual objects exactly like rule heads *)
+  let p = load "joe : person[city -> metropolis]." in
+  let eng =
+    Production.create (Program.store p)
+      [
+        {
+          p_name = "make-address";
+          condition = lits "X : person";
+          actions = [ Assert (reference "X.address[city -> X.city]") ];
+          priority = 0;
+        };
+      ]
+  in
+  ignore (Production.run eng);
+  check_answers "virtual via production" p "joe.address[city -> C]"
+    [ "metropolis" ]
+
+let test_production_message_bindings () =
+  let p = load "a : emp. b : emp." in
+  let eng =
+    Production.create (Program.store p)
+      [
+        {
+          p_name = "notify";
+          condition = lits "X : emp";
+          actions = [ Message "seen" ];
+          priority = 0;
+        };
+      ]
+  in
+  ignore (Production.run eng);
+  let with_bindings =
+    List.filter (fun (e : Production.event) -> e.e_message = Some "seen")
+      (Production.log eng)
+  in
+  Alcotest.(check int) "two notifications" 2 (List.length with_bindings);
+  List.iter
+    (fun (e : Production.event) ->
+      Alcotest.(check (list string)) "binds X" [ "X" ]
+        (List.map fst e.e_bindings))
+    with_bindings
+
+let test_production_rejects_bad_rules () =
+  let p = load "a : emp." in
+  let bad () =
+    Production.create (Program.store p)
+      [
+        {
+          p_name = "bad";
+          condition = lits "X : emp";
+          actions = [ Assert (reference "Y : rich") ];
+          (* Y unbound *)
+          priority = 0;
+        };
+      ]
+  in
+  match bad () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of unsafe production rule"
+
+let test_production_max_steps () =
+  let p = load "a : emp. b : emp. c : emp." in
+  let eng =
+    Production.create (Program.store p)
+      [
+        {
+          p_name = "r";
+          condition = lits "X : emp";
+          actions = [];
+          priority = 0;
+        };
+      ]
+  in
+  Alcotest.(check int) "bounded" 2 (Production.run ~max_steps:2 eng)
+
+(* the orthogonality claim: assert-only production rules reach the same
+   model as the deductive engine *)
+let production_equals_deductive =
+  QCheck.Test.make ~name:"production fixpoint = deductive minimal model"
+    ~count:15
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let facts =
+        Pathlog.Genealogy.statements
+          (Pathlog.Genealogy.Random_forest { people = 10; max_kids = 2; seed })
+      in
+      (* deductive *)
+      let p1 = Program.create (facts @ Pathlog.Genealogy.desc_rules) in
+      ignore (Program.run p1);
+      let deductive =
+        Format.asprintf "%a" Pathlog.Store.pp (Program.store p1)
+        |> String.split_on_char '\n'
+        |> List.sort_uniq compare
+      in
+      (* production: same two rules as assert actions *)
+      let p2 = Program.create facts in
+      ignore (Program.run p2);
+      let eng =
+        Production.create (Program.store p2)
+          [
+            {
+              p_name = "base";
+              condition = lits "X[kids ->> {Y}]";
+              actions = [ Assert (reference "X[desc ->> {Y}]") ];
+              priority = 0;
+            };
+            {
+              p_name = "step";
+              condition = lits "X..desc[kids ->> {Y}]";
+              actions = [ Assert (reference "X[desc ->> {Y}]") ];
+              priority = 0;
+            };
+          ]
+      in
+      ignore (Production.run eng);
+      let production =
+        Format.asprintf "%a" Pathlog.Store.pp (Program.store p2)
+        |> String.split_on_char '\n'
+        |> List.sort_uniq compare
+      in
+      deductive = production)
+
+(* ------------------------------------------------------------------ *)
+(* Static type lint *)
+
+let test_lint_flags_contradiction () =
+  let p =
+    Program.of_string
+      {|
+      employee[boss => employee].
+      d1 : dept.
+      X[boss -> Y] <- X : employee, Y : dept, X[managedBy -> Y].
+      |}
+  in
+  Alcotest.(check int) "one warning" 1 (List.length (Program.lint_types p))
+
+let test_lint_accepts_consistent () =
+  let p =
+    Program.of_string
+      {|
+      employee[boss => employee].
+      X[boss -> Y] <- X : employee, Y : employee, X[managedBy -> Y].
+      |}
+  in
+  Alcotest.(check int) "no warning" 0 (List.length (Program.lint_types p))
+
+let test_lint_uses_static_hierarchy () =
+  (* Y : manager and manager :: employee satisfies boss => employee *)
+  let p =
+    Program.of_string
+      {|
+      manager :: employee.
+      employee[boss => employee].
+      X[boss -> Y] <- X : employee, Y : manager, X[managedBy -> Y].
+      |}
+  in
+  Alcotest.(check int) "hierarchy-closed" 0 (List.length (Program.lint_types p))
+
+let test_lint_silent_when_unknown () =
+  (* no class information about Y: the lint stays quiet *)
+  let p =
+    Program.of_string
+      {|
+      employee[boss => employee].
+      X[boss -> Y] <- X : employee, X[managedBy -> Y].
+      |}
+  in
+  Alcotest.(check int) "no info no warning" 0
+    (List.length (Program.lint_types p))
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: dump/reload round-trip *)
+
+let fact_set dump =
+  String.split_on_char '\n' dump |> List.sort_uniq compare
+
+let test_dump_reload_roundtrip () =
+  let p =
+    load
+      {|
+      alice : person[street -> mainSt; city -> springfield].
+      bob : person[street -> elmSt; city -> springfield].
+      X.address[street -> X.street; city -> X.city] <- X : person.
+      |}
+  in
+  let dump = Program.dump_model p in
+  let p2 = load dump in
+  Alcotest.(check (list string))
+    "model fixpoint" (fact_set dump)
+    (fact_set (Program.dump_model p2));
+  (* skolems reload as the same path-denoted objects *)
+  check_answers "virtual object survives" p2 "alice.address[street -> S]"
+    [ "mainSt" ]
+
+let dump_reload_random =
+  QCheck.Test.make ~name:"dump/reload is a fixpoint (random genealogies)"
+    ~count:15
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let p =
+        Program.create
+          (Pathlog.Genealogy.statements
+             (Pathlog.Genealogy.Random_forest
+                { people = 12; max_kids = 3; seed })
+          @ Pathlog.Genealogy.desc_rules)
+      in
+      ignore (Program.run p);
+      let d1 = Program.dump_model p in
+      let p2 = load d1 in
+      fact_set (Program.dump_model p2) = fact_set d1)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental facts *)
+
+let test_add_fact_incremental () =
+  let p =
+    load
+      {|
+      a[kids ->> {b}].
+      X[desc ->> {Y}] <- X[kids ->> {Y}].
+      X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+      |}
+  in
+  check_answers "before" p "a[desc ->> {X}]" [ "b" ];
+  let added = Program.add_fact_string p "b[kids ->> {c}]." in
+  Alcotest.(check int) "one tuple" 1 added;
+  ignore (Program.run p);
+  check_answers "after re-run" p "a[desc ->> {X}]" [ "b"; "c" ];
+  (* incremental = from scratch *)
+  let fresh =
+    load
+      {|
+      a[kids ->> {b}]. b[kids ->> {c}].
+      X[desc ->> {Y}] <- X[kids ->> {Y}].
+      X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+      |}
+  in
+  Alcotest.(check (list string))
+    "same model"
+    (fact_set (Program.dump_model fresh))
+    (fact_set (Program.dump_model p))
+
+let test_add_fact_rejects_nonground () =
+  let p = load "a : c." in
+  match Program.add_fact_string p "X : c." with
+  | exception Program.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected rejection of non-ground fact"
+
+(* ------------------------------------------------------------------ *)
+(* Plan explanation *)
+
+let test_explain_shapes () =
+  let p =
+    load
+      {|
+      m1 : manager. m1[vehicles ->> {v1}]. v1[color -> red].
+      |}
+  in
+  let plan =
+    Program.explain_string p "X : manager..vehicles[color -> red]"
+  in
+  Alcotest.(check int) "three steps" 3 (List.length plan);
+  Alcotest.(check bool) "mentions an access path" true
+    (List.for_all (fun line -> contains ~sub:"[" line) plan)
+
+let test_explain_matches_query () =
+  (* explain never changes answers; sanity on the manager query *)
+  let p =
+    Program.create (Pathlog.Company.statements (Pathlog.Company.scaled 30))
+  in
+  ignore (Program.run p);
+  let q =
+    "X : manager..vehicles[color -> red].producedBy[city -> city1; \
+     president -> X]"
+  in
+  let before = answers p q in
+  let _plan = Program.explain_string p q in
+  Alcotest.(check (list string)) "unchanged" before (answers p q)
+
+let suite =
+  [
+    Alcotest.test_case "production basic" `Quick test_production_basic;
+    Alcotest.test_case "production refractoriness" `Quick
+      test_production_refractoriness;
+    Alcotest.test_case "production priority" `Quick test_production_priority;
+    Alcotest.test_case "production chaining" `Quick test_production_chaining;
+    Alcotest.test_case "production virtual objects" `Quick
+      test_production_virtual_objects;
+    Alcotest.test_case "production message bindings" `Quick
+      test_production_message_bindings;
+    Alcotest.test_case "production rejects bad rules" `Quick
+      test_production_rejects_bad_rules;
+    Alcotest.test_case "production max steps" `Quick test_production_max_steps;
+    qtest production_equals_deductive;
+    Alcotest.test_case "lint flags contradiction" `Quick
+      test_lint_flags_contradiction;
+    Alcotest.test_case "lint accepts consistent" `Quick
+      test_lint_accepts_consistent;
+    Alcotest.test_case "lint uses static hierarchy" `Quick
+      test_lint_uses_static_hierarchy;
+    Alcotest.test_case "lint silent when unknown" `Quick
+      test_lint_silent_when_unknown;
+    Alcotest.test_case "dump/reload roundtrip" `Quick
+      test_dump_reload_roundtrip;
+    qtest dump_reload_random;
+    Alcotest.test_case "add_fact incremental" `Quick test_add_fact_incremental;
+    Alcotest.test_case "add_fact rejects nonground" `Quick
+      test_add_fact_rejects_nonground;
+    Alcotest.test_case "explain shapes" `Quick test_explain_shapes;
+    Alcotest.test_case "explain matches query" `Quick
+      test_explain_matches_query;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* What-if analysis (appended) *)
+
+let tc_text =
+  {|
+  peter[kids ->> {tim, mary}]. tim[kids ->> {sally}].
+  X[desc ->> {Y}] <- X[kids ->> {Y}].
+  X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+  |}
+
+let test_what_if_add () =
+  let p = load tc_text in
+  let added, removed =
+    Program.what_if
+      ~add:(Pathlog.Parser.program "sally[kids ->> {zoe}].")
+      p
+  in
+  Alcotest.(check (list string)) "nothing removed" [] removed;
+  (* new base fact + derived desc facts for sally, tim and peter *)
+  Alcotest.(check bool) "kids fact added" true
+    (List.mem "sally[kids ->> {zoe}]." added);
+  Alcotest.(check bool) "peter's closure extended" true
+    (List.mem "peter[desc ->> {zoe}]." added);
+  Alcotest.(check int) "exactly 4 new facts" 4 (List.length added)
+
+let test_what_if_retract () =
+  let p = load tc_text in
+  let retract stmt =
+    Syntax.Ast.equal_statement stmt
+      (Pathlog.Parser.statement "tim[kids ->> {sally}].")
+  in
+  let added, removed = Program.what_if ~retract p in
+  Alcotest.(check (list string)) "nothing added" [] added;
+  Alcotest.(check bool) "base fact gone" true
+    (List.mem "tim[kids ->> {sally}]." removed);
+  Alcotest.(check bool) "derived support gone" true
+    (List.mem "peter[desc ->> {sally}]." removed);
+  Alcotest.(check bool) "unrelated facts kept" false
+    (List.mem "peter[desc ->> {tim}]." removed)
+
+let test_what_if_does_not_mutate () =
+  let p = load tc_text in
+  let before = Program.dump_model p in
+  ignore (Program.what_if ~add:(Pathlog.Parser.program "x[kids ->> {y}].") p);
+  Alcotest.(check string) "base program untouched" before
+    (Program.dump_model p)
+
+let test_rebuild_composes () =
+  let p = load tc_text in
+  let p2 =
+    Program.rebuild
+      ~add:(Pathlog.Parser.program "sally[kids ->> {zoe}].")
+      p
+  in
+  let p3 =
+    Program.rebuild
+      ~retract:(fun stmt ->
+        Syntax.Ast.equal_statement stmt
+          (Pathlog.Parser.statement "sally[kids ->> {zoe}]."))
+      p2
+  in
+  let lines p =
+    Program.dump_model p |> String.split_on_char '\n'
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "add then retract = identity"
+    (lines p) (lines p3)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "what-if add" `Quick test_what_if_add;
+      Alcotest.test_case "what-if retract" `Quick test_what_if_retract;
+      Alcotest.test_case "what-if does not mutate" `Quick
+        test_what_if_does_not_mutate;
+      Alcotest.test_case "rebuild composes" `Quick test_rebuild_composes;
+    ]

@@ -1,0 +1,157 @@
+(* Demand-focused query evaluation and store invariant audits. *)
+
+open Helpers
+module Program = Pathlog.Program
+
+(* A program with two independent rule families: genealogy closure and a
+   payroll derivation. A focused query over one family must not run the
+   other. *)
+let two_families =
+  {|
+  peter[kids ->> {tim, mary}]. tim[kids ->> {sally}].
+  X[desc ->> {Y}] <- X[kids ->> {Y}].
+  X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+
+  e1 : emp[base -> 100; bonus -> 20].
+  e2 : emp[base -> 200; bonus -> 0].
+  X[pay -> B] <- X : emp[base -> B].
+  |}
+
+let test_focused_subset_of_rules () =
+  let p = Program.of_string two_families in
+  let answer, _, considered =
+    Program.query_focused p (Pathlog.Parser.literals "peter[desc ->> {X}]")
+  in
+  Alcotest.(check int) "desc answers" 3 (List.length answer.rows);
+  (* the two kid-fact statements + the two desc rules; the pay rule and
+     emp facts are irrelevant *)
+  Alcotest.(check int) "only relevant rules considered" 4 considered;
+  (* pay has not been derived *)
+  Alcotest.(check int) "pay not materialised" 0
+    (List.length (Program.query_string p "X[pay -> B]").rows)
+
+let test_focused_agrees_with_full () =
+  (* object ids are store-specific: compare rendered rows *)
+  let check_query q =
+    let p1 = Program.of_string two_families in
+    let focused, _, _ = Program.query_focused p1 (Pathlog.Parser.literals q) in
+    let render p rows =
+      List.sort compare (List.map (Program.row_to_string p) rows)
+    in
+    let p2 = Program.of_string two_families in
+    ignore (Program.run p2);
+    let full = Program.query_string p2 q in
+    Alcotest.(check (list string)) ("agree: " ^ q)
+      (render p2 full.rows)
+      (render p1 focused.rows)
+  in
+  List.iter check_query
+    [
+      "peter[desc ->> {X}]";
+      "X[pay -> B]";
+      "X : emp";
+      "tim[desc ->> {X}]";
+    ]
+
+let test_focused_pulls_dependencies () =
+  (* pay depends on scale which depends on base: a pay query must run the
+     whole chain *)
+  let p =
+    Program.of_string
+      {|
+      e1 : emp[base -> 100].
+      X[scaled -> B] <- X : emp[base -> B].
+      X[pay -> B] <- X[scaled -> B].
+      |}
+  in
+  let answer, _, considered =
+    Program.query_focused p (Pathlog.Parser.literals "e1[pay -> B]")
+  in
+  Alcotest.(check int) "answer" 1 (List.length answer.rows);
+  Alcotest.(check int) "chain of rules pulled in" 3 considered
+
+let test_focused_stratified () =
+  let p =
+    Program.of_string
+      {|
+      a : emp[sal -> 10]. b : emp[sal -> 20].
+      X : poor <- X : emp, not X[sal -> 20].
+      |}
+  in
+  let answer, _, _ =
+    Program.query_focused p (Pathlog.Parser.literals "X : poor")
+  in
+  Alcotest.(check int) "stratified focused" 1 (List.length answer.rows)
+
+let focused_equals_full_random =
+  QCheck.Test.make ~name:"focused query = full materialisation" ~count:15
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let stmts =
+        Pathlog.Genealogy.statements
+          (Pathlog.Genealogy.Random_forest { people = 12; max_kids = 2; seed })
+        @ Pathlog.Genealogy.desc_rules
+      in
+      let q = "p0[desc ->> {X}]" in
+      let p1 = Program.create stmts in
+      let focused, _, _ =
+        Program.query_focused p1 (Pathlog.Parser.literals q)
+      in
+      let p2 = Program.create stmts in
+      ignore (Program.run p2);
+      let full = Program.query_string p2 q in
+      let render p rows =
+        List.sort compare (List.map (Program.row_to_string p) rows)
+      in
+      render p1 focused.rows = render p2 full.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Store invariants *)
+
+let test_invariants_clean_store () =
+  let p =
+    load
+      {|
+      automobile :: vehicle.
+      a1 : automobile[color -> red].
+      a1[tags ->> {fast, loud}].
+      |}
+  in
+  Alcotest.(check (list string)) "no violations" []
+    (Pathlog.Store.check_invariants (Program.store p))
+
+let invariants_after_random_runs =
+  QCheck.Test.make ~name:"store invariants hold after random evaluations"
+    ~count:25
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let stmts =
+        Pathlog.Genealogy.statements
+          (Pathlog.Genealogy.Random_forest { people = 15; max_kids = 3; seed })
+        @ Pathlog.Genealogy.desc_rules
+        @ Pathlog.Company.statements { (Pathlog.Company.scaled 10) with seed }
+      in
+      let p = Program.create stmts in
+      ignore (Program.run p);
+      Pathlog.Store.check_invariants (Program.store p) = [])
+
+let invariants_after_loadable_bases =
+  QCheck.Test.make ~name:"store invariants hold on random fact bases"
+    ~count:40 arbitrary_loadable_base (fun p ->
+      Pathlog.Store.check_invariants (Program.store p) = [])
+
+let suite =
+  [
+    Alcotest.test_case "focused runs a subset of rules" `Quick
+      test_focused_subset_of_rules;
+    Alcotest.test_case "focused agrees with full" `Quick
+      test_focused_agrees_with_full;
+    Alcotest.test_case "focused pulls dependencies" `Quick
+      test_focused_pulls_dependencies;
+    Alcotest.test_case "focused stratified" `Quick test_focused_stratified;
+    qtest focused_equals_full_random;
+    Alcotest.test_case "invariants clean store" `Quick
+      test_invariants_clean_store;
+    qtest invariants_after_random_runs;
+    qtest invariants_after_loadable_bases;
+  ]

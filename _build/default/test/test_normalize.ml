@@ -1,0 +1,104 @@
+(* Normalisation: canonical forms and valuation invariance. *)
+
+open Helpers
+module Normalize = Pathlog.Normalize
+module Valuation = Pathlog.Valuation
+
+let reference = Pathlog.Parser.reference
+
+let norm src = Normalize.reference (reference src)
+
+let test_paren_unwrapped () =
+  Alcotest.(check bool) "((x)) = x" true
+    (Syntax.Ast.equal_reference (norm "((x))") (reference "x"));
+  Alcotest.(check bool) "(x.a).b = x.a.b" true
+    (Syntax.Ast.equal_reference (norm "(x.a).b") (reference "x.a.b"))
+
+let test_self_removed () =
+  Alcotest.(check bool) "x.self = x" true
+    (Syntax.Ast.equal_reference (norm "x.self") (reference "x"));
+  Alcotest.(check bool) "x.self.self.a = x.a" true
+    (Syntax.Ast.equal_reference (norm "x.self.self.a") (reference "x.a"));
+  Alcotest.(check bool) "x..self = x" true
+    (Syntax.Ast.equal_reference (norm "x..self") (reference "x"))
+
+let test_filter_order_canonical () =
+  Alcotest.(check bool) "filters commute" true
+    (Normalize.equal
+       (reference "x[a -> 1][b -> 2]")
+       (reference "x[b -> 2][a -> 1]"));
+  Alcotest.(check bool) "semicolon sugar too" true
+    (Normalize.equal
+       (reference "x[a -> 1; b -> 2]")
+       (reference "x[b -> 2; a -> 1]"));
+  Alcotest.(check bool) "isa commutes with filters" true
+    (Normalize.equal
+       (reference "x : c[a -> 1]")
+       (reference "x[a -> 1] : c"))
+
+let test_duplicate_restrictions_dropped () =
+  Alcotest.(check bool) "duplicate filter" true
+    (Syntax.Ast.equal_reference
+       (norm "x[a -> 1][a -> 1]")
+       (norm "x[a -> 1]"));
+  Alcotest.(check bool) "duplicate set elements" true
+    (Normalize.equal
+       (reference "x[s ->> {a, a, b}]")
+       (reference "x[s ->> {b, a}]"))
+
+let test_paren_chain_merged () =
+  (* the chains on both sides of the parens sort jointly *)
+  Alcotest.(check bool) "(x[b -> 2])[a -> 1] = x[a -> 1][b -> 2]" true
+    (Syntax.Ast.equal_reference
+       (norm "(x[b -> 2])[a -> 1]")
+       (norm "x[a -> 1][b -> 2]"))
+
+let test_paths_not_reordered () =
+  Alcotest.(check bool) "paths stay ordered" false
+    (Normalize.equal (reference "x.a.b") (reference "x.b.a"))
+
+let test_higher_order_meth_kept_usable () =
+  let n = norm "X[(M.tc) ->> {Y}]" in
+  (* printing re-parenthesises the computed method; round trip holds *)
+  let printed = Pathlog.Pretty.reference_to_string n in
+  match Pathlog.Parser.reference printed with
+  | r -> Alcotest.(check bool) "roundtrip" true (Normalize.equal r n)
+  | exception Pathlog.Parser.Error _ ->
+    Alcotest.failf "unparsable normal form: %s" printed
+
+(* valuation invariance on random ground references over random bases *)
+let normalization_preserves_valuation =
+  QCheck.Test.make ~name:"normalisation preserves the valuation" ~count:150
+    QCheck.(
+      pair arbitrary_loadable_base (arbitrary_reference ~allow_vars:false))
+    (fun (p, r) ->
+      match Pathlog.Wellformed.check_reference r with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+        let store = Pathlog.Program.store p in
+        let v t = Valuation.eval store Valuation.Env.empty t in
+        Pathlog.Obj_id.Set.equal (v r) (v (Normalize.reference r)))
+
+(* normalisation is idempotent *)
+let normalization_idempotent =
+  QCheck.Test.make ~name:"normalisation is idempotent" ~count:300
+    (arbitrary_reference ~allow_vars:true)
+    (fun r ->
+      let n = Normalize.reference r in
+      Syntax.Ast.equal_reference n (Normalize.reference n))
+
+let suite =
+  [
+    Alcotest.test_case "paren unwrapped" `Quick test_paren_unwrapped;
+    Alcotest.test_case "self removed" `Quick test_self_removed;
+    Alcotest.test_case "filter order canonical" `Quick
+      test_filter_order_canonical;
+    Alcotest.test_case "duplicates dropped" `Quick
+      test_duplicate_restrictions_dropped;
+    Alcotest.test_case "paren chain merged" `Quick test_paren_chain_merged;
+    Alcotest.test_case "paths not reordered" `Quick test_paths_not_reordered;
+    Alcotest.test_case "higher-order meth usable" `Quick
+      test_higher_order_meth_kept_usable;
+    qtest normalization_preserves_valuation;
+    qtest normalization_idempotent;
+  ]

@@ -1,0 +1,294 @@
+(* The paper's worked examples, one test per numbered query/program —
+   the executable counterpart of the paper's "evaluation". Each test pins
+   the exact answer set on a hand-built instance. *)
+
+open Helpers
+
+(* The instance used by sections 1-2 examples. *)
+let company =
+  {|
+  automobile :: vehicle.
+  manager :: employee.
+
+  e1 : employee[age -> 30; city -> newYork; boss -> m1].
+  e2 : employee[age -> 30; city -> boston;  boss -> m1].
+  e3 : employee[age -> 45; city -> newYork; boss -> m2].
+  m1 : manager[age -> 50; city -> newYork].
+  m2 : manager[age -> 52; city -> detroit].
+
+  e1[vehicles ->> {a1, v1}].
+  e2[vehicles ->> {a2}].
+  e3[vehicles ->> {a3}].
+  m1[vehicles ->> {a4}].
+
+  a1 : automobile[cylinders -> 4; color -> red;   producedBy -> acme].
+  a2 : automobile[cylinders -> 6; color -> green; producedBy -> acme].
+  a3 : automobile[cylinders -> 4; color -> blue;  producedBy -> bmc].
+  a4 : automobile[cylinders -> 4; color -> red;   producedBy -> acme].
+  v1 : vehicle[color -> blue].
+
+  acme : company[city -> detroit; president -> m1].
+  bmc  : company[city -> boston;  president -> m2].
+  |}
+
+let test_query_11 () =
+  (* colors of the automobiles of employees (1.1/1.2/1.3) *)
+  let p = load company in
+  check_answers "colors" p "X : employee..vehicles : automobile.color[Z]"
+    [
+      "e1, red"; "e2, green"; "e3, blue"; "m1, red";
+    ]
+
+let test_query_14_21 () =
+  (* restrict to 4 cylinders: XSQL needs two paths (1.4); PathLog one (2.1) *)
+  let p = load company in
+  check_answers "2.1 with age/city filters" p
+    "X : employee[age -> 30; city -> newYork]..vehicles : \
+     automobile[cylinders -> 4].color[Z]"
+    [ "e1, red" ]
+
+let test_query_23_boss_city () =
+  (* nested path in a filter (2.3): same city as the boss *)
+  let p = load company in
+  check_answers "employees in the boss's city" p
+    "X : employee[city -> X.boss.city]" [ "e1" ]
+
+let test_manager_query () =
+  (* the single-reference manager query of section 2 *)
+  let p = load company in
+  check_answers "manager with red acme car, president of producer" p
+    "X : manager..vehicles[color -> red].producedBy[city -> detroit; \
+     president -> X]"
+    [ "m1" ]
+
+let test_mary_spouse_nesting () =
+  (* section 4.1 nesting: mary.spouse[boss -> mary].age *)
+  let p =
+    load
+      {|
+      mary[spouse -> john; age -> 25].
+      john[boss -> mary; age -> 30].
+      |}
+  in
+  check_answers "nested molecule in path" p "mary.spouse[boss -> mary].age[A]"
+    [ "30" ];
+  (* and with the inner molecule constraint (4.1 variant) *)
+  check_answers "inner molecule constrains" p
+    "mary.spouse[boss -> mary[age -> 25]].age[A]" [ "30" ];
+  check_fails "failing inner constraint" p
+    "mary.spouse[boss -> mary[age -> 26]].age[A]"
+
+let test_section_42_sets () =
+  (* (4.1)-(4.4) *)
+  let p =
+    load
+      {|
+      p1[assistants ->> {s1, s2, s3}].
+      s1[salary -> 1000]. s2[salary -> 1000]. s3[salary -> 800].
+      s1[projects ->> {prj1}]. s2[projects ->> {prj2}].
+      p2[friends ->> {s1, s2, s3, other}].
+      v1[price -> 10]. v2[price -> 20].
+      p1[vehicles ->> {v1, v2}].
+      p1[paidFor@(v1) -> 9]. p1[paidFor@(v2) -> 21].
+      |}
+  in
+  check_answers "(4.1) assistants" p "p1..assistants[X]" [ "s1"; "s2"; "s3" ];
+  check_answers "(4.2) restricted" p "p1..assistants[salary -> 1000][X]"
+    [ "s1"; "s2" ];
+  check_holds "(4.3)-style explicit set" p "p2[friends ->> {s1, s2}]";
+  check_holds "(4.4) set-valued rhs" p "p2[friends ->> p1..assistants]";
+  check_answers "salaries of assistants" p "p1..assistants.salary[X]"
+    [ "1000"; "800" ];
+  check_answers "projects of assistants" p "p1..assistants..projects[X]"
+    [ "prj1"; "prj2" ];
+  check_answers "paidFor over a set argument" p
+    "p1.paidFor@(p1..vehicles)[X]" [ "9"; "21" ]
+
+let test_wellformedness_45 () =
+  (* (4.5): a set-valued reference as the result of a scalar method *)
+  match Pathlog.Program.of_string "?- p2[boss -> p1..assistants]." with
+  | exception Pathlog.Program.Invalid _ -> ()
+  | _ -> Alcotest.fail "(4.5) must be rejected as ill-formed"
+
+let test_binding_assistants () =
+  (* section 5: "X ranges only over the universe of objects" *)
+  let p =
+    load
+      {|
+      p1[assistants ->> {s1, s2}].
+      s1[salary -> 1000]. s2[salary -> 900].
+      |}
+  in
+  check_answers "bind each assistant" p "p1[assistants ->> {X[salary -> 1000]}]"
+    [ "s1" ]
+
+let test_no_nested_sets () =
+  (* john..kids..kids is the set of grandchildren, not a set of sets *)
+  let p =
+    load
+      {|
+      john[kids ->> {a, b}].
+      a[kids ->> {c}]. b[kids ->> {d, e}].
+      |}
+  in
+  check_answers "grandchildren" p "john..kids..kids[X]" [ "c"; "d"; "e" ]
+
+let test_rule_24_addresses () =
+  let p =
+    load
+      {|
+      pA : person[street -> mainSt; city -> springfield].
+      pB : person[street -> elmSt; city -> ogdenville].
+      X.address[street -> X.street; city -> X.city] <- X : person.
+      |}
+  in
+  check_answers "(2.4) virtual addresses" p "pA.address[street -> S; city -> C]"
+    [ "mainSt, springfield" ];
+  check_answers "addresses are objects" p "X.address[city -> ogdenville]"
+    [ "pB" ]
+
+let test_rule_power () =
+  let p =
+    load
+      {|
+      car1 : automobile[engine -> eng1]. eng1[power -> 150].
+      car2 : automobile[engine -> eng2]. eng2[power -> 90].
+      X[power -> Y] <- X : automobile.engine[power -> Y].
+      |}
+  in
+  check_answers "intensional power" p "X : automobile[power -> P]"
+    [ "car1, 150"; "car2, 90" ]
+
+let test_rule_61_vs_62 () =
+  let base =
+    {|
+    p1 : employee[worksFor -> cs1].
+    p2 : employee[worksFor -> cs2; boss -> b2].
+    |}
+  in
+  let p61 =
+    load (base ^ "X.boss[worksFor -> D] <- X : employee[worksFor -> D].")
+  in
+  let p62 =
+    load (base ^ "Z[worksFor -> D] <- X : employee[worksFor -> D].boss[Z].")
+  in
+  (* 6.1 invents p1's boss; 6.2 does not *)
+  check_answers "(6.1)" p61 "Z[worksFor -> cs1]" [ "p1"; "p1.boss" ];
+  check_answers "(6.2)" p62 "Z[worksFor -> cs1]" [ "p1" ];
+  check_answers "(6.2) existing boss" p62 "Z[worksFor -> cs2]" [ "p2"; "b2" ]
+
+let test_program_64_literal () =
+  (* the exact facts and result from section 6 *)
+  let p =
+    load
+      {|
+      peter[kids ->> {tim, mary}].
+      tim[kids ->> {sally}].
+      mary[kids ->> {tom, paul}].
+      X[desc ->> {Y}] <- X[kids ->> {Y}].
+      X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+      |}
+  in
+  check_answers "peter[(desc) ->> {tim,mary,sally,tom,paul}]" p
+    "peter[desc ->> {X}]"
+    [ "tim"; "mary"; "sally"; "tom"; "paul" ]
+
+let test_generic_tc_literal () =
+  let p =
+    load
+      {|
+      peter[kids ->> {tim, mary}].
+      tim[kids ->> {sally}].
+      mary[kids ->> {tom, paul}].
+      X[(M.tc) ->> {Y}] <- X[M ->> {Y}].
+      X[(M.tc) ->> {Y}] <- X..(M.tc)[M ->> {Y}].
+      |}
+  in
+  check_answers "peter[(kids.tc) ->> ...] as printed in the paper" p
+    "peter[(kids.tc) ->> {X}]"
+    [ "tim"; "mary"; "sally"; "tom"; "paul" ];
+  (* tc is generic: apply it to another method in the same program *)
+  let p2 =
+    load
+      {|
+      a[next ->> {b}]. b[next ->> {c}].
+      X[(M.tc) ->> {Y}] <- X[M ->> {Y}].
+      X[(M.tc) ->> {Y}] <- X..(M.tc)[M ->> {Y}].
+      |}
+  in
+  check_answers "generic over next" p2 "a[(next.tc) ->> {X}]" [ "b"; "c" ]
+
+let test_stratification_section6 () =
+  (* "should only then be applied, if the set of p1's assistants is
+     already defined" *)
+  let p =
+    load
+      {|
+      p1[helper ->> {x1, x2}].
+      p1[assistants ->> {Y}] <- p1[helper ->> {Y}].
+      p2[friends ->> {x1, x2, x3}].
+      p2 : goodFriend <- p2[friends ->> p1..assistants].
+      |}
+  in
+  check_holds "stratified inclusion over derived set" p "p2 : goodFriend";
+  (* the engine really used two strata *)
+  Alcotest.(check bool) "at least 2 strata" true
+    (Array.length (Pathlog.Program.strata p) >= 2)
+
+let test_view_63_emulation () =
+  (* the XSQL view (6.3) — CREATE VIEW EmployeeBoss ... OID FUNCTION OF X —
+     is exactly rule (6.1) in PathLog: no function symbol needed, the
+     method boss references the virtual object *)
+  let p =
+    load
+      {|
+      p1 : employee[worksFor -> cs1].
+      X.boss[worksFor -> D] <- X : employee[worksFor -> D].
+      |}
+  in
+  (* the virtual object is addressed by p1.boss, not EmployeeBoss(p1) *)
+  check_answers "view object via method" p "p1.boss[worksFor -> D]" [ "cs1" ];
+  let u = Pathlog.Program.universe p in
+  match Pathlog.Universe.skolems u with
+  | [ sk ] ->
+    Alcotest.(check string) "prints as the method path" "p1.boss"
+      (Pathlog.Universe.to_string u sk)
+  | _ -> Alcotest.fail "expected exactly one virtual object"
+
+let test_typing_signatures () =
+  (* section 2: "the usage of methods can be controlled by signatures" *)
+  let p =
+    load
+      {|
+      person[address => address].
+      pA : person[street -> mainSt; city -> springfield].
+      X.address : address <- X : person.
+      X.address[street -> X.street; city -> X.city] <- X : person.
+      |}
+  in
+  Alcotest.(check int) "virtual object well-typed" 0
+    (List.length (Pathlog.Program.check_types p ~mode:`Lenient))
+
+let suite =
+  [
+    Alcotest.test_case "query (1.1)-(1.3)" `Quick test_query_11;
+    Alcotest.test_case "query (1.4)/(2.1)" `Quick test_query_14_21;
+    Alcotest.test_case "nested filter path (2.3)" `Quick
+      test_query_23_boss_city;
+    Alcotest.test_case "manager query (section 2)" `Quick test_manager_query;
+    Alcotest.test_case "nesting (section 4.1)" `Quick test_mary_spouse_nesting;
+    Alcotest.test_case "sets (section 4.2)" `Quick test_section_42_sets;
+    Alcotest.test_case "ill-formed (4.5)" `Quick test_wellformedness_45;
+    Alcotest.test_case "binding assistants (section 5)" `Quick
+      test_binding_assistants;
+    Alcotest.test_case "no nested sets (section 5)" `Quick test_no_nested_sets;
+    Alcotest.test_case "virtual addresses (2.4)" `Quick test_rule_24_addresses;
+    Alcotest.test_case "power rule (section 6)" `Quick test_rule_power;
+    Alcotest.test_case "rules (6.1) vs (6.2)" `Quick test_rule_61_vs_62;
+    Alcotest.test_case "program (6.4) literal" `Quick test_program_64_literal;
+    Alcotest.test_case "generic tc literal" `Quick test_generic_tc_literal;
+    Alcotest.test_case "stratification (section 6)" `Quick
+      test_stratification_section6;
+    Alcotest.test_case "view (6.3) emulation" `Quick test_view_63_emulation;
+    Alcotest.test_case "typing signatures" `Quick test_typing_signatures;
+  ]

@@ -1,0 +1,159 @@
+(* Goal-directed tabled evaluation. *)
+
+open Helpers
+module Program = Pathlog.Program
+
+let tc_text =
+  {|
+  peter[kids ->> {tim, mary}]. tim[kids ->> {sally}].
+  mary[kids ->> {tom, paul}].
+  X[desc ->> {Y}] <- X[kids ->> {Y}].
+  X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+  |}
+
+let topdown p q =
+  Program.query_topdown p (Pathlog.Parser.literals q)
+
+let rows p (answer : Program.answer) =
+  List.sort compare (List.map (Program.row_to_string p) answer.rows)
+
+let test_point_query () =
+  let p = Program.of_string tc_text in
+  match topdown p "tim[desc ->> {X}]" with
+  | Some (answer, stats) ->
+    Alcotest.(check (list string)) "tim's descendants" [ "sally" ]
+      (rows p answer);
+    (* only tim's cone is tabled, not the full closure *)
+    Alcotest.(check bool) "few goals" true (stats.goals <= 3)
+  | None -> Alcotest.fail "fragment should apply"
+
+let test_full_query () =
+  let p = Program.of_string tc_text in
+  match topdown p "peter[desc ->> {X}]" with
+  | Some (answer, _) ->
+    Alcotest.(check (list string)) "peter's descendants"
+      [ "mary"; "paul"; "sally"; "tim"; "tom" ]
+      (rows p answer)
+  | None -> Alcotest.fail "fragment should apply"
+
+let test_open_query () =
+  let p = Program.of_string tc_text in
+  match topdown p "X[desc ->> {Y}]" with
+  | Some (answer, _) ->
+    Alcotest.(check int) "whole closure" 8 (List.length answer.rows)
+  | None -> Alcotest.fail "fragment should apply"
+
+let test_scalar_chain_rules () =
+  let p =
+    Program.of_string
+      {|
+      e1 : emp[base -> 100]. e2 : emp[base -> 200].
+      X[scaled -> B] <- X : emp[base -> B].
+      X[pay -> B] <- X[scaled -> B].
+      |}
+  in
+  match topdown p "e1[pay -> B]" with
+  | Some (answer, _) ->
+    Alcotest.(check (list string)) "pay" [ "100" ] (rows p answer)
+  | None -> Alcotest.fail "fragment should apply"
+
+let test_no_materialisation () =
+  let p = Program.of_string tc_text in
+  ignore (topdown p "tim[desc ->> {X}]");
+  (* the store holds only the facts: desc tuples stay in the tables *)
+  let stats = Pathlog.Store.stats (Program.store p) in
+  Alcotest.(check int) "only extensional tuples" 5 stats.set_tuples
+
+let test_fallback_on_virtual_objects () =
+  let p =
+    Program.of_string
+      {|
+      a : person[city -> c1].
+      X.address[city -> X.city] <- X : person.
+      |}
+  in
+  Alcotest.(check bool) "head path not flat" true
+    (topdown p "X.address[city -> C]" = None)
+
+let test_fallback_on_negation () =
+  let p =
+    Program.of_string
+      {|
+      a : emp[sal -> 10].
+      X : poor <- X : emp, not X[sal -> 20].
+      |}
+  in
+  Alcotest.(check bool) "negation not supported" true
+    (topdown p "X : poor" = None)
+
+let test_fallback_on_unconstrained_query () =
+  let p = Program.of_string tc_text in
+  Alcotest.(check bool) "bare variable query" true (topdown p "X" = None)
+
+let test_args_methods () =
+  let p =
+    Program.of_string
+      {|
+      john[salary@(1994) -> 100]. john[salary@(1995) -> 120].
+      X[raise@(Y1, Y2) -> S] <- X[salary@(Y1) -> B], X[salary@(Y2) -> S].
+      |}
+  in
+  match topdown p "john[raise@(1994, 1995) -> S]" with
+  | Some (answer, _) ->
+    Alcotest.(check (list string)) "raise" [ "120" ] (rows p answer)
+  | None -> Alcotest.fail "argument methods should be flat"
+
+let topdown_equals_bottomup =
+  QCheck.Test.make ~name:"topdown point query = bottom-up model" ~count:20
+    QCheck.(pair (int_range 1 100) (int_range 0 14))
+    (fun (seed, person) ->
+      let stmts =
+        Pathlog.Genealogy.statements
+          (Pathlog.Genealogy.Random_forest { people = 15; max_kids = 3; seed })
+        @ Pathlog.Genealogy.desc_rules
+      in
+      let q = Printf.sprintf "p%d[desc ->> {X}]" person in
+      let p1 = Program.create stmts in
+      let top =
+        match Program.query_topdown p1 (Pathlog.Parser.literals q) with
+        | Some (a, _) -> rows p1 a
+        | None -> [ "N/A" ]
+      in
+      let p2 = Program.create stmts in
+      ignore (Program.run p2);
+      let bottom = rows p2 (Program.query_string p2 q) in
+      top = bottom)
+
+let test_topdown_tables_fewer_than_model () =
+  (* point query on a long chain: goal-directed work is proportional to
+     the suffix, not the full quadratic closure *)
+  let stmts =
+    Pathlog.Genealogy.statements (Pathlog.Genealogy.Chain 100)
+    @ Pathlog.Genealogy.desc_rules
+  in
+  let p = Program.create stmts in
+  match Program.query_topdown p (Pathlog.Parser.literals "p95[desc ->> {X}]") with
+  | Some (answer, stats) ->
+    Alcotest.(check int) "five descendants" 5 (List.length answer.rows);
+    (* full closure has 5050 tuples; the tables stay near the suffix *)
+    Alcotest.(check bool) "answers bounded by suffix work" true
+      (stats.answers < 300)
+  | None -> Alcotest.fail "fragment should apply"
+
+let suite =
+  [
+    Alcotest.test_case "point query" `Quick test_point_query;
+    Alcotest.test_case "full query" `Quick test_full_query;
+    Alcotest.test_case "open query" `Quick test_open_query;
+    Alcotest.test_case "scalar chain rules" `Quick test_scalar_chain_rules;
+    Alcotest.test_case "no materialisation" `Quick test_no_materialisation;
+    Alcotest.test_case "fallback on virtual objects" `Quick
+      test_fallback_on_virtual_objects;
+    Alcotest.test_case "fallback on negation" `Quick test_fallback_on_negation;
+    Alcotest.test_case "fallback on unconstrained query" `Quick
+      test_fallback_on_unconstrained_query;
+    Alcotest.test_case "argument methods" `Quick test_args_methods;
+    qtest topdown_equals_bottomup;
+    Alcotest.test_case "tables smaller than model" `Quick
+      test_topdown_tables_fewer_than_model;
+  ]

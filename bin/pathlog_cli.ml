@@ -3,6 +3,8 @@
    pathlog run FILE [--query Q]... [--dump] [--stats] [--naive] [--types]
    pathlog check FILE            parse + well-formedness + stratification
    pathlog repl [FILE]           interactive queries against a loaded program
+   pathlog serve FILE            long-running concurrent query server
+   pathlog connect               client for a running server
 *)
 
 open Cmdliner
@@ -251,6 +253,98 @@ let repl_cmd file =
   loop ()
 
 (* ------------------------------------------------------------------ *)
+(* serve / connect — the concurrent query server and its client.       *)
+
+let server_address ~host ~port ~unix_sock =
+  match unix_sock with
+  | Some path -> Pathlog.Server.Unix_path path
+  | None -> Pathlog.Server.Tcp (host, port)
+
+let serve_cmd file host port unix_sock workers queue max_request deadline =
+  let p = with_errors None (fun () -> Pathlog.load (read_file file)) in
+  let config =
+    {
+      Pathlog.Server.default_config with
+      workers;
+      queue_capacity = queue;
+      max_request_bytes = max_request;
+      deadline_s = deadline;
+    }
+  in
+  let srv =
+    Pathlog.Server.create ~config ~program:p
+      (server_address ~host ~port ~unix_sock)
+  in
+  Pathlog.Server.install_signal_handlers srv;
+  Format.printf
+    "pathlog: serving %s on %a (%d workers, queue %d); SIGINT/SIGTERM \
+     drains@."
+    file Pathlog.Server.pp_address
+    (Pathlog.Server.address srv)
+    workers queue;
+  Pathlog.Server.serve srv;
+  print_endline "pathlog: drained, bye"
+
+let print_reply = function
+  | Ok (Pathlog.Protocol.Ok lines) -> List.iter print_endline lines
+  | Ok Pathlog.Protocol.Pong -> print_endline "PONG"
+  | Ok (Pathlog.Protocol.Busy msg) -> Printf.printf "BUSY %s\n" msg
+  | Ok (Pathlog.Protocol.Err (code, msg)) ->
+    Printf.printf "ERR %s %s\n" (Pathlog.Protocol.code_to_string code) msg
+  | Error `Eof ->
+    print_endline "error: server closed the connection";
+    exit 1
+  | Error (`Malformed msg) ->
+    Printf.printf "error: malformed reply: %s\n" msg;
+    exit 1
+
+let is_raw_request line =
+  match String.index_opt (line ^ " ") ' ' with
+  | None -> false
+  | Some i -> (
+    match String.uppercase_ascii (String.sub line 0 i) with
+    | "PING" | "STATS" | "QUERY" | "WHY" | "QUIT" -> true
+    | _ -> false)
+
+let connect_cmd host port unix_sock queries =
+  let addr = server_address ~host ~port ~unix_sock in
+  let c =
+    match Pathlog.Client.connect addr with
+    | c -> c
+    | exception Unix.Unix_error (e, _, _) ->
+      Format.eprintf "error: cannot connect to %a: %s@."
+        Pathlog.Server.pp_address addr (Unix.error_message e);
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> Pathlog.Client.close c)
+    (fun () ->
+      if queries <> [] then
+        List.iter
+          (fun q -> print_reply (Pathlog.Client.request c ("QUERY " ^ q)))
+          queries
+      else begin
+        Format.printf
+          "connected to %a; enter queries, or PING / STATS / WHY <fact> / \
+           QUIT. Ctrl-D exits.@."
+          Pathlog.Server.pp_address addr;
+        let rec loop () =
+          print_string "> ";
+          match read_line () with
+          | exception End_of_file -> ()
+          | "" -> loop ()
+          | line ->
+            let line =
+              if is_raw_request line then line else "QUERY " ^ line
+            in
+            print_reply (Pathlog.Client.request c line);
+            if String.uppercase_ascii (String.trim line) <> "QUIT" then
+              loop ()
+        in
+        loop ()
+      end)
+
+(* ------------------------------------------------------------------ *)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -331,6 +425,58 @@ let normalize_arg =
 
 let fmt_t = Term.(const fmt_cmd $ file_arg $ normalize_arg)
 
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host to bind/connect to.")
+
+let port_arg =
+  Arg.(
+    value & opt int 7411
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"TCP port (0 binds an ephemeral port).")
+
+let unix_sock_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "unix" ] ~docv:"PATH"
+        ~doc:"Serve on a unix-domain socket instead of TCP.")
+
+let workers_arg =
+  Arg.(
+    value & opt int Pathlog.Server.default_config.workers
+    & info [ "workers" ] ~docv:"N" ~doc:"Query worker threads.")
+
+let queue_arg =
+  Arg.(
+    value & opt int Pathlog.Server.default_config.queue_capacity
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission queue capacity; requests beyond it are shed with \
+           BUSY.")
+
+let max_request_arg =
+  Arg.(
+    value & opt int Pathlog.Server.default_config.max_request_bytes
+    & info [ "max-request" ] ~docv:"BYTES"
+        ~doc:"Request line size limit (TOOLARGE beyond it).")
+
+let deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-request deadline; requests that wait longer in the \
+           admission queue are answered ERR TIMEOUT.")
+
+let serve_t =
+  Term.(
+    const serve_cmd $ file_arg $ host_arg $ port_arg $ unix_sock_arg
+    $ workers_arg $ queue_arg $ max_request_arg $ deadline_arg)
+
+let connect_t =
+  Term.(const connect_cmd $ host_arg $ port_arg $ unix_sock_arg $ queries_arg)
+
 let () =
   let info =
     Cmd.info "pathlog" ~version:"1.0.0"
@@ -365,6 +511,16 @@ let () =
           (Cmd.info "fmt"
              ~doc:"Reprint a program in canonical concrete syntax")
           fmt_t;
+        Cmd.v
+          (Cmd.info "serve"
+             ~doc:
+               "Materialise a program once and serve concurrent queries \
+                over TCP or a unix socket")
+          serve_t;
+        Cmd.v
+          (Cmd.info "connect"
+             ~doc:"Connect to a running pathlog server (one-shot or REPL)")
+          connect_t;
       ]
   in
   exit (Cmd.eval cmds)

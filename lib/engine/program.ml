@@ -334,10 +334,20 @@ let model_lines t =
   |> List.sort_uniq compare
 
 let diff_models ~before ~after =
-  let b = model_lines before and a = model_lines after in
-  let added = List.filter (fun l -> not (List.mem l b)) a in
-  let removed = List.filter (fun l -> not (List.mem l a)) b in
-  (added, removed)
+  (* model_lines yields sorted, deduplicated lines, so a single linear
+     merge finds both sides of the symmetric difference. *)
+  let rec merge added removed a b =
+    match (a, b) with
+    | [], [] -> (List.rev added, List.rev removed)
+    | a, [] -> (List.rev_append added a, List.rev removed)
+    | [], b -> (List.rev added, List.rev_append removed b)
+    | x :: a', y :: b' ->
+      let c = compare x y in
+      if c = 0 then merge added removed a' b'
+      else if c < 0 then merge (x :: added) removed a' b
+      else merge added (y :: removed) a b'
+  in
+  merge [] [] (model_lines after) (model_lines before)
 
 let what_if ?(add = []) ?(retract = fun _ -> false) t =
   (* make sure the base model is computed *)

@@ -46,11 +46,17 @@ module O2sql = Baseline.O2sql
 module Xsql = Baseline.Xsql
 module Translate = Baseline.Translate
 module Calculus = Baseline.Calculus
+module Protocol = Plserver.Protocol
+module Histogram = Plserver.Histogram
+module Metrics = Plserver.Metrics
+module Pool = Plserver.Pool
+module Client = Plserver.Client
 module Company = Workload.Company
 module Genealogy = Workload.Genealogy
 module Parts = Workload.Parts
 module Randprog = Workload.Randprog
 module Graph = Workload.Graph
+module Server = Plserver.Server
 
 type program = Program.t
 

@@ -1,0 +1,65 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let connect (addr : Server.address) =
+  let domain, sockaddr =
+    match addr with
+    | Server.Tcp (host, port) ->
+      let inet =
+        match Unix.inet_addr_of_string host with
+        | a -> a
+        | exception Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+    | Server.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+  }
+
+let close t =
+  close_out_noerr t.oc;
+  close_in_noerr t.ic
+
+let request t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | () -> Protocol.read_reply t.ic
+  | exception (Sys_error _ | End_of_file) -> Error `Eof
+  | exception Unix.Unix_error _ -> Error `Eof
+
+let ping t =
+  match request t "PING" with Ok Protocol.Pong -> true | _ -> false
+
+let describe_failure = function
+  | Ok (Protocol.Err (code, msg)) ->
+    Printf.sprintf "%s: %s" (Protocol.code_to_string code) msg
+  | Ok (Protocol.Busy msg) -> "BUSY: " ^ msg
+  | Ok Protocol.Pong -> "unexpected PONG"
+  | Ok (Protocol.Ok _) -> assert false
+  | Error `Eof -> "connection closed"
+  | Error (`Malformed msg) -> "malformed reply: " ^ msg
+
+let payload t line =
+  match request t line with
+  | Ok (Protocol.Ok lines) -> Stdlib.Ok lines
+  | other -> Stdlib.Error (describe_failure other)
+
+let query t q = payload t ("QUERY " ^ q)
+
+let why t f = payload t ("WHY " ^ f)
+
+let stats t = payload t "STATS"

@@ -1,0 +1,30 @@
+(** A blocking client for the PathLog query server — the other end of
+    {!Protocol}. One request in flight per connection; not thread-safe
+    (give each thread its own connection, as the bench load generator
+    does). *)
+
+type t
+
+(** Connect, or raise [Unix.Unix_error] if the server is not there. *)
+val connect : Server.address -> t
+
+val close : t -> unit
+
+(** Send one raw request line and read the reply frame. *)
+val request :
+  t -> string -> (Protocol.reply, [ `Eof | `Malformed of string ]) result
+
+(** [PING] round-trip; [false] on any non-[PONG] outcome. *)
+val ping : t -> bool
+
+(** [QUERY q]: payload lines on success ([["yes"]] / [["no"]] for ground
+    queries, otherwise a tab-separated header line followed by rows).
+    [Error _] carries a one-line description of ERR/BUSY/transport
+    failures. *)
+val query : t -> string -> (string list, string) result
+
+(** [WHY f]: the proof-tree lines. *)
+val why : t -> string -> (string list, string) result
+
+(** [STATS]: the [key value] lines. *)
+val stats : t -> (string list, string) result

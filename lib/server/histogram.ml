@@ -1,0 +1,89 @@
+(* Upper bounds in microseconds: 1, 2, 5, 10, 20, 50, ... per decade up to
+   1e8 us (100 s), then one overflow bucket. *)
+let bounds =
+  let steps = [ 1; 2; 5 ] in
+  let rec decades acc mult =
+    if mult > 100_000_000 then List.rev acc
+    else
+      decades
+        (List.rev_append (List.map (fun s -> s * mult) steps) acc)
+        (mult * 10)
+  in
+  Array.of_list (decades [] 1)
+
+type t = {
+  counts : int array;  (* length (Array.length bounds) + 1; last = overflow *)
+  mutable n : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  {
+    counts = Array.make (Array.length bounds + 1) 0;
+    n = 0;
+    sum = 0.;
+    min = infinity;
+    max = neg_infinity;
+  }
+
+let bucket_index us =
+  (* first bound >= us, by binary search *)
+  let lo = ref 0 and hi = ref (Array.length bounds) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if bounds.(mid) >= us then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe t seconds =
+  let seconds = if seconds < 0. then 0. else seconds in
+  let us = int_of_float (ceil (seconds *. 1e6)) in
+  let i = bucket_index us in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. seconds;
+  if seconds < t.min then t.min <- seconds;
+  if seconds > t.max then t.max <- seconds
+
+let count t = t.n
+
+let min_s t = if t.n = 0 then 0. else t.min
+
+let max_s t = if t.n = 0 then 0. else t.max
+
+let mean_s t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+let percentile t q =
+  if t.n = 0 then 0.
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = int_of_float (ceil (q *. float_of_int t.n)) in
+    let rank = if rank < 1 then 1 else rank in
+    let acc = ref 0 and idx = ref (Array.length t.counts - 1) in
+    (try
+       Array.iteri
+         (fun i c ->
+           acc := !acc + c;
+           if !acc >= rank then begin
+             idx := i;
+             raise Exit
+           end)
+         t.counts
+     with Exit -> ());
+    if !idx >= Array.length bounds then max_s t
+    else float_of_int bounds.(!idx) /. 1e6
+  end
+
+let buckets t =
+  let out = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        let bound =
+          if i >= Array.length bounds then max_int else bounds.(i)
+        in
+        out := (bound, c) :: !out)
+    t.counts;
+  List.rev !out

@@ -1,0 +1,33 @@
+(** A fixed-bucket latency histogram.
+
+    Buckets are log-spaced upper bounds in microseconds from 1us to ~100s
+    (4 per decade), plus a final overflow bucket, so recording is O(log
+    buckets), memory is constant, and any percentile is answerable from
+    the cumulative counts with bounded relative error (~ one bucket
+    width, i.e. under 2x). Not thread-safe on its own — {!Metrics} wraps
+    observations in its lock. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one observation, in seconds. *)
+val observe : t -> float -> unit
+
+val count : t -> int
+
+(** Minimum / mean / maximum of the exact observations (not bucketed), in
+    seconds; 0 when empty. *)
+val min_s : t -> float
+
+val mean_s : t -> float
+
+val max_s : t -> float
+
+(** [percentile t 0.99] is an upper bound (the bucket boundary) for the
+    given quantile, in seconds; 0 when empty. *)
+val percentile : t -> float -> float
+
+(** Non-empty buckets as [(upper_bound_us, count)] in increasing bound
+    order; the overflow bucket reports [max_int] as its bound. *)
+val buckets : t -> (int * int) list

@@ -1,0 +1,118 @@
+type outcome = Ok | Error | Busy | Timeout
+
+let outcome_to_string = function
+  | Ok -> "ok"
+  | Error -> "error"
+  | Busy -> "busy"
+  | Timeout -> "timeout"
+
+type t = {
+  lock : Mutex.t;
+  started_at : float;
+  counters : (string * string, int ref) Hashtbl.t;
+  latency : Histogram.t;
+  mutable requests_total : int;
+  mutable connections_active : int;
+  mutable connections_total : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    counters = Hashtbl.create 16;
+    latency = Histogram.create ();
+    requests_total = 0;
+    connections_active = 0;
+    connections_total = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record t ~verb ~outcome ~latency_s =
+  with_lock t (fun () ->
+      let key = (verb, outcome_to_string outcome) in
+      (match Hashtbl.find_opt t.counters key with
+      | Some r -> incr r
+      | None -> Hashtbl.add t.counters key (ref 1));
+      t.requests_total <- t.requests_total + 1;
+      Histogram.observe t.latency latency_s)
+
+let connection_opened t =
+  with_lock t (fun () ->
+      t.connections_active <- t.connections_active + 1;
+      t.connections_total <- t.connections_total + 1)
+
+let connection_closed t =
+  with_lock t (fun () -> t.connections_active <- t.connections_active - 1)
+
+type snapshot = {
+  uptime_s : float;
+  connections_active : int;
+  connections_total : int;
+  requests_total : int;
+  by_verb_outcome : (string * string * int) list;
+  latency_count : int;
+  latency_min_s : float;
+  latency_mean_s : float;
+  latency_max_s : float;
+  latency_p50_s : float;
+  latency_p99_s : float;
+  latency_buckets : (int * int) list;
+}
+
+let snapshot t =
+  with_lock t (fun () ->
+      {
+        uptime_s = Unix.gettimeofday () -. t.started_at;
+        connections_active = t.connections_active;
+        connections_total = t.connections_total;
+        requests_total = t.requests_total;
+        by_verb_outcome =
+          Hashtbl.fold
+            (fun (v, o) r acc -> (v, o, !r) :: acc)
+            t.counters []
+          |> List.sort compare;
+        latency_count = Histogram.count t.latency;
+        latency_min_s = Histogram.min_s t.latency;
+        latency_mean_s = Histogram.mean_s t.latency;
+        latency_max_s = Histogram.max_s t.latency;
+        latency_p50_s = Histogram.percentile t.latency 0.5;
+        latency_p99_s = Histogram.percentile t.latency 0.99;
+        latency_buckets = Histogram.buckets t.latency;
+      })
+
+let us s = int_of_float (ceil (s *. 1e6))
+
+let render snap ~store =
+  let { Oodb.Store.objects; isa_edges; scalar_tuples; set_tuples } = store in
+  [
+    Printf.sprintf "uptime_s %.3f" snap.uptime_s;
+    Printf.sprintf "connections_active %d" snap.connections_active;
+    Printf.sprintf "connections_total %d" snap.connections_total;
+    Printf.sprintf "requests_total %d" snap.requests_total;
+  ]
+  @ List.map
+      (fun (v, o, n) -> Printf.sprintf "requests %s %s %d" v o n)
+      snap.by_verb_outcome
+  @ [
+      Printf.sprintf "latency_count %d" snap.latency_count;
+      Printf.sprintf "latency_min_us %d" (us snap.latency_min_s);
+      Printf.sprintf "latency_mean_us %d" (us snap.latency_mean_s);
+      Printf.sprintf "latency_max_us %d" (us snap.latency_max_s);
+      Printf.sprintf "latency_p50_us %d" (us snap.latency_p50_s);
+      Printf.sprintf "latency_p99_us %d" (us snap.latency_p99_s);
+    ]
+  @ List.map
+      (fun (bound, n) ->
+        if bound = max_int then Printf.sprintf "latency_le inf %d" n
+        else Printf.sprintf "latency_le %dus %d" bound n)
+      snap.latency_buckets
+  @ [
+      Printf.sprintf "store_objects %d" objects;
+      Printf.sprintf "store_isa_edges %d" isa_edges;
+      Printf.sprintf "store_scalar_tuples %d" scalar_tuples;
+      Printf.sprintf "store_set_tuples %d" set_tuples;
+    ]

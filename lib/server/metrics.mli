@@ -1,0 +1,41 @@
+(** Live server metrics: request counters by verb and outcome, a latency
+    histogram, and connection gauges. All operations are thread-safe (one
+    internal lock) and cheap enough to sit on the request path. *)
+
+type t
+
+type outcome = Ok | Error | Busy | Timeout
+
+val outcome_to_string : outcome -> string
+
+val create : unit -> t
+
+(** Count one finished request and fold its wall-clock latency into the
+    histogram. *)
+val record : t -> verb:string -> outcome:outcome -> latency_s:float -> unit
+
+val connection_opened : t -> unit
+
+val connection_closed : t -> unit
+
+type snapshot = {
+  uptime_s : float;
+  connections_active : int;
+  connections_total : int;
+  requests_total : int;
+  by_verb_outcome : (string * string * int) list;
+      (** (verb, outcome, count), sorted *)
+  latency_count : int;
+  latency_min_s : float;
+  latency_mean_s : float;
+  latency_max_s : float;
+  latency_p50_s : float;
+  latency_p99_s : float;
+  latency_buckets : (int * int) list;  (** (upper_bound_us, count) *)
+}
+
+val snapshot : t -> snapshot
+
+(** Render a snapshot plus the store statistics as [key value] lines —
+    the payload of a [STATS] reply. *)
+val render : snapshot -> store:Oodb.Store.stats -> string list

@@ -1,0 +1,87 @@
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  capacity : int;
+  mutable workers : Thread.t array;
+  mutable active : int;  (* queued + running, bounded by workers + capacity *)
+  mutable stopping : bool;
+  mutable joined : bool;
+}
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.jobs && not t.stopping do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.jobs then begin
+      (* stopping and drained *)
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.jobs in
+      Mutex.unlock t.lock;
+      (try job () with _ -> ());
+      Mutex.lock t.lock;
+      t.active <- t.active - 1;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers ~capacity =
+  if workers < 1 then invalid_arg "Pool.create: workers < 1";
+  if capacity < 0 then invalid_arg "Pool.create: capacity < 0";
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      capacity;
+      workers = [||];
+      active = 0;
+      stopping = false;
+      joined = false;
+    }
+  in
+  t.workers <- Array.init workers (fun _ -> Thread.create (worker_loop t) ());
+  t
+
+let submit t job =
+  Mutex.lock t.lock;
+  let decision =
+    (* [active] counts queued + running jobs: an idle worker admits even
+       with [capacity = 0], and at most [capacity] jobs ever wait. *)
+    if t.stopping || t.active >= Array.length t.workers + t.capacity then
+      `Rejected
+    else begin
+      t.active <- t.active + 1;
+      Queue.push job t.jobs;
+      Condition.signal t.nonempty;
+      `Accepted
+    end
+  in
+  Mutex.unlock t.lock;
+  decision
+
+let queued t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.lock;
+  n
+
+let workers t = Array.length t.workers
+
+let capacity t = t.capacity
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let join = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.lock;
+  if join then Array.iter Thread.join t.workers

@@ -1,0 +1,35 @@
+(** A bounded worker pool with explicit admission control.
+
+    Jobs go through a fixed-capacity queue served by a fixed set of worker
+    threads. When the queue is full, {!submit} refuses immediately instead
+    of queueing unboundedly — the caller turns that refusal into a [BUSY]
+    reply, which is the server's load-shedding contract: memory use is
+    bounded by [capacity] regardless of offered load.
+
+    {!shutdown} drains gracefully: no new admissions, every already-queued
+    job still runs, then the workers are joined. *)
+
+type t
+
+(** [create ~workers ~capacity] starts [workers] threads serving a queue
+    that admits at most [capacity] waiting jobs (jobs being executed do
+    not count against [capacity]).
+    @raise Invalid_argument if [workers < 1] or [capacity < 0] *)
+val create : workers:int -> capacity:int -> t
+
+(** Admit a job, or refuse: [`Rejected] when the queue is at capacity or
+    the pool is shutting down. Jobs must not raise — a raising job is
+    caught and dropped (the pool survives), but the exception is lost. *)
+val submit : t -> (unit -> unit) -> [ `Accepted | `Rejected ]
+
+(** Jobs waiting in the queue right now (diagnostics). *)
+val queued : t -> int
+
+val workers : t -> int
+
+val capacity : t -> int
+
+(** Graceful drain: refuse new jobs, run everything already admitted, join
+    the worker threads. Idempotent; safe to call from any thread except a
+    pool worker. *)
+val shutdown : t -> unit

@@ -1,0 +1,152 @@
+type request =
+  | Ping
+  | Stats
+  | Query of string
+  | Why of string
+  | Quit
+
+type error_code = Parse | Badreq | Toolarge | Timeout | Internal
+
+let code_to_string = function
+  | Parse -> "PARSE"
+  | Badreq -> "BADREQ"
+  | Toolarge -> "TOOLARGE"
+  | Timeout -> "TIMEOUT"
+  | Internal -> "INTERNAL"
+
+let code_of_string = function
+  | "PARSE" -> Some Parse
+  | "BADREQ" -> Some Badreq
+  | "TOOLARGE" -> Some Toolarge
+  | "TIMEOUT" -> Some Timeout
+  | "INTERNAL" -> Some Internal
+  | _ -> None
+
+let verb = function
+  | Ping -> "PING"
+  | Stats -> "STATS"
+  | Query _ -> "QUERY"
+  | Why _ -> "WHY"
+  | Quit -> "QUIT"
+
+(* Split "VERB rest" on the first run of blanks; the verb is
+   case-insensitive, the argument is passed through verbatim. *)
+let split_verb line =
+  let n = String.length line in
+  let rec scan i = if i < n && line.[i] <> ' ' && line.[i] <> '\t' then scan (i + 1) else i in
+  let stop = scan 0 in
+  let rec skip i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip (i + 1) else i in
+  let rest_at = skip stop in
+  (String.uppercase_ascii (String.sub line 0 stop),
+   String.sub line rest_at (n - rest_at))
+
+let parse_request line =
+  let line = String.trim line in
+  if line = "" then Stdlib.Error (Badreq, "empty request")
+  else
+    let v, arg = split_verb line in
+    match v with
+    | "PING" -> Stdlib.Ok Ping
+    | "STATS" -> Stdlib.Ok Stats
+    | "QUIT" -> Stdlib.Ok Quit
+    | "QUERY" ->
+      if arg = "" then Stdlib.Error (Badreq, "QUERY needs a query")
+      else Stdlib.Ok (Query arg)
+    | "WHY" ->
+      if arg = "" then Stdlib.Error (Badreq, "WHY needs a fact")
+      else Stdlib.Ok (Why arg)
+    | other -> Stdlib.Error (Badreq, "unknown verb " ^ other)
+
+type reply =
+  | Pong
+  | Ok of string list
+  | Busy of string
+  | Err of error_code * string
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+(* Payload lines with embedded newlines become several frame lines, keeping
+   the OK count honest. *)
+let flatten_payload lines =
+  List.concat_map
+    (fun l ->
+      match String.split_on_char '\n' l with
+      | [] -> [ "" ]
+      | parts -> List.map (String.map (function '\r' -> ' ' | c -> c)) parts)
+    lines
+
+let render_reply reply =
+  let b = Buffer.create 128 in
+  (match reply with
+  | Pong -> Buffer.add_string b "PONG\n"
+  | Busy msg ->
+    Buffer.add_string b ("BUSY " ^ one_line msg ^ "\n")
+  | Err (code, msg) ->
+    Buffer.add_string b ("ERR " ^ code_to_string code ^ " " ^ one_line msg ^ "\n")
+  | Ok lines ->
+    let lines = flatten_payload lines in
+    Buffer.add_string b (Printf.sprintf "OK %d\n" (List.length lines));
+    List.iter
+      (fun l ->
+        Buffer.add_string b l;
+        Buffer.add_char b '\n')
+      lines);
+  Buffer.contents b
+
+let read_reply ic =
+  match input_line ic with
+  | exception End_of_file -> Stdlib.Error `Eof
+  | header -> (
+    let header = String.trim header in
+    let v, rest = split_verb header in
+    match v with
+    | "PONG" -> Stdlib.Ok Pong
+    | "BUSY" -> Stdlib.Ok (Busy rest)
+    | "ERR" -> (
+      let c, msg = split_verb rest in
+      match code_of_string c with
+      | Some code -> Stdlib.Ok (Err (code, msg))
+      | None -> Stdlib.Error (`Malformed ("unknown error code " ^ c)))
+    | "OK" -> (
+      match int_of_string_opt (String.trim rest) with
+      | None -> Stdlib.Error (`Malformed ("bad OK count " ^ rest))
+      | Some n when n < 0 -> Stdlib.Error (`Malformed "negative OK count")
+      | Some n -> (
+        let rec collect acc k =
+          if k = 0 then Stdlib.Ok (Ok (List.rev acc))
+          else
+            match input_line ic with
+            | exception End_of_file ->
+              Stdlib.Error (`Malformed "truncated payload")
+            | l -> collect (l :: acc) (k - 1)
+        in
+        collect [] n))
+    | other -> Stdlib.Error (`Malformed ("unknown reply " ^ other)))
+
+let input_line_bounded ic ~max =
+  let b = Buffer.create 256 in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file ->
+      if Buffer.length b = 0 then Stdlib.Error `Eof
+      else Stdlib.Ok (Buffer.contents b)
+    | '\n' -> Stdlib.Ok (Buffer.contents b)
+    | c ->
+      if Buffer.length b >= max then begin
+        (* drain the rest of the oversized line to stay framed *)
+        let rec drain () =
+          match input_char ic with
+          | exception End_of_file -> ()
+          | '\n' -> ()
+          | _ -> drain ()
+        in
+        drain ();
+        Stdlib.Error `Toolarge
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+  in
+  go ()

@@ -1,0 +1,79 @@
+(** The wire protocol of the PathLog query server.
+
+    Newline-delimited text, symmetrical and trivially scriptable (think
+    redis/memcached): a client sends one request per line, the server
+    answers with a one-line header optionally followed by a counted
+    payload. Requests never kill the connection — every malformed,
+    oversized or failed request gets an [ERR] (or [BUSY]) reply and the
+    session continues.
+
+    {2 Requests}
+
+    {v
+    PING                 liveness probe
+    STATS                server counters + latency histogram
+    QUERY <literals>     answer a PathLog query, e.g. QUERY X : employee.color[Z]
+    WHY <fact>           proof tree of a ground fact, e.g. WHY e1 : employee
+    QUIT                 polite close
+    v}
+
+    {2 Replies}
+
+    {v
+    PONG                          to PING
+    OK <n>                        followed by exactly <n> payload lines
+    BUSY <message>                load shed: retry later
+    ERR <CODE> <message>          the request failed; connection stays open
+    v}
+
+    Error codes: [PARSE] (query/fact does not parse or is ill-formed),
+    [BADREQ] (unknown verb or empty request), [TOOLARGE] (request line
+    exceeded the server's byte limit), [TIMEOUT] (the request spent
+    longer than its deadline in the admission queue), [INTERNAL]
+    (unexpected server-side failure).
+
+    Payload lines are guaranteed single-line (embedded newlines are
+    escaped during framing). *)
+
+type request =
+  | Ping
+  | Stats
+  | Query of string
+  | Why of string
+  | Quit
+
+type error_code = Parse | Badreq | Toolarge | Timeout | Internal
+
+val code_to_string : error_code -> string
+
+val code_of_string : string -> error_code option
+
+(** Parse one request line (without its trailing newline). *)
+val parse_request : string -> (request, error_code * string) result
+
+(** The verb of a request, as it appears on the wire ("PING", "QUERY", ...);
+    used as a metrics key. *)
+val verb : request -> string
+
+type reply =
+  | Pong
+  | Ok of string list  (** payload lines *)
+  | Busy of string
+  | Err of error_code * string
+
+(** Render a reply to wire format, every line newline-terminated. Payload
+    lines containing newlines are split into further payload lines, so the
+    frame is always self-describing. *)
+val render_reply : reply -> string
+
+(** Read one reply frame (header plus counted payload) from a channel.
+    [Error `Eof] on a cleanly closed connection, [Error (`Malformed s)] if
+    the peer violates the framing. *)
+val read_reply :
+  in_channel -> (reply, [ `Eof | `Malformed of string ]) result
+
+(** Read one line of at most [max] bytes (excluding the newline) from a
+    channel. On overflow the rest of the line is drained and discarded so
+    the stream stays framed, and [`Toolarge] is returned. *)
+val input_line_bounded :
+  in_channel -> max:int -> (string, [ `Eof | `Toolarge ]) result

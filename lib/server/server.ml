@@ -1,0 +1,404 @@
+module Program = Engine.Program
+
+type address =
+  | Tcp of string * int
+  | Unix_path of string
+
+let pp_address ppf = function
+  | Tcp (host, port) -> Format.fprintf ppf "%s:%d" host port
+  | Unix_path p -> Format.fprintf ppf "unix:%s" p
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  max_request_bytes : int;
+  deadline_s : float option;
+  work_delay_s : float;
+  paranoid : bool;
+}
+
+let default_config =
+  {
+    workers = 4;
+    queue_capacity = 64;
+    max_request_bytes = 64 * 1024;
+    deadline_s = None;
+    work_delay_s = 0.;
+    paranoid = true;
+  }
+
+(* A one-shot mailbox: the session thread parks on it while a pool worker
+   computes the reply, so every socket write stays in the session thread. *)
+module Ivar = struct
+  type 'a t = {
+    m : Mutex.t;
+    c : Condition.t;
+    mutable v : 'a option;
+  }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t v =
+    Mutex.lock t.m;
+    t.v <- Some v;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let read t =
+    Mutex.lock t.m;
+    while t.v = None do
+      Condition.wait t.c t.m
+    done;
+    let v = Option.get t.v in
+    Mutex.unlock t.m;
+    v
+end
+
+type t = {
+  program : Program.t;
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound : address;
+  pool : Pool.t;
+  metrics : Metrics.t;
+  store_lock : Mutex.t;  (* serialises evaluation against the shared store *)
+  stop_m : Mutex.t;
+  stop_c : Condition.t;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+  conns_lock : Mutex.t;
+  conns : (Unix.file_descr, Thread.t) Hashtbl.t;
+  mutable closed : bool;
+}
+
+let address t = t.bound
+
+let metrics t = t.metrics
+
+let config t = t.config
+
+let request_stop t =
+  Mutex.lock t.stop_m;
+  t.stopping <- true;
+  Condition.broadcast t.stop_c;
+  Mutex.unlock t.stop_m
+
+let await t =
+  Mutex.lock t.stop_m;
+  while not t.stopping do
+    Condition.wait t.stop_c t.stop_m
+  done;
+  Mutex.unlock t.stop_m
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> request_stop t) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation (runs in pool workers, under the store lock).    *)
+
+let store_tuples st =
+  let s = Oodb.Store.stats st in
+  (s.isa_edges, s.scalar_tuples, s.set_tuples)
+
+let render_answer t (a : Program.answer) =
+  match a.columns with
+  | [] -> [ (if a.rows = [] then "no" else "yes") ]
+  | columns ->
+    let u = Program.universe t.program in
+    String.concat "\t" columns
+    :: List.map
+         (fun row ->
+           String.concat "\t" (List.map (Oodb.Universe.to_string u) row))
+         a.rows
+
+(* Queries are read-only modulo interning: they may add objects to the
+   universe (constants first seen in query text) but never isa edges or
+   method tuples. Assert exactly that. *)
+let with_readonly_store t f =
+  Mutex.lock t.store_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.store_lock)
+    (fun () ->
+      let st = Program.store t.program in
+      let before = if t.config.paranoid then Some (store_tuples st) else None in
+      let reply = f () in
+      match before with
+      | Some b when store_tuples st <> b ->
+        Protocol.Err
+          ( Protocol.Internal,
+            "invariant violation: a read-only request mutated the store" )
+      | _ -> reply)
+
+let eval_request t req =
+  let st = Program.store t.program in
+  match req with
+  | Protocol.Query q ->
+    with_readonly_store t (fun () ->
+        match Program.query_string t.program q with
+        | answer -> Protocol.Ok (render_answer t answer)
+        | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
+        | exception e -> (
+          match Engine.Err.message st e with
+          | Some msg -> Protocol.Err (Protocol.Parse, msg)
+          | None ->
+            Protocol.Err (Protocol.Internal, Printexc.to_string e)))
+  | Protocol.Why q ->
+    with_readonly_store t (fun () ->
+        match Program.why_string t.program q with
+        | Some proof ->
+          let u = Program.universe t.program in
+          let text =
+            Format.asprintf "%a" (Engine.Provenance.pp_proof u) proof
+          in
+          Protocol.Ok (String.split_on_char '\n' text)
+        | None -> Protocol.Ok [ "not in the model" ]
+        | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
+        | exception e -> (
+          match Engine.Err.message st e with
+          | Some msg -> Protocol.Err (Protocol.Parse, msg)
+          | None ->
+            Protocol.Err (Protocol.Internal, Printexc.to_string e)))
+  | Protocol.Ping | Protocol.Stats | Protocol.Quit ->
+    (* handled inline by the session; unreachable here *)
+    Protocol.Err (Protocol.Internal, "verb not pooled")
+
+let stats_reply t =
+  Protocol.Ok
+    (Metrics.render
+       (Metrics.snapshot t.metrics)
+       ~store:(Oodb.Store.stats (Program.store t.program)))
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+
+let outcome_of_reply = function
+  | Protocol.Ok _ | Protocol.Pong -> Metrics.Ok
+  | Protocol.Busy _ -> Metrics.Busy
+  | Protocol.Err (Protocol.Timeout, _) -> Metrics.Timeout
+  | Protocol.Err _ -> Metrics.Error
+
+let write_reply oc reply =
+  output_string oc (Protocol.render_reply reply);
+  flush oc
+
+let handle_pooled t req =
+  let admitted_at = Unix.gettimeofday () in
+  let deadline =
+    Option.map (fun d -> admitted_at +. d) t.config.deadline_s
+  in
+  let ivar = Ivar.create () in
+  let job () =
+    let reply =
+      match deadline with
+      | Some d when Unix.gettimeofday () > d ->
+        Protocol.Err (Protocol.Timeout, "deadline exceeded in queue")
+      | _ ->
+        if t.config.work_delay_s > 0. then Thread.delay t.config.work_delay_s;
+        eval_request t req
+    in
+    Ivar.fill ivar reply
+  in
+  match Pool.submit t.pool job with
+  | `Accepted -> Ivar.read ivar
+  | `Rejected ->
+    Protocol.Busy
+      (Printf.sprintf "admission queue full (%d workers, queue capacity %d)"
+         (Pool.workers t.pool) (Pool.capacity t.pool))
+
+let session t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Metrics.connection_opened t.metrics;
+  let finish () =
+    Metrics.connection_closed t.metrics;
+    Mutex.lock t.conns_lock;
+    Hashtbl.remove t.conns fd;
+    Mutex.unlock t.conns_lock;
+    close_out_noerr oc;
+    close_in_noerr ic
+  in
+  let record verb reply started =
+    Metrics.record t.metrics ~verb ~outcome:(outcome_of_reply reply)
+      ~latency_s:(Unix.gettimeofday () -. started)
+  in
+  let rec loop () =
+    match Protocol.input_line_bounded ic ~max:t.config.max_request_bytes with
+    | Error `Eof -> ()
+    | Error `Toolarge ->
+      let started = Unix.gettimeofday () in
+      let reply =
+        Protocol.Err
+          ( Protocol.Toolarge,
+            Printf.sprintf "request exceeds %d bytes"
+              t.config.max_request_bytes )
+      in
+      write_reply oc reply;
+      record "?" reply started;
+      loop ()
+    | Ok line -> (
+      let started = Unix.gettimeofday () in
+      match Protocol.parse_request line with
+      | Error (code, msg) ->
+        let reply = Protocol.Err (code, msg) in
+        write_reply oc reply;
+        record "?" reply started;
+        loop ()
+      | Ok req -> (
+        let verb = Protocol.verb req in
+        match req with
+        | Protocol.Quit ->
+          write_reply oc (Protocol.Ok []);
+          record verb (Protocol.Ok []) started
+        | Protocol.Ping ->
+          write_reply oc Protocol.Pong;
+          record verb Protocol.Pong started;
+          loop ()
+        | Protocol.Stats ->
+          let reply = stats_reply t in
+          write_reply oc reply;
+          record verb reply started;
+          loop ()
+        | Protocol.Query _ | Protocol.Why _ ->
+          let reply = handle_pooled t req in
+          write_reply oc reply;
+          record verb reply started;
+          if not t.stopping then loop ()))
+  in
+  (try loop () with
+  | Sys_error _ | End_of_file -> ()
+  | Unix.Unix_error _ -> ());
+  finish ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                         *)
+
+let accept_loop t () =
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+          ->
+          loop ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+        | fd, _peer ->
+          if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+          else begin
+            let th = Thread.create (session t) fd in
+            Mutex.lock t.conns_lock;
+            Hashtbl.replace t.conns fd th;
+            Mutex.unlock t.conns_lock;
+            loop ()
+          end)
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+let inet_addr_of host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+      failwith ("cannot resolve host " ^ host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+
+let create ?(config = default_config) ~program addr =
+  if Sys.os_type <> "Win32" then
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd, bound =
+    match addr with
+    | Tcp (host, port) ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (inet_addr_of host, port));
+         Unix.listen fd 128
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> port
+      in
+      (fd, Tcp (host, port))
+    | Unix_path path ->
+      (try if Sys.file_exists path then Unix.unlink path
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 128
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      (fd, Unix_path path)
+  in
+  let t =
+    {
+      program;
+      config;
+      listen_fd;
+      bound;
+      pool = Pool.create ~workers:config.workers ~capacity:config.queue_capacity;
+      metrics = Metrics.create ();
+      store_lock = Mutex.create ();
+      stop_m = Mutex.create ();
+      stop_c = Condition.create ();
+      stopping = false;
+      accept_thread = None;
+      conns_lock = Mutex.create ();
+      conns = Hashtbl.create 32;
+      closed = false;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let shutdown t =
+  request_stop t;
+  let first =
+    Mutex.lock t.conns_lock;
+    let f = not t.closed in
+    t.closed <- true;
+    Mutex.unlock t.conns_lock;
+    f
+  in
+  if first then begin
+    (* 1. stop accepting *)
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (* 2. finish every admitted request; replies reach their sessions *)
+    Pool.shutdown t.pool;
+    (* 3. wake sessions parked in read and let them exit *)
+    let sessions =
+      Mutex.lock t.conns_lock;
+      let l = Hashtbl.fold (fun fd th acc -> (fd, th) :: acc) t.conns [] in
+      Mutex.unlock t.conns_lock;
+      l
+    in
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      sessions;
+    List.iter (fun (_, th) -> Thread.join th) sessions;
+    (* 4. release the listener *)
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match t.bound with
+    | Unix_path path -> (
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | Tcp _ -> ()
+  end
+
+let serve t =
+  await t;
+  shutdown t

@@ -1,0 +1,87 @@
+(** A long-running concurrent query server over one materialised
+    {!Engine.Program}.
+
+    The program is loaded and evaluated once; after that every request is
+    read-only with respect to the model — queries only {e intern} new
+    constants appearing in query text into the universe, they never add
+    isa edges or method tuples. That invariant is what makes one shared
+    store safe for many sessions, and the server asserts it around every
+    request (see {!config.paranoid}): a request that grows the tuple
+    counts is answered with [ERR INTERNAL] and reported, instead of
+    silently corrupting the model.
+
+    Architecture: one accept thread, one lightweight session thread per
+    connection (blocking reads), and a bounded {!Pool} of query workers
+    behind an admission queue. [PING]/[STATS]/[QUIT] are answered inline
+    by the session thread so health checks and metrics stay responsive
+    under full load; [QUERY]/[WHY] go through the pool and are shed with
+    [BUSY] when the queue is full. Query evaluation itself is serialised
+    by a store lock — OCaml sys-threads interleave at allocation points,
+    and interning mutates the universe — so the pool buys concurrency of
+    {e sessions} (slow readers, many sockets) rather than parallel
+    compute.
+
+    Shutdown ({!shutdown}, or SIGINT/SIGTERM after
+    {!install_signal_handlers}) drains gracefully: stop accepting, finish
+    every admitted request, push out the replies, then close all sockets
+    and join all threads. *)
+
+type address =
+  | Tcp of string * int  (** host, port; port 0 binds an ephemeral port *)
+  | Unix_path of string  (** path of a unix-domain socket *)
+
+val pp_address : Format.formatter -> address -> unit
+
+type config = {
+  workers : int;  (** query worker threads *)
+  queue_capacity : int;  (** admission queue bound; beyond it: [BUSY] *)
+  max_request_bytes : int;  (** request-line limit; beyond it: [TOOLARGE] *)
+  deadline_s : float option;
+      (** per-request deadline, measured from admission; a request that
+          reaches a worker after its deadline is answered [ERR TIMEOUT]
+          without being evaluated *)
+  work_delay_s : float;
+      (** artificial service time added in the worker before evaluation;
+          0 in production — tests and the load generator use it to make
+          saturation and deadline behaviour deterministic *)
+  paranoid : bool;
+      (** assert the read-only invariant around every request (cheap:
+          compares {!Oodb.Store.stats} tuple counts); on by default *)
+}
+
+val default_config : config
+
+type t
+
+(** Bind, listen, and start the accept thread. The listening socket is
+    ready (and for [Tcp _ 0] the real port is known) when [create]
+    returns.
+    @raise Unix.Unix_error if the address cannot be bound *)
+val create : ?config:config -> program:Engine.Program.t -> address -> t
+
+(** The bound address, with the actual port filled in. *)
+val address : t -> address
+
+val metrics : t -> Metrics.t
+
+val config : t -> config
+
+(** Ask the server to stop. Cheap and async-signal-safe in spirit: sets a
+    flag and wakes the accept loop; does not block, does not join.
+    {!await} / {!shutdown} complete the drain. *)
+val request_stop : t -> unit
+
+(** Block until {!request_stop} (e.g. from a signal handler) is called. *)
+val await : t -> unit
+
+(** Graceful drain: {!request_stop}, finish admitted requests, close every
+    socket, join every thread, unlink the unix socket path if any.
+    Idempotent. *)
+val shutdown : t -> unit
+
+(** Route SIGINT and SIGTERM to {!request_stop} on this server. *)
+val install_signal_handlers : t -> unit
+
+(** [serve t] = {!await} then {!shutdown} — the body of
+    [pathlog serve]. *)
+val serve : t -> unit

@@ -18,4 +18,5 @@ let () =
       ("differential", Test_differential.suite);
       ("normalize", Test_normalize.suite);
       ("coverage", Test_coverage.suite);
+      ("server", Test_server.suite);
     ]

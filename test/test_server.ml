@@ -1,0 +1,458 @@
+(* The query server: protocol framing, admission control, metrics,
+   concurrent correctness, graceful shutdown. *)
+
+open Helpers
+module Protocol = Pathlog.Protocol
+module Server = Pathlog.Server
+module Client = Pathlog.Client
+
+let test_program =
+  {|
+  automobile :: vehicle.
+  manager :: employee.
+  e1 : employee[age -> 30; city -> newYork].
+  e2 : employee[age -> 45; city -> boston].
+  m1 : manager[age -> 50; city -> newYork].
+  e1[vehicles ->> {a1, v1}].
+  a1 : automobile[cylinders -> 4; color -> red].
+  v1 : vehicle[color -> blue].
+  |}
+
+(* The server's own framing of an answer (columns + tab-separated rows),
+   recomputed locally to validate responses byte-for-byte. *)
+let expected_payload p q =
+  let a = Pathlog.Program.query_string p q in
+  match a.columns with
+  | [] -> [ (if a.rows = [] then "no" else "yes") ]
+  | columns ->
+    let u = Pathlog.Program.universe p in
+    String.concat "\t" columns
+    :: List.map
+         (fun row ->
+           String.concat "\t"
+             (List.map (Pathlog.Universe.to_string u) row))
+         a.rows
+
+let with_server ?config ?(program = test_program) f =
+  let p = load program in
+  let srv = Server.create ?config ~program:p (Server.Tcp ("127.0.0.1", 0)) in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) (fun () -> f p srv)
+
+let with_client srv f =
+  let c = Client.connect (Server.address srv) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol unit tests (no sockets)                                    *)
+
+let test_parse_request () =
+  let ok r line =
+    Alcotest.(check bool)
+      line true
+      (match Protocol.parse_request line with
+      | Ok got -> got = r
+      | Error _ -> false)
+  in
+  let err line =
+    Alcotest.(check bool)
+      line true
+      (match Protocol.parse_request line with
+      | Ok _ -> false
+      | Error (Protocol.Badreq, _) -> true
+      | Error _ -> false)
+  in
+  ok Protocol.Ping "PING";
+  ok Protocol.Ping "  ping  ";
+  ok Protocol.Stats "STATS";
+  ok Protocol.Quit "quit";
+  ok (Protocol.Query "X : employee") "QUERY X : employee";
+  ok (Protocol.Query "X : employee") "query   X : employee";
+  ok (Protocol.Why "e1 : employee") "WHY e1 : employee";
+  err "";
+  err "   ";
+  err "FROBNICATE all the things";
+  err "QUERY";
+  err "WHY   "
+
+let roundtrip reply =
+  let rendered = Protocol.render_reply reply in
+  let file = Filename.temp_file "plsrv" ".wire" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out_bin file in
+      output_string oc rendered;
+      close_out oc;
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Protocol.read_reply ic))
+
+let test_reply_roundtrip () =
+  let check name reply =
+    Alcotest.(check bool) name true (roundtrip reply = Ok reply)
+  in
+  check "pong" Protocol.Pong;
+  check "busy" (Protocol.Busy "queue full");
+  check "err" (Protocol.Err (Protocol.Parse, "unexpected token"));
+  check "ok empty" (Protocol.Ok []);
+  check "ok payload" (Protocol.Ok [ "X\tZ"; "e1\tred"; "e2\tblue" ]);
+  (* embedded newlines are split into extra payload lines, keeping the
+     frame self-describing *)
+  Alcotest.(check bool)
+    "newline payload reframed" true
+    (roundtrip (Protocol.Ok [ "a\nb" ]) = Ok (Protocol.Ok [ "a"; "b" ]))
+
+let test_bounded_line () =
+  let file = Filename.temp_file "plsrv" ".wire" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out_bin file in
+      output_string oc (String.make 100 'x' ^ "\nPING\n");
+      close_out oc;
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          Alcotest.(check bool)
+            "oversized line detected" true
+            (Protocol.input_line_bounded ic ~max:10 = Error `Toolarge);
+          (* the rest of the long line was drained: the stream is still
+             framed and the next request is readable *)
+          Alcotest.(check bool)
+            "stream stays framed" true
+            (Protocol.input_line_bounded ic ~max:10 = Ok "PING");
+          Alcotest.(check bool)
+            "eof" true
+            (Protocol.input_line_bounded ic ~max:10 = Error `Eof)))
+
+let test_histogram () =
+  let h = Pathlog.Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Pathlog.Histogram.count h);
+  Alcotest.(check bool)
+    "empty percentile" true
+    (Pathlog.Histogram.percentile h 0.99 = 0.);
+  (* 100 observations: 1ms .. 100ms *)
+  for i = 1 to 100 do
+    Pathlog.Histogram.observe h (float_of_int i /. 1000.)
+  done;
+  Alcotest.(check int) "count" 100 (Pathlog.Histogram.count h);
+  Alcotest.(check bool) "min" true (Pathlog.Histogram.min_s h = 0.001);
+  Alcotest.(check bool) "max" true (Pathlog.Histogram.max_s h = 0.1);
+  let p99 = Pathlog.Histogram.percentile h 0.99 in
+  (* the true p99 is 99ms; bucketed answer must be an upper bound within
+     one bucket (<= 100ms) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 bound (%f)" p99)
+    true
+    (p99 >= 0.099 && p99 <= 0.1);
+  let p50 = Pathlog.Histogram.percentile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 bound (%f)" p50)
+    true
+    (p50 >= 0.05 && p50 <= 0.1);
+  Alcotest.(check bool)
+    "mean" true
+    (abs_float (Pathlog.Histogram.mean_s h -. 0.0505) < 1e-9);
+  let total_bucketed =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 (Pathlog.Histogram.buckets h)
+  in
+  Alcotest.(check int) "buckets cover all" 100 total_bucketed
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_pool_sheds_and_drains () =
+  let pool = Pathlog.Pool.create ~workers:1 ~capacity:2 in
+  let gate = Mutex.create () in
+  let ran = Atomic.make 0 in
+  Mutex.lock gate;
+  (* the worker parks on the gate; everything else sits in the queue *)
+  let blocker () =
+    Mutex.lock gate;
+    Mutex.unlock gate;
+    Atomic.incr ran
+  in
+  Alcotest.(check bool)
+    "first job admitted" true
+    (Pathlog.Pool.submit pool blocker = `Accepted);
+  (* give the worker a moment to pick it up, then fill the queue *)
+  Thread.delay 0.05;
+  let accepted = ref 0 and rejected = ref 0 in
+  for _ = 1 to 10 do
+    match Pathlog.Pool.submit pool (fun () -> Atomic.incr ran) with
+    | `Accepted -> incr accepted
+    | `Rejected -> incr rejected
+  done;
+  Alcotest.(check int) "capacity admits exactly 2" 2 !accepted;
+  Alcotest.(check int) "the rest shed" 8 !rejected;
+  Mutex.unlock gate;
+  Pathlog.Pool.shutdown pool;
+  Alcotest.(check int) "every admitted job ran" 3 (Atomic.get ran);
+  Alcotest.(check bool)
+    "submit after shutdown rejected" true
+    (Pathlog.Pool.submit pool (fun () -> ()) = `Rejected)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over TCP loopback                                        *)
+
+let test_server_basics () =
+  with_server (fun p srv ->
+      with_client srv (fun c ->
+          Alcotest.(check bool) "ping" true (Client.ping c);
+          (* ground queries *)
+          Alcotest.(check bool)
+            "ground yes" true
+            (Client.query c "e1 : employee" = Ok [ "yes" ]);
+          Alcotest.(check bool)
+            "ground no" true
+            (Client.query c "e2 : manager" = Ok [ "no" ]);
+          (* a variable query, validated against local evaluation *)
+          let q = "X : employee..vehicles : automobile.color[Z]" in
+          Alcotest.(check bool)
+            "query payload matches local evaluation" true
+            (Client.query c q = Ok (expected_payload p q));
+          (* WHY gives a proof tree *)
+          (match Client.why c "e1 : employee" with
+          | Ok (first :: _) ->
+            Alcotest.(check bool)
+              "proof mentions the fact" true
+              (contains ~sub:"e1 : employee" first)
+          | Ok [] | Error _ -> Alcotest.fail "WHY failed");
+          (match Client.why c "e2 : manager" with
+          | Ok lines ->
+            Alcotest.(check bool)
+              "unknown fact" true
+              (lines = [ "not in the model" ])
+          | Error _ -> Alcotest.fail "WHY on absent fact failed");
+          (* errors never kill the connection *)
+          (match Client.request c "QUERY ][ not a query" with
+          | Ok (Protocol.Err (Protocol.Parse, _)) -> ()
+          | _ -> Alcotest.fail "expected ERR PARSE");
+          (match Client.request c "frobnicate" with
+          | Ok (Protocol.Err (Protocol.Badreq, _)) -> ()
+          | _ -> Alcotest.fail "expected ERR BADREQ");
+          Alcotest.(check bool) "alive after errors" true (Client.ping c);
+          (* STATS reflects the traffic *)
+          match Client.stats c with
+          | Error e -> Alcotest.fail ("STATS failed: " ^ e)
+          | Ok lines ->
+            let has prefix =
+              List.exists (String.starts_with ~prefix) lines
+            in
+            Alcotest.(check bool) "requests_total" true
+              (has "requests_total");
+            Alcotest.(check bool) "per-verb counters" true
+              (has "requests QUERY ok");
+            Alcotest.(check bool) "error counters" true
+              (has "requests QUERY error");
+            Alcotest.(check bool) "latency histogram" true
+              (has "latency_p99_us" && has "latency_le");
+            Alcotest.(check bool) "store stats" true
+              (has "store_objects" && has "store_scalar_tuples")))
+
+let test_server_oversized_request () =
+  let config = { Server.default_config with max_request_bytes = 64 } in
+  with_server ~config (fun _p srv ->
+      with_client srv (fun c ->
+          (match Client.request c ("QUERY " ^ String.make 500 'x') with
+          | Ok (Protocol.Err (Protocol.Toolarge, _)) -> ()
+          | _ -> Alcotest.fail "expected ERR TOOLARGE");
+          (* the oversized line was drained; the session still works *)
+          Alcotest.(check bool) "alive after TOOLARGE" true (Client.ping c);
+          Alcotest.(check bool)
+            "still answers" true
+            (Client.query c "e1 : employee" = Ok [ "yes" ])))
+
+let test_server_parallel_clients () =
+  with_server (fun p srv ->
+      let queries =
+        [|
+          "X : employee";
+          "X : vehicle";
+          "a1.color[Z]";
+          "e1 : employee";
+          "X : employee[city -> newYork]";
+          "X : manager";
+          "v1.color[Z]";
+          "X : employee[age -> A]";
+        |]
+      in
+      let expected = Array.map (expected_payload p) queries in
+      let failures = Atomic.make 0 in
+      let client_thread k =
+        with_client srv (fun c ->
+            for i = 0 to 49 do
+              let qi = (k + i) mod Array.length queries in
+              match Client.query c queries.(qi) with
+              | Ok lines when lines = expected.(qi) -> ()
+              | _ -> Atomic.incr failures
+            done)
+      in
+      let threads = List.init 8 (fun k -> Thread.create client_thread k) in
+      List.iter Thread.join threads;
+      Alcotest.(check int)
+        "8 clients x 50 requests, zero wrong or cross-wired answers" 0
+        (Atomic.get failures))
+
+let test_server_busy_shedding () =
+  (* one worker, no queue, 300ms artificial service time: while the first
+     query is being served, a second request must be shed with BUSY *)
+  let config =
+    {
+      Server.default_config with
+      workers = 1;
+      queue_capacity = 0;
+      work_delay_s = 0.3;
+    }
+  in
+  with_server ~config (fun _p srv ->
+      let slow_result = ref None in
+      let slow =
+        Thread.create
+          (fun () ->
+            with_client srv (fun c ->
+                slow_result := Some (Client.query c "e1 : employee")))
+          ()
+      in
+      Thread.delay 0.1;
+      (* the worker is busy and the queue has no room *)
+      with_client srv (fun c ->
+          (match Client.request c "QUERY e1 : employee" with
+          | Ok (Protocol.Busy _) -> ()
+          | other ->
+            Alcotest.failf "expected BUSY, got %s"
+              (match other with
+              | Ok (Protocol.Ok _) -> "OK"
+              | Ok Protocol.Pong -> "PONG"
+              | Ok (Protocol.Err (c, _)) -> Protocol.code_to_string c
+              | Ok (Protocol.Busy _) -> "BUSY"
+              | Error _ -> "transport error"));
+          (* inline verbs stay responsive under saturation *)
+          Alcotest.(check bool) "ping under load" true (Client.ping c));
+      Thread.join slow;
+      match !slow_result with
+      | Some (Ok [ "yes" ]) -> ()
+      | Some (Ok lines) ->
+        Alcotest.failf "slow request: unexpected payload [%s]"
+          (String.concat "; " lines)
+      | Some (Error msg) -> Alcotest.failf "slow request failed: %s" msg
+      | None -> Alcotest.fail "slow request produced no result")
+
+let test_server_deadline () =
+  (* one worker, queue of one, 250ms service time, 50ms deadline: the
+     queued request exceeds its deadline while waiting and is answered
+     ERR TIMEOUT without being evaluated *)
+  let config =
+    {
+      Server.default_config with
+      workers = 1;
+      queue_capacity = 1;
+      work_delay_s = 0.25;
+      deadline_s = Some 0.05;
+    }
+  in
+  with_server ~config (fun _p srv ->
+      let first = ref None and second = ref None in
+      let t1 =
+        Thread.create
+          (fun () ->
+            with_client srv (fun c ->
+                first := Some (Client.query c "e1 : employee")))
+          ()
+      in
+      Thread.delay 0.1;
+      let t2 =
+        Thread.create
+          (fun () ->
+            with_client srv (fun c ->
+                second := Some (Client.request c "QUERY e1 : employee")))
+          ()
+      in
+      Thread.join t1;
+      Thread.join t2;
+      Alcotest.(check bool)
+        "first request served" true
+        (!first = Some (Ok [ "yes" ]));
+      match !second with
+      | Some (Ok (Protocol.Err (Protocol.Timeout, _))) -> ()
+      | _ -> Alcotest.fail "expected ERR TIMEOUT for the queued request")
+
+let test_server_clean_shutdown () =
+  let srv_ref = ref None in
+  with_server (fun _p srv ->
+      srv_ref := Some srv;
+      (* an idle connection parked in read, and normal traffic *)
+      let idle = Client.connect (Server.address srv) in
+      with_client srv (fun c ->
+          Alcotest.(check bool) "served before shutdown" true (Client.ping c));
+      Server.shutdown srv;
+      (* idle session was woken and closed *)
+      Alcotest.(check bool)
+        "idle connection closed" true
+        (match Client.request idle "PING" with
+        | Error `Eof -> true
+        | Ok _ | Error (`Malformed _) -> false);
+      Client.close idle;
+      (* the listener is gone *)
+      Alcotest.(check bool)
+        "connect refused after shutdown" true
+        (match Client.connect (Server.address srv) with
+        | c ->
+          Client.close c;
+          false
+        | exception Unix.Unix_error _ -> true));
+  (* with_server's finally calls shutdown again: idempotency exercised *)
+  match !srv_ref with
+  | Some srv -> Server.shutdown srv
+  | None -> Alcotest.fail "server was not created"
+
+let test_server_unix_socket () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pathlog-test-%d.sock" (Unix.getpid ()))
+  in
+  let p = load test_program in
+  let srv = Server.create ~program:p (Server.Unix_path path) in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown srv)
+    (fun () ->
+      let c = Client.connect (Server.Unix_path path) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Alcotest.(check bool) "ping over unix socket" true (Client.ping c);
+          Alcotest.(check bool)
+            "query over unix socket" true
+            (Client.query c "e1 : employee" = Ok [ "yes" ])));
+  Alcotest.(check bool)
+    "socket file unlinked on shutdown" false (Sys.file_exists path)
+
+let suite =
+  [
+    Alcotest.test_case "protocol: parse requests" `Quick test_parse_request;
+    Alcotest.test_case "protocol: reply round-trip" `Quick
+      test_reply_roundtrip;
+    Alcotest.test_case "protocol: bounded request lines" `Quick
+      test_bounded_line;
+    Alcotest.test_case "histogram: percentiles and bounds" `Quick
+      test_histogram;
+    Alcotest.test_case "pool: sheds at capacity, drains on shutdown" `Quick
+      test_pool_sheds_and_drains;
+    Alcotest.test_case "server: verbs, errors, stats" `Quick
+      test_server_basics;
+    Alcotest.test_case "server: oversized requests" `Quick
+      test_server_oversized_request;
+    Alcotest.test_case "server: 8 parallel clients, disjoint answers"
+      `Quick test_server_parallel_clients;
+    Alcotest.test_case "server: BUSY shedding under a tiny pool" `Quick
+      test_server_busy_shedding;
+    Alcotest.test_case "server: per-request deadlines" `Quick
+      test_server_deadline;
+    Alcotest.test_case "server: clean shutdown" `Quick
+      test_server_clean_shutdown;
+    Alcotest.test_case "server: unix-domain socket" `Quick
+      test_server_unix_socket;
+  ]

@@ -820,6 +820,13 @@ let server_bench ~clients ~requests ~size =
   else print_endline "server bench: ok"
 
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "perf" then begin
+    Perf.main
+      (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)));
+    exit 0
+  end
+
+let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "server" then begin
     let arg i default =
       if Array.length Sys.argv > i then int_of_string Sys.argv.(i)

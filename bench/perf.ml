@@ -1,0 +1,659 @@
+(* Reproducible perf harness: `dune exec bench/main.exe -- perf [OPTS]`.
+
+   Runs a fixed suite — transitive closure over chain / layered-DAG /
+   random-forest shapes, a fixpoint that derives isa edges, the company
+   query workload, a bound-receiver set-method query, incremental
+   hierarchy-closure growth, and server throughput — and writes a JSON
+   report with wall time, ops/s where meaningful, and the deterministic
+   fixpoint counters (rule_evaluations, firings, rounds) so every future
+   PR can report speedups against a committed baseline.
+
+   Options:
+     --quick           fewer timing repetitions (same deterministic sizes,
+                       so the fixpoint counters match the full run)
+     --out FILE        write the JSON report (default BENCH_PR2.json)
+     --baseline FILE   read a previous report and embed per-suite
+                       baseline wall times + speedup factors
+     --check FILE      compare this run's rule_evaluations against the
+                       committed report; exit non-zero on a >20%%
+                       regression (used by CI) *)
+
+module Program = Pathlog.Program
+module Store = Pathlog.Store
+module Ir = Pathlog.Ir
+module Solve = Pathlog.Solve
+
+type suite = {
+  name : string;
+  wall_s : float;
+  ops_per_s : float option;
+  rule_evaluations : int option;
+  firings : int option;
+  rounds : int option;
+  detail : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Timing helpers                                                      *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Best-of-n wall time; result and counters from the last run (the runs
+   are deterministic, so any run's counters are the counters). *)
+let best_of n f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to n do
+    let r, w = wall f in
+    if w < !best then best := w;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+(* Repeat [f] enough times to fill ~[target] seconds (calibrated from one
+   run, capped), return ops/s and total wall. *)
+let measure_ops ~target f =
+  ignore (f ());
+  let _, once = wall f in
+  let reps = max 1 (min 5000 (int_of_float (target /. max 1e-6 once))) in
+  let (), w =
+    wall (fun () ->
+        for _ = 1 to reps do
+          ignore (f ())
+        done)
+  in
+  (float_of_int reps /. w, w)
+
+(* ------------------------------------------------------------------ *)
+(* Suites                                                              *)
+
+let fixpoint_suite name stmts ~reps ~detail =
+  let run () =
+    let p = Program.create stmts in
+    Program.run p
+  in
+  let stats, w = best_of reps run in
+  {
+    name;
+    wall_s = w;
+    ops_per_s = None;
+    rule_evaluations = Some stats.Pathlog.Fixpoint.rule_evaluations;
+    firings = Some stats.firings;
+    rounds = Some stats.rounds;
+    detail;
+  }
+
+let tc_chain ~reps =
+  fixpoint_suite "tc_chain_256"
+    (Pathlog.Genealogy.statements (Pathlog.Genealogy.Chain 256)
+    @ Pathlog.Genealogy.desc_rules)
+    ~reps ~detail:"desc closure of chain(256), semi-naive"
+
+let tc_forest ~reps =
+  fixpoint_suite "tc_forest_256"
+    (Pathlog.Genealogy.statements
+       (Pathlog.Genealogy.Random_forest
+          { people = 256; max_kids = 3; seed = 11 })
+    @ Pathlog.Genealogy.desc_rules)
+    ~reps ~detail:"desc closure of random forest(256), semi-naive"
+
+let tc_dag ~reps =
+  let stmts =
+    Pathlog.Graph.layered_dag ~layers:7 ~width:14 ~fanout:3 ~seed:7
+    @ Pathlog.Parser.program
+        {|
+        X[reach ->> {Y}] <- X[to ->> {Y}].
+        X[reach ->> {Y}] <- X[to ->> {Z}], Z[reach ->> {Y}].
+        |}
+  in
+  fixpoint_suite "tc_dag_7x14" stmts ~reps
+    ~detail:"reach closure of layered dag(7x14, fanout 3), semi-naive"
+
+(* A fixpoint that derives one isa edge per round along a scalar chain:
+   every insertion invalidates (or, incrementally, updates) the hierarchy
+   closure caches while the seeded isa delta is being consumed. *)
+let isa_derive ~reps =
+  let n = 400 in
+  let b = Buffer.create (n * 24) in
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "o%d[next -> o%d]. " i (i + 1))
+  done;
+  Buffer.add_string b (Printf.sprintf "o%d : reach. " n);
+  (* m0..m63 : hub is a static membership set enumerated once per round
+     via the class-bound isa access path *)
+  for j = 0 to 63 do
+    Buffer.add_string b (Printf.sprintf "m%d : hub. " j)
+  done;
+  Buffer.add_string b "X : reach <- X[next -> Y], Y : reach. ";
+  Buffer.add_string b "X[sees ->> {Y}] <- X : hub, Y : reach. ";
+  fixpoint_suite (Printf.sprintf "isa_derive_%d" n)
+    (Pathlog.Parser.program (Buffer.contents b))
+    ~reps
+    ~detail:
+      "chain(400) reachability derived as isa edges + hub(64) join; one \
+       new isa edge per round"
+
+let company_program n =
+  let p =
+    Program.create (Pathlog.Company.statements (Pathlog.Company.scaled n))
+  in
+  ignore (Program.run p);
+  p
+
+let company_query_texts =
+  [
+    "X : employee..vehicles : automobile.color[Z]";
+    "X : employee..vehicles : automobile[cylinders -> 4].color[Z]";
+    "X : manager..vehicles[color -> red].producedBy[city -> city1; \
+     president -> X]";
+    "X : manager";
+    "X : employee[city -> X.boss.city]";
+    "X : company.president[P]";
+    "X : employee[age -> A; city -> newYork]";
+  ]
+
+let company_queries ~target =
+  let p = company_program 400 in
+  let store = Program.store p in
+  let qs =
+    List.map
+      (fun src ->
+        Pathlog.Flatten.literals store (Pathlog.Parser.literals src))
+      company_query_texts
+  in
+  let run () = List.iter (fun q -> ignore (Solve.named_solutions store q)) qs in
+  let ops, w = measure_ops ~target run in
+  {
+    name = "company_queries_400";
+    wall_s = w;
+    ops_per_s = Some ops;
+    rule_evaluations = None;
+    firings = None;
+    rounds = None;
+    detail =
+      Printf.sprintf "%d-query workload over company(400); ops = workload \
+                      evaluations" (List.length qs);
+  }
+
+(* Bound receiver, unbound argument and result: without a receiver-keyed
+   index this scans the whole method bucket (every receiver). *)
+let recv_set_query ~target =
+  let receivers = 200 and per = 25 in
+  let st = Store.create () in
+  let m = Store.name st "edge" in
+  for i = 0 to receivers - 1 do
+    let r = Store.name st (Printf.sprintf "r%d" i) in
+    for j = 0 to per - 1 do
+      ignore
+        (Store.add_set st ~meth:m ~recv:r
+           ~args:[ Store.int st j ]
+           ~res:(Store.int st ((i * per) + j)))
+    done
+  done;
+  let r0 = Store.name st "r0" in
+  let q =
+    {
+      Ir.atoms =
+        [
+          Ir.A_member
+            { meth = Ir.Const m; recv = Ir.Const r0; args = [ Ir.V 0 ];
+              res = Ir.V 1 };
+        ];
+      nvars = 2;
+      named = [ ("A", 0); ("X", 1) ];
+    }
+  in
+  let expect = per in
+  let run () =
+    let rows = Solve.named_solutions st q in
+    if List.length rows <> expect then failwith "recv_set_query: wrong rows"
+  in
+  let ops, w = measure_ops ~target run in
+  {
+    name = "recv_set_query_200x25";
+    wall_s = w;
+    ops_per_s = Some ops;
+    rule_evaluations = None;
+    firings = None;
+    rounds = None;
+    detail =
+      "r0[edge@(A) ->> {X}] over 200 receivers x 25 one-ary tuples; ops = \
+       query evaluations";
+  }
+
+(* Interleave isa insertions with whole-hierarchy membership queries: with
+   wholesale cache invalidation each round recomputes the root closure from
+   scratch (O(edges x objects)); incremental maintenance keeps it live. *)
+let isa_closure_growth ~reps =
+  let n = 400 and width = 8 in
+  let run () =
+    let st = Store.create () in
+    let root = Store.name st "root" in
+    let classes =
+      Array.init width (fun j -> Store.name st (Printf.sprintf "c%d" j))
+    in
+    Array.iter (fun c -> ignore (Store.add_isa st c root)) classes;
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      let o = Store.name st (Printf.sprintf "o%d" i) in
+      ignore (Store.add_isa st o classes.(i mod width));
+      total := !total + Pathlog.Obj_id.Set.cardinal (Store.members st root)
+    done;
+    !total
+  in
+  let expected = (width * n) + (n * (n + 1) / 2) in
+  let total, w = best_of reps run in
+  if total <> expected then failwith "isa_closure_growth: wrong member count";
+  {
+    name = Printf.sprintf "isa_closure_growth_%d" n;
+    wall_s = w;
+    ops_per_s = Some (float_of_int n /. w);
+    rule_evaluations = None;
+    firings = None;
+    rounds = None;
+    detail =
+      "400 isa inserts into an 8-class hierarchy, members(root) after each; \
+       ops = insert+query pairs";
+  }
+
+let server_queries =
+  [|
+    "X : employee..vehicles : automobile.color[Z]";
+    "X : manager";
+    "X : employee[city -> X.boss.city]";
+    "e1 : employee";
+  |]
+
+let server_throughput ~requests =
+  let p = company_program 100 in
+  let config =
+    { Pathlog.Server.default_config with workers = 4; queue_capacity = 32 }
+  in
+  let srv =
+    Pathlog.Server.create ~config ~program:p
+      (Pathlog.Server.Tcp ("127.0.0.1", 0))
+  in
+  let addr = Pathlog.Server.address srv in
+  let clients = 4 in
+  let ok = ref 0 in
+  let tally = Mutex.create () in
+  let nq = Array.length server_queries in
+  let client_thread k =
+    let c = Pathlog.Client.connect addr in
+    Fun.protect
+      ~finally:(fun () -> Pathlog.Client.close c)
+      (fun () ->
+        for i = 0 to requests - 1 do
+          let rec attempt () =
+            match
+              Pathlog.Client.request c
+                ("QUERY " ^ server_queries.((k + i) mod nq))
+            with
+            | Ok (Pathlog.Protocol.Ok _) ->
+              Mutex.lock tally;
+              incr ok;
+              Mutex.unlock tally
+            | Ok (Pathlog.Protocol.Busy _) ->
+              Thread.delay 0.001;
+              attempt ()
+            | Ok (Pathlog.Protocol.Err _ | Pathlog.Protocol.Pong) | Error _ ->
+              ()
+          in
+          attempt ()
+        done)
+  in
+  let (), w =
+    wall (fun () ->
+        let threads =
+          List.init clients (fun k -> Thread.create client_thread k)
+        in
+        List.iter Thread.join threads)
+  in
+  Pathlog.Server.request_stop srv;
+  Pathlog.Server.shutdown srv;
+  let total = clients * requests in
+  if !ok <> total then
+    failwith
+      (Printf.sprintf "server_throughput: %d ok of %d" !ok total);
+  {
+    name = "server_throughput_4w";
+    wall_s = w;
+    ops_per_s = Some (float_of_int total /. w);
+    rule_evaluations = None;
+    firings = None;
+    rounds = None;
+    detail =
+      Printf.sprintf
+        "4 clients x %d requests against the in-process server, company(100)"
+        requests;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON (writer + reader for our own reports)                  *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.0f" f)
+    else Buffer.add_string b (Printf.sprintf "%.6g" f)
+  | Str s ->
+    Buffer.add_char b '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+  | Arr xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ", ";
+        emit b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        emit b (Str k);
+        Buffer.add_string b ": ";
+        emit b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 4096 in
+  emit b j;
+  Buffer.contents b
+
+exception Parse of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal"
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        (if !pos >= n then fail "bad escape");
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'u' ->
+          (* our own writer only escapes control chars; decode as '?' *)
+          pos := !pos + 4;
+          Buffer.add_char b '?'
+        | _ -> fail "bad escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let is_num c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e'
+      || c = 'E'
+    in
+    while !pos < n && is_num s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          let k = (skip_ws (); string_lit ()) in
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        fields []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elems acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elems []
+      end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end"
+  in
+  let v = value () in
+  skip_ws ();
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let as_num = function Some (Num f) -> Some f | _ -> None
+let as_str = function Some (Str s) -> Some s | _ -> None
+
+(* Per-suite (wall_s, rule_evaluations) from a previous report. *)
+let load_report file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let j = parse_json text in
+  match member "suites" j with
+  | Some (Arr suites) ->
+    List.filter_map
+      (fun s ->
+        match as_str (member "name" s) with
+        | Some name ->
+          Some
+            ( name,
+              ( as_num (member "wall_s" s),
+                as_num (member "rule_evaluations" s) ) )
+        | None -> None)
+      suites
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+
+let suite_json ~baseline (s : suite) =
+  let base = List.assoc_opt s.name baseline in
+  let opt name v f = match v with Some x -> [ (name, f x) ] | None -> [] in
+  Obj
+    ([ ("name", Str s.name); ("wall_s", Num s.wall_s) ]
+    @ opt "ops_per_s" s.ops_per_s (fun x -> Num x)
+    @ opt "rule_evaluations" s.rule_evaluations (fun x -> Num (float_of_int x))
+    @ opt "firings" s.firings (fun x -> Num (float_of_int x))
+    @ opt "rounds" s.rounds (fun x -> Num (float_of_int x))
+    @ (match base with
+      | Some (Some bw, _) ->
+        [
+          ("baseline_wall_s", Num bw);
+          ("speedup", Num (bw /. max 1e-9 s.wall_s));
+        ]
+      | _ -> [])
+    @ [ ("detail", Str s.detail) ])
+
+let check ~committed suites =
+  let failures = ref 0 in
+  List.iter
+    (fun (s : suite) ->
+      match (s.rule_evaluations, List.assoc_opt s.name committed) with
+      | Some now, Some (_, Some baseline) ->
+        let baseline = int_of_float baseline in
+        let limit =
+          baseline + (baseline / 5)
+          (* >20% regression fails *)
+        in
+        if now > limit then begin
+          incr failures;
+          Printf.printf
+            "CHECK FAIL %-24s rule_evaluations %d > %d (baseline %d +20%%)\n"
+            s.name now limit baseline
+        end
+        else
+          Printf.printf "check ok   %-24s rule_evaluations %d (baseline %d)\n"
+            s.name now baseline
+      | _ -> ())
+    suites;
+  !failures = 0
+
+let main args =
+  let quick = List.mem "--quick" args in
+  let rec opt key = function
+    | k :: v :: _ when k = key -> Some v
+    | _ :: rest -> opt key rest
+    | [] -> None
+  in
+  let out = Option.value ~default:"BENCH_PR2.json" (opt "--out" args) in
+  let baseline_file = opt "--baseline" args in
+  let check_file = opt "--check" args in
+  let reps = if quick then 1 else 3 in
+  let target = if quick then 0.2 else 1.0 in
+  let requests = if quick then 100 else 400 in
+  Printf.printf "perf harness (%s mode)\n%!" (if quick then "quick" else "full");
+  let suites =
+    List.map
+      (fun (mk : unit -> suite) ->
+        let s = mk () in
+        Printf.printf "%-26s %8.4f s%s%s\n%!" s.name s.wall_s
+          (match s.ops_per_s with
+          | Some o -> Printf.sprintf "  %10.0f ops/s" o
+          | None -> "")
+          (match s.rule_evaluations with
+          | Some r -> Printf.sprintf "  rule_evals %d" r
+          | None -> "");
+        s)
+      [
+        (fun () -> tc_chain ~reps);
+        (fun () -> tc_dag ~reps);
+        (fun () -> tc_forest ~reps);
+        (fun () -> isa_derive ~reps);
+        (fun () -> company_queries ~target);
+        (fun () -> recv_set_query ~target);
+        (fun () -> isa_closure_growth ~reps);
+        (fun () -> server_throughput ~requests);
+      ]
+  in
+  let baseline =
+    match baseline_file with Some f -> load_report f | None -> []
+  in
+  let report =
+    Obj
+      [
+        ( "meta",
+          Obj
+            [
+              ("pr", Num 2.);
+              ("mode", Str (if quick then "quick" else "full"));
+              ("generated_by", Str "bench perf");
+            ] );
+        ("suites", Arr (List.map (suite_json ~baseline) suites));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (to_string report);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  match check_file with
+  | None -> ()
+  | Some f ->
+    let committed = load_report f in
+    if not (check ~committed suites) then begin
+      print_endline "perf check: FAILED";
+      exit 1
+    end
+    else print_endline "perf check: ok"

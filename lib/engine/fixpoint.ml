@@ -14,7 +14,7 @@ type config = {
 let default_config =
   {
     mode = Seminaive;
-    order = Semantics.Solve.Greedy;
+    order = Semantics.Solve.Compiled;
     hilog_virtual = false;
     max_rounds = 10_000;
     max_objects = 1_000_000;
@@ -34,12 +34,6 @@ let pp_stats ppf s =
      %d"
     s.strata s.rounds s.rule_evaluations s.firings s.insertions
 
-module Rel_map = Map.Make (struct
-  type t = Ir.rel
-
-  let compare = Ir.compare_rel
-end)
-
 (* All class memberships share the isa edge log; the per-class refinement
    only matters to the stratifier, so deltas normalise R_isa_c to R_isa. *)
 let norm_rel = function
@@ -52,25 +46,105 @@ let rel_length store = function
   | Ir.R_set m -> Oodb.Vec.length (Store.set_bucket store m)
   | Ir.R_any -> 0
 
-(* Snapshot the length of every relation currently present in the store. *)
-let snapshot store =
-  let add acc r = Rel_map.add r (rel_length store r) acc in
-  let acc = add Rel_map.empty Ir.R_isa in
-  let acc =
-    List.fold_left
-      (fun acc m -> add acc (Ir.R_scalar m))
-      acc (Store.scalar_meths store)
-  in
-  List.fold_left
-    (fun acc m -> add acc (Ir.R_set m))
-    acc (Store.set_meths store)
+(* ------------------------------------------------------------------ *)
+(* Interned relations: relevance and delta checks run on dense int ids
+   and plain arrays instead of per-round Rel_map snapshots and List.mem
+   scans over structural relation values. *)
 
-let changed_rels ~before ~after =
-  Rel_map.fold
-    (fun r len acc ->
-      let old = Option.value ~default:0 (Rel_map.find_opt r before) in
-      if len > old then r :: acc else acc)
-    after []
+module Interner = struct
+  type t = {
+    ids : (Ir.rel, int) Hashtbl.t;
+    mutable rels : Ir.rel array;  (* id -> rel *)
+    mutable count : int;
+  }
+
+  let create () =
+    { ids = Hashtbl.create 64; rels = Array.make 16 Ir.R_any; count = 0 }
+
+  let intern t r =
+    match Hashtbl.find_opt t.ids r with
+    | Some id -> id
+    | None ->
+      let id = t.count in
+      if id >= Array.length t.rels then begin
+        let rels' = Array.make (2 * Array.length t.rels) Ir.R_any in
+        Array.blit t.rels 0 rels' 0 id;
+        t.rels <- rels'
+      end;
+      t.rels.(id) <- r;
+      Hashtbl.add t.ids r id;
+      t.count <- id + 1;
+      id
+end
+
+(* Current length of every relation present in the store, indexed by
+   interned id; relations first seen now (new methods appear as rules
+   derive into them) get fresh ids, so the array grows monotonically. *)
+let snapshot itn store =
+  ignore (Interner.intern itn Ir.R_isa : int);
+  List.iter
+    (fun m -> ignore (Interner.intern itn (Ir.R_scalar m) : int))
+    (Store.scalar_meths store);
+  List.iter
+    (fun m -> ignore (Interner.intern itn (Ir.R_set m) : int))
+    (Store.set_meths store);
+  let lens = Array.make itn.Interner.count 0 in
+  for id = 0 to itn.Interner.count - 1 do
+    lens.(id) <- rel_length store itn.Interner.rels.(id)
+  done;
+  lens
+
+let len_at marks id = if id < Array.length marks then marks.(id) else 0
+
+(* A rule with its relation sets pre-interned, computed once per stratum. *)
+type crule = {
+  rule : Rule.t;
+  read_ids : int array;  (* normalised [reads] *)
+  seed_ids : (int * int) array;  (* seedable (relation id, atom index) *)
+  seed_rel_ids : int array;  (* distinct relation ids of [seed_ids] *)
+}
+
+let crule_of itn (rule : Rule.t) =
+  let intern r = Interner.intern itn (norm_rel r) in
+  let read_ids = Array.of_list (List.map intern rule.reads) in
+  let seed_ids =
+    Array.of_list (List.map (fun (r, i) -> (intern r, i)) rule.seedable)
+  in
+  let seed_rel_ids =
+    Array.fold_left
+      (fun acc (r, _) -> if List.mem r acc then acc else r :: acc)
+      [] seed_ids
+    |> Array.of_list
+  in
+  { rule; read_ids; seed_ids; seed_rel_ids }
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-plan cache: one plan per (rule, seed adornment), reused
+   across rounds and strata; recompiled when the store has grown enough
+   that the cost ranking is likely stale. *)
+
+type plan_cache = (int * int, Semantics.Solve.plan) Hashtbl.t
+
+let plan_for (cache : plan_cache) config store (rule : Rule.t) seed =
+  match config.order with
+  | Semantics.Solve.Greedy | Semantics.Solve.Source -> None
+  | Semantics.Solve.Compiled ->
+    let seed_idx =
+      match seed with
+      | Some s -> s.Semantics.Solve.seed_atom
+      | None -> -1
+    in
+    let key = (rule.uid, seed_idx) in
+    (match Hashtbl.find_opt cache key with
+    | Some p when not (Semantics.Solve.plan_stale store p) -> Some p
+    | Some _ | None ->
+      let p =
+        Semantics.Solve.compile_plan
+          ?seed_atom:(if seed_idx >= 0 then Some seed_idx else None)
+          store rule.body
+      in
+      Hashtbl.replace cache key p;
+      Some p)
 
 let env_of_binding (body : Ir.query) binding =
   List.fold_left
@@ -80,10 +154,12 @@ let env_of_binding (body : Ir.query) binding =
 
 (* Evaluate one rule, optionally seeded, executing the head on every body
    solution. *)
-let evaluate ?provenance config stats store (rule : Rule.t) seed changes =
+let evaluate ?provenance config plans stats store (rule : Rule.t) seed changes
+    =
   stats.rule_evaluations <- stats.rule_evaluations + 1;
+  let plan = plan_for plans config store rule seed in
   Semantics.Solve.iter ~order:config.order ~hilog_virtual:config.hilog_virtual
-    ?seed store rule.body
+    ?seed ?plan store rule.body
     ~f:(fun binding ->
       stats.firings <- stats.firings + 1;
       let env = env_of_binding rule.body binding in
@@ -126,10 +202,12 @@ let check_budget config store stratum_rounds =
              creation)"
             config.max_objects))
 
-let run_stratum ?provenance config stats store rules =
+let run_stratum ?provenance config plans stats store rules =
+  let itn = Interner.create () in
+  let crules = List.map (crule_of itn) rules in
   (* marks at the start of the previous round: the delta a seeded atom
      scans starts there *)
-  let prev_marks = ref (snapshot store) in
+  let prev_marks = ref (snapshot itn store) in
   let round = ref 0 in
   let continue = ref true in
   (* round 1: full evaluation of every rule *)
@@ -138,7 +216,7 @@ let run_stratum ?provenance config stats store rules =
     stats.rounds <- stats.rounds + 1;
     let changes = ref 0 in
     List.iter
-      (fun r -> evaluate ?provenance config stats store r None changes)
+      (fun r -> evaluate ?provenance config plans stats store r None changes)
       rules;
     !changes > 0
   in
@@ -146,65 +224,57 @@ let run_stratum ?provenance config stats store rules =
     incr round;
     stats.rounds <- stats.rounds + 1;
     check_budget config store !round;
-    let now = snapshot store in
-    let changed = changed_rels ~before:!prev_marks ~after:now in
-    if changed = [] then false
+    let now = snapshot itn store in
+    let any_changed = ref false in
+    let changed =
+      Array.init (Array.length now) (fun id ->
+          let c = now.(id) > len_at !prev_marks id in
+          if c then any_changed := true;
+          c)
+    in
+    let is_changed id = id < Array.length changed && changed.(id) in
+    if not !any_changed then false
     else begin
       let changes = ref 0 in
       (match config.mode with
       | Naive ->
         List.iter
-          (fun r -> evaluate ?provenance config stats store r None changes)
+          (fun r ->
+            evaluate ?provenance config plans stats store r None changes)
           rules
       | Seminaive ->
         List.iter
-          (fun (rule : Rule.t) ->
-            let reads = List.map norm_rel rule.reads in
+          (fun cr ->
+            let rule = cr.rule in
             let relevant =
-              rule.reads_any || List.exists (fun r -> List.mem r reads) changed
+              rule.reads_any || Array.exists is_changed cr.read_ids
             in
             if relevant then begin
-              let seeds =
-                if rule.reads_any then []
-                else
-                  List.filter_map
-                    (fun (rel, idx) ->
-                      let rel = norm_rel rel in
-                      if List.mem rel changed then
-                        Some
-                          {
-                            Semantics.Solve.seed_atom = idx;
-                            seed_from =
-                              Option.value ~default:0
-                                (Rel_map.find_opt rel !prev_marks);
-                          }
-                      else None)
-                    rule.seedable
-              in
-              let seeded_rels =
-                List.filter_map
-                  (fun (rel, _) ->
-                    let rel = norm_rel rel in
-                    if List.mem rel changed then Some rel else None)
-                  rule.seedable
-              in
               let unseedable_change =
                 rule.reads_any
-                || List.exists
+                || Array.exists
                      (fun r ->
-                       List.mem r reads && not (List.mem r seeded_rels))
-                     changed
+                       is_changed r
+                       && not (Array.exists (Int.equal r) cr.seed_rel_ids))
+                     cr.read_ids
               in
               if unseedable_change then
-                evaluate ?provenance config stats store rule None changes
+                evaluate ?provenance config plans stats store rule None
+                  changes
               else
-                List.iter
-                  (fun seed ->
-                    evaluate ?provenance config stats store rule (Some seed)
-                      changes)
-                  seeds
+                Array.iter
+                  (fun (rel_id, idx) ->
+                    if is_changed rel_id then
+                      evaluate ?provenance config plans stats store rule
+                        (Some
+                           {
+                             Semantics.Solve.seed_atom = idx;
+                             seed_from = len_at !prev_marks rel_id;
+                           })
+                        changes)
+                  cr.seed_ids
             end)
-          rules);
+          crules);
       prev_marks := now;
       !changes > 0
     end
@@ -226,7 +296,8 @@ let run ?(config = default_config) ?provenance store (strat : Stratify.t) =
       strata = Array.length strat.strata;
     }
   in
+  let plans : plan_cache = Hashtbl.create 64 in
   Array.iter
-    (fun rules -> run_stratum ?provenance config stats store rules)
+    (fun rules -> run_stratum ?provenance config plans stats store rules)
     strat.strata;
   stats

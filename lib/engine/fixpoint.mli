@@ -12,7 +12,14 @@
       start from the new tuples. Rules whose trigger is not seedable — a
       variable method position, a changed relation appearing only inside a
       set-inclusion filter or a head right-hand side — fall back to full
-      re-evaluation for that round.
+      re-evaluation for that round. Relevance and delta checks run on
+      interned relation ids over plain arrays; no per-round map snapshots.
+
+    With the default [Compiled] join order, each (rule, seed adornment)
+    pair gets a join order compiled once from the static cost model and
+    cached across rounds and strata (keyed by {!Rule.t.uid}), recompiled
+    only when the store has roughly doubled since compilation; [Greedy]
+    keeps the adaptive per-binding ordering as a fallback.
 
     Skolemisation can make the minimal model infinite; [max_rounds] and
     [max_objects] bound the evaluation and {!Err.Diverged} reports the
@@ -22,7 +29,8 @@ type mode = Naive | Seminaive
 
 type config = {
   mode : mode;
-  order : Semantics.Solve.order;  (** join order inside rule bodies *)
+  order : Semantics.Solve.order;
+      (** join order inside rule bodies; default [Compiled] *)
   hilog_virtual : bool;
       (** enumerate virtual (skolem) objects for variable method positions;
           see {!Semantics.Solve.iter}. Default [false]: the literal

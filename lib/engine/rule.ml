@@ -2,6 +2,7 @@ open Syntax.Ast
 module Ir = Semantics.Ir
 
 type t = {
+  uid : int;
   source : Syntax.Ast.rule;
   body : Ir.query;
   defines : Ir.rel list;
@@ -11,6 +12,10 @@ type t = {
   reads_any : bool;
   class_edges : (Oodb.Obj_id.t * Oodb.Obj_id.t) list;
 }
+
+(* Process-wide: rules are compiled once at load time, and the uid only
+   needs to distinguish rules, not number them densely. *)
+let next_uid = ref 0
 
 let add_rel acc r = if List.mem r acc then acc else r :: acc
 
@@ -148,7 +153,10 @@ let compile store (rule : Syntax.Ast.rule) : t =
            | A_member { meth = Const m; _ } -> Some (Ir.R_set m, i)
            | A_scalar _ | A_member _ | A_eq _ | A_subset _ | A_neg _ -> None)
   in
+  let uid = !next_uid in
+  incr next_uid;
   {
+    uid;
     source = rule;
     body;
     defines;

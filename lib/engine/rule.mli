@@ -2,6 +2,9 @@
     stratifier and the semi-naive fixpoint need. *)
 
 type t = {
+  uid : int;
+      (** process-unique identity; the fixpoint engine keys its compiled
+          plan cache on it *)
   source : Syntax.Ast.rule;
   body : Semantics.Ir.query;
   defines : Semantics.Ir.rel list;

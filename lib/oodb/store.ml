@@ -6,6 +6,12 @@ type isa_insert = IAdded | IDuplicate | ICycle
 
 type mkey = Obj_id.t * Obj_id.t * Obj_id.t list (* meth, recv, args *)
 
+(* Almost every method in practice takes no extra arguments, so the hot
+   (meth, recv) pair packs into a single immediate int — no tuple or list
+   allocation per lookup. Object ids are dense, allocated from 0, and stay
+   far below 2^31 even in soak runs, so the two halves never collide. *)
+let pack a b = (a lsl 31) lor b
+
 type t = {
   universe : Universe.t;
   (* class hierarchy: direct edges of the partial order, both directions *)
@@ -14,19 +20,29 @@ type t = {
   isa_log : (Obj_id.t * Obj_id.t) Vec.t;
   mutable class_list : Obj_id.t list;
   class_seen : unit Obj_id.Tbl.t;
-  (* memoized closures, invalidated whenever an edge is added *)
+  (* memoized closures, maintained incrementally as edges are added *)
   up_cache : Obj_id.Set.t Obj_id.Tbl.t;
   down_cache : Obj_id.Set.t Obj_id.Tbl.t;
-  (* scalar methods *)
+  (* scalar methods: 0-ary tuples (the common case) live in [scalar0]
+     under a packed (meth, recv) int key; tuples with extra arguments in
+     [scalar] under the full mkey *)
+  scalar0 : (int, Obj_id.t) Hashtbl.t;
   scalar : (mkey, Obj_id.t) Hashtbl.t;
   scalar_buckets : mentry Vec.t Obj_id.Tbl.t;
   scalar_inv : ((Obj_id.t * Obj_id.t), mentry Vec.t) Hashtbl.t;
+  scalar_recv : (int, mentry Vec.t) Hashtbl.t;
+  scalar_recv_counts : int Obj_id.Tbl.t;
+      (* distinct receivers per method, for planner selectivity *)
   mutable scalar_meth_list : Obj_id.t list;
-  (* set-valued methods *)
+  (* set-valued methods, same layout *)
+  set0 : (int, Obj_id.Set.t ref) Hashtbl.t;
   set_members : (mkey, Obj_id.Set.t ref) Hashtbl.t;
   set_buckets : mentry Vec.t Obj_id.Tbl.t;
   set_inv : ((Obj_id.t * Obj_id.t), mentry Vec.t) Hashtbl.t;
+  set_recv : (int, mentry Vec.t) Hashtbl.t;
+  set_recv_counts : int Obj_id.Tbl.t;
   mutable set_meth_list : Obj_id.t list;
+  mutable tuple_count : int;  (* isa edges + scalar + set tuples *)
 }
 
 let create () =
@@ -39,20 +55,28 @@ let create () =
     class_seen = Obj_id.Tbl.create 16;
     up_cache = Obj_id.Tbl.create 64;
     down_cache = Obj_id.Tbl.create 64;
-    scalar = Hashtbl.create 256;
+    scalar0 = Hashtbl.create 256;
+    scalar = Hashtbl.create 64;
     scalar_buckets = Obj_id.Tbl.create 32;
     scalar_inv = Hashtbl.create 256;
+    scalar_recv = Hashtbl.create 256;
+    scalar_recv_counts = Obj_id.Tbl.create 32;
     scalar_meth_list = [];
-    set_members = Hashtbl.create 256;
+    set0 = Hashtbl.create 256;
+    set_members = Hashtbl.create 64;
     set_buckets = Obj_id.Tbl.create 32;
     set_inv = Hashtbl.create 256;
+    set_recv = Hashtbl.create 256;
+    set_recv_counts = Obj_id.Tbl.create 32;
     set_meth_list = [];
+    tuple_count = 0;
   }
 
 let universe st = st.universe
 let name st s = Universe.name st.universe s
 let int st n = Universe.int st.universe n
 let str st s = Universe.str st.universe s
+let size st = st.tuple_count
 
 (* ------------------------------------------------------------------ *)
 (* Class hierarchy                                                     *)
@@ -60,26 +84,28 @@ let str st s = Universe.str st.universe s
 let direct tbl o =
   match Obj_id.Tbl.find_opt tbl o with Some s -> s | None -> Obj_id.Set.empty
 
-(* Reachability closure along [tbl] (parents for ancestors, children for
+(* Reachability along [tbl] (parents for ancestors, children for
    descendants), excluding the start object itself unless reachable via a
    cycle — which add_isa prevents. *)
+let closure_raw tbl o =
+  let visited = ref Obj_id.Set.empty in
+  let rec go x =
+    Obj_id.Set.iter
+      (fun n ->
+        if not (Obj_id.Set.mem n !visited) then begin
+          visited := Obj_id.Set.add n !visited;
+          go n
+        end)
+      (direct tbl x)
+  in
+  go o;
+  !visited
+
 let closure cache tbl o =
   match Obj_id.Tbl.find_opt cache o with
   | Some s -> s
   | None ->
-    let visited = ref Obj_id.Set.empty in
-    let rec go x =
-      let nexts = direct tbl x in
-      Obj_id.Set.iter
-        (fun n ->
-          if not (Obj_id.Set.mem n !visited) then begin
-            visited := Obj_id.Set.add n !visited;
-            go n
-          end)
-        nexts
-    in
-    go o;
-    let s = !visited in
+    let s = closure_raw tbl o in
     Obj_id.Tbl.add cache o s;
     s
 
@@ -114,15 +140,37 @@ let add_isa st o c =
   else if Obj_id.Set.mem c (direct st.parents o) then IDuplicate
   else if is_member st c o then ICycle
   else begin
+    (* Incremental closure maintenance. The new edge o -> c makes
+       anc = {c} ∪ ancestors(c) ancestors of every x ∈ desc = {o} ∪
+       descendants(o), and symmetrically desc descendants of every
+       y ∈ anc. Nothing else changes: c's own ancestors and o's own
+       descendants are untouched by the edge (acyclicity guarantees o is
+       not above c), so both closures are computed safely before the
+       adjacency is mutated. Only keys already cached are patched;
+       uncached keys recompute lazily from the updated adjacency. *)
+    let anc = Obj_id.Set.add c (closure st.up_cache st.parents c) in
+    let desc = Obj_id.Set.add o (closure st.down_cache st.children o) in
     Obj_id.Tbl.replace st.parents o (Obj_id.Set.add c (direct st.parents o));
     Obj_id.Tbl.replace st.children c (Obj_id.Set.add o (direct st.children c));
     Vec.push st.isa_log (o, c);
+    st.tuple_count <- st.tuple_count + 1;
     if not (Obj_id.Tbl.mem st.class_seen c) then begin
       Obj_id.Tbl.add st.class_seen c ();
       st.class_list <- c :: st.class_list
     end;
-    Obj_id.Tbl.reset st.up_cache;
-    Obj_id.Tbl.reset st.down_cache;
+    Obj_id.Set.iter
+      (fun x ->
+        match Obj_id.Tbl.find_opt st.up_cache x with
+        | Some ups -> Obj_id.Tbl.replace st.up_cache x (Obj_id.Set.union ups anc)
+        | None -> ())
+      desc;
+    Obj_id.Set.iter
+      (fun y ->
+        match Obj_id.Tbl.find_opt st.down_cache y with
+        | Some downs ->
+          Obj_id.Tbl.replace st.down_cache y (Obj_id.Set.union downs desc)
+        | None -> ())
+      anc;
     IAdded
   end
 
@@ -132,7 +180,10 @@ let known_classes st = List.rev st.class_list
 (* ------------------------------------------------------------------ *)
 (* Method tables                                                       *)
 
-let empty_bucket = Vec.create ()
+(* Shared frozen empty bucket, returned for every missing method or
+   receiver. Sealed so an accidental push fails loudly instead of
+   corrupting every other miss. *)
+let empty_bucket = Vec.seal (Vec.create ())
 
 let bucket tbl meth =
   match Obj_id.Tbl.find_opt tbl meth with
@@ -150,22 +201,46 @@ let inv_bucket tbl key =
     Hashtbl.add tbl key v;
     v
 
+(* Push into the (meth, recv) secondary index, counting distinct receivers
+   per method the first time a pair appears. *)
+let recv_push tbl counts ~meth ~recv entry =
+  let key = pack meth recv in
+  match Hashtbl.find_opt tbl key with
+  | Some v -> Vec.push v entry
+  | None ->
+    let v = Vec.create () in
+    Vec.push v entry;
+    Hashtbl.add tbl key v;
+    Obj_id.Tbl.replace counts meth
+      (1
+      + (match Obj_id.Tbl.find_opt counts meth with Some n -> n | None -> 0))
+
 let add_scalar st ~meth ~recv ~args ~res =
-  let key = (meth, recv, args) in
-  match Hashtbl.find_opt st.scalar key with
+  let existing =
+    match args with
+    | [] -> Hashtbl.find_opt st.scalar0 (pack meth recv)
+    | _ -> Hashtbl.find_opt st.scalar (meth, recv, args)
+  in
+  match existing with
   | Some existing ->
     if Obj_id.equal existing res then Duplicate else Conflict existing
   | None ->
-    Hashtbl.add st.scalar key res;
+    (match args with
+    | [] -> Hashtbl.add st.scalar0 (pack meth recv) res
+    | _ -> Hashtbl.add st.scalar (meth, recv, args) res);
     let entry = { recv; args; res } in
     let b = bucket st.scalar_buckets meth in
     if Vec.length b = 0 then st.scalar_meth_list <- meth :: st.scalar_meth_list;
     Vec.push b entry;
     Vec.push (inv_bucket st.scalar_inv (meth, res)) entry;
+    recv_push st.scalar_recv st.scalar_recv_counts ~meth ~recv entry;
+    st.tuple_count <- st.tuple_count + 1;
     Added
 
 let scalar_lookup st ~meth ~recv ~args =
-  Hashtbl.find_opt st.scalar (meth, recv, args)
+  match args with
+  | [] -> Hashtbl.find_opt st.scalar0 (pack meth recv)
+  | _ -> Hashtbl.find_opt st.scalar (meth, recv, args)
 
 let scalar_bucket st meth =
   match Obj_id.Tbl.find_opt st.scalar_buckets meth with
@@ -177,17 +252,37 @@ let scalar_inverse st ~meth ~res =
   | Some v -> v
   | None -> empty_bucket
 
+let scalar_recv_index st ~meth ~recv =
+  match Hashtbl.find_opt st.scalar_recv (pack meth recv) with
+  | Some v -> v
+  | None -> empty_bucket
+
+let scalar_recv_keys st meth =
+  match Obj_id.Tbl.find_opt st.scalar_recv_counts meth with
+  | Some n -> n
+  | None -> 0
+
 let scalar_meths st = List.rev st.scalar_meth_list
 
 let add_set st ~meth ~recv ~args ~res =
-  let key = (meth, recv, args) in
   let set =
-    match Hashtbl.find_opt st.set_members key with
-    | Some r -> r
-    | None ->
-      let r = ref Obj_id.Set.empty in
-      Hashtbl.add st.set_members key r;
-      r
+    match args with
+    | [] -> (
+      let key = pack meth recv in
+      match Hashtbl.find_opt st.set0 key with
+      | Some r -> r
+      | None ->
+        let r = ref Obj_id.Set.empty in
+        Hashtbl.add st.set0 key r;
+        r)
+    | _ -> (
+      let key = (meth, recv, args) in
+      match Hashtbl.find_opt st.set_members key with
+      | Some r -> r
+      | None ->
+        let r = ref Obj_id.Set.empty in
+        Hashtbl.add st.set_members key r;
+        r)
   in
   if Obj_id.Set.mem res !set then SDuplicate
   else begin
@@ -197,13 +292,18 @@ let add_set st ~meth ~recv ~args ~res =
     if Vec.length b = 0 then st.set_meth_list <- meth :: st.set_meth_list;
     Vec.push b entry;
     Vec.push (inv_bucket st.set_inv (meth, res)) entry;
+    recv_push st.set_recv st.set_recv_counts ~meth ~recv entry;
+    st.tuple_count <- st.tuple_count + 1;
     SAdded
   end
 
 let set_lookup st ~meth ~recv ~args =
-  match Hashtbl.find_opt st.set_members (meth, recv, args) with
-  | Some r -> !r
-  | None -> Obj_id.Set.empty
+  let found =
+    match args with
+    | [] -> Hashtbl.find_opt st.set0 (pack meth recv)
+    | _ -> Hashtbl.find_opt st.set_members (meth, recv, args)
+  in
+  match found with Some r -> !r | None -> Obj_id.Set.empty
 
 let set_bucket st meth =
   match Obj_id.Tbl.find_opt st.set_buckets meth with
@@ -214,6 +314,16 @@ let set_inverse st ~meth ~res =
   match Hashtbl.find_opt st.set_inv (meth, res) with
   | Some v -> v
   | None -> empty_bucket
+
+let set_recv_index st ~meth ~recv =
+  match Hashtbl.find_opt st.set_recv (pack meth recv) with
+  | Some v -> v
+  | None -> empty_bucket
+
+let set_recv_keys st meth =
+  match Obj_id.Tbl.find_opt st.set_recv_counts meth with
+  | Some n -> n
+  | None -> 0
 
 let set_meths st = List.rev st.set_meth_list
 
@@ -244,14 +354,21 @@ let check_invariants st =
     Format.kasprintf (fun m -> problems := m :: !problems) fmt
   in
   let obj = Universe.to_string st.universe in
-  (* scalar: primary table vs buckets, both directions, and inverse *)
+  let entry_mem v { recv; args; res } =
+    Vec.exists
+      (fun e ->
+        Obj_id.equal e.recv recv && e.args = args && Obj_id.equal e.res res)
+      v
+  in
+  (* scalar: primary tables vs buckets, both directions, inverse and
+     receiver indexes *)
   let scalar_bucket_count = ref 0 in
   List.iter
     (fun m ->
       Vec.iter
-        (fun { recv; args; res } ->
+        (fun ({ recv; args; res } as e) ->
           incr scalar_bucket_count;
-          (match Hashtbl.find_opt st.scalar (m, recv, args) with
+          (match scalar_lookup st ~meth:m ~recv ~args with
           | Some res' when Obj_id.equal res res' -> ()
           | Some _ ->
             problem "scalar bucket entry disagrees with primary: %s.%s"
@@ -259,45 +376,76 @@ let check_invariants st =
           | None ->
             problem "scalar bucket entry missing from primary: %s.%s"
               (obj recv) (obj m));
-          let inv =
-            match Hashtbl.find_opt st.scalar_inv (m, res) with
-            | Some v -> v
-            | None -> empty_bucket
-          in
-          if
-            not
-              (Vec.exists
-                 (fun e ->
-                   Obj_id.equal e.recv recv && e.args = args
-                   && Obj_id.equal e.res res)
-                 inv)
-          then
+          if not (entry_mem (scalar_inverse st ~meth:m ~res) e) then
             problem "scalar entry missing from inverse index: %s.%s"
+              (obj recv) (obj m);
+          if not (entry_mem (scalar_recv_index st ~meth:m ~recv) e) then
+            problem "scalar entry missing from receiver index: %s.%s"
               (obj recv) (obj m))
         (scalar_bucket st m))
     (scalar_meths st);
-  if Hashtbl.length st.scalar <> !scalar_bucket_count then
+  let scalar_primary_count =
+    Hashtbl.length st.scalar0 + Hashtbl.length st.scalar
+  in
+  if scalar_primary_count <> !scalar_bucket_count then
     problem "scalar primary has %d entries but buckets have %d"
-      (Hashtbl.length st.scalar) !scalar_bucket_count;
-  (* set methods: buckets vs member sets *)
+      scalar_primary_count !scalar_bucket_count;
+  (* set methods: buckets vs member sets and receiver indexes *)
   let set_bucket_count = ref 0 in
   List.iter
     (fun m ->
       Vec.iter
-        (fun { recv; args; res } ->
+        (fun ({ recv; args; res } as e) ->
           incr set_bucket_count;
           if not (Obj_id.Set.mem res (set_lookup st ~meth:m ~recv ~args))
           then
             problem "set bucket entry missing from member set: %s..%s"
+              (obj recv) (obj m);
+          if not (entry_mem (set_recv_index st ~meth:m ~recv) e) then
+            problem "set entry missing from receiver index: %s..%s"
               (obj recv) (obj m))
         (set_bucket st m))
     (set_meths st);
   let member_total =
-    Hashtbl.fold (fun _ s acc -> acc + Obj_id.Set.cardinal !s) st.set_members 0
+    Hashtbl.fold (fun _ s acc -> acc + Obj_id.Set.cardinal !s) st.set0 0
+    + Hashtbl.fold
+        (fun _ s acc -> acc + Obj_id.Set.cardinal !s)
+        st.set_members 0
   in
   if member_total <> !set_bucket_count then
     problem "set member sets hold %d elements but buckets have %d"
       member_total !set_bucket_count;
+  (* receiver indexes: no stale extras, and the distinct-receiver counters
+     agree with the actual key populations *)
+  let check_recv what recv_tbl counts bucket_count =
+    let index_total = ref 0 in
+    let per_meth = Obj_id.Tbl.create 16 in
+    Hashtbl.iter
+      (fun key v ->
+        index_total := !index_total + Vec.length v;
+        let m = key lsr 31 in
+        Obj_id.Tbl.replace per_meth m
+          (1
+          + (match Obj_id.Tbl.find_opt per_meth m with
+            | Some n -> n
+            | None -> 0)))
+      recv_tbl;
+    if !index_total <> bucket_count then
+      problem "%s receiver index holds %d entries but buckets have %d" what
+        !index_total bucket_count;
+    Obj_id.Tbl.iter
+      (fun m n ->
+        let counted =
+          match Obj_id.Tbl.find_opt counts m with Some c -> c | None -> 0
+        in
+        if counted <> n then
+          problem "%s receiver counter for %s says %d, index has %d keys"
+            what (obj m) counted n)
+      per_meth
+  in
+  check_recv "scalar" st.scalar_recv st.scalar_recv_counts
+    !scalar_bucket_count;
+  check_recv "set" st.set_recv st.set_recv_counts !set_bucket_count;
   (* hierarchy: log vs adjacency (both directions), acyclicity *)
   Vec.iter
     (fun (o, c) ->
@@ -319,6 +467,26 @@ let check_invariants st =
       if Obj_id.Set.mem o (classes_of st o) then
         problem "hierarchy cycle through %s" (obj o))
     st.parents;
+  (* incrementally maintained closure caches agree with a fresh traversal *)
+  let check_cache what cache tbl =
+    Obj_id.Tbl.iter
+      (fun o cached ->
+        let fresh = closure_raw tbl o in
+        if not (Obj_id.Set.equal cached fresh) then
+          problem "%s cache for %s is stale (%d cached, %d actual)" what
+            (obj o)
+            (Obj_id.Set.cardinal cached)
+            (Obj_id.Set.cardinal fresh))
+      cache
+  in
+  check_cache "ancestor" st.up_cache st.parents;
+  check_cache "descendant" st.down_cache st.children;
+  (* global tuple counter *)
+  let total =
+    Vec.length st.isa_log + !scalar_bucket_count + !set_bucket_count
+  in
+  if st.tuple_count <> total then
+    problem "tuple counter says %d but store holds %d" st.tuple_count total;
   List.rev !problems
 
 let pp ppf st =

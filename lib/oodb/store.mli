@@ -77,6 +77,14 @@ val scalar_bucket : t -> Obj_id.t -> mentry Vec.t
 (** Tuples of [meth] whose result is [res] (inverse navigation). *)
 val scalar_inverse : t -> meth:Obj_id.t -> res:Obj_id.t -> mentry Vec.t
 
+(** Tuples of [meth] on receiver [recv] (any arguments); the bound-receiver
+    secondary index, so such lookups never scan the whole method bucket. *)
+val scalar_recv_index : t -> meth:Obj_id.t -> recv:Obj_id.t -> mentry Vec.t
+
+(** Number of distinct receivers with at least one [meth] tuple; the
+    planner's selectivity estimate for bound-receiver access. *)
+val scalar_recv_keys : t -> Obj_id.t -> int
+
 (** Methods that have at least one scalar tuple. *)
 val scalar_meths : t -> Obj_id.t list
 
@@ -93,6 +101,10 @@ val set_bucket : t -> Obj_id.t -> mentry Vec.t
 
 val set_inverse : t -> meth:Obj_id.t -> res:Obj_id.t -> mentry Vec.t
 
+val set_recv_index : t -> meth:Obj_id.t -> recv:Obj_id.t -> mentry Vec.t
+
+val set_recv_keys : t -> Obj_id.t -> int
+
 val set_meths : t -> Obj_id.t list
 
 (** {1 Statistics} *)
@@ -105,6 +117,11 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** Total facts stored (isa edges + scalar + set tuples); monotonically
+    increasing, O(1). Compiled query plans use it to decide when enough has
+    changed to re-plan. *)
+val size : t -> int
 
 (** Dump the whole store as facts, one per line, in program syntax; used by
     the CLI's [--dump] and by golden tests. Skolem objects print as the

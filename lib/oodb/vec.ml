@@ -1,7 +1,11 @@
-type 'a t = { mutable data : 'a array; mutable len : int }
+type 'a t = { mutable data : 'a array; mutable len : int; mutable sealed : bool }
 
-let create ?(capacity = 8) () = { data = [||]; len = 0 } |> fun v ->
+let create ?(capacity = 8) () = { data = [||]; len = 0; sealed = false } |> fun v ->
   ignore capacity;
+  v
+
+let seal v =
+  v.sealed <- true;
   v
 
 let length v = v.len
@@ -22,6 +26,7 @@ let ensure v n =
   end
 
 let push v x =
+  if v.sealed then invalid_arg "Vec.push: sealed vector";
   if Array.length v.data = 0 then begin
     v.data <- Array.make 8 x
   end else ensure v (v.len + 1);
@@ -56,4 +61,6 @@ let of_list xs =
   List.iter (push v) xs;
   v
 
-let clear v = v.len <- 0
+let clear v =
+  if v.sealed then invalid_arg "Vec.clear: sealed vector";
+  v.len <- 0

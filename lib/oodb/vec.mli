@@ -29,3 +29,9 @@ val to_list : 'a t -> 'a list
 val of_list : 'a list -> 'a t
 
 val clear : 'a t -> unit
+
+(** [seal v] makes [v] permanently immutable: any later [push] or [clear]
+    raises [Invalid_argument]. Used for the shared empty bucket the store
+    hands out for missing methods, so an accidental write fails loudly
+    instead of corrupting unrelated lookups. *)
+val seal : 'a t -> 'a t

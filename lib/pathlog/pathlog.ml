@@ -23,6 +23,7 @@ module Wellformed = Syntax.Wellformed
 module Normalize = Syntax.Normalize
 module Universe = Oodb.Universe
 module Obj_id = Oodb.Obj_id
+module Vec = Oodb.Vec
 module Store = Oodb.Store
 module Signature = Oodb.Signature
 module Ir = Semantics.Ir

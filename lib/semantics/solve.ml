@@ -1,7 +1,7 @@
 module Store = Oodb.Store
 module Set = Oodb.Obj_id.Set
 
-type order = Greedy | Source
+type order = Greedy | Source | Compiled
 
 type seed = { seed_atom : int; seed_from : int }
 
@@ -76,6 +76,12 @@ let cost_app ctx which (app : Ir.app) =
     | `Scalar -> Oodb.Vec.length (Store.scalar_inverse ctx.store ~meth:m ~res)
     | `Set -> Oodb.Vec.length (Store.set_inverse ctx.store ~meth:m ~res)
   in
+  let recv_len m recv =
+    match which with
+    | `Scalar ->
+      Oodb.Vec.length (Store.scalar_recv_index ctx.store ~meth:m ~recv)
+    | `Set -> Oodb.Vec.length (Store.set_recv_index ctx.store ~meth:m ~recv)
+  in
   match deref ctx app.meth with
   | None -> (
     (* variable method: scan every method's bucket *)
@@ -87,14 +93,21 @@ let cost_app ctx which (app : Ir.app) =
       match (deref ctx app.recv, deref ctx app.res) with
       | Some _, _ | _, Some _ -> 1
       | None, None -> infinity_cost
-    else if
-      deref ctx app.recv <> None
-      && List.for_all (fun a -> deref ctx a <> None) app.args
-    then (match which with `Scalar -> 1 | `Set -> 1 + bucket_len m / 8)
-    else (
-      match deref ctx app.res with
-      | Some res -> 1 + inverse_len m res
-      | None -> 1 + bucket_len m)
+    else begin
+      let args_bound = List.for_all (fun a -> deref ctx a <> None) app.args in
+      match deref ctx app.recv with
+      | Some recv when args_bound -> (
+        match which with `Scalar -> 1 | `Set -> 1 + recv_len m recv)
+      | Some recv -> (
+        let r = recv_len m recv in
+        match deref ctx app.res with
+        | Some res -> 1 + min r (inverse_len m res)
+        | None -> 1 + r)
+      | None -> (
+        match deref ctx app.res with
+        | Some res -> 1 + inverse_len m res
+        | None -> 1 + bucket_len m)
+    end
 
 let cost_isa ctx (o, c) =
   let log_len = Oodb.Vec.length (Store.isa_log ctx.store) in
@@ -118,6 +131,129 @@ let cost ctx = function
   | Ir.A_neg n ->
     if List.for_all (fun v -> ctx.binding.(v) <> None) n.n_outer then 32
     else infinity_cost
+
+(* ------------------------------------------------------------------ *)
+(* Compiled plans                                                      *)
+
+type plan = {
+  plan_seed : int;  (* atom executed first, from its delta; -1 = none *)
+  plan_perm : int array;  (* the remaining atoms, in execution order *)
+  plan_size : int;  (* Store.size when compiled, for staleness checks *)
+}
+
+(* Cost of an atom under {e simulated} boundness, from the store's current
+   index statistics. This is the planner's model, shared with [explain];
+   the runtime estimator above refines it with the actual bound values
+   (exact receiver-index and inverse-index lengths). *)
+let static_cost store ~self_id ~is_bound (a : Ir.atom) =
+  let app_cost which (app : Ir.app) =
+    let bucket_len m =
+      match which with
+      | `Scalar -> Oodb.Vec.length (Store.scalar_bucket store m)
+      | `Set -> Oodb.Vec.length (Store.set_bucket store m)
+    in
+    (* average tuples per receiver: the expected receiver-index hit *)
+    let per_recv m =
+      let keys =
+        match which with
+        | `Scalar -> Store.scalar_recv_keys store m
+        | `Set -> Store.set_recv_keys store m
+      in
+      bucket_len m / max 1 keys
+    in
+    match app.meth with
+    | Ir.V i when not (is_bound (Ir.V i)) -> 100_000
+    | meth ->
+      let m = match meth with Ir.Const m -> Some m | Ir.V _ -> None in
+      let is_self =
+        match meth with
+        | Ir.Const c -> Oodb.Obj_id.equal c self_id && app.args = []
+        | Ir.V _ -> false
+      in
+      if is_self then
+        if is_bound app.recv || is_bound app.res then 1 else 100_000
+      else if is_bound app.recv then
+        if List.for_all is_bound app.args then
+          match (which, m) with
+          | `Scalar, _ -> 1
+          | `Set, Some m -> 1 + per_recv m
+          | `Set, None -> 4
+        else (match m with Some m -> 1 + per_recv m | None -> 16)
+      else if is_bound app.res then
+        4 + (match m with Some m -> bucket_len m / 4 | None -> 64)
+      else 1 + (match m with Some m -> bucket_len m | None -> 1024)
+  in
+  match a with
+  | Ir.A_eq (x, y) -> if is_bound x || is_bound y then 0 else 100_000
+  | Ir.A_scalar app -> app_cost `Scalar app
+  | Ir.A_member app -> app_cost `Set app
+  | Ir.A_isa (o, c) -> (
+    let log_len = Oodb.Vec.length (Store.isa_log store) in
+    match (is_bound o, is_bound c) with
+    | true, true -> 1
+    | true, false -> 4
+    | false, true -> 16 + (log_len / 8)
+    | false, false -> 1024 + (log_len * 4))
+  | Ir.A_subset s ->
+    if List.for_all (fun v -> is_bound (Ir.V v)) s.s_outer then 64
+    else 100_000
+  | Ir.A_neg n ->
+    if List.for_all (fun v -> is_bound (Ir.V v)) n.n_outer then 32
+    else 100_000
+
+(* Compile a join order once from the static cost model: repeatedly pick
+   the cheapest remaining atom under the boundness reached so far. Any
+   permutation is sound — every atom executes correctly under any
+   boundness — so the plan can be cached and reused across rounds and
+   bindings; only its quality decays as the store grows. *)
+let compile_plan ?(bindings = []) ?seed_atom store (q : Ir.query) =
+  let self_id = Store.name store "self" in
+  let bound = Array.make (max q.nvars 1) false in
+  List.iter (fun (slot, _) -> bound.(slot) <- true) bindings;
+  let is_bound = function Ir.Const _ -> true | Ir.V i -> bound.(i) in
+  let atoms = Array.of_list q.atoms in
+  let n = Array.length atoms in
+  let used = Array.make n false in
+  let mark i =
+    List.iter (fun v -> bound.(v) <- true) (Ir.atom_vars atoms.(i))
+  in
+  let plan_seed =
+    match seed_atom with
+    | Some i when i >= 0 && i < n -> i
+    | Some i -> invalid_arg (Printf.sprintf "Solve.compile_plan: seed %d" i)
+    | None -> -1
+  in
+  let remaining =
+    if plan_seed >= 0 then begin
+      used.(plan_seed) <- true;
+      mark plan_seed;
+      n - 1
+    end
+    else n
+  in
+  let perm = Array.make remaining (-1) in
+  for slot = 0 to remaining - 1 do
+    let best = ref (-1) in
+    let best_cost = ref max_int in
+    for i = 0 to n - 1 do
+      if not used.(i) then begin
+        let c = static_cost store ~self_id ~is_bound atoms.(i) in
+        if c < !best_cost then begin
+          best_cost := c;
+          best := i
+        end
+      end
+    done;
+    let i = !best in
+    used.(i) <- true;
+    mark i;
+    perm.(slot) <- i
+  done;
+  { plan_seed; plan_perm = perm; plan_size = Store.size store }
+
+(* A plan compiled against a much smaller store may rank accesses badly;
+   re-plan once the store has roughly doubled. *)
+let plan_stale store plan = Store.size store > 16 + (2 * plan.plan_size)
 
 (* ------------------------------------------------------------------ *)
 (* Atom execution                                                      *)
@@ -158,23 +294,44 @@ let exec_app ctx which (app : Ir.app) k =
               | Some r -> bind ctx app.res r k
               | None -> assert false))
     end
-    else if
-      deref ctx app.recv <> None
-      && List.for_all (fun a -> deref ctx a <> None) app.args
-    then
-      let recv = Option.get (deref ctx app.recv) in
-      let args = List.map (fun a -> Option.get (deref ctx a)) app.args in
-      lookup m recv args k
-    else (
-      match deref ctx app.res with
-      | Some res ->
-        let inv =
+    else begin
+      let args_bound = List.for_all (fun a -> deref ctx a <> None) app.args in
+      match deref ctx app.recv with
+      | Some recv when args_bound ->
+        let args = List.map (fun a -> Option.get (deref ctx a)) app.args in
+        lookup m recv args k
+      | Some recv ->
+        (* bound receiver, open arguments: the receiver-keyed secondary
+           index holds exactly this receiver's tuples — when the result is
+           bound too, take whichever of the two indexes is smaller *)
+        let ridx =
           match which with
-          | `Scalar -> Store.scalar_inverse ctx.store ~meth:m ~res
-          | `Set -> Store.set_inverse ctx.store ~meth:m ~res
+          | `Scalar -> Store.scalar_recv_index ctx.store ~meth:m ~recv
+          | `Set -> Store.set_recv_index ctx.store ~meth:m ~recv
         in
-        Oodb.Vec.iter (fun e -> bind_entry ctx app e k) inv
-      | None -> scan_bucket m k)
+        let v =
+          match deref ctx app.res with
+          | Some res ->
+            let inv =
+              match which with
+              | `Scalar -> Store.scalar_inverse ctx.store ~meth:m ~res
+              | `Set -> Store.set_inverse ctx.store ~meth:m ~res
+            in
+            if Oodb.Vec.length inv < Oodb.Vec.length ridx then inv else ridx
+          | None -> ridx
+        in
+        Oodb.Vec.iter (fun e -> bind_entry ctx app e k) v
+      | None -> (
+        match deref ctx app.res with
+        | Some res ->
+          let inv =
+            match which with
+            | `Scalar -> Store.scalar_inverse ctx.store ~meth:m ~res
+            | `Set -> Store.set_inverse ctx.store ~meth:m ~res
+          in
+          Oodb.Vec.iter (fun e -> bind_entry ctx app e k) inv
+        | None -> scan_bucket m k)
+    end
   in
   match deref ctx app.meth with
   | Some m -> with_method m k
@@ -246,7 +403,9 @@ and run_atoms ctx order arr used remaining k =
         else best := i
       in
       first 0
-    | Greedy ->
+    | Greedy | Compiled ->
+      (* nested sub-queries under a compiled outer plan still schedule
+         adaptively: they are small and their boundness is fully known *)
       Array.iteri
         (fun i a ->
           if not used.(i) then begin
@@ -375,7 +534,7 @@ let make_ctx ~hilog_virtual store (q : Ir.query) =
   }
 
 let iter ?(order = Greedy) ?(hilog_virtual = false) ?(bindings = []) ?seed
-    ?limit store (q : Ir.query) ~f =
+    ?plan ?limit store (q : Ir.query) ~f =
   let ctx = make_ctx ~hilog_virtual store q in
   List.iter (fun (slot, obj) -> ctx.binding.(slot) <- Some obj) bindings;
   let produced = ref 0 in
@@ -395,14 +554,45 @@ let iter ?(order = Greedy) ?(hilog_virtual = false) ?(bindings = []) ?seed
     complete 0
   in
   let atoms = Array.of_list q.atoms in
-  let used = Array.make (Array.length atoms) false in
+  let seed_idx = match seed with Some s -> s.seed_atom | None -> -1 in
+  let plan =
+    match plan with
+    | Some p ->
+      if
+        p.plan_seed <> seed_idx
+        || Array.length p.plan_perm + (if seed_idx >= 0 then 1 else 0)
+           <> Array.length atoms
+      then invalid_arg "Solve.iter: plan does not match query/seed";
+      Some p
+    | None -> (
+      match order with
+      | Compiled ->
+        Some
+          (compile_plan ~bindings
+             ?seed_atom:(if seed_idx >= 0 then Some seed_idx else None)
+             store q)
+      | Greedy | Source -> None)
+  in
   let body () =
-    match seed with
-    | None -> run_atoms ctx order atoms used (Array.length atoms) finish
-    | Some { seed_atom; seed_from } ->
-      used.(seed_atom) <- true;
-      exec_seeded ctx order atoms.(seed_atom) seed_from (fun () ->
-          run_atoms ctx order atoms used (Array.length atoms - 1) finish)
+    match plan with
+    | Some p ->
+      let perm = p.plan_perm in
+      let rec go i =
+        if i >= Array.length perm then finish ()
+        else exec_atom ctx order atoms.(perm.(i)) (fun () -> go (i + 1))
+      in
+      (match seed with
+      | None -> go 0
+      | Some { seed_atom; seed_from } ->
+        exec_seeded ctx order atoms.(seed_atom) seed_from (fun () -> go 0))
+    | None -> (
+      let used = Array.make (Array.length atoms) false in
+      match seed with
+      | None -> run_atoms ctx order atoms used (Array.length atoms) finish
+      | Some { seed_atom; seed_from } ->
+        used.(seed_atom) <- true;
+        exec_seeded ctx order atoms.(seed_atom) seed_from (fun () ->
+            run_atoms ctx order atoms used (Array.length atoms - 1) finish))
   in
   try body () with Stopped -> ()
 
@@ -430,44 +620,16 @@ let count ?(order = Greedy) store (q : Ir.query) =
 (* ------------------------------------------------------------------ *)
 (* Plan explanation                                                    *)
 
+(* The atom order comes from {!compile_plan} — the exact plan [Compiled]
+   executes, and the same static simulation [Greedy] starts from (the
+   runtime order can diverge when intermediate bindings change the cost
+   ranking). Access paths are described under the boundness reached at
+   each step, mirroring [exec_app]'s dispatch. *)
 let explain ?(order = Greedy) store (q : Ir.query) =
   let u = Store.universe store in
   let bound = Array.make (max q.nvars 1) false in
   let is_bound = function Ir.Const _ -> true | Ir.V i -> bound.(i) in
-  let bind_term = function Ir.Const _ -> () | Ir.V i -> bound.(i) <- true in
   let self_id = Store.name store "self" in
-  (* cost mirror of the runtime estimator, over simulated boundness *)
-  let sim_cost (a : Ir.atom) =
-    let app_cost which (app : Ir.app) =
-      let bucket_len m =
-        match which with
-        | `Scalar -> Oodb.Vec.length (Store.scalar_bucket store m)
-        | `Set -> Oodb.Vec.length (Store.set_bucket store m)
-      in
-      match app.meth with
-      | Ir.V i when not bound.(i) -> 100_000
-      | meth -> (
-        let m = match meth with Ir.Const m -> Some m | Ir.V _ -> None in
-        if is_bound app.recv && List.for_all is_bound app.args then 1
-        else if is_bound app.res then
-          4 + (match m with Some m -> bucket_len m / 4 | None -> 64)
-        else 1 + (match m with Some m -> bucket_len m | None -> 1024))
-    in
-    match a with
-    | Ir.A_eq (x, y) -> if is_bound x || is_bound y then 0 else 100_000
-    | Ir.A_scalar app -> app_cost `Scalar app
-    | Ir.A_member app -> app_cost `Set app
-    | Ir.A_isa (o, c) -> (
-      match (is_bound o, is_bound c) with
-      | true, true -> 1
-      | true, false -> 4
-      | false, true -> 16
-      | false, false -> 1024)
-    | Ir.A_subset s ->
-      if List.for_all (fun v -> bound.(v)) s.s_outer then 64 else 100_000
-    | Ir.A_neg n ->
-      if List.for_all (fun v -> bound.(v)) n.n_outer then 32 else 100_000
-  in
   let describe (a : Ir.atom) =
     let app_path which (app : Ir.app) =
       let kind = match which with `Scalar -> "scalar" | `Set -> "set" in
@@ -487,6 +649,8 @@ let explain ?(order = Greedy) store (q : Ir.query) =
         then "identity (self)"
         else if is_bound app.recv && List.for_all is_bound app.args then
           Printf.sprintf "keyed %s lookup on %s" kind mname
+        else if is_bound app.recv then
+          Printf.sprintf "receiver index scan on %s" mname
         else if is_bound app.res then
           Printf.sprintf "inverse index scan on %s" mname
         else Printf.sprintf "bucket scan on %s" mname
@@ -508,43 +672,15 @@ let explain ?(order = Greedy) store (q : Ir.query) =
     Format.asprintf "%a  [%s]" (Ir.pp_atom u) a path
   in
   let atoms = Array.of_list q.atoms in
-  let used = Array.make (Array.length atoms) false in
-  let lines = ref [] in
-  for _ = 1 to Array.length atoms do
-    let best = ref (-1) in
-    let best_cost = ref max_int in
-    (match order with
-    | Source ->
-      (try
-         Array.iteri
-           (fun i _ ->
-             if not used.(i) then begin
-               best := i;
-               raise Stopped
-             end)
-           atoms
-       with Stopped -> ())
-    | Greedy ->
-      Array.iteri
-        (fun i a ->
-          if not used.(i) then begin
-            let c = sim_cost a in
-            if c < !best_cost then begin
-              best_cost := c;
-              best := i
-            end
-          end)
-        atoms);
-    let i = !best in
-    used.(i) <- true;
-    lines := describe atoms.(i) :: !lines;
-    List.iter
-      (fun v -> bound.(v) <- true)
-      (Ir.atom_vars atoms.(i));
-    (match atoms.(i) with
-    | Ir.A_scalar app | Ir.A_member app ->
-      bind_term app.res;
-      bind_term app.recv
-    | Ir.A_isa _ | Ir.A_eq _ | Ir.A_subset _ | Ir.A_neg _ -> ())
-  done;
-  List.rev !lines
+  let perm =
+    match order with
+    | Source -> Array.init (Array.length atoms) (fun i -> i)
+    | Greedy | Compiled -> (compile_plan store q).plan_perm
+  in
+  Array.to_list
+    (Array.map
+       (fun i ->
+         let line = describe atoms.(i) in
+         List.iter (fun v -> bound.(v) <- true) (Ir.atom_vars atoms.(i));
+         line)
+       perm)

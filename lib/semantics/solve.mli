@@ -5,12 +5,16 @@
     workhorse of both query answering and rule bodies in the fixpoint
     engine.
 
-    Atom scheduling is greedy: at every depth the cheapest remaining atom is
-    executed, where cost is the estimated number of matches under the
-    current partial binding (1 for a fully keyed lookup, the bucket length
-    for a method scan, and so on). [`Source] order — execute atoms
-    left-to-right as written — is kept for the join-order ablation
-    experiment (E10).
+    Atom scheduling has three modes. [Compiled] compiles a join order
+    {e once} per (query, seed) from the static cost model ({!compile_plan})
+    and follows it for every partial binding — the fixpoint engine's
+    default, with the plan cached across rounds. [Greedy] re-ranks the
+    remaining atoms at every depth by estimated matches under the current
+    partial binding (1 for a fully keyed lookup, the receiver-index length
+    for a bound-receiver scan, the bucket length for a method scan, and so
+    on) — adaptive, but O(atoms²) cost scans per solution prefix.
+    [`Source] order — execute atoms left-to-right as written — is kept for
+    the join-order ablation experiment (E10).
 
     Set-inclusion atoms ([A_subset]) and negation run as nested
     sub-enumerations once their outer variables are bound; any still-unbound
@@ -18,13 +22,44 @@
     query [?- X.]) falls back to enumerating the whole universe, which keeps
     the solver total on well-formed input. *)
 
-type order = Greedy | Source
+type order = Greedy | Source | Compiled
 
 (** Restrict one atom of the query to the delta suffix of its relation's
     bucket (tuples with index [>= from]); used by the semi-naive fixpoint.
     The seeded atom is executed first. For [A_isa] atoms the delta is the
     suffix of the direct-edge log, expanded through the hierarchy closure. *)
 type seed = { seed_atom : int; seed_from : int }
+
+(** A compiled join order: the seeded atom (or [-1]), the remaining atoms
+    in execution order, and the store size at compile time. Every
+    permutation is {e sound} — each atom executes correctly under any
+    boundness — so plans can be cached and reused across rounds and
+    bindings; only their quality decays as the store grows (see
+    {!plan_stale}). *)
+type plan = {
+  plan_seed : int;
+  plan_perm : int array;
+  plan_size : int;
+}
+
+(** Compile a join order for [q] from the static cost model: repeatedly
+    pick the cheapest remaining atom under the boundness reached so far,
+    using the store's current bucket sizes and receiver-index
+    selectivities.
+
+    @param bindings slots known to be bound before the search starts
+    @param seed_atom atom index executed first from its delta (semi-naive
+    seeding); its variables are bound when the rest is ordered. *)
+val compile_plan :
+  ?bindings:(int * Oodb.Obj_id.t) list ->
+  ?seed_atom:int ->
+  Oodb.Store.t ->
+  Ir.query ->
+  plan
+
+(** Has the store grown enough (roughly 2x) since [plan] was compiled that
+    re-planning is worthwhile? *)
+val plan_stale : Oodb.Store.t -> plan -> bool
 
 exception Stopped
 
@@ -38,6 +73,7 @@ val iter :
   ?hilog_virtual:bool ->
   ?bindings:(int * Oodb.Obj_id.t) list ->
   ?seed:seed ->
+  ?plan:plan ->
   ?limit:int ->
   Oodb.Store.t ->
   Ir.query ->
@@ -45,6 +81,11 @@ val iter :
   unit
 (** [bindings] pre-binds slots before the search starts (used to replay a
     rule body under a known variable valuation, e.g. for provenance).
+
+    [plan] executes atoms in a precompiled order (it must have been
+    compiled for this query with a [seed_atom] matching [seed], else
+    [Invalid_argument]); without it, [~order:Compiled] compiles one on the
+    fly. Nested sub-queries always schedule adaptively.
 
     [hilog_virtual] (default [false]): when a {e method-position} variable
     is enumerated (HiLog-style higher-order atoms such as [X\[M ->> {Y}\]]),
@@ -69,9 +110,10 @@ val satisfiable : ?order:order -> Oodb.Store.t -> Ir.query -> bool
     query names no variable, capped at 1 for a ground query). *)
 val count : ?order:order -> Oodb.Store.t -> Ir.query -> int
 
-(** A static simulation of the plan the solver would follow: the atom
-    execution order and the access path chosen for each atom (lookup,
-    inverse index, bucket scan, ...), one line per atom. The greedy
-    simulation uses the store's current bucket sizes; the runtime order can
-    differ when intermediate bindings change the cost ranking. *)
+(** The plan the solver follows: the atom execution order and the access
+    path chosen for each atom (keyed lookup, receiver index, inverse
+    index, bucket scan, ...), one line per atom. For [Compiled] this is
+    {e exactly} the executed plan (both come from {!compile_plan}); for
+    [Greedy] it is the same static simulation, which the runtime order can
+    leave when intermediate bindings change the cost ranking. *)
 val explain : ?order:order -> Oodb.Store.t -> Ir.query -> string list

@@ -18,5 +18,6 @@ let () =
       ("differential", Test_differential.suite);
       ("normalize", Test_normalize.suite);
       ("coverage", Test_coverage.suite);
+      ("planner", Test_planner.suite);
       ("server", Test_server.suite);
     ]

@@ -350,12 +350,12 @@ let table_e8 () =
   match Program.of_string cyclic with
   | exception Program.Invalid msg ->
     Printf.printf "cyclic variant rejected at load: %s\n" msg
-  | exception Pathlog.Err.Unstratifiable msg ->
-    Printf.printf "cyclic variant rejected: %s\n" msg
+  | exception Pathlog.Err.Unstratifiable u ->
+    Printf.printf "cyclic variant rejected: %s\n" u.Pathlog.Err.u_message
   | p -> (
     match Program.run p with
-    | exception Pathlog.Err.Unstratifiable msg ->
-      Printf.printf "cyclic variant rejected: %s\n" msg
+    | exception Pathlog.Err.Unstratifiable u ->
+      Printf.printf "cyclic variant rejected: %s\n" u.Pathlog.Err.u_message
     | _ -> print_endline "WARNING: cyclic variant was not rejected")
 
 let table_e9 () =

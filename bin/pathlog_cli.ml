@@ -1,11 +1,13 @@
 (* pathlog — command-line driver.
 
    pathlog run FILE [--query Q]... [--dump] [--stats] [--naive] [--types]
-   pathlog check FILE            parse + well-formedness + stratification
+   pathlog check FILE [--json] [--deny LEVEL]   full static analysis
    pathlog repl [FILE]           interactive queries against a loaded program
    pathlog serve FILE            long-running concurrent query server
    pathlog connect               client for a running server
-*)
+
+   Exit codes (see Err): 0 ok, 1 runtime error, 2 load error, 3 static
+   analysis refused the program. *)
 
 open Cmdliner
 
@@ -28,12 +30,12 @@ let with_errors store f =
   try f () with
   | Pathlog.Program.Invalid msg ->
     Printf.eprintf "error: %s\n" msg;
-    exit 1
+    exit Pathlog.Err.exit_load
   | e -> (
     match Option.bind store (fun st -> Pathlog.Err.message st e) with
     | Some msg ->
       Printf.eprintf "error: %s\n" msg;
-      exit 1
+      exit Pathlog.Err.exit_runtime
     | None -> raise e)
 
 let print_answer p query answer =
@@ -50,7 +52,8 @@ let print_answer p query answer =
 
 (* ------------------------------------------------------------------ *)
 
-let run_cmd file queries dump stats naive hilog max_rounds max_objects types =
+let run_cmd file queries dump stats naive hilog max_rounds max_objects types
+    prune_dead =
   let config = config_of ~naive ~hilog ~max_rounds ~max_objects in
   let p =
     with_errors None (fun () ->
@@ -58,7 +61,14 @@ let run_cmd file queries dump stats naive hilog max_rounds max_objects types =
   in
   let st = Pathlog.Program.store p in
   with_errors (Some st) (fun () ->
-      let s = Pathlog.Program.run p in
+      let s =
+        if prune_dead then begin
+          let s, skipped = Pathlog.Program.run_live p in
+          Printf.printf "%% pruned: %d dead rules skipped\n" skipped;
+          s
+        end
+        else Pathlog.Program.run p
+      in
       if stats then
         Format.printf "%% %a@." Pathlog.Fixpoint.pp_stats s;
       List.iter
@@ -84,26 +94,42 @@ let run_cmd file queries dump stats naive hilog max_rounds max_objects types =
                 (Pathlog.Signature.pp_violation st)
                 v)
             violations;
-          exit 2
+          exit Pathlog.Err.exit_analysis
       end;
       if dump then Format.printf "%a" Pathlog.Store.pp st)
 
-let check_cmd file =
-  let p =
-    with_errors None (fun () -> Pathlog.Program.of_string (read_file file))
+let check_cmd file json deny =
+  let text = read_file file in
+  let result = Pathlog.Check.analyze text in
+  let denied =
+    List.exists
+      (fun (d : Pathlog.Diagnostic.t) ->
+        Pathlog.Diagnostic.severity_rank d.severity
+        >= Pathlog.Diagnostic.severity_rank deny)
+      result.diagnostics
   in
-  let strata = Pathlog.Program.strata p in
-  Printf.printf "ok: %d rules, %d strata\n"
-    (List.length (Pathlog.Program.rules p))
-    (Array.length strata);
-  Array.iteri
-    (fun i rules ->
-      List.iter
-        (fun (r : Pathlog.Rule.t) ->
-          Format.printf "  stratum %d: %a@." i Pathlog.Pretty.pp_rule
-            r.source)
-        rules)
-    strata
+  if json then print_endline (Pathlog.Check.to_json result)
+  else begin
+    List.iter
+      (fun d -> print_endline (Pathlog.Diagnostic.to_string ~file d))
+      result.diagnostics;
+    if (not denied) && Pathlog.Check.ok result then begin
+      Printf.printf "ok: %d rules, %d strata\n" result.n_rules
+        result.n_strata;
+      match Pathlog.Program.of_string text with
+      | p ->
+        Array.iteri
+          (fun i rules ->
+            List.iter
+              (fun (r : Pathlog.Rule.t) ->
+                Format.printf "  stratum %d: %a@." i Pathlog.Pretty.pp_rule
+                  r.source)
+              rules)
+          (Pathlog.Program.strata p)
+      | exception Pathlog.Program.Invalid _ -> ()
+    end
+  end;
+  if denied then exit Pathlog.Err.exit_analysis
 
 let explain_cmd file queries =
   let p =
@@ -192,7 +218,7 @@ let lint_cmd file =
       (fun w ->
         Format.printf "warning: %a@." Pathlog.Typecheck.pp_warning w)
       warnings;
-    exit 2
+    exit Pathlog.Err.exit_analysis
 
 let fmt_cmd file normalize =
   let statements =
@@ -261,7 +287,16 @@ let server_address ~host ~port ~unix_sock =
   | None -> Pathlog.Server.Tcp (host, port)
 
 let serve_cmd file host port unix_sock workers queue max_request deadline =
-  let p = with_errors None (fun () -> Pathlog.load (read_file file)) in
+  let text = read_file file in
+  (* Refuse to serve a program static analysis can already prove broken:
+     a conflict or divergence found mid-flight would take the whole
+     server down, not one request. *)
+  (match Pathlog.Check.gate text with
+  | Ok _ -> ()
+  | Error msg ->
+    Printf.eprintf "error: program refused by static analysis:\n%s\n" msg;
+    exit Pathlog.Err.exit_analysis);
+  let p = with_errors None (fun () -> Pathlog.load text) in
   let config =
     {
       Pathlog.Server.default_config with
@@ -388,12 +423,43 @@ let types_arg =
     value & flag
     & info [ "types" ] ~doc:"Check the model against signature declarations.")
 
+let prune_dead_arg =
+  Arg.(
+    value & flag
+    & info [ "prune-dead" ]
+        ~doc:
+          "Skip rules unreachable from the program's queries (sound: \
+           answers are unchanged; see pathlog check code PL032).")
+
 let run_t =
   Term.(
     const run_cmd $ file_arg $ queries_arg $ dump_arg $ stats_arg $ naive_arg
-    $ hilog_arg $ max_rounds_arg $ max_objects_arg $ types_arg)
+    $ hilog_arg $ max_rounds_arg $ max_objects_arg $ types_arg
+    $ prune_dead_arg)
 
-let check_t = Term.(const check_cmd $ file_arg)
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the diagnostics as a JSON object.")
+
+let deny_arg =
+  let levels =
+    Arg.enum
+      [
+        ("error", Pathlog.Diagnostic.Error);
+        ("warning", Pathlog.Diagnostic.Warning);
+        ("hint", Pathlog.Diagnostic.Hint);
+      ]
+  in
+  Arg.(
+    value
+    & opt levels Pathlog.Diagnostic.Error
+    & info [ "deny" ] ~docv:"LEVEL"
+        ~doc:
+          "Exit non-zero when a diagnostic at or above $(docv) is reported \
+           (error, warning, or hint; default error).")
+
+let check_t = Term.(const check_cmd $ file_arg $ json_arg $ deny_arg)
 
 let repl_file_arg =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -488,7 +554,10 @@ let () =
         Cmd.v (Cmd.info "run" ~doc:"Evaluate a program and its queries") run_t;
         Cmd.v
           (Cmd.info "check"
-             ~doc:"Parse, check well-formedness, show stratification")
+             ~doc:
+               "Run the full static analysis: well-formedness, \
+                stratification, type lint, skolem-cycle, dead-rule and \
+                scalar-conflict detection")
           check_t;
         Cmd.v (Cmd.info "repl" ~doc:"Interactive query shell") repl_t;
         Cmd.v

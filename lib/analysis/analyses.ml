@@ -1,0 +1,445 @@
+open Syntax.Ast
+module Ir = Semantics.Ir
+module Rule = Engine.Rule
+module Stratify = Engine.Stratify
+module Obj_set = Oodb.Obj_id.Set
+
+module Rel_set = Set.Make (struct
+  type t = Ir.rel
+
+  let compare = Ir.compare_rel
+end)
+
+let rule_context (r : Rule.t) =
+  Format.asprintf "%a" Syntax.Pretty.pp_rule r.source
+
+(* ------------------------------------------------------------------ *)
+(* PL030 — skolem-creation cycles.
+
+   A scalar path [X.m] in a rule head creates a fresh virtual object
+   whenever the method application is undefined. Skolemisation is
+   functional — the same receiver, method and arguments always locate the
+   same virtual object — so creation alone never diverges: the model
+   grows without bound only when the fresh objects feed back into the
+   domain the creating rule matches receivers against, as in
+   [X.succ : nat <- X : nat].
+
+   The analysis therefore starts not from everything the rule defines but
+   from the relations the fresh object {e enters}: the class of an
+   [o : c] head around a skolem path (the object becomes a member the
+   body's [X : c] can match) and the method relations of [o\[k -> v\]]
+   heads whose receiver is a skolem path (the object gains properties a
+   body can match receivers through). A fresh object that only appears as
+   the {e result} of its defining tuple, as a method, or as a class is
+   not counted: under the default semantics (hilog_virtual=false)
+   variable method and class positions do not enumerate virtual objects —
+   this is exactly what makes the paper's generic [tc] rules and the
+   [c.list] type constructor terminate, and counting those positions
+   would flag them.
+
+   From the entry relations we follow the program's read→define flow
+   (growth in a read relation lets the reading rule grow what it
+   defines; [R_any]/bare [R_isa] definitions are dropped for the same
+   hilog reason, class definitions close upward); the rule is flagged
+   when the flow reaches a relation its own body reads. *)
+
+let rec strip_ref = function Paren r -> strip_ref r | r -> r
+
+let is_skolem_path r =
+  match strip_ref r with
+  | Path { p_sep = Dot; p_meth = Name "self"; p_args = []; _ } -> false
+  | Path { p_sep = Dot; _ } -> true
+  | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _
+  | Path { p_sep = Dotdot; _ }
+  | Filter _ | Isa _ ->
+    false
+
+let const_obj store r =
+  match strip_ref r with
+  | Name n -> Some (Oodb.Store.name store n)
+  | Int_lit n -> Some (Oodb.Store.int store n)
+  | Str_lit s -> Some (Oodb.Store.str store s)
+  | Var _ | Paren _ | Path _ | Filter _ | Isa _ -> None
+
+(* Relations a fresh virtual object created by this head enters in a
+   position rule bodies can match it back out of. *)
+let skolem_entries store anc head =
+  let add_isa acc c =
+    Obj_set.fold
+      (fun a acc -> Rel_set.add (Ir.R_isa_c a) acc)
+      (anc c)
+      (Rel_set.add (Ir.R_isa_c c) acc)
+  in
+  let add acc = function
+    | Isa { recv; cls } when is_skolem_path recv -> (
+      match const_obj store cls with
+      | Some c -> add_isa acc c
+      | None -> acc)
+    | Filter { f_recv; f_meth; f_rhs; _ } when is_skolem_path f_recv -> (
+      match (const_obj store f_meth, f_rhs) with
+      | Some m, Rscalar _ -> Rel_set.add (Ir.R_scalar m) acc
+      | Some m, (Rset_ref _ | Rset_enum _) -> Rel_set.add (Ir.R_set m) acc
+      | Some _, (Rsig_scalar _ | Rsig_set _) | None, _ -> acc)
+    | Path { p_recv; p_sep = Dot; p_meth; _ } when is_skolem_path p_recv -> (
+      match const_obj store p_meth with
+      | Some m -> Rel_set.add (Ir.R_scalar m) acc
+      | None -> acc)
+    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Filter _
+    | Isa _ ->
+      acc
+  in
+  fold_reference add Rel_set.empty head
+
+let flow_defines anc (r : Rule.t) =
+  List.concat_map
+    (fun d ->
+      match (d : Ir.rel) with
+      | R_any | R_isa -> []
+      | R_isa_c c ->
+        Ir.R_isa_c c
+        :: List.map (fun a -> Ir.R_isa_c a) (Obj_set.elements (anc c))
+      | R_scalar _ | R_set _ -> [ d ])
+    r.defines
+
+let skolem_cycles store rules =
+  let anc = Stratify.static_ancestors rules in
+  let nodes =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc d -> Rel_set.add d acc)
+          acc (flow_defines anc r))
+      Rel_set.empty rules
+  in
+  let isa_nodes =
+    Rel_set.filter (function Ir.R_isa_c _ -> true | _ -> false) nodes
+  in
+  (* a variable method position ([R_any]) matches method relations, never
+     class membership *)
+  let meth_nodes =
+    Rel_set.filter
+      (function Ir.R_scalar _ | Ir.R_set _ -> true | _ -> false)
+      nodes
+  in
+  let flow_reads (r : Rule.t) =
+    List.concat_map
+      (fun rd ->
+        match (rd : Ir.rel) with
+        | R_any -> Rel_set.elements meth_nodes
+        | R_isa -> Rel_set.elements isa_nodes
+        | R_isa_c _ | R_scalar _ | R_set _ -> [ rd ])
+      (r.reads @ r.completion_reads)
+    |> List.sort_uniq Ir.compare_rel
+  in
+  (* successor lists: read -> defines of every rule reading it *)
+  let succ = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      let ds = flow_defines anc r in
+      List.iter
+        (fun rd ->
+          Hashtbl.replace succ rd
+            (ds @ Option.value ~default:[] (Hashtbl.find_opt succ rd)))
+        (flow_reads r))
+    rules;
+  let reachable_from starts =
+    let seen = ref starts in
+    let rec go = function
+      | [] -> ()
+      | n :: rest ->
+        let next =
+          List.filter
+            (fun m -> not (Rel_set.mem m !seen))
+            (Option.value ~default:[] (Hashtbl.find_opt succ n))
+        in
+        List.iter (fun m -> seen := Rel_set.add m !seen) next;
+        go (next @ rest)
+    in
+    go (Rel_set.elements starts);
+    !seen
+  in
+  let universe = Oodb.Store.universe store in
+  List.concat_map
+    (fun (r : Rule.t) ->
+      if r.source.body = [] then []
+      else begin
+        let skolems = Rule.skolem_defines store r.source.head in
+        let creates_any = List.mem Ir.R_any skolems in
+        let entries = skolem_entries store anc r.source.head in
+        let cycle =
+          if Rel_set.is_empty entries then None
+          else begin
+            let reach = reachable_from entries in
+            List.find_opt (fun rd -> Rel_set.mem rd reach) (flow_reads r)
+          end
+        in
+        (match cycle with
+        | Some back ->
+          [
+            Diagnostic.make ?span:r.span ~context:(rule_context r)
+              ~code:"PL030" ~severity:Diagnostic.Warning
+              "rule creates virtual objects that can re-trigger it through \
+               %a; evaluation may not terminate"
+              (Ir.pp_rel universe) back;
+          ]
+        | None -> [])
+        @
+        if creates_any then
+          [
+            Diagnostic.make ?span:r.span ~context:(rule_context r)
+              ~code:"PL030" ~severity:Diagnostic.Hint
+              "rule head creates virtual objects at a variable or computed \
+               method position; cycle analysis does not apply (such objects \
+               are only enumerated under hilog-virtual mode)";
+          ]
+        else []
+      end)
+    rules
+
+(* ------------------------------------------------------------------ *)
+(* PL031 / PL032 — dead rules.
+
+   PL031: a rule can never fire when some top-level positive body atom
+   reads a relation no rule or fact can ever populate. Computed as a
+   producibility fixpoint: facts seed their head relations, a rule whose
+   required reads are all producible contributes its defines (class
+   definitions close upward through the static hierarchy; a variable
+   class or method position in a head makes the corresponding family of
+   relations unknown, i.e. producible). Negated and set-inclusion
+   sub-queries are not required — an empty relation satisfies them.
+
+   PL032: with embedded queries present, a rule outside the backward
+   reachability closure of the query relations (see
+   {!Stratify.live_rules}) cannot contribute to any answer. Reported as a
+   hint: the rule is not wrong, just dead weight for these queries. *)
+
+type required =
+  | Req_isa_c of Oodb.Obj_id.t
+  | Req_isa_any
+  | Req_rel of Ir.rel
+
+let required_reads (r : Rule.t) =
+  List.filter_map
+    (fun (a : Ir.atom) ->
+      match a with
+      | A_isa (_, Const c) -> Some (Req_isa_c c)
+      | A_isa (_, V _) -> Some Req_isa_any
+      | A_scalar { meth = Const m; _ } -> Some (Req_rel (Ir.R_scalar m))
+      | A_member { meth = Const m; _ } -> Some (Req_rel (Ir.R_set m))
+      | A_scalar { meth = V _; _ } | A_member { meth = V _; _ } -> None
+      | A_eq _ | A_subset _ | A_neg _ -> None)
+    r.body.atoms
+
+let never_fires store rules =
+  let anc = Stratify.static_ancestors rules in
+  let produced = ref Rel_set.empty in
+  let any_isa = ref false in
+  let unknown_isa = ref false in
+  let unknown_meth = ref false in
+  let produce d =
+    match (d : Ir.rel) with
+    | R_isa_c c ->
+      any_isa := true;
+      produced := Rel_set.add d !produced;
+      Obj_set.iter
+        (fun a -> produced := Rel_set.add (Ir.R_isa_c a) !produced)
+        (anc c)
+    | R_isa ->
+      any_isa := true;
+      unknown_isa := true
+    | R_any -> unknown_meth := true
+    | R_scalar _ | R_set _ -> produced := Rel_set.add d !produced
+  in
+  let satisfied = function
+    | Req_isa_c c -> !unknown_isa || Rel_set.mem (Ir.R_isa_c c) !produced
+    | Req_isa_any -> !any_isa
+    | Req_rel r -> !unknown_meth || Rel_set.mem r !produced
+  in
+  let fired = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Rule.t) ->
+        if
+          (not (Hashtbl.mem fired r.uid))
+          && List.for_all satisfied (required_reads r)
+        then begin
+          Hashtbl.add fired r.uid ();
+          List.iter produce r.defines;
+          changed := true
+        end)
+      rules
+  done;
+  let universe = Oodb.Store.universe store in
+  let pp_required ppf = function
+    | Req_isa_c c ->
+      Format.fprintf ppf "membership in class %s"
+        (Oodb.Universe.to_string universe c)
+    | Req_isa_any -> Format.fprintf ppf "any class membership"
+    | Req_rel r -> Ir.pp_rel universe ppf r
+  in
+  List.filter_map
+    (fun (r : Rule.t) ->
+      if Hashtbl.mem fired r.uid then None
+      else
+        let missing =
+          List.find_opt (fun q -> not (satisfied q)) (required_reads r)
+        in
+        Some
+          (match missing with
+          | Some q ->
+            Diagnostic.make ?span:r.span ~context:(rule_context r)
+              ~code:"PL031" ~severity:Diagnostic.Warning
+              "rule can never fire: its body needs %a, which no rule or \
+               fact produces"
+              pp_required q
+          | None ->
+            Diagnostic.make ?span:r.span ~context:(rule_context r)
+              ~code:"PL031" ~severity:Diagnostic.Warning
+              "rule can never fire"))
+    rules
+
+let unreachable_rules store rules ~queries =
+  match queries with
+  | [] -> []
+  | qs ->
+    let goals =
+      List.concat_map
+        (fun lits ->
+          Ir.query_rels (Semantics.Flatten.literals store lits).atoms)
+        qs
+    in
+    let live = Stratify.live_rules rules ~goals in
+    let live_uids = Hashtbl.create 16 in
+    List.iter (fun (r : Rule.t) -> Hashtbl.add live_uids r.uid ()) live;
+    List.filter_map
+      (fun (r : Rule.t) ->
+        if Hashtbl.mem live_uids r.uid || r.source.body = [] then None
+        else
+          Some
+            (Diagnostic.make ?span:r.span ~context:(rule_context r)
+               ~code:"PL032" ~severity:Diagnostic.Hint
+               "rule is unreachable from the program's queries: nothing it \
+                derives feeds a queried relation"))
+      rules
+
+let dead_rules store rules ~queries =
+  never_fires store rules @ unreachable_rules store rules ~queries
+
+(* ------------------------------------------------------------------ *)
+(* PL040 / PL041 — scalar-functionality conflicts.
+
+   Scalar methods interpret partial functions (section 3): two head
+   assertions giving the same method application different results make
+   the program inconsistent, which today surfaces only at runtime as
+   {!Engine.Err.Functional_conflict}. Statically we compare every pair of
+   scalar head assignments with the same constant method and ground,
+   distinct results:
+
+   - both are ground facts on the same receiver and arguments — the
+     conflict is definite, PL040, error;
+   - otherwise, if the receivers (and arguments) are not provably
+     distinct ground objects, the rules may collide on some receiver at
+     runtime — PL041, warning.
+
+   Assignments whose result is a variable or path are skipped: their
+   value is unknown statically and flagging them would drown real
+   conflicts in noise. *)
+
+type assignment = {
+  a_meth : reference;
+  a_recv : reference;
+  a_args : reference list;
+  a_res : reference;
+  a_rule : Rule.t;
+}
+
+let rec strip = function Paren r -> strip r | r -> r
+
+(* The object a molecule's assertions attach to: [e1 : employee[age ->
+   30]\[city -> ny\]] nests the [city] filter around the [age] filter
+   around the [Isa], so resolving the receiver means stripping those
+   wrappers down to the underlying reference. *)
+let rec recv_obj r =
+  match r with
+  | Paren r | Isa { recv = r; _ } | Filter { f_recv = r; _ } -> recv_obj r
+  | Name _ | Int_lit _ | Str_lit _ | Var _ | Path _ -> r
+
+let is_ground r =
+  match strip r with
+  | Name _ | Int_lit _ | Str_lit _ -> true
+  | Var _ | Paren _ | Path _ | Filter _ | Isa _ -> false
+
+let head_assignments (rule : Rule.t) =
+  let add acc = function
+    | Filter { f_recv; f_meth; f_args; f_rhs = Rscalar res } ->
+      let a_meth = strip f_meth in
+      if is_ground a_meth then
+        {
+          a_meth;
+          a_recv = recv_obj f_recv;
+          a_args = List.map strip f_args;
+          a_res = recv_obj res;
+          a_rule = rule;
+        }
+        :: acc
+      else acc
+    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Isa _
+    | Filter _ ->
+      acc
+  in
+  List.rev (fold_reference add [] rule.source.head)
+
+let scalar_conflicts rules =
+  let assignments = List.concat_map head_assignments rules in
+  let conflicts = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          if
+            a.a_meth = b.a_meth
+            && List.length a.a_args = List.length b.a_args
+            && is_ground a.a_res && is_ground b.a_res
+            && a.a_res <> b.a_res
+            (* receivers/arguments provably distinct => no collision *)
+            && not (is_ground a.a_recv && is_ground b.a_recv
+                    && a.a_recv <> b.a_recv)
+            && not
+                 (List.exists2
+                    (fun x y -> is_ground x && is_ground y && x <> y)
+                    a.a_args b.a_args)
+          then conflicts := (a, b) :: !conflicts)
+        rest;
+      pairs rest
+  in
+  pairs assignments;
+  List.rev_map
+    (fun (a, b) ->
+      let definite =
+        a.a_rule.source.body = [] && b.a_rule.source.body = []
+        && is_ground a.a_recv && a.a_recv = b.a_recv
+        && List.for_all2 (fun x y -> x = y) a.a_args b.a_args
+      in
+      let other =
+        match a.a_rule.span with
+        | Some sp -> Format.asprintf " (first assigned at %a)" Syntax.Token.pp_span sp
+        | None -> Format.asprintf " (also assigned by %s)" (rule_context a.a_rule)
+      in
+      if definite then
+        Diagnostic.make ?span:b.a_rule.span ~context:(rule_context b.a_rule)
+          ~code:"PL040" ~severity:Diagnostic.Error
+          "scalar method %a of %a is assigned both %a and %a%s"
+          Syntax.Pretty.pp_reference a.a_meth Syntax.Pretty.pp_reference
+          a.a_recv Syntax.Pretty.pp_reference a.a_res
+          Syntax.Pretty.pp_reference b.a_res other
+      else
+        Diagnostic.make ?span:b.a_rule.span ~context:(rule_context b.a_rule)
+          ~code:"PL041" ~severity:Diagnostic.Warning
+          "scalar method %a may be assigned conflicting results %a and \
+           %a%s"
+          Syntax.Pretty.pp_reference a.a_meth Syntax.Pretty.pp_reference
+          a.a_res Syntax.Pretty.pp_reference b.a_res other)
+    !conflicts

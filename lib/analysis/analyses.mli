@@ -1,0 +1,40 @@
+(** The three whole-program analyses over compiled rules: skolem-creation
+    cycles (PL030), dead rules (PL031/PL032) and static
+    scalar-functionality conflicts (PL040/PL041). See {!Diagnostic} for
+    the code taxonomy and {!Check.analyze} for the driver that runs them
+    as part of [pathlog check]. *)
+
+val skolem_cycles :
+  Oodb.Store.t -> Engine.Rule.t list -> Diagnostic.t list
+(** PL030: rules that create virtual objects ([X.m] in a head) and whose
+    fresh objects can flow back into the rule's own reads — each firing
+    can then enable another on a fresh receiver, so the minimal model is
+    likely infinite. Skolemisation is functional, so the flow starts only
+    from the relations the fresh object {e enters} in a matchable data
+    position: class membership ([X.m : c] heads) and method assertions on
+    the skolem as receiver ([X.m\[k -> v\]] heads). Result, method and
+    class positions are excluded — variable method/class positions do not
+    enumerate virtual objects under the default semantics
+    (hilog_virtual=false) — so the paper's generic transitive-closure
+    rules and the [c.list] constructor are not flagged while
+    [X.succ : nat <- X : nat] is. An under-approximation: a warning means
+    "very likely diverges", silence is not a termination proof. *)
+
+val dead_rules :
+  Oodb.Store.t ->
+  Engine.Rule.t list ->
+  queries:Syntax.Ast.literal list list ->
+  Diagnostic.t list
+(** PL031 (warning): rules whose body requires a relation no rule or fact
+    can produce, by a producibility fixpoint over head definitions.
+    PL032 (hint): with embedded queries, non-fact rules outside the
+    backward-reachability closure of the queried relations
+    ({!Engine.Stratify.live_rules}); {!Engine.Program.run_live} skips
+    exactly these. *)
+
+val scalar_conflicts : Engine.Rule.t list -> Diagnostic.t list
+(** PL040 (error): two ground facts assign the same scalar method
+    application two different results — {!Engine.Err.Functional_conflict}
+    is certain. PL041 (warning): two head assignments with ground,
+    distinct results and receivers not provably distinct may collide at
+    runtime. Results that are variables or paths are not compared. *)

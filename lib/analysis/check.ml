@@ -1,0 +1,142 @@
+module Ast = Syntax.Ast
+
+type t = {
+  diagnostics : Diagnostic.t list;
+  n_rules : int;
+  n_queries : int;
+  n_strata : int;
+}
+
+let ok t =
+  List.for_all
+    (fun (d : Diagnostic.t) -> d.severity <> Diagnostic.Error)
+    t.diagnostics
+
+let worst t =
+  List.fold_left
+    (fun acc (d : Diagnostic.t) ->
+      match acc with
+      | Some s when Diagnostic.severity_rank s >= Diagnostic.severity_rank d.severity
+        ->
+        acc
+      | _ -> Some d.severity)
+    None t.diagnostics
+
+let code_of_wellformed (e : Syntax.Wellformed.error) =
+  match e with
+  | Anonymous_variable_in_head -> "PL010"
+  | Anonymous_variable_in_negation -> "PL011"
+  | Set_valued_at_scalar_position _ -> "PL012"
+  | Scalar_at_set_position _ -> "PL013"
+  | Signature_in_formula _ -> "PL014"
+  | Set_valued_head _ -> "PL015"
+  | Unsafe_head_variable _ -> "PL016"
+  | Unsafe_negated_variable _ -> "PL017"
+
+let analyze text =
+  match Syntax.Parser.program_spanned text with
+  | exception Syntax.Parser.Error (pos, msg) ->
+    let span = { Syntax.Token.s_start = pos; s_end = pos } in
+    {
+      diagnostics =
+        [
+          Diagnostic.make ~span ~code:"PL001" ~severity:Diagnostic.Error
+            "%s" msg;
+        ];
+      n_rules = 0;
+      n_queries = 0;
+      n_strata = 0;
+    }
+  | spanned ->
+    let store = Oodb.Store.create () in
+    let signatures = Oodb.Signature.create () in
+    let diags = ref [] in
+    let emit d = diags := d :: !diags in
+    let rules = ref [] in
+    let queries = ref [] in
+    List.iter
+      (fun (stmt, span) ->
+        match Syntax.Wellformed.signature_of_statement stmt with
+        | Some decl -> (
+          try Engine.Program.load_signature store signatures decl
+          with Engine.Program.Invalid msg ->
+            emit
+              (Diagnostic.make ~span
+                 ~context:(Syntax.Pretty.statement_to_string stmt)
+                 ~code:"PL018" ~severity:Diagnostic.Error "%s" msg))
+        | None -> (
+          match stmt with
+          | Ast.Rule r -> (
+            match Syntax.Wellformed.check_rule r with
+            | Ok () -> rules := Engine.Rule.compile ~span store r :: !rules
+            | Error e ->
+              emit
+                (Diagnostic.make ~span
+                   ~context:(Format.asprintf "%a" Syntax.Pretty.pp_rule r)
+                   ~code:(code_of_wellformed e) ~severity:Diagnostic.Error
+                   "%a" Syntax.Wellformed.pp_error e))
+          | Ast.Query lits -> (
+            match Syntax.Wellformed.check_query lits with
+            | Ok () -> queries := lits :: !queries
+            | Error e ->
+              emit
+                (Diagnostic.make ~span
+                   ~context:(Syntax.Pretty.statement_to_string stmt)
+                   ~code:(code_of_wellformed e) ~severity:Diagnostic.Error
+                   "%a" Syntax.Wellformed.pp_error e))))
+      spanned;
+    let rules = List.rev !rules in
+    let queries = List.rev !queries in
+    let n_strata =
+      match Engine.Stratify.compute store rules with
+      | strat -> Array.length strat.strata
+      | exception Engine.Err.Unstratifiable u ->
+        let span, context =
+          match u.u_rule with
+          | None -> (None, None)
+          | Some src ->
+            let compiled =
+              List.find_opt (fun (r : Engine.Rule.t) -> r.source == src) rules
+            in
+            ( Option.bind compiled (fun r -> r.span),
+              Some (Format.asprintf "%a" Syntax.Pretty.pp_rule src) )
+        in
+        emit
+          (Diagnostic.make ?span ?context ~code:"PL020"
+             ~severity:Diagnostic.Error "program is not stratifiable: %s"
+             u.u_message);
+        0
+    in
+    List.iter
+      (fun (w : Engine.Typecheck.warning) ->
+        emit
+          (Diagnostic.make ?span:w.w_span
+             ~context:(Format.asprintf "%a" Syntax.Pretty.pp_rule w.w_rule)
+             ~code:"PL021" ~severity:Diagnostic.Warning "%s" w.w_message))
+      (Engine.Typecheck.check_rules store signatures rules);
+    List.iter emit (Analyses.skolem_cycles store rules);
+    List.iter emit (Analyses.dead_rules store rules ~queries);
+    List.iter emit (Analyses.scalar_conflicts rules);
+    {
+      diagnostics = List.stable_sort Diagnostic.compare (List.rev !diags);
+      n_rules = List.length rules;
+      n_queries = List.length queries;
+      n_strata;
+    }
+
+let to_json t =
+  Printf.sprintf "{\"ok\":%b,\"rules\":%d,\"queries\":%d,\"strata\":%d,\"diagnostics\":%s}"
+    (ok t) t.n_rules t.n_queries t.n_strata
+    (Diagnostic.json_of_list t.diagnostics)
+
+let gate ?(deny = Diagnostic.Error) text =
+  let t = analyze text in
+  match
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        Diagnostic.severity_rank d.severity >= Diagnostic.severity_rank deny)
+      t.diagnostics
+  with
+  | [] -> Ok t
+  | offenders ->
+    Error (String.concat "\n" (List.map Diagnostic.to_string offenders))

@@ -1,0 +1,35 @@
+(** The static-analysis driver behind [pathlog check] and the server's
+    load gate.
+
+    [analyze] runs the whole pipeline over program text and collects every
+    diagnostic instead of stopping at the first problem: parse (PL001),
+    per-statement well-formedness (PL010–PL017), signature loading
+    (PL018), stratification (PL020), the signature type lint (PL021), and
+    the three whole-program analyses of {!Analyses} (PL030–PL041).
+    Statements that fail well-formedness are excluded from the later
+    stages; a parse error short-circuits everything (there is no
+    statement stream to continue with). *)
+
+type t = {
+  diagnostics : Diagnostic.t list;
+      (** sorted by source position, then severity *)
+  n_rules : int;  (** rules (facts included) that passed well-formedness *)
+  n_queries : int;  (** embedded queries that passed well-formedness *)
+  n_strata : int;  (** 0 when stratification failed *)
+}
+
+val analyze : string -> t
+
+val ok : t -> bool
+(** No error-severity diagnostics. *)
+
+val worst : t -> Diagnostic.severity option
+(** Highest severity present, [None] for a clean program. *)
+
+val to_json : t -> string
+(** [{"ok":…,"rules":…,"queries":…,"strata":…,"diagnostics":[…]}] *)
+
+val gate : ?deny:Diagnostic.severity -> string -> (t, string) result
+(** Refuse program text carrying diagnostics at or above [deny]
+    (default [Error]); the error string is the rendered offending
+    diagnostics, one per line. The server calls this before loading. *)

@@ -1,0 +1,117 @@
+type severity = Hint | Warning | Error
+
+let severity_rank = function Hint -> 0 | Warning -> 1 | Error -> 2
+
+let severity_to_string = function
+  | Hint -> "hint"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "hint" -> Some Hint
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  span : Syntax.Token.span option;
+  context : string option;
+}
+
+let make ?span ?context ~code ~severity fmt =
+  Format.kasprintf
+    (fun message -> { code; severity; message; span; context })
+    fmt
+
+(* Source order first (span-less diagnostics last), then severity
+   descending, then code: the order a reader fixes things in. *)
+let compare a b =
+  let pos_of d =
+    match d.span with
+    | Some sp -> (sp.Syntax.Token.s_start.line, sp.Syntax.Token.s_start.col)
+    | None -> (max_int, max_int)
+  in
+  match Stdlib.compare (pos_of a) (pos_of b) with
+  | 0 -> (
+    match Stdlib.compare (severity_rank b.severity) (severity_rank a.severity)
+    with
+    | 0 -> Stdlib.compare (a.code, a.message) (b.code, b.message)
+    | c -> c)
+  | c -> c
+
+let pp ?file ppf d =
+  (match file with
+  | Some f -> Format.fprintf ppf "%s: " f
+  | None -> ());
+  (match d.span with
+  | Some sp -> Format.fprintf ppf "%a: " Syntax.Token.pp_span sp
+  | None -> ());
+  Format.fprintf ppf "%s %s: %s"
+    (severity_to_string d.severity)
+    d.code d.message;
+  match d.context with
+  | Some c -> Format.fprintf ppf "\n  | %s" c
+  | None -> ()
+
+let to_string ?file d = Format.asprintf "%a" (pp ?file) d
+
+(* ------------------------------------------------------------------ *)
+(* Hand-rolled JSON: the diagnostic stream must be machine-readable and
+   the toolchain has no JSON library; the shape is flat enough that
+   emitting it directly is simpler than depending on one. *)
+
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_json b d =
+  Buffer.add_string b "{\"code\":";
+  add_json_string b d.code;
+  Buffer.add_string b ",\"severity\":";
+  add_json_string b (severity_to_string d.severity);
+  Buffer.add_string b ",\"message\":";
+  add_json_string b d.message;
+  Buffer.add_string b ",\"span\":";
+  (match d.span with
+  | None -> Buffer.add_string b "null"
+  | Some { Syntax.Token.s_start; s_end } ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"start\":{\"line\":%d,\"col\":%d},\"end\":{\"line\":%d,\"col\":%d}}"
+         s_start.line s_start.col s_end.line s_end.col));
+  Buffer.add_string b ",\"context\":";
+  (match d.context with
+  | None -> Buffer.add_string b "null"
+  | Some c -> add_json_string b c);
+  Buffer.add_char b '}'
+
+let to_json d =
+  let b = Buffer.create 128 in
+  add_json b d;
+  Buffer.contents b
+
+let json_of_list ds =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      add_json b d)
+    ds;
+  Buffer.add_char b ']';
+  Buffer.contents b

@@ -1,0 +1,66 @@
+(** The unified diagnostic type every static check reports through.
+
+    A diagnostic carries a stable code ([PL0xx] — grep-able, documented in
+    DESIGN.md), a severity, a human message, and optionally the source span
+    of the offending statement and its pretty-printed text. Codes:
+
+    {ul
+    {- [PL001] — lexing/parse error.}
+    {- [PL010]–[PL017] — well-formedness (Definition 3, head and safety
+       conditions): anonymous variable in head / under negation, set-valued
+       reference at a scalar position, scalar at a set position, signature
+       arrow inside a formula, set-valued head, unsafe head variable,
+       unsafe negated variable.}
+    {- [PL018] — non-ground signature declaration.}
+    {- [PL020] — program is not stratifiable.}
+    {- [PL021] — rule head contradicts a signature (static type lint).}
+    {- [PL030] — skolem-creation cycle: a rule that creates virtual
+       objects can re-trigger itself through what it defines (warning);
+       as a hint, virtual-object creation at a variable method position.}
+    {- [PL031] — the rule can never fire: a body relation is producible by
+       no rule or fact.}
+    {- [PL032] — the rule is unreachable from the program's queries
+       (hint; only reported for programs with embedded queries).}
+    {- [PL040] — definite scalar-functionality conflict between ground
+       facts.}
+    {- [PL041] — potential scalar-functionality conflict between rules.}} *)
+
+type severity = Hint | Warning | Error
+
+val severity_rank : severity -> int
+(** [Hint] 0, [Warning] 1, [Error] 2. *)
+
+val severity_to_string : severity -> string
+
+val severity_of_string : string -> severity option
+
+type t = {
+  code : string;  (** stable [PL0xx] code *)
+  severity : severity;
+  message : string;
+  span : Syntax.Token.span option;
+      (** source extent of the offending statement, when known *)
+  context : string option;
+      (** pretty-printed offending statement, when available *)
+}
+
+val make :
+  ?span:Syntax.Token.span ->
+  ?context:string ->
+  code:string ->
+  severity:severity ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val compare : t -> t -> int
+(** Source order, then severity (most severe first), then code. *)
+
+val pp : ?file:string -> Format.formatter -> t -> unit
+(** [file:span: severity code: message], context indented below. *)
+
+val to_string : ?file:string -> t -> string
+
+val to_json : t -> string
+
+val json_of_list : t list -> string
+(** JSON array of diagnostics, in list order. *)

@@ -21,7 +21,12 @@ exception Isa_cycle of Oodb.Obj_id.t * Oodb.Obj_id.t
 exception Reserved_self
 (** A rule tries to define the built-in method [self]. *)
 
-exception Unstratifiable of string
+type unstratifiable = {
+  u_message : string;  (** the core message, no rule text embedded *)
+  u_rule : Syntax.Ast.rule option;  (** offending rule, when one is known *)
+}
+
+exception Unstratifiable of unstratifiable
 (** A set-inclusion body filter or a negation depends recursively on what
     it needs completed (section 6). *)
 
@@ -29,8 +34,31 @@ exception Diverged of string
 (** Virtual-object creation exceeded the configured object or iteration
     budget; the program most likely has an infinite minimal model. *)
 
+(** Raise {!Unstratifiable} from a format string, optionally naming the
+    offending rule. *)
+val unstratifiable :
+  ?rule:Syntax.Ast.rule -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
 val pp_functional_conflict :
   Oodb.Store.t -> Format.formatter -> functional_conflict -> unit
 
 (** Render any of the above exceptions; [None] for other exceptions. *)
 val message : Oodb.Store.t -> exn -> string option
+
+(** {2 Process exit codes}
+
+    Shared by every [pathlog] subcommand:
+    {ul
+    {- {!exit_ok} (0) — success.}
+    {- {!exit_runtime} (1) — the program loaded but evaluation failed:
+       scalar conflict, hierarchy cycle, divergence budget exceeded.}
+    {- {!exit_load} (2) — the program did not load: lexing or parse error,
+       ill-formed rule or query, bad signature declaration.}
+    {- {!exit_analysis} (3) — static analysis refused the program:
+       [check] found diagnostics at or above the [--deny] level, or
+       [lint] / [run --types] reported issues.}} *)
+
+val exit_ok : int
+val exit_runtime : int
+val exit_load : int
+val exit_analysis : int

@@ -9,6 +9,7 @@ type config = {
   hilog_virtual : bool;
   max_rounds : int;
   max_objects : int;
+  rule_filter : (Rule.t -> bool) option;
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     hilog_virtual = false;
     max_rounds = 10_000;
     max_objects = 1_000_000;
+    rule_filter = None;
   }
 
 type stats = {
@@ -36,9 +38,7 @@ let pp_stats ppf s =
 
 (* All class memberships share the isa edge log; the per-class refinement
    only matters to the stratifier, so deltas normalise R_isa_c to R_isa. *)
-let norm_rel = function
-  | Ir.R_isa_c _ -> Ir.R_isa
-  | (Ir.R_isa | Ir.R_scalar _ | Ir.R_set _ | Ir.R_any) as r -> r
+let norm_rel = Ir.norm_rel
 
 let rel_length store = function
   | Ir.R_isa | Ir.R_isa_c _ -> Oodb.Vec.length (Store.isa_log store)
@@ -297,7 +297,12 @@ let run ?(config = default_config) ?provenance store (strat : Stratify.t) =
     }
   in
   let plans : plan_cache = Hashtbl.create 64 in
+  let keep =
+    match config.rule_filter with
+    | None -> fun rules -> rules
+    | Some f -> List.filter f
+  in
   Array.iter
-    (fun rules -> run_stratum ?provenance config plans stats store rules)
+    (fun rules -> run_stratum ?provenance config plans stats store (keep rules))
     strat.strata;
   stats

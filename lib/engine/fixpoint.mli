@@ -37,6 +37,9 @@ type config = {
           semantics makes programs like the generic [tc] diverge. *)
   max_rounds : int;  (** per stratum *)
   max_objects : int;  (** universe cardinality budget *)
+  rule_filter : (Rule.t -> bool) option;
+      (** when set, only rules satisfying the predicate run; the caller is
+          responsible for soundness (e.g. {!Stratify.live_rules}) *)
 }
 
 val default_config : config

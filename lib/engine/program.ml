@@ -46,20 +46,20 @@ let load_signature store signatures (cls, meth, args, result, scal) =
   in
   Oodb.Signature.add signatures entry
 
-let create ?(config = Fixpoint.default_config) statements =
+let create_spanned ?(config = Fixpoint.default_config) spanned =
   let store = Oodb.Store.create () in
   let signatures = Oodb.Signature.create () in
   let rules = ref [] in
   let queries = ref [] in
   List.iter
-    (fun stmt ->
+    (fun (stmt, span) ->
       match Syntax.Wellformed.signature_of_statement stmt with
       | Some decl -> load_signature store signatures decl
       | None -> (
         match stmt with
         | Ast.Rule r -> (
           match Syntax.Wellformed.check_rule r with
-          | Ok () -> rules := Rule.compile store r :: !rules
+          | Ok () -> rules := Rule.compile ?span store r :: !rules
           | Error e ->
             invalid "ill-formed rule %a: %a" Syntax.Pretty.pp_rule r
               Syntax.Wellformed.pp_error e)
@@ -68,11 +68,11 @@ let create ?(config = Fixpoint.default_config) statements =
           | Ok () -> queries := lits :: !queries
           | Error e ->
             invalid "ill-formed query: %a" Syntax.Wellformed.pp_error e)))
-    statements;
+    spanned;
   let rules = List.rev !rules in
   let strat = Stratify.compute store rules in
   {
-    statements;
+    statements = List.map fst spanned;
     store;
     signatures;
     rules;
@@ -83,9 +83,13 @@ let create ?(config = Fixpoint.default_config) statements =
     facts_loaded = false;
   }
 
+let create ?config statements =
+  create_spanned ?config (List.map (fun s -> (s, None)) statements)
+
 let of_string ?config text =
-  match Syntax.Parser.program text with
-  | statements -> create ?config statements
+  match Syntax.Parser.program_spanned text with
+  | spanned ->
+    create_spanned ?config (List.map (fun (s, sp) -> (s, Some sp)) spanned)
   | exception Syntax.Parser.Error (pos, msg) ->
     invalid "%a: %s" Syntax.Token.pp_pos pos msg
 
@@ -219,59 +223,41 @@ let explain_string t text =
    and the skipped rules cannot contribute tuples to any relation the
    query (or its support) reads. *)
 
-let norm_rel = function
-  | Semantics.Ir.R_isa_c _ -> Semantics.Ir.R_isa
-  | (Semantics.Ir.R_isa | Semantics.Ir.R_scalar _ | Semantics.Ir.R_set _
-    | Semantics.Ir.R_any) as r ->
-    r
-
-let rec query_rels acc (a : Semantics.Ir.atom) =
-  let acc =
-    match Semantics.Ir.atom_rel a with
-    | Some r -> norm_rel r :: acc
-    | None -> acc
-  in
-  match a with
-  | A_subset s -> List.fold_left query_rels acc s.sub_atoms
-  | A_neg n -> List.fold_left query_rels acc n.n_atoms
-  | A_isa _ | A_scalar _ | A_member _ | A_eq _ -> acc
-
 let relevant_rules t (q : Semantics.Ir.query) =
-  let seeds =
-    List.sort_uniq Semantics.Ir.compare_rel
-      (List.fold_left query_rels [] q.atoms)
+  Stratify.live_rules t.rules ~goals:(Semantics.Ir.query_rels q.atoms)
+
+(* Rules live for the program's own embedded queries; all rules when the
+   program has no queries (everything is then an output). *)
+let live_rules t =
+  match t.queries with
+  | [] -> t.rules
+  | qs ->
+    let goals =
+      List.concat_map
+        (fun lits ->
+          Semantics.Ir.query_rels (Semantics.Flatten.literals t.store lits).atoms)
+        qs
+    in
+    Stratify.live_rules t.rules ~goals
+
+let run_live t =
+  t.facts_loaded <- true;
+  let keep = live_rules t in
+  let skipped = List.length t.rules - List.length keep in
+  let config =
+    if skipped = 0 then t.config
+    else begin
+      let module Int_set = Set.Make (Int) in
+      let live = Int_set.of_list (List.map (fun (r : Rule.t) -> r.uid) keep) in
+      {
+        t.config with
+        Fixpoint.rule_filter =
+          Some (fun (r : Rule.t) -> Int_set.mem r.uid live);
+      }
+    end
   in
-  if List.mem Semantics.Ir.R_any seeds then t.rules
-  else begin
-    let relevant = ref seeds in
-    let selected = ref [] in
-    let remaining = ref t.rules in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      let still_out = ref [] in
-      List.iter
-        (fun (rule : Rule.t) ->
-          let defines = List.map norm_rel rule.defines in
-          let touches =
-            List.mem Semantics.Ir.R_any defines
-            || List.exists (fun d -> List.mem d !relevant) defines
-          in
-          if touches then begin
-            selected := rule :: !selected;
-            changed := true;
-            List.iter
-              (fun r ->
-                let r = norm_rel r in
-                if not (List.mem r !relevant) then relevant := r :: !relevant)
-              (rule.reads @ rule.completion_reads)
-          end
-          else still_out := rule :: !still_out)
-        !remaining;
-      remaining := List.rev !still_out
-    done;
-    List.rev !selected
-  end
+  let stats = Fixpoint.run ~config ~provenance:t.provenance t.store t.strat in
+  (stats, skipped)
 
 let query_focused t lits =
   (match Syntax.Wellformed.check_query lits with

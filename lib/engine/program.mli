@@ -22,7 +22,25 @@ type answer = {
 val create :
   ?config:Fixpoint.config -> Syntax.Ast.statement list -> t
 
+(** As {!create}, with a source span per statement (diagnostics anchor on
+    them); {!of_string} uses this. *)
+val create_spanned :
+  ?config:Fixpoint.config ->
+  (Syntax.Ast.statement * Syntax.Token.span option) list -> t
+
 val of_string : ?config:Fixpoint.config -> string -> t
+
+(** Load one extracted signature declaration (see
+    {!Syntax.Wellformed.signature_of_statement}) into a signature table.
+    Exposed for the static-analysis driver, which collects diagnostics
+    instead of stopping at the first bad statement.
+    @raise Invalid when a declaration names a non-ground reference *)
+val load_signature :
+  Oodb.Store.t ->
+  Oodb.Signature.t ->
+  Syntax.Ast.reference * Syntax.Ast.reference * Syntax.Ast.reference list
+  * Syntax.Ast.reference * Syntax.Scalarity.t ->
+  unit
 
 val store : t -> Oodb.Store.t
 
@@ -41,6 +59,16 @@ val strata : t -> Rule.t list array
 (** Evaluate to the minimal model. Idempotent: a second call finds nothing
     new to derive. *)
 val run : t -> Fixpoint.stats
+
+(** Rules transitively relevant to the program's embedded queries (all
+    rules when it has none); see {!Stratify.live_rules}. *)
+val live_rules : t -> Rule.t list
+
+(** Evaluate with dead rules skipped: only {!live_rules} run (via
+    {!Fixpoint.config.rule_filter}). Embedded-query answers always agree
+    with {!run} (property-tested); relations only dead rules feed are not
+    materialised. Returns the stats and the number of rules skipped. *)
+val run_live : t -> Fixpoint.stats * int
 
 (** Answer a query (the program should normally have been {!run} first).
     A query with no variables yields one empty row if entailed, no rows

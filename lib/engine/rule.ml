@@ -4,6 +4,7 @@ module Ir = Semantics.Ir
 type t = {
   uid : int;
   source : Syntax.Ast.rule;
+  span : Syntax.Token.span option;
   body : Ir.query;
   defines : Ir.rel list;
   reads : Ir.rel list;
@@ -80,6 +81,23 @@ let head_defines store head =
   in
   List.rev (fold_reference add [] head)
 
+(* Scalar head paths that can create skolem (virtual) objects when their
+   method application is undefined: every [.]-path except the built-in
+   [self]. Variable or computed method positions yield R_any; the default
+   semantics does not enumerate skolems for those (hilog_virtual=false),
+   so callers typically filter R_any out. *)
+let skolem_defines store head =
+  let add acc = function
+    | Path { p_sep = Dot; p_meth = Name "self"; p_args = []; _ } -> acc
+    | Path { p_sep = Dot; p_meth; _ } ->
+      add_rel acc (meth_rel store ~set:false p_meth)
+    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _
+    | Path { p_sep = Dotdot; _ }
+    | Isa _ | Filter _ ->
+      acc
+  in
+  List.rev (fold_reference add [] head)
+
 (* Head sub-references that are evaluated (not asserted): the set-valued
    right-hand sides of ->> filters. Their relations are reads. *)
 let head_eval_reads store head =
@@ -136,7 +154,7 @@ let head_class_edges store head =
   in
   List.rev (fold_reference add [] head)
 
-let compile store (rule : Syntax.Ast.rule) : t =
+let compile ?span store (rule : Syntax.Ast.rule) : t =
   let body = Semantics.Flatten.literals store rule.body in
   let defines = head_defines store rule.head in
   let reads =
@@ -158,6 +176,7 @@ let compile store (rule : Syntax.Ast.rule) : t =
   {
     uid;
     source = rule;
+    span;
     body;
     defines;
     reads;

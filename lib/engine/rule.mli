@@ -6,6 +6,9 @@ type t = {
       (** process-unique identity; the fixpoint engine keys its compiled
           plan cache on it *)
   source : Syntax.Ast.rule;
+  span : Syntax.Token.span option;
+      (** source extent of the statement the rule was parsed from, when it
+          came from text (diagnostics anchor on it) *)
   body : Semantics.Ir.query;
   defines : Semantics.Ir.rel list;
       (** relations the head may insert into (skolemised paths included) *)
@@ -28,8 +31,14 @@ type t = {
 
 (** Compile a well-formedness-checked rule. Interning happens against the
     store's universe. *)
-val compile : Oodb.Store.t -> Syntax.Ast.rule -> t
+val compile : ?span:Syntax.Token.span -> Oodb.Store.t -> Syntax.Ast.rule -> t
 
 (** Relations a reference reads when evaluated (used for head [->>]
     right-hand sides and query dependency reporting). *)
 val rels_of_reference : Oodb.Store.t -> Syntax.Ast.reference -> Semantics.Ir.rel list
+
+(** Relations of scalar head paths that can create skolem (virtual)
+    objects — [X.address], [M.tc] — for the static skolem-cycle analysis.
+    Variable/computed method positions contribute [R_any]. *)
+val skolem_defines :
+  Oodb.Store.t -> Syntax.Ast.reference -> Semantics.Ir.rel list

@@ -56,9 +56,14 @@ type graph = {
   nodes : Ir.rel array;
   index : int Rel_map.t;
   mutable edges : (int * int * bool) list;  (* from, to, completion *)
+  mutable expand_define : Ir.rel -> Ir.rel list;
 }
 
 let node_of g r = Rel_map.find r g.index
+
+let graph_rels g = g.nodes
+let graph_edges g = g.edges
+let expand_define g r = g.expand_define r
 
 let build_graph (rules : Rule.t list) =
   let anc = static_ancestors rules in
@@ -80,7 +85,7 @@ let build_graph (rules : Rule.t list) =
   let index =
     Array.to_seq nodes |> Seq.mapi (fun i r -> (r, i)) |> Rel_map.of_seq
   in
-  let g = { nodes; index; edges = [] } in
+  let g = { nodes; index; edges = []; expand_define = (fun r -> [ r ]) } in
   let isa_nodes =
     List.filter
       (function Ir.R_isa | Ir.R_isa_c _ -> true
@@ -108,12 +113,9 @@ let build_graph (rules : Rule.t list) =
       List.iter
         (fun r ->
           if Ir.equal_rel r Ir.R_any then
-            raise
-              (Err.Unstratifiable
-                 (Format.asprintf
-                    "completion-dependency through a variable or computed \
-                     method position in rule %a"
-                    Syntax.Pretty.pp_rule rule.source)))
+            Err.unstratifiable ~rule:rule.source
+              "completion-dependency through a variable or computed method \
+               position")
         rule.completion_reads;
       let defined = List.concat_map expand_define rule.defines in
       List.iter
@@ -133,7 +135,10 @@ let build_graph (rules : Rule.t list) =
             rule.completion_reads)
         defined)
     rules;
-  (g, expand_define)
+  g.expand_define <- expand_define;
+  g
+
+let dependency_graph = build_graph
 
 (* Tarjan's strongly connected components. *)
 let sccs g =
@@ -185,7 +190,8 @@ let compute store (rules : Rule.t list) : t =
   match rules with
   | [] -> { strata = [| [] |]; rule_stratum = [] }
   | _ ->
-    let g, expand_define = build_graph rules in
+    let g = build_graph rules in
+    let expand_define = g.expand_define in
     let comp_of, ncomp, succ = sccs g in
     (* completion edge inside one component => not stratifiable *)
     Array.iteri
@@ -193,15 +199,13 @@ let compute store (rules : Rule.t list) : t =
         List.iter
           (fun (w, compl) ->
             if compl && comp_of.(v) = comp_of.(w) then
-              raise
-                (Err.Unstratifiable
-                   (Format.asprintf
-                      "%a depends on the completion of %a, which depends \
-                       back on it"
-                      (Ir.pp_rel (Oodb.Store.universe store))
-                      g.nodes.(v)
-                      (Ir.pp_rel (Oodb.Store.universe store))
-                      g.nodes.(w))))
+              Err.unstratifiable
+                "%a depends on the completion of %a, which depends back on \
+                 it"
+                (Ir.pp_rel (Oodb.Store.universe store))
+                g.nodes.(v)
+                (Ir.pp_rel (Oodb.Store.universe store))
+                g.nodes.(w))
           edges)
       succ;
     (* stratum of a component: longest chain of completion edges below it *)
@@ -249,14 +253,11 @@ let compute store (rules : Rule.t list) : t =
             | [] -> 0
             | defines when List.mem Ir.R_any defines ->
               if has_completion_edges then
-                raise
-                  (Err.Unstratifiable
-                     (Format.asprintf
-                        "rule %a may define any relation (variable or \
-                         computed method position in its head), which \
-                         cannot be ordered against the program's \
-                         set-inclusion or negation dependencies"
-                        Syntax.Pretty.pp_rule rule.source))
+                Err.unstratifiable ~rule:rule.source
+                  "the rule may define any relation (variable or computed \
+                   method position in its head), which cannot be ordered \
+                   against the program's set-inclusion or negation \
+                   dependencies"
               else 0
             | d :: rest ->
               List.fold_left
@@ -272,3 +273,45 @@ let compute store (rules : Rule.t list) : t =
       (fun (rule, s) -> strata.(s) <- rule :: strata.(s))
       (List.rev rule_stratum);
     { strata; rule_stratum }
+
+(* ------------------------------------------------------------------ *)
+(* Liveness: the rules transitively relevant to a set of goal relations.
+   Classes are normalised (R_isa_c _ -> R_isa) so hierarchy propagation
+   never splits a live class from a dead one. Sound for pruning because
+   [reads] already includes the relations under negation and inclusion:
+   a skipped rule cannot contribute a tuple to any relation the goals
+   (or their support, positive or negated) consult. *)
+let live_rules (rules : Rule.t list) ~goals =
+  let norm = Ir.norm_rel in
+  let seeds = List.sort_uniq Ir.compare_rel (List.map norm goals) in
+  if List.mem Ir.R_any seeds then rules
+  else begin
+    let relevant = ref seeds in
+    let selected = ref [] in
+    let remaining = ref rules in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let still_out = ref [] in
+      List.iter
+        (fun (rule : Rule.t) ->
+          let defines = List.map norm rule.defines in
+          let touches =
+            List.mem Ir.R_any defines
+            || List.exists (fun d -> List.mem d !relevant) defines
+          in
+          if touches then begin
+            selected := rule :: !selected;
+            changed := true;
+            List.iter
+              (fun r ->
+                let r = norm r in
+                if not (List.mem r !relevant) then relevant := r :: !relevant)
+              (rule.reads @ rule.completion_reads)
+          end
+          else still_out := rule :: !still_out)
+        !remaining;
+      remaining := List.rev !still_out
+    done;
+    List.rev !selected
+  end

@@ -4,10 +4,14 @@ module Obj_set = Oodb.Obj_id.Set
 
 type warning = {
   w_rule : Syntax.Ast.rule;
+  w_span : Syntax.Token.span option;
   w_message : string;
 }
 
 let pp_warning ppf w =
+  (match w.w_span with
+  | Some sp -> Format.fprintf ppf "%a: " Syntax.Token.pp_span sp
+  | None -> ());
   Format.fprintf ppf "%a: %s" Syntax.Pretty.pp_rule w.w_rule w.w_message
 
 let const_obj store : reference -> Oodb.Obj_id.t option = function
@@ -87,7 +91,10 @@ let check_rule store signatures ~close (rule : Rule.t) =
   let warnings = ref [] in
   let warn fmt =
     Format.kasprintf
-      (fun m -> warnings := { w_rule = rule.source; w_message = m } :: !warnings)
+      (fun m ->
+        warnings :=
+          { w_rule = rule.source; w_span = rule.span; w_message = m }
+          :: !warnings)
       fmt
   in
   let obj = Oodb.Universe.pp_obj (Oodb.Store.universe store) in

@@ -15,6 +15,8 @@
 
 type warning = {
   w_rule : Syntax.Ast.rule;
+  w_span : Syntax.Token.span option;
+      (** source extent of the rule's statement, when parsed from text *)
   w_message : string;
 }
 

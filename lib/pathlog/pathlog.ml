@@ -41,6 +41,9 @@ module Fact = Engine.Fact
 module Provenance = Engine.Provenance
 module Topdown = Engine.Topdown
 module Typecheck = Engine.Typecheck
+module Diagnostic = Pathlog_analysis.Diagnostic
+module Analyses = Pathlog_analysis.Analyses
+module Check = Pathlog_analysis.Check
 module Build = Syntax.Build
 module Conjunctive = Baseline.Conjunctive
 module O2sql = Baseline.O2sql

@@ -103,6 +103,13 @@ let atom_vars = function
     List.fold_left term_vars s.s_outer (s.s_meth :: s.s_recv :: s.s_args)
   | A_neg n -> n.n_outer
 
+(* The store keeps one isa edge log for all classes; per-class refinement
+   only matters to the stratifier, so runtime consumers normalise
+   [R_isa_c] to [R_isa]. *)
+let norm_rel = function
+  | R_isa_c _ -> R_isa
+  | (R_isa | R_scalar _ | R_set _ | R_any) as r -> r
+
 let atom_rel = function
   | A_isa (_, Const c) -> Some (R_isa_c c)
   | A_isa (_, V _) -> Some R_isa
@@ -113,3 +120,15 @@ let atom_rel = function
   | A_subset { s_meth = Const m; _ } -> Some (R_set m)
   | A_subset { s_meth = V _; _ } -> Some R_any
   | A_neg _ -> None
+
+let query_rels atoms =
+  let rec go acc a =
+    let acc =
+      match atom_rel a with Some r -> norm_rel r :: acc | None -> acc
+    in
+    match a with
+    | A_subset s -> List.fold_left go acc s.sub_atoms
+    | A_neg n -> List.fold_left go acc n.n_atoms
+    | A_isa _ | A_scalar _ | A_member _ | A_eq _ -> acc
+  in
+  List.sort_uniq compare_rel (List.fold_left go [] atoms)

@@ -78,3 +78,12 @@ val atom_vars : atom -> int list
 
 (** The relation an atom reads. [A_eq] reads nothing ([None]). *)
 val atom_rel : atom -> rel option
+
+(** Collapse per-class membership relations ([R_isa_c]) to the shared isa
+    edge log ([R_isa]) — the runtime store does not refine memberships per
+    class, only the stratifier does. *)
+val norm_rel : rel -> rel
+
+(** All relations a query reads, normalised with {!norm_rel}, including
+    those inside set-inclusion and negation sub-queries. *)
+val query_rels : atom list -> rel list

@@ -176,24 +176,31 @@ let literal_list st : Ast.literal list =
   in
   go []
 
-let statement_st st : Ast.statement =
-  match peek st with
-  | QUERY, _ ->
-    advance st;
-    let lits = literal_list st in
-    expect st END;
-    Query lits
-  | _ ->
-    let head = reference st in
-    let body =
-      match peek st with
-      | IMPLIED, _ ->
-        advance st;
-        literal_list st
-      | _ -> []
-    in
-    expect st END;
-    Rule { head; body }
+let spanned_statement st : Ast.statement * Token.span =
+  let _, start = peek st in
+  let stmt =
+    match peek st with
+    | QUERY, _ ->
+      advance st;
+      let lits = literal_list st in
+      Ast.Query lits
+    | _ ->
+      let head = reference st in
+      let body =
+        match peek st with
+        | IMPLIED, _ ->
+          advance st;
+          literal_list st
+        | _ -> []
+      in
+      Ast.Rule { head; body }
+  in
+  let _, stop = peek st in
+  (* position of the terminating '.' *)
+  expect st END;
+  (stmt, { Token.s_start = start; s_end = stop })
+
+let statement_st st : Ast.statement = fst (spanned_statement st)
 
 (* --------------------------------------------------------------- *)
 (* Entry points *)
@@ -210,14 +217,16 @@ let with_input src f =
   | t, p -> error_at p "trailing input: %a" Token.pp t);
   result
 
-let program src =
+let program_spanned src =
   with_input src (fun st ->
       let rec go acc =
         match peek st with
         | EOF, _ -> List.rev acc
-        | _ -> go (statement_st st :: acc)
+        | _ -> go (spanned_statement st :: acc)
       in
       go [])
+
+let program src = List.map fst (program_spanned src)
 
 let statement src = with_input src statement_st
 let reference src = with_input src reference

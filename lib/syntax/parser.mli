@@ -32,6 +32,10 @@ exception Error of Token.pos * string
 
 val program : string -> Ast.program
 
+(** Like {!program}, with the source span of every statement (first token
+    through the terminating ['.']) — the positions diagnostics anchor on. *)
+val program_spanned : string -> (Ast.statement * Token.span) list
+
 val statement : string -> Ast.statement
 
 (** Parse a single reference (no trailing [.]). *)

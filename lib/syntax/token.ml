@@ -28,6 +28,8 @@ type t =
 
 type pos = { line : int; col : int }
 
+type span = { s_start : pos; s_end : pos }
+
 let pp ppf = function
   | NAME s -> Format.fprintf ppf "name %s" s
   | VAR s -> Format.fprintf ppf "variable %s" s
@@ -57,3 +59,10 @@ let pp ppf = function
   | EOF -> Format.pp_print_string ppf "end of input"
 
 let pp_pos ppf { line; col } = Format.fprintf ppf "line %d, column %d" line col
+
+let pp_span ppf { s_start; s_end } =
+  if s_start.line = s_end.line then
+    Format.fprintf ppf "line %d, columns %d-%d" s_start.line s_start.col
+      s_end.col
+  else
+    Format.fprintf ppf "lines %d-%d" s_start.line s_end.line

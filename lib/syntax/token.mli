@@ -30,6 +30,12 @@ type t =
 
 type pos = { line : int; col : int }
 
+(** Source extent of a statement: position of its first token through the
+    position of its terminating ['.'] token (inclusive). *)
+type span = { s_start : pos; s_end : pos }
+
 val pp : Format.formatter -> t -> unit
 
 val pp_pos : Format.formatter -> pos -> unit
+
+val pp_span : Format.formatter -> span -> unit

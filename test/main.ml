@@ -14,6 +14,7 @@ let () =
       ("more", Test_more.suite);
       ("programs", Test_programs.suite);
       ("cli", Test_cli.suite);
+      ("analysis", Test_analysis.suite);
       ("internals", Test_internals.suite);
       ("differential", Test_differential.suite);
       ("normalize", Test_normalize.suite);

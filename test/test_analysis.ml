@@ -1,0 +1,312 @@
+(* The unified static-analysis subsystem: one golden program per
+   diagnostic code, the JSON renderer, and two properties — [Check.analyze]
+   is total on random programs, and dead-rule pruning never changes
+   embedded-query answers. *)
+
+module Check = Pathlog.Check
+module Diagnostic = Pathlog.Diagnostic
+module Program = Pathlog.Program
+
+let contains = Helpers.contains
+
+let codes (t : Check.t) =
+  List.map (fun (d : Diagnostic.t) -> d.code) t.diagnostics
+
+let start_line (sp : Pathlog.Token.span) = sp.s_start.line
+
+let find code (t : Check.t) =
+  match
+    List.find_opt (fun (d : Diagnostic.t) -> d.code = code) t.diagnostics
+  with
+  | Some d -> d
+  | None ->
+    Alcotest.failf "expected %s, got [%s]" code (String.concat "; " (codes t))
+
+let check_code ?(clean_rest = true) ~code ~severity ~line text =
+  let t = Check.analyze text in
+  let d = find code t in
+  Alcotest.(check string)
+    (code ^ " severity") severity
+    (Diagnostic.severity_to_string d.severity);
+  (match d.span with
+  | None -> Alcotest.failf "%s carries no span" code
+  | Some sp ->
+    Alcotest.(check int) (code ^ " line") line (start_line sp));
+  if clean_rest then
+    List.iter
+      (fun c ->
+        if c <> code then
+          Alcotest.failf "unexpected extra diagnostic %s for %s" c code)
+      (codes t)
+
+(* PL001 — parse error *)
+let test_parse_error () =
+  check_code ~code:"PL001" ~severity:"error" ~line:1 "x[m ->"
+
+(* PL010–PL017 — the eight well-formedness conditions, in variant order *)
+let test_wellformed_codes () =
+  List.iter
+    (fun (code, text) ->
+      check_code ~code ~severity:"error" ~line:1 text)
+    [
+      ("PL010", "x[a -> _].");
+      ("PL011", "x : c <- not y[a -> _].");
+      ("PL012", "x[m -> y..kids].");
+      ("PL013", "x[m ->> y].");
+      ("PL014", "x[m => c] <- x : d.");
+      ("PL015", "x..kids.");
+      ("PL016", "x[a -> Y] <- x : c.");
+      ("PL017", "x : c <- x : d, not y[a -> Z].");
+    ]
+
+(* PL018 — non-ground signature declaration *)
+let test_bad_signature () =
+  check_code ~code:"PL018" ~severity:"error" ~line:1 "X[age => integer]."
+
+(* PL020 — unstratifiable negation *)
+let test_unstratifiable () =
+  let t = Check.analyze "x[m ->> {y}] <- not x[m ->> {y}]." in
+  let d = find "PL020" t in
+  Alcotest.(check string)
+    "severity" "error"
+    (Diagnostic.severity_to_string d.severity);
+  Alcotest.(check bool)
+    "mentions completion" true
+    (contains ~sub:"completion" d.message)
+
+(* PL021 — signature type lint *)
+let test_type_lint () =
+  let t =
+    Check.analyze
+      "employee[boss => employee].\nd1 : dept.\n\
+       e1 : employee[managedBy -> d1].\n\
+       X[boss -> Y] <- X : employee, Y : dept, X[managedBy -> Y]."
+  in
+  let d = find "PL021" t in
+  Alcotest.(check string)
+    "severity" "warning"
+    (Diagnostic.severity_to_string d.severity)
+
+(* PL030 — skolem-creation cycle *)
+let test_skolem_cycle () =
+  check_code ~code:"PL030" ~severity:"warning" ~line:2
+    "x : nat.\nX.succ : nat <- X : nat."
+
+(* ... also through an intermediate rule *)
+let test_skolem_cycle_indirect () =
+  let t =
+    Check.analyze "x : odd.\nX.succ : even <- X : odd.\nY : odd <- Y : even."
+  in
+  ignore (find "PL030" t)
+
+(* ... but not for the paper's generic closure rules or constructors:
+   virtual objects at method/class/result positions are not enumerated *)
+let test_skolem_no_false_positives () =
+  List.iter
+    (fun text ->
+      let t = Check.analyze text in
+      List.iter
+        (fun c ->
+          if c = "PL030" then
+            Alcotest.failf "spurious PL030 for %S" text)
+        (codes t))
+    [
+      (* generic transitive closure: skolem in method position *)
+      "peter[kids ->> {tim}].\nX[(M.tc) ->> {Y}] <- X[M ->> {Y}].\n\
+       X[(M.tc) ->> {Y}] <- X..(M.tc)[M ->> {Y}].";
+      (* list type constructor: skolem in class position *)
+      "integer : type.\nnil : (C.list) <- C : type.\n\
+       L : (C.list) <- L[hd -> H], H : C.";
+      (* skolem receiver whose relations nothing reads back *)
+      "alice : person.\nX.address : address <- X : person.";
+    ]
+
+(* PL030 hint — skolems at variable method positions *)
+let test_skolem_hint () =
+  let t = Check.analyze "a[m -> b].\nX.(M.k) : c <- X[M -> Y]." in
+  let d = find "PL030" t in
+  Alcotest.(check string)
+    "severity" "hint"
+    (Diagnostic.severity_to_string d.severity)
+
+(* PL031 — rule that can never fire *)
+let test_never_fires () =
+  check_code ~clean_rest:false ~code:"PL031" ~severity:"warning" ~line:1
+    "x : c <- x[m -> y]."
+
+(* PL032 — unreachable from the embedded queries *)
+let test_unreachable () =
+  let t =
+    Check.analyze
+      "a[m -> b].\na[k -> c].\nX[p -> Y] <- X[k -> Y].\n?- a[m -> Z]."
+  in
+  let d = find "PL032" t in
+  Alcotest.(check string)
+    "severity" "hint"
+    (Diagnostic.severity_to_string d.severity);
+  (match d.span with
+  | Some sp -> Alcotest.(check int) "on the dead rule" 3 (start_line sp)
+  | None -> Alcotest.fail "PL032 carries no span")
+
+(* PL040 — definite conflict between ground facts *)
+let test_definite_conflict () =
+  check_code ~code:"PL040" ~severity:"error" ~line:2 "x[m -> a].\nx[m -> b]."
+
+(* PL041 — potential conflict through rules *)
+let test_potential_conflict () =
+  let t =
+    Check.analyze
+      "X[m -> a] <- X : c.\nX[m -> b] <- X : d.\nx : c.\ny : d."
+  in
+  let d = find "PL041" t in
+  Alcotest.(check string)
+    "severity" "warning"
+    (Diagnostic.severity_to_string d.severity)
+
+(* ... molecule facts on distinct receivers are not conflicts *)
+let test_no_conflict_distinct_receivers () =
+  let t =
+    Check.analyze "e1 : employee[age -> 30].\ne2 : employee[age -> 45]."
+  in
+  Alcotest.(check (list string)) "clean" [] (codes t)
+
+let test_clean_program_ok () =
+  let t =
+    Check.analyze
+      "peter[kids ->> {tim, mary}].\nX[desc ->> {Y}] <- X[kids ->> {Y}].\n\
+       ?- peter[desc ->> {X}]."
+  in
+  Alcotest.(check bool) "ok" true (Check.ok t);
+  Alcotest.(check (list string)) "no diagnostics" [] (codes t);
+  Alcotest.(check int) "rules" 2 t.n_rules;
+  Alcotest.(check int) "queries" 1 t.n_queries;
+  Alcotest.(check bool) "worst is none" true (Check.worst t = None)
+
+let test_multiple_diagnostics_sorted () =
+  (* one error (conflict), one warning (never fires) — sorted by line *)
+  let t =
+    Check.analyze "p : q <- p[zz -> w].\nx[m -> a].\nx[m -> b]."
+  in
+  Alcotest.(check (list string)) "both, in source order"
+    [ "PL031"; "PL040" ] (codes t);
+  Alcotest.(check bool) "not ok" false (Check.ok t);
+  Alcotest.(check bool) "worst is error" true
+    (Check.worst t = Some Diagnostic.Error)
+
+let test_json_rendering () =
+  let t = Check.analyze "x[m -> a].\nx[m -> b]." in
+  let json = Check.to_json t in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) ("json has " ^ sub) true (contains ~sub json))
+    [
+      {|"ok":false|};
+      {|"rules":2|};
+      {|"code":"PL040"|};
+      {|"severity":"error"|};
+      {|"span":{"start":{"line":2,"col":1},"end":{"line":2,"col":10}}|};
+      {|"context":"x[m -> b]."|};
+    ]
+
+let test_json_escaping () =
+  let t = Check.analyze "x[m -> \"a\\\"b\"].\nx[m -> \"c\"]." in
+  let json = Check.to_json t in
+  (* the embedded quote must be escaped, keeping the document well formed *)
+  Alcotest.(check bool) "escaped quote" true (contains ~sub:{|\"|} json)
+
+let test_gate () =
+  (match Check.gate "x[m -> a].\nx[m -> b]." with
+  | Ok _ -> Alcotest.fail "gate let a conflicting program through"
+  | Error msg ->
+    Alcotest.(check bool) "message names code" true
+      (contains ~sub:"PL040" msg));
+  (match Check.gate "x : nat.\nX.succ : nat <- X : nat." with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "default gate rejects warnings");
+  match
+    Check.gate ~deny:Diagnostic.Warning "x : nat.\nX.succ : nat <- X : nat."
+  with
+  | Ok _ -> Alcotest.fail "deny=warning let PL030 through"
+  | Error _ -> ()
+
+let test_severity_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Diagnostic.severity_to_string s ^ " roundtrips")
+        true
+        (Diagnostic.severity_of_string (Diagnostic.severity_to_string s)
+        = Some s))
+    [ Diagnostic.Hint; Diagnostic.Warning; Diagnostic.Error ]
+
+(* --- properties ------------------------------------------------------ *)
+
+let randprog seed =
+  Pathlog.Randprog.generate { Pathlog.Randprog.default with seed }
+
+(* analyze is total: any random program yields a report, never an
+   exception *)
+let analyze_total =
+  QCheck.Test.make ~name:"check is total on random programs" ~count:100
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let text = randprog seed ^ "\n?- X[r ->> {Y}]." in
+      let t = Check.analyze text in
+      List.length t.diagnostics >= 0)
+
+(* dead-rule pruning preserves embedded-query answers *)
+let pruning_preserves_answers =
+  QCheck.Test.make ~name:"run_live answers = run answers" ~count:60
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let text = randprog seed ^ "\n?- X[r ->> {Y}].\n?- X : ca." in
+      (* rows rendered through each program's own universe: the stores may
+         intern objects in different orders *)
+      let answers p =
+        List.map
+          (fun (_, (a : Program.answer)) ->
+            List.sort_uniq compare
+              (List.map (Program.row_to_string p) a.rows))
+          (Program.run_queries p)
+      in
+      match
+        let p1 = Program.of_string text in
+        ignore (Program.run p1);
+        let p2 = Program.of_string text in
+        ignore (Program.run_live p2);
+        (answers p1, answers p2)
+      with
+      | a1, a2 -> a1 = a2
+      | exception _ -> QCheck.assume_fail () (* e.g. scalar conflict *))
+
+let suite =
+  [
+    Alcotest.test_case "PL001 parse error" `Quick test_parse_error;
+    Alcotest.test_case "PL010-PL017 wellformed" `Quick test_wellformed_codes;
+    Alcotest.test_case "PL018 bad signature" `Quick test_bad_signature;
+    Alcotest.test_case "PL020 unstratifiable" `Quick test_unstratifiable;
+    Alcotest.test_case "PL021 type lint" `Quick test_type_lint;
+    Alcotest.test_case "PL030 skolem cycle" `Quick test_skolem_cycle;
+    Alcotest.test_case "PL030 indirect cycle" `Quick
+      test_skolem_cycle_indirect;
+    Alcotest.test_case "PL030 no false positives" `Quick
+      test_skolem_no_false_positives;
+    Alcotest.test_case "PL030 hilog hint" `Quick test_skolem_hint;
+    Alcotest.test_case "PL031 never fires" `Quick test_never_fires;
+    Alcotest.test_case "PL032 unreachable" `Quick test_unreachable;
+    Alcotest.test_case "PL040 definite conflict" `Quick
+      test_definite_conflict;
+    Alcotest.test_case "PL041 potential conflict" `Quick
+      test_potential_conflict;
+    Alcotest.test_case "distinct receivers clean" `Quick
+      test_no_conflict_distinct_receivers;
+    Alcotest.test_case "clean program" `Quick test_clean_program_ok;
+    Alcotest.test_case "sorted diagnostics" `Quick
+      test_multiple_diagnostics_sorted;
+    Alcotest.test_case "json rendering" `Quick test_json_rendering;
+    Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "gate" `Quick test_gate;
+    Alcotest.test_case "severity roundtrip" `Quick test_severity_roundtrip;
+    QCheck_alcotest.to_alcotest analyze_total;
+    QCheck_alcotest.to_alcotest pruning_preserves_answers;
+  ]

@@ -94,7 +94,7 @@ let test_error_exit_code () =
   close_out oc;
   let code, out = run_cli [ "run"; bad ] in
   Sys.remove bad;
-  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check int) "exit 2 (load error)" 2 code;
   Alcotest.(check bool) "error message" true (contains ~sub:"error:" out)
 
 let test_conflict_reported () =
@@ -104,7 +104,7 @@ let test_conflict_reported () =
   close_out oc;
   let code, out = run_cli [ "run"; bad ] in
   Sys.remove bad;
-  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check int) "exit 1 (runtime error)" 1 code;
   Alcotest.(check bool) "conflict message" true
     (contains ~sub:"already yields" out)
 
@@ -184,4 +184,84 @@ let suite =
       Alcotest.test_case "fmt roundtrip" `Quick test_fmt_roundtrip;
       Alcotest.test_case "fmt normalize idempotent" `Quick
         test_fmt_normalize_idempotent;
+    ]
+
+(* appended: the static-analysis side of the check subcommand *)
+
+let with_program text f =
+  let tmp = Filename.temp_file "check" ".plg" in
+  let oc = open_out tmp in
+  output_string oc text;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) (fun () -> f tmp)
+
+let test_check_clean_examples () =
+  List.iter
+    (fun name ->
+      let code, out = run_cli [ "check"; "--deny"; "warning"; plg name ] in
+      Alcotest.(check int) (name ^ " exit") 0 code;
+      Alcotest.(check bool) (name ^ " ok line") true (contains ~sub:"ok:" out))
+    [
+      "addresses.plg"; "company.plg"; "genealogy.plg"; "lists.plg";
+      "university.plg";
+    ]
+
+let test_check_conflict_exit () =
+  with_program "x[m -> a].\nx[m -> b].\n" (fun file ->
+      let code, out = run_cli [ "check"; file ] in
+      Alcotest.(check int) "exit 3 (analysis)" 3 code;
+      Alcotest.(check bool) "PL040 reported" true (contains ~sub:"PL040" out);
+      Alcotest.(check bool) "span shown" true
+        (contains ~sub:"line 2, columns 1-10" out))
+
+let test_check_deny_warning () =
+  with_program "x : nat.\nX.succ : nat <- X : nat.\n" (fun file ->
+      (* default deny level lets warnings through *)
+      let code, out = run_cli [ "check"; file ] in
+      Alcotest.(check int) "warning passes by default" 0 code;
+      Alcotest.(check bool) "PL030 reported" true (contains ~sub:"PL030" out);
+      let code, _ = run_cli [ "check"; "--deny"; "warning"; file ] in
+      Alcotest.(check int) "denied at warning" 3 code)
+
+let test_check_json () =
+  with_program "x[m -> a].\nx[m -> b].\n" (fun file ->
+      let code, out = run_cli [ "check"; "--json"; file ] in
+      Alcotest.(check int) "exit 3" 3 code;
+      Alcotest.(check bool) "ok field" true (contains ~sub:"\"ok\":false" out);
+      Alcotest.(check bool) "code field" true
+        (contains ~sub:"\"code\":\"PL040\"" out);
+      Alcotest.(check bool) "span object" true
+        (contains ~sub:"\"span\":{\"start\":{\"line\":2" out))
+
+let test_check_parse_error () =
+  with_program "x[m ->\n" (fun file ->
+      let code, out = run_cli [ "check"; file ] in
+      Alcotest.(check int) "exit 3" 3 code;
+      Alcotest.(check bool) "PL001 reported" true (contains ~sub:"PL001" out))
+
+let test_run_prune_dead () =
+  with_program
+    "a[edge ->> {b}].\nb[edge ->> {c}].\n\
+     X[tc ->> {Y}] <- X[edge ->> {Y}].\n\
+     X[tc ->> {Y}] <- X..tc[edge ->> {Y}].\n\
+     p[other -> q] <- b[edge ->> {c}].\n\
+     ?- a[tc ->> {X}].\n"
+    (fun file ->
+      let code, out = run_cli [ "run"; file; "--prune-dead" ] in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "prune note" true
+        (contains ~sub:"1 dead rules skipped" out);
+      Alcotest.(check bool) "answers unchanged" true
+        (contains ~sub:"(2 answers)" out))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "check clean examples" `Quick
+        test_check_clean_examples;
+      Alcotest.test_case "check conflict exit" `Quick test_check_conflict_exit;
+      Alcotest.test_case "check --deny warning" `Quick test_check_deny_warning;
+      Alcotest.test_case "check --json" `Quick test_check_json;
+      Alcotest.test_case "check parse error" `Quick test_check_parse_error;
+      Alcotest.test_case "run --prune-dead" `Quick test_run_prune_dead;
     ]

@@ -11,7 +11,10 @@
    Options:
      --quick           fewer timing repetitions (same deterministic sizes,
                        so the fixpoint counters match the full run)
-     --out FILE        write the JSON report (default BENCH_PR2.json)
+     --out FILE        write the JSON report (default BENCH.json)
+     --jobs N          evaluate the general fixpoint suites on N domains
+                       (default 1; the fixpoint_par_* scaling suites
+                       always run at 1, 2 and 4)
      --baseline FILE   read a previous report and embed per-suite
                        baseline wall times + speedup factors
      --check FILE      compare this run's rule_evaluations against the
@@ -30,6 +33,8 @@ type suite = {
   rule_evaluations : int option;
   firings : int option;
   rounds : int option;
+  speedup_vs_1j : float option;
+      (* scaling suites: this run's speedup over the jobs=1 run *)
   detail : string;
 }
 
@@ -70,9 +75,10 @@ let measure_ops ~target f =
 (* ------------------------------------------------------------------ *)
 (* Suites                                                              *)
 
-let fixpoint_suite name stmts ~reps ~detail =
+let fixpoint_suite name stmts ~jobs ~reps ~detail =
+  let config = { Pathlog.Fixpoint.default_config with jobs } in
   let run () =
-    let p = Program.create stmts in
+    let p = Program.create ~config stmts in
     Program.run p
   in
   let stats, w = best_of reps run in
@@ -83,24 +89,25 @@ let fixpoint_suite name stmts ~reps ~detail =
     rule_evaluations = Some stats.Pathlog.Fixpoint.rule_evaluations;
     firings = Some stats.firings;
     rounds = Some stats.rounds;
+    speedup_vs_1j = None;
     detail;
   }
 
-let tc_chain ~reps =
+let tc_chain ~jobs ~reps =
   fixpoint_suite "tc_chain_256"
     (Pathlog.Genealogy.statements (Pathlog.Genealogy.Chain 256)
     @ Pathlog.Genealogy.desc_rules)
-    ~reps ~detail:"desc closure of chain(256), semi-naive"
+    ~jobs ~reps ~detail:"desc closure of chain(256), semi-naive"
 
-let tc_forest ~reps =
+let tc_forest ~jobs ~reps =
   fixpoint_suite "tc_forest_256"
     (Pathlog.Genealogy.statements
        (Pathlog.Genealogy.Random_forest
           { people = 256; max_kids = 3; seed = 11 })
     @ Pathlog.Genealogy.desc_rules)
-    ~reps ~detail:"desc closure of random forest(256), semi-naive"
+    ~jobs ~reps ~detail:"desc closure of random forest(256), semi-naive"
 
-let tc_dag ~reps =
+let tc_dag ~jobs ~reps =
   let stmts =
     Pathlog.Graph.layered_dag ~layers:7 ~width:14 ~fanout:3 ~seed:7
     @ Pathlog.Parser.program
@@ -109,13 +116,13 @@ let tc_dag ~reps =
         X[reach ->> {Y}] <- X[to ->> {Z}], Z[reach ->> {Y}].
         |}
   in
-  fixpoint_suite "tc_dag_7x14" stmts ~reps
+  fixpoint_suite "tc_dag_7x14" stmts ~jobs ~reps
     ~detail:"reach closure of layered dag(7x14, fanout 3), semi-naive"
 
 (* A fixpoint that derives one isa edge per round along a scalar chain:
    every insertion invalidates (or, incrementally, updates) the hierarchy
    closure caches while the seeded isa delta is being consumed. *)
-let isa_derive ~reps =
+let isa_derive ~jobs ~reps =
   let n = 400 in
   let b = Buffer.create (n * 24) in
   for i = 0 to n - 1 do
@@ -131,10 +138,57 @@ let isa_derive ~reps =
   Buffer.add_string b "X[sees ->> {Y}] <- X : hub, Y : reach. ";
   fixpoint_suite (Printf.sprintf "isa_derive_%d" n)
     (Pathlog.Parser.program (Buffer.contents b))
-    ~reps
+    ~jobs ~reps
     ~detail:
       "chain(400) reachability derived as isa edges + hub(64) join; one \
        new isa edge per round"
+
+(* Scaling workload for the domain-parallel fixpoint: 16 disjoint chain
+   partitions, each with its own edge method and its own pair of closure
+   rules, all deriving into one shared [reach] set method. Everything is
+   one stratum, so every round offers ~48 independent (rule, seed) tasks
+   for the worker pool to claim. *)
+let par_stmts =
+  lazy
+    (let parts = 16 and n = 48 in
+     let b = Buffer.create (parts * n * 32) in
+     for r = 0 to parts - 1 do
+       for i = 0 to n - 1 do
+         Buffer.add_string b
+           (Printf.sprintf "p%dn%d[to%d ->> {p%dn%d}]. " r i r r (i + 1))
+       done;
+       Buffer.add_string b
+         (Printf.sprintf "X[reach ->> {Y}] <- X[to%d ->> {Y}]. " r);
+       Buffer.add_string b
+         (Printf.sprintf "X[reach ->> {Y}] <- X[to%d ->> {Z}], Z[reach ->> \
+                          {Y}]. " r)
+     done;
+     Pathlog.Parser.program (Buffer.contents b))
+
+let fixpoint_par ~jobs ~reps ~base =
+  let config = { Pathlog.Fixpoint.default_config with jobs } in
+  let stmts = Lazy.force par_stmts in
+  let run () =
+    let p = Program.create ~config stmts in
+    Program.run p
+  in
+  let stats, w = best_of reps run in
+  {
+    name = Printf.sprintf "fixpoint_par_%dj" jobs;
+    wall_s = w;
+    ops_per_s = None;
+    rule_evaluations = Some stats.Pathlog.Fixpoint.rule_evaluations;
+    firings = Some stats.firings;
+    rounds = Some stats.rounds;
+    speedup_vs_1j =
+      (match base with
+      | Some b when jobs > 1 -> Some (b /. max 1e-9 w)
+      | _ -> None);
+    detail =
+      Printf.sprintf
+        "16-partition chain(48) closure into a shared reach method, jobs=%d"
+        jobs;
+  }
 
 let company_program n =
   let p =
@@ -173,6 +227,7 @@ let company_queries ~target =
     rule_evaluations = None;
     firings = None;
     rounds = None;
+    speedup_vs_1j = None;
     detail =
       Printf.sprintf "%d-query workload over company(400); ops = workload \
                       evaluations" (List.length qs);
@@ -219,6 +274,7 @@ let recv_set_query ~target =
     rule_evaluations = None;
     firings = None;
     rounds = None;
+    speedup_vs_1j = None;
     detail =
       "r0[edge@(A) ->> {X}] over 200 receivers x 25 one-ary tuples; ops = \
        query evaluations";
@@ -254,6 +310,7 @@ let isa_closure_growth ~reps =
     rule_evaluations = None;
     firings = None;
     rounds = None;
+    speedup_vs_1j = None;
     detail =
       "400 isa inserts into an 8-class hierarchy, members(root) after each; \
        ops = insert+query pairs";
@@ -267,11 +324,8 @@ let server_queries =
     "e1 : employee";
   |]
 
-let server_throughput ~requests =
+let server_suite ~name ~config ~requests ~detail =
   let p = company_program 100 in
-  let config =
-    { Pathlog.Server.default_config with workers = 4; queue_capacity = 32 }
-  in
   let srv =
     Pathlog.Server.create ~config ~program:p
       (Pathlog.Server.Tcp ("127.0.0.1", 0))
@@ -316,20 +370,44 @@ let server_throughput ~requests =
   Pathlog.Server.shutdown srv;
   let total = clients * requests in
   if !ok <> total then
-    failwith
-      (Printf.sprintf "server_throughput: %d ok of %d" !ok total);
+    failwith (Printf.sprintf "%s: %d ok of %d" name !ok total);
   {
-    name = "server_throughput_4w";
+    name;
     wall_s = w;
     ops_per_s = Some (float_of_int total /. w);
     rule_evaluations = None;
     firings = None;
     rounds = None;
-    detail =
-      Printf.sprintf
-        "4 clients x %d requests against the in-process server, company(100)"
-        requests;
+    speedup_vs_1j = None;
+    detail = Printf.sprintf detail requests;
   }
+
+let server_throughput ~requests =
+  server_suite ~name:"server_throughput_4w"
+    ~config:
+      { Pathlog.Server.default_config with workers = 4; queue_capacity = 32 }
+    ~requests
+    ~detail:
+      "4 clients x %d requests against the in-process server, company(100)"
+
+(* The lock-free read path at scale: domain-backed workers evaluate query
+   requests on pinned snapshots concurrently. cache_capacity = 1 keeps the
+   result cache nearly useless (4 distinct queries evict each other), so
+   throughput measures parallel evaluation, not cache hits. *)
+let server_par_read ~requests =
+  server_suite ~name:"server_par_read"
+    ~config:
+      {
+        Pathlog.Server.default_config with
+        workers = 4;
+        queue_capacity = 32;
+        pool_domains = true;
+        cache_capacity = 1;
+      }
+    ~requests
+    ~detail:
+      "4 clients x %d requests, 4 domain workers on snapshot reads, \
+       company(100)"
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON (writer + reader for our own reports)                  *)
@@ -557,6 +635,7 @@ let suite_json ~baseline (s : suite) =
     @ opt "rule_evaluations" s.rule_evaluations (fun x -> Num (float_of_int x))
     @ opt "firings" s.firings (fun x -> Num (float_of_int x))
     @ opt "rounds" s.rounds (fun x -> Num (float_of_int x))
+    @ opt "speedup_vs_1j" s.speedup_vs_1j (fun x -> Num x)
     @ (match base with
       | Some (Some bw, _) ->
         [
@@ -597,13 +676,24 @@ let main args =
     | _ :: rest -> opt key rest
     | [] -> None
   in
-  let out = Option.value ~default:"BENCH_PR2.json" (opt "--out" args) in
+  let out = Option.value ~default:"BENCH.json" (opt "--out" args) in
   let baseline_file = opt "--baseline" args in
   let check_file = opt "--check" args in
+  let jobs =
+    match opt "--jobs" args with
+    | None -> 1
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+        prerr_endline "bench perf: --jobs must be an integer >= 1";
+        exit 2)
+  in
   let reps = if quick then 1 else 3 in
   let target = if quick then 0.2 else 1.0 in
   let requests = if quick then 100 else 400 in
   Printf.printf "perf harness (%s mode)\n%!" (if quick then "quick" else "full");
+  let par_base = ref None in
   let suites =
     List.map
       (fun (mk : unit -> suite) ->
@@ -617,14 +707,21 @@ let main args =
           | None -> "");
         s)
       [
-        (fun () -> tc_chain ~reps);
-        (fun () -> tc_dag ~reps);
-        (fun () -> tc_forest ~reps);
-        (fun () -> isa_derive ~reps);
+        (fun () -> tc_chain ~jobs ~reps);
+        (fun () -> tc_dag ~jobs ~reps);
+        (fun () -> tc_forest ~jobs ~reps);
+        (fun () -> isa_derive ~jobs ~reps);
         (fun () -> company_queries ~target);
         (fun () -> recv_set_query ~target);
         (fun () -> isa_closure_growth ~reps);
         (fun () -> server_throughput ~requests);
+        (fun () ->
+          let s = fixpoint_par ~jobs:1 ~reps ~base:None in
+          par_base := Some s.wall_s;
+          s);
+        (fun () -> fixpoint_par ~jobs:2 ~reps ~base:!par_base);
+        (fun () -> fixpoint_par ~jobs:4 ~reps ~base:!par_base);
+        (fun () -> server_par_read ~requests);
       ]
   in
   let baseline =
@@ -636,8 +733,11 @@ let main args =
         ( "meta",
           Obj
             [
-              ("pr", Num 2.);
+              ("pr", Num 4.);
               ("mode", Str (if quick then "quick" else "full"));
+              ("jobs", Num (float_of_int jobs));
+              ( "cores",
+                Num (float_of_int (Domain.recommended_domain_count ())) );
               ("generated_by", Str "bench perf");
             ] );
         ("suites", Arr (List.map (suite_json ~baseline) suites));

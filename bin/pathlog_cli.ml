@@ -17,13 +17,14 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let config_of ~naive ~hilog ~max_rounds ~max_objects =
+let config_of ~naive ~hilog ~max_rounds ~max_objects ~jobs =
   {
     Pathlog.Fixpoint.default_config with
     mode = (if naive then Pathlog.Fixpoint.Naive else Seminaive);
     hilog_virtual = hilog;
     max_rounds;
     max_objects;
+    jobs;
   }
 
 let with_errors store f =
@@ -53,8 +54,8 @@ let print_answer p query answer =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd file queries dump stats naive hilog max_rounds max_objects types
-    prune_dead =
-  let config = config_of ~naive ~hilog ~max_rounds ~max_objects in
+    prune_dead jobs =
+  let config = config_of ~naive ~hilog ~max_rounds ~max_objects ~jobs in
   let p =
     with_errors None (fun () ->
         Pathlog.Program.of_string ~config (read_file file))
@@ -286,7 +287,8 @@ let server_address ~host ~port ~unix_sock =
   | Some path -> Pathlog.Server.Unix_path path
   | None -> Pathlog.Server.Tcp (host, port)
 
-let serve_cmd file host port unix_sock workers queue max_request deadline =
+let serve_cmd file host port unix_sock workers queue max_request deadline jobs
+    =
   let text = read_file file in
   (* Refuse to serve a program static analysis can already prove broken:
      a conflict or divergence found mid-flight would take the whole
@@ -297,10 +299,14 @@ let serve_cmd file host port unix_sock workers queue max_request deadline =
     Printf.eprintf "error: program refused by static analysis:\n%s\n" msg;
     exit Pathlog.Err.exit_analysis);
   let p = with_errors None (fun () -> Pathlog.load text) in
+  (* --jobs N with N > 1 turns on real parallelism end to end: the query
+     pool is backed by N domains instead of threads (queries evaluate
+     concurrently on the lock-free read path). *)
   let config =
     {
       Pathlog.Server.default_config with
-      workers;
+      workers = (if jobs > 1 then jobs else workers);
+      pool_domains = jobs > 1;
       queue_capacity = queue;
       max_request_bytes = max_request;
       deadline_s = deadline;
@@ -312,11 +318,13 @@ let serve_cmd file host port unix_sock workers queue max_request deadline =
   in
   Pathlog.Server.install_signal_handlers srv;
   Format.printf
-    "pathlog: serving %s on %a (%d workers, queue %d); SIGINT/SIGTERM \
+    "pathlog: serving %s on %a (%d %s workers, queue %d); SIGINT/SIGTERM \
      drains@."
     file Pathlog.Server.pp_address
     (Pathlog.Server.address srv)
-    workers queue;
+    config.workers
+    (if config.pool_domains then "domain" else "thread")
+    queue;
   Pathlog.Server.serve srv;
   print_endline "pathlog: drained, bye"
 
@@ -431,11 +439,29 @@ let prune_dead_arg =
           "Skip rules unreachable from the program's queries (sound: \
            answers are unchanged; see pathlog check code PL032).")
 
+(* A plain usage error on a bad count — not a PL diagnostic; there is no
+   program to analyse yet when the flag is parsed. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None -> Error (`Msg "must be an integer >= 1")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value & opt jobs_conv Pathlog.Fixpoint.default_config.jobs
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate fixpoint rounds on N domains in parallel (1 = the \
+           sequential engine; default from \\$PATHLOG_JOBS).")
+
 let run_t =
   Term.(
     const run_cmd $ file_arg $ queries_arg $ dump_arg $ stats_arg $ naive_arg
     $ hilog_arg $ max_rounds_arg $ max_objects_arg $ types_arg
-    $ prune_dead_arg)
+    $ prune_dead_arg $ jobs_arg)
 
 let json_arg =
   Arg.(
@@ -535,10 +561,19 @@ let deadline_arg =
           "Per-request deadline; requests that wait longer in the \
            admission queue are answered ERR TIMEOUT.")
 
+let serve_jobs_arg =
+  Arg.(
+    value & opt jobs_conv 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Back the query pool with N domains instead of threads (N > 1): \
+           parallel query evaluation on the lock-free read path.")
+
 let serve_t =
   Term.(
     const serve_cmd $ file_arg $ host_arg $ port_arg $ unix_sock_arg
-    $ workers_arg $ queue_arg $ max_request_arg $ deadline_arg)
+    $ workers_arg $ queue_arg $ max_request_arg $ deadline_arg
+    $ serve_jobs_arg)
 
 let connect_t =
   Term.(const connect_cmd $ host_arg $ port_arg $ unix_sock_arg $ queries_arg)

@@ -1,0 +1,105 @@
+type t = {
+  size : int;
+  m : Mutex.t;
+  work : Condition.t;  (* workers: a new batch (or stop) is available *)
+  finished : Condition.t;  (* caller: all participants left the batch *)
+  mutable task : int -> unit;
+  mutable n : int;  (* batch size *)
+  mutable next : int;  (* next unclaimed task index *)
+  mutable running : int;  (* participants still inside the batch *)
+  mutable generation : int;  (* bumped per batch; workers key off it *)
+  mutable failure : exn option;  (* first task exception of the batch *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let no_task (_ : int) = ()
+
+(* Claim and execute tasks until the batch is drained. Called (and
+   returns) with [t.m] held. *)
+let participate t =
+  while t.next < t.n do
+    let i = t.next in
+    t.next <- t.next + 1;
+    Mutex.unlock t.m;
+    let outcome = try Ok (t.task i) with e -> Error e in
+    Mutex.lock t.m;
+    match outcome with
+    | Ok () -> ()
+    | Error e ->
+      if t.failure = None then t.failure <- Some e;
+      (* abandon unclaimed tasks; peers finish their current one *)
+      t.next <- t.n
+  done;
+  t.running <- t.running - 1;
+  if t.running = 0 then Condition.broadcast t.finished
+
+let worker t () =
+  Mutex.lock t.m;
+  let seen = ref 0 in
+  let rec loop () =
+    if t.stop then Mutex.unlock t.m
+    else if t.generation = !seen then begin
+      Condition.wait t.work t.m;
+      loop ()
+    end
+    else begin
+      seen := t.generation;
+      participate t;
+      loop ()
+    end
+  in
+  loop ()
+
+let create size =
+  if size < 1 then invalid_arg "Dpool.create: size < 1";
+  let t =
+    {
+      size;
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      task = no_task;
+      n = 0;
+      next = 0;
+      running = 0;
+      generation = 0;
+      failure = None;
+      stop = false;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = t.size
+
+let run t n f =
+  if n > 0 then begin
+    Mutex.lock t.m;
+    t.task <- f;
+    t.n <- n;
+    t.next <- 0;
+    t.failure <- None;
+    (* every worker joins each batch exactly once (they key off the
+       generation), plus the caller *)
+    t.running <- t.size;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    participate t;
+    while t.running > 0 do
+      Condition.wait t.finished t.m
+    done;
+    t.task <- no_task;
+    let failure = t.failure in
+    Mutex.unlock t.m;
+    match failure with Some e -> raise e | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]

@@ -1,0 +1,35 @@
+(** A small persistent pool of worker {!Domain}s for data-parallel task
+    batches.
+
+    The parallel fixpoint evaluates many independent rule bodies per
+    round; spawning domains per round would dominate small rounds, so the
+    pool keeps [size - 1] worker domains alive across rounds and the
+    calling domain participates as the [size]-th worker. Tasks within a
+    batch are claimed dynamically (an index counter under the pool lock),
+    which load-balances skewed rule costs; determinism is the {e caller's}
+    concern — tasks must write results into per-task slots so the caller
+    can consume them in task order, independent of execution order.
+
+    All synchronisation is a single mutex + two condition variables;
+    mutex acquire/release pairs give every worker a happens-before edge on
+    the memory the caller wrote before {!run}, and the caller one on
+    everything workers wrote before completing. *)
+
+type t
+
+(** [create size] spawns [size - 1] worker domains ([size >= 1];
+    [size = 1] spawns none and {!run} degenerates to a sequential loop). *)
+val create : int -> t
+
+(** Total parallelism, including the calling domain. *)
+val size : t -> int
+
+(** [run t n f] evaluates [f 0 .. f (n-1)] across the pool and returns
+    when all have finished. If any task raises, remaining unclaimed tasks
+    are abandoned and the first exception is re-raised in the caller.
+    Not re-entrant: one batch at a time. *)
+val run : t -> int -> (int -> unit) -> unit
+
+(** Join the worker domains. The pool is unusable afterwards; calling
+    {!shutdown} twice is harmless. *)
+val shutdown : t -> unit

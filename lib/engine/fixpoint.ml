@@ -10,7 +10,17 @@ type config = {
   max_rounds : int;
   max_objects : int;
   rule_filter : (Rule.t -> bool) option;
+  jobs : int;
 }
+
+(* PATHLOG_JOBS flips the default degree of parallelism process-wide —
+   how CI runs the whole test corpus through the parallel evaluator
+   without touching every call site. *)
+let default_jobs =
+  match Sys.getenv_opt "PATHLOG_JOBS" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n >= 1 -> n | Some _ | None -> 1)
+  | None -> 1
 
 let default_config =
   {
@@ -20,6 +30,7 @@ let default_config =
     max_rounds = 10_000;
     max_objects = 1_000_000;
     rule_filter = None;
+    jobs = default_jobs;
   }
 
 type stats = {
@@ -152,6 +163,37 @@ let env_of_binding (body : Ir.query) binding =
       Semantics.Valuation.Env.add name binding.(slot) env)
     Semantics.Valuation.Env.empty body.named
 
+(* Execute the rule head under one body solution, recording provenance
+   and counting insertions; shared by the sequential path and the
+   parallel merge phase. *)
+let fire ?provenance stats store (rule : Rule.t) binding changes =
+  stats.firings <- stats.firings + 1;
+  let env = env_of_binding rule.body binding in
+  let on_insert =
+    match provenance with
+    | None -> fun _ -> ()
+    | Some prov ->
+      fun fact ->
+        let source =
+          if rule.source.body = [] then Provenance.Extensional
+          else
+            Provenance.Derived
+              {
+                rule = rule.source;
+                env =
+                  List.map
+                    (fun (name, slot) -> (name, binding.(slot)))
+                    rule.body.named;
+              }
+        in
+        Provenance.record prov fact source
+  in
+  let before = !changes in
+  ignore
+    (Head.execute ~on_insert store ~env ~rule:rule.source ~changes
+       rule.source.head);
+  stats.insertions <- stats.insertions + (!changes - before)
+
 (* Evaluate one rule, optionally seeded, executing the head on every body
    solution. *)
 let evaluate ?provenance config plans stats store (rule : Rule.t) seed changes
@@ -160,33 +202,63 @@ let evaluate ?provenance config plans stats store (rule : Rule.t) seed changes
   let plan = plan_for plans config store rule seed in
   Semantics.Solve.iter ~order:config.order ~hilog_virtual:config.hilog_virtual
     ?seed ?plan store rule.body
-    ~f:(fun binding ->
-      stats.firings <- stats.firings + 1;
-      let env = env_of_binding rule.body binding in
-      let on_insert =
-        match provenance with
-        | None -> fun _ -> ()
-        | Some prov ->
-          fun fact ->
-            let source =
-              if rule.source.body = [] then Provenance.Extensional
-              else
-                Provenance.Derived
-                  {
-                    rule = rule.source;
-                    env =
-                      List.map
-                        (fun (name, slot) -> (name, binding.(slot)))
-                        rule.body.named;
-                  }
-            in
-            Provenance.record prov fact source
-      in
-      let before = !changes in
-      ignore
-        (Head.execute ~on_insert store ~env ~rule:rule.source ~changes
-           rule.source.head);
-      stats.insertions <- stats.insertions + (!changes - before))
+    ~f:(fun binding -> fire ?provenance stats store rule binding changes)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel rounds.
+
+   A round's work is a list of (rule, seed) evaluation tasks, fixed up
+   front from the delta marks. With [jobs = 1] the tasks run in order,
+   each executing its head immediately, so derivations made by an earlier
+   rule are visible to later rules within the same round (Gauss-Seidel) —
+   bit-identical to the historical sequential engine. With [jobs > 1] the
+   round runs in two phases: every task solves its body against the store
+   {e as left by the previous merge} (the store is quiescent, so reads
+   need no locks) into a private production buffer, then a single-threaded
+   merge executes heads in task order, then discovery order — a
+   deterministic schedule (Jacobi). Both schedules reach the same minimal
+   model: evaluation is monotone and skolems are keyed by (method,
+   receiver, args), so the derived fact set is confluent; only round
+   counts and insertion interleavings differ. *)
+
+type task = {
+  t_rule : Rule.t;
+  t_seed : Semantics.Solve.seed option;
+  mutable t_plan : Semantics.Solve.plan option;
+  t_out : Oodb.Obj_id.t array Oodb.Vec.t;  (* body solutions found *)
+}
+
+let task rule seed =
+  { t_rule = rule; t_seed = seed; t_plan = None; t_out = Oodb.Vec.create () }
+
+let run_tasks ?provenance config plans pool stats store tasks changes =
+  match (pool : Dpool.t option) with
+  | None ->
+    List.iter
+      (fun t ->
+        evaluate ?provenance config plans stats store t.t_rule t.t_seed
+          changes)
+      tasks
+  | Some pool ->
+    let tasks = Array.of_list tasks in
+    (* Plans come from the shared cache, so compile them before going
+       parallel; the cache is not synchronised. *)
+    Array.iter
+      (fun t -> t.t_plan <- plan_for plans config store t.t_rule t.t_seed)
+      tasks;
+    stats.rule_evaluations <- stats.rule_evaluations + Array.length tasks;
+    Dpool.run pool (Array.length tasks) (fun i ->
+        let t = tasks.(i) in
+        Semantics.Solve.iter ~order:config.order
+          ~hilog_virtual:config.hilog_virtual ?seed:t.t_seed ?plan:t.t_plan
+          store t.t_rule.body
+          ~f:(fun binding -> Oodb.Vec.push t.t_out binding));
+    Array.iter
+      (fun t ->
+        Oodb.Vec.iter
+          (fun binding -> fire ?provenance stats store t.t_rule binding changes)
+          t.t_out)
+      tasks
 
 let check_budget config store stratum_rounds =
   if stratum_rounds > config.max_rounds then
@@ -202,12 +274,13 @@ let check_budget config store stratum_rounds =
              creation)"
             config.max_objects))
 
-let run_stratum ?provenance config plans stats store rules =
+let run_stratum ?provenance config plans pool stats store rules =
   let itn = Interner.create () in
   let crules = List.map (crule_of itn) rules in
   (* marks at the start of the previous round: the delta a seeded atom
      scans starts there *)
   let prev_marks = ref (snapshot itn store) in
+  let prev_epoch = ref (Store.epoch store) in
   let round = ref 0 in
   let continue = ref true in
   (* round 1: full evaluation of every rule *)
@@ -215,68 +288,74 @@ let run_stratum ?provenance config plans stats store rules =
     incr round;
     stats.rounds <- stats.rounds + 1;
     let changes = ref 0 in
-    List.iter
-      (fun r -> evaluate ?provenance config plans stats store r None changes)
-      rules;
+    run_tasks ?provenance config plans pool stats store
+      (List.map (fun r -> task r None) rules)
+      changes;
     !changes > 0
   in
   let next_round () =
     incr round;
     stats.rounds <- stats.rounds + 1;
     check_budget config store !round;
-    let now = snapshot itn store in
-    let any_changed = ref false in
-    let changed =
-      Array.init (Array.length now) (fun id ->
-          let c = now.(id) > len_at !prev_marks id in
-          if c then any_changed := true;
-          c)
-    in
-    let is_changed id = id < Array.length changed && changed.(id) in
-    if not !any_changed then false
+    (* the epoch is bumped on every insertion, so an epoch unchanged since
+       [prev_marks] was taken means no relation grew — skip the
+       per-relation scan entirely *)
+    let now_epoch = Store.epoch store in
+    if now_epoch = !prev_epoch then false
     else begin
-      let changes = ref 0 in
-      (match config.mode with
-      | Naive ->
-        List.iter
-          (fun r ->
-            evaluate ?provenance config plans stats store r None changes)
-          rules
-      | Seminaive ->
-        List.iter
-          (fun cr ->
-            let rule = cr.rule in
-            let relevant =
-              rule.reads_any || Array.exists is_changed cr.read_ids
-            in
-            if relevant then begin
-              let unseedable_change =
-                rule.reads_any
-                || Array.exists
-                     (fun r ->
-                       is_changed r
-                       && not (Array.exists (Int.equal r) cr.seed_rel_ids))
-                     cr.read_ids
-              in
-              if unseedable_change then
-                evaluate ?provenance config plans stats store rule None
-                  changes
-              else
-                Array.iter
-                  (fun (rel_id, idx) ->
-                    if is_changed rel_id then
-                      evaluate ?provenance config plans stats store rule
-                        (Some
-                           {
-                             Semantics.Solve.seed_atom = idx;
-                             seed_from = len_at !prev_marks rel_id;
-                           })
-                        changes)
-                  cr.seed_ids
-            end)
-          crules);
-      prev_marks := now;
-      !changes > 0
+      let now = snapshot itn store in
+      let any_changed = ref false in
+      let changed =
+        Array.init (Array.length now) (fun id ->
+            let c = now.(id) > len_at !prev_marks id in
+            if c then any_changed := true;
+            c)
+      in
+      let is_changed id = id < Array.length changed && changed.(id) in
+      if not !any_changed then false
+      else begin
+        let changes = ref 0 in
+        let tasks =
+          match config.mode with
+          | Naive -> List.map (fun r -> task r None) rules
+          | Seminaive ->
+            List.concat_map
+              (fun cr ->
+                let rule = cr.rule in
+                let relevant =
+                  rule.reads_any || Array.exists is_changed cr.read_ids
+                in
+                if not relevant then []
+                else begin
+                  let unseedable_change =
+                    rule.reads_any
+                    || Array.exists
+                         (fun r ->
+                           is_changed r
+                           && not (Array.exists (Int.equal r) cr.seed_rel_ids))
+                         cr.read_ids
+                  in
+                  if unseedable_change then [ task rule None ]
+                  else
+                    Array.to_list cr.seed_ids
+                    |> List.filter_map (fun (rel_id, idx) ->
+                           if is_changed rel_id then
+                             Some
+                               (task rule
+                                  (Some
+                                     {
+                                       Semantics.Solve.seed_atom = idx;
+                                       seed_from = len_at !prev_marks rel_id;
+                                     }))
+                           else None)
+                end)
+              crules
+        in
+        run_tasks ?provenance config plans pool stats store tasks changes;
+        prev_marks := now;
+        prev_epoch := now_epoch;
+        !changes > 0
+      end
     end
   in
   if rules <> [] then begin
@@ -302,7 +381,12 @@ let run ?(config = default_config) ?provenance store (strat : Stratify.t) =
     | None -> fun rules -> rules
     | Some f -> List.filter f
   in
-  Array.iter
-    (fun rules -> run_stratum ?provenance config plans stats store (keep rules))
-    strat.strata;
+  let pool = if config.jobs > 1 then Some (Dpool.create config.jobs) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Dpool.shutdown pool)
+    (fun () ->
+      Array.iter
+        (fun rules ->
+          run_stratum ?provenance config plans pool stats store (keep rules))
+        strat.strata);
   stats

@@ -21,7 +21,17 @@
     only when the store has roughly doubled since compilation; [Greedy]
     keeps the adaptive per-binding ordering as a fallback.
 
-    Skolemisation can make the minimal model infinite; [max_rounds] and
+    With [jobs > 1] each round runs domain-parallel: the round's (rule,
+    seed) evaluation tasks solve their bodies concurrently against the
+    quiescent store into private production buffers, then a
+    single-threaded merge executes heads in task order, then discovery
+    order — a deterministic schedule. The final model is identical to
+    [jobs = 1] (evaluation is monotone and skolems are keyed by their
+    defining path, so the derived fact set is confluent; property-tested),
+    but per-round counters differ: rules no longer see derivations made
+    earlier in the {e same} round, so saturation can take more rounds. *)
+
+(** Skolemisation can make the minimal model infinite; [max_rounds] and
     [max_objects] bound the evaluation and {!Err.Diverged} reports the
     budget exceeded. *)
 
@@ -40,8 +50,15 @@ type config = {
   rule_filter : (Rule.t -> bool) option;
       (** when set, only rules satisfying the predicate run; the caller is
           responsible for soundness (e.g. {!Stratify.live_rules}) *)
+  jobs : int;
+      (** degree of parallelism: rule-body evaluations per round run on
+          this many domains (the calling domain included). [1] is the
+          historical sequential engine, bit for bit. Must be [>= 1]. *)
 }
 
+(** [jobs] defaults to [1], or to [$PATHLOG_JOBS] when that environment
+    variable holds an integer [>= 1] — the hook CI uses to run the whole
+    test corpus through the parallel evaluator. *)
 val default_config : config
 
 type stats = {

@@ -14,7 +14,14 @@ let pack a b = (a lsl 31) lor b
 
 type t = {
   universe : Universe.t;
-  (* class hierarchy: direct edges of the partial order, both directions *)
+  (* class hierarchy: direct edges of the partial order, both directions.
+     [hier_lock] guards the adjacency tables and the closure caches: the
+     caches memoize lazily, so even logically read-only traffic
+     (classes_of / members) mutates them, and concurrent snapshot readers
+     (server query domains, parallel fixpoint workers) would otherwise
+     race on the underlying hash tables. The critical sections are short
+     and uncontended in single-threaded use. *)
+  hier_lock : Mutex.t;
   parents : Obj_id.Set.t Obj_id.Tbl.t;
   children : Obj_id.Set.t Obj_id.Tbl.t;
   isa_log : (Obj_id.t * Obj_id.t) Vec.t;
@@ -43,11 +50,18 @@ type t = {
   set_recv_counts : int Obj_id.Tbl.t;
   mutable set_meth_list : Obj_id.t list;
   mutable tuple_count : int;  (* isa edges + scalar + set tuples *)
+  mutable epoch : int;
+      (* monotonic data version: bumped on every actual insertion (never
+         on duplicates), so readers can pin a version and caches can be
+         keyed by it. Currently always equal to [tuple_count]; kept as a
+         separate field because it is part of the concurrency contract,
+         not a statistic. *)
 }
 
 let create () =
   {
     universe = Universe.create ();
+    hier_lock = Mutex.create ();
     parents = Obj_id.Tbl.create 64;
     children = Obj_id.Tbl.create 64;
     isa_log = Vec.create ();
@@ -70,6 +84,7 @@ let create () =
     set_recv_counts = Obj_id.Tbl.create 32;
     set_meth_list = [];
     tuple_count = 0;
+    epoch = 0;
   }
 
 let universe st = st.universe
@@ -77,6 +92,7 @@ let name st s = Universe.name st.universe s
 let int st n = Universe.int st.universe n
 let str st s = Universe.str st.universe s
 let size st = st.tuple_count
+let epoch st = st.epoch
 
 (* ------------------------------------------------------------------ *)
 (* Class hierarchy                                                     *)
@@ -101,6 +117,7 @@ let closure_raw tbl o =
   go o;
   !visited
 
+(* Callers must hold [hier_lock]. *)
 let closure cache tbl o =
   match Obj_id.Tbl.find_opt cache o with
   | Some s -> s
@@ -109,8 +126,18 @@ let closure cache tbl o =
     Obj_id.Tbl.add cache o s;
     s
 
-let classes_of st o = closure st.up_cache st.parents o
-let members st c = closure st.down_cache st.children c
+let with_hier st f =
+  Mutex.lock st.hier_lock;
+  match f () with
+  | v ->
+    Mutex.unlock st.hier_lock;
+    v
+  | exception e ->
+    Mutex.unlock st.hier_lock;
+    raise e
+
+let classes_of st o = with_hier st (fun () -> closure st.up_cache st.parents o)
+let members st c = with_hier st (fun () -> closure st.down_cache st.children c)
 
 (* The value classes [integer] and [string] are built in: every integer
    value-object is a member of [integer], every string value-object of
@@ -138,8 +165,12 @@ let is_member st o c =
 let add_isa st o c =
   if Obj_id.equal o c then IDuplicate
   else if Obj_id.Set.mem c (direct st.parents o) then IDuplicate
-  else if is_member st c o then ICycle
+  else if
+    builtin_member st c o
+    || Obj_id.Set.mem o (with_hier st (fun () -> closure st.up_cache st.parents c))
+  then ICycle
   else begin
+    Mutex.lock st.hier_lock;
     (* Incremental closure maintenance. The new edge o -> c makes
        anc = {c} ∪ ancestors(c) ancestors of every x ∈ desc = {o} ∪
        descendants(o), and symmetrically desc descendants of every
@@ -154,6 +185,7 @@ let add_isa st o c =
     Obj_id.Tbl.replace st.children c (Obj_id.Set.add o (direct st.children c));
     Vec.push st.isa_log (o, c);
     st.tuple_count <- st.tuple_count + 1;
+    st.epoch <- st.epoch + 1;
     if not (Obj_id.Tbl.mem st.class_seen c) then begin
       Obj_id.Tbl.add st.class_seen c ();
       st.class_list <- c :: st.class_list
@@ -171,6 +203,7 @@ let add_isa st o c =
           Obj_id.Tbl.replace st.down_cache y (Obj_id.Set.union downs desc)
         | None -> ())
       anc;
+    Mutex.unlock st.hier_lock;
     IAdded
   end
 
@@ -235,6 +268,7 @@ let add_scalar st ~meth ~recv ~args ~res =
     Vec.push (inv_bucket st.scalar_inv (meth, res)) entry;
     recv_push st.scalar_recv st.scalar_recv_counts ~meth ~recv entry;
     st.tuple_count <- st.tuple_count + 1;
+    st.epoch <- st.epoch + 1;
     Added
 
 let scalar_lookup st ~meth ~recv ~args =
@@ -294,6 +328,7 @@ let add_set st ~meth ~recv ~args ~res =
     Vec.push (inv_bucket st.set_inv (meth, res)) entry;
     recv_push st.set_recv st.set_recv_counts ~meth ~recv entry;
     st.tuple_count <- st.tuple_count + 1;
+    st.epoch <- st.epoch + 1;
     SAdded
   end
 
@@ -328,6 +363,63 @@ let set_recv_keys st meth =
 let set_meths st = List.rev st.set_meth_list
 
 (* ------------------------------------------------------------------ *)
+(* Epoch snapshots                                                     *)
+
+(* A snapshot pins the epoch and the length of every append-only bucket
+   that existed at freeze time. Because buckets never shrink and entries
+   never move, a reader iterating only up to its pinned lengths sees
+   exactly the store as of the freeze, no matter how many tuples writers
+   append afterwards. Freezing is O(#methods), not O(#tuples). *)
+type snapshot = {
+  s_store : t;
+  s_epoch : int;
+  s_objects : int;
+  s_isa_len : int;
+  s_scalar_lens : int Obj_id.Tbl.t;
+  s_set_lens : int Obj_id.Tbl.t;
+}
+
+let freeze st =
+  let lens buckets =
+    let out = Obj_id.Tbl.create 32 in
+    Obj_id.Tbl.iter (fun m v -> Obj_id.Tbl.add out m (Vec.length v)) buckets;
+    out
+  in
+  {
+    s_store = st;
+    s_epoch = st.epoch;
+    s_objects = Universe.cardinality st.universe;
+    s_isa_len = Vec.length st.isa_log;
+    s_scalar_lens = lens st.scalar_buckets;
+    s_set_lens = lens st.set_buckets;
+  }
+
+let snapshot_store s = s.s_store
+let snapshot_epoch s = s.s_epoch
+let snapshot_stale s = s.s_store.epoch <> s.s_epoch
+let snapshot_isa_len s = s.s_isa_len
+
+let pinned tbl m =
+  match Obj_id.Tbl.find_opt tbl m with Some n -> n | None -> 0
+
+let snapshot_scalar_len s m = pinned s.s_scalar_lens m
+let snapshot_set_len s m = pinned s.s_set_lens m
+
+let iter_upto f v n =
+  let n = min n (Vec.length v) in
+  for i = 0 to n - 1 do
+    f (Vec.get v i)
+  done
+
+let snapshot_iter_isa s f = iter_upto f s.s_store.isa_log s.s_isa_len
+
+let snapshot_iter_scalar s m f =
+  iter_upto f (scalar_bucket s.s_store m) (pinned s.s_scalar_lens m)
+
+let snapshot_iter_set s m f =
+  iter_upto f (set_bucket s.s_store m) (pinned s.s_set_lens m)
+
+(* ------------------------------------------------------------------ *)
 (* Statistics and printing                                             *)
 
 type stats = {
@@ -346,6 +438,15 @@ let stats st =
     isa_edges = Vec.length st.isa_log;
     scalar_tuples = count_buckets st.scalar_buckets;
     set_tuples = count_buckets st.set_buckets;
+  }
+
+let snapshot_stats s =
+  let sum tbl = Obj_id.Tbl.fold (fun _ n acc -> acc + n) tbl 0 in
+  {
+    objects = s.s_objects;
+    isa_edges = s.s_isa_len;
+    scalar_tuples = sum s.s_scalar_lens;
+    set_tuples = sum s.s_set_lens;
   }
 
 let check_invariants st =

@@ -123,6 +123,58 @@ val stats : t -> stats
     changed to re-plan. *)
 val size : t -> int
 
+(** {1 Epochs and snapshots}
+
+    The store is append-only, so a data version is just a counter:
+    {!epoch} is bumped on every actual insertion (never on duplicates).
+    {!freeze} pins the epoch together with the current length of every
+    bucket — O(#methods), not O(#tuples) — and the [snapshot_*] accessors
+    iterate only up to the pinned lengths. A reader holding a snapshot
+    therefore sees exactly the store as of the freeze while writers keep
+    appending: the basis of the server's lock-free read path and of the
+    epoch-keyed query cache, and the isolation contract the parallel
+    fixpoint relies on between merge phases.
+
+    Thread-safety contract: buckets are append-only and never moved, and
+    the lazily-memoized hierarchy closure caches are guarded by an
+    internal lock, so any number of snapshot readers may run concurrently
+    with each other. Writers are {e not} synchronised against readers
+    beyond that — evaluation phases (the fixpoint's merge step, program
+    load) must keep single-writer discipline, which all engine entry
+    points do. *)
+
+(** The store's current data version; monotonically increasing. *)
+val epoch : t -> int
+
+type snapshot
+
+(** Pin the current epoch and bucket lengths. Cheap: O(#methods). *)
+val freeze : t -> snapshot
+
+val snapshot_store : snapshot -> t
+
+val snapshot_epoch : snapshot -> int
+
+(** Has the store been written to since the freeze? *)
+val snapshot_stale : snapshot -> bool
+
+val snapshot_isa_len : snapshot -> int
+
+val snapshot_scalar_len : snapshot -> Obj_id.t -> int
+
+val snapshot_set_len : snapshot -> Obj_id.t -> int
+
+(** Iterate the pinned prefix of the isa edge log / a method bucket:
+    tuples appended after the freeze are invisible. *)
+val snapshot_iter_isa : snapshot -> ((Obj_id.t * Obj_id.t) -> unit) -> unit
+
+val snapshot_iter_scalar : snapshot -> Obj_id.t -> (mentry -> unit) -> unit
+
+val snapshot_iter_set : snapshot -> Obj_id.t -> (mentry -> unit) -> unit
+
+(** Counts as of the snapshot's freeze, regardless of later appends. *)
+val snapshot_stats : snapshot -> stats
+
 (** Dump the whole store as facts, one per line, in program syntax; used by
     the CLI's [--dump] and by golden tests. Skolem objects print as the
     paths denoting them. *)

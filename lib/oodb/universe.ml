@@ -18,6 +18,13 @@ type key =
   | Kskolem of Obj_id.t * Obj_id.t * Obj_id.t list
 
 type t = {
+  (* [lock] guards interning: concurrent readers (server query workers,
+     parallel fixpoint domains) may intern constants first seen in query
+     text, and the key table must not be mutated racily. Descriptor
+     lookups of already-published ids stay lock-free: the backing vectors
+     are append-only, so an id handed out through any synchronised
+     channel denotes a slot that never changes. *)
+  lock : Mutex.t;
   by_key : (key, Obj_id.t) Hashtbl.t;
   descriptors : descriptor Vec.t;
   skolem_ids : Obj_id.t Vec.t;
@@ -25,6 +32,7 @@ type t = {
 
 let create () =
   {
+    lock = Mutex.create ();
     by_key = Hashtbl.create 256;
     descriptors = Vec.create ();
     skolem_ids = Vec.create ();
@@ -32,7 +40,17 @@ let create () =
 
 let cardinality u = Vec.length u.descriptors
 
-let intern u key desc =
+let with_lock u f =
+  Mutex.lock u.lock;
+  match f () with
+  | v ->
+    Mutex.unlock u.lock;
+    v
+  | exception e ->
+    Mutex.unlock u.lock;
+    raise e
+
+let intern_unlocked u key desc =
   match Hashtbl.find_opt u.by_key key with
   | Some id -> id
   | None ->
@@ -41,20 +59,23 @@ let intern u key desc =
     Hashtbl.add u.by_key key id;
     id
 
+let intern u key desc = with_lock u (fun () -> intern_unlocked u key desc)
+
 let name u s = intern u (Kname s) (Name s)
 let int u n = intern u (Kint n) (Int n)
 let str u s = intern u (Kstr s) (Str s)
-let find_name u s = Hashtbl.find_opt u.by_key (Kname s)
+let find_name u s = with_lock u (fun () -> Hashtbl.find_opt u.by_key (Kname s))
 
 let skolem u ~meth ~recv ~args =
   let key = Kskolem (meth, recv, args) in
-  match Hashtbl.find_opt u.by_key key with
-  | Some id -> id
-  | None ->
-    let ordinal = Vec.length u.skolem_ids in
-    let id = intern u key (Skolem { meth; recv; args; ordinal }) in
-    Vec.push u.skolem_ids id;
-    id
+  with_lock u (fun () ->
+      match Hashtbl.find_opt u.by_key key with
+      | Some id -> id
+      | None ->
+        let ordinal = Vec.length u.skolem_ids in
+        let id = intern_unlocked u key (Skolem { meth; recv; args; ordinal }) in
+        Vec.push u.skolem_ids id;
+        id)
 
 let skolems u = Vec.to_list u.skolem_ids
 let descriptor u id = Vec.get u.descriptors id

@@ -10,9 +10,16 @@ let seal v =
 
 let length v = v.len
 
+(* Concurrent readers (snapshot iteration, the server's lock-free query
+   path) may observe [len] and [data] from different moments of a racing
+   [push]: clamping every access to the array actually loaded turns that
+   window into a stale read instead of an out-of-bounds crash. Elements
+   below a pinned length are immutable once written, so reads there are
+   exact. *)
 let get v i =
-  if i < 0 || i >= v.len then invalid_arg "Vec.get";
-  v.data.(i)
+  let data = v.data in
+  if i < 0 || i >= v.len || i >= Array.length data then invalid_arg "Vec.get";
+  data.(i)
 
 let ensure v n =
   let cap = Array.length v.data in
@@ -34,19 +41,25 @@ let push v x =
   v.len <- v.len + 1
 
 let iter f v =
-  for i = 0 to v.len - 1 do
-    f v.data.(i)
+  let data = v.data in
+  let n = min v.len (Array.length data) in
+  for i = 0 to n - 1 do
+    f data.(i)
   done
 
 let iter_from f v start =
-  for i = max 0 start to v.len - 1 do
-    f v.data.(i)
+  let data = v.data in
+  let n = min v.len (Array.length data) in
+  for i = max 0 start to n - 1 do
+    f data.(i)
   done
 
 let fold f acc v =
+  let data = v.data in
+  let n = min v.len (Array.length data) in
   let acc = ref acc in
-  for i = 0 to v.len - 1 do
-    acc := f !acc v.data.(i)
+  for i = 0 to n - 1 do
+    acc := f !acc data.(i)
   done;
   !acc
 

@@ -54,6 +54,7 @@ module Protocol = Plserver.Protocol
 module Histogram = Plserver.Histogram
 module Metrics = Plserver.Metrics
 module Pool = Plserver.Pool
+module Qcache = Plserver.Qcache
 module Client = Plserver.Client
 module Company = Workload.Company
 module Genealogy = Workload.Genealogy

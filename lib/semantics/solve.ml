@@ -348,25 +348,58 @@ let exec_app ctx which (app : Ir.app) k =
           bind ctx app.meth m (fun () -> with_method m k))
       meths
 
+(* The built-in value-class memberships ([1 : integer], ["a" : string])
+   hold for tests but have no hierarchy edges, so [Store.classes_of]
+   alone under-enumerates: a join order that generates the class variable
+   from an isa atom would silently miss solutions another order finds via
+   the bound test — enumeration must agree with {!Store.is_member} for
+   the solver's answers to be independent of the plan (the parallel
+   fixpoint's Jacobi schedule relies on that). The ancestor set of a
+   value object is still finite: its explicit ancestors plus its value
+   class (when interned). Class extensions stay non-enumerable the other
+   way round (members of [integer] are infinite in spirit). *)
+let ancestors_of ctx uo =
+  let explicit = Store.classes_of ctx.store uo in
+  let u = Store.universe ctx.store in
+  let builtin =
+    match Oodb.Universe.descriptor u uo with
+    | Oodb.Universe.Int _ -> Oodb.Universe.find_name u "integer"
+    | Oodb.Universe.Str _ -> Oodb.Universe.find_name u "string"
+    | Oodb.Universe.Name _ | Oodb.Universe.Skolem _ -> None
+  in
+  match builtin with
+  | Some c -> Set.add c explicit
+  | None -> explicit
+
 let exec_isa ctx o c k =
   match (deref ctx o, deref ctx c) with
   | Some uo, Some uc -> if Store.is_member ctx.store uo uc then k ()
   | Some uo, None ->
-    Set.iter (fun uc -> bind ctx c uc k) (Store.classes_of ctx.store uo)
+    Set.iter (fun uc -> bind ctx c uc k) (ancestors_of ctx uo)
   | None, Some uc ->
     Set.iter (fun uo -> bind ctx o uo k) (Store.members ctx.store uc)
   | None, None ->
-    (* every object with at least one ancestor, paired with each ancestor *)
+    (* every object with at least one ancestor, paired with each ancestor;
+       value objects count via their built-in class *)
     let sources = ref Set.empty in
     Oodb.Vec.iter
       (fun (src, _) -> sources := Set.add src !sources)
       (Store.isa_log ctx.store);
+    let u = Store.universe ctx.store in
+    (match
+       (Oodb.Universe.find_name u "integer", Oodb.Universe.find_name u "string")
+     with
+    | None, None -> ()
+    | _ ->
+      Oodb.Universe.iter u (fun uo d ->
+          match d with
+          | Oodb.Universe.Int _ | Oodb.Universe.Str _ ->
+            sources := Set.add uo !sources
+          | Oodb.Universe.Name _ | Oodb.Universe.Skolem _ -> ()));
     Set.iter
       (fun uo ->
         bind ctx o uo (fun () ->
-            Set.iter
-              (fun uc -> bind ctx c uc k)
-              (Store.classes_of ctx.store uo)))
+            Set.iter (fun uc -> bind ctx c uc k) (ancestors_of ctx uo)))
       !sources
 
 let exec_eq ctx a b k =

@@ -86,7 +86,7 @@ let snapshot t =
 
 let us s = int_of_float (ceil (s *. 1e6))
 
-let render snap ~store =
+let render ?cache snap ~store =
   let { Oodb.Store.objects; isa_edges; scalar_tuples; set_tuples } = store in
   [
     Printf.sprintf "uptime_s %.3f" snap.uptime_s;
@@ -116,3 +116,11 @@ let render snap ~store =
       Printf.sprintf "store_scalar_tuples %d" scalar_tuples;
       Printf.sprintf "store_set_tuples %d" set_tuples;
     ]
+  @ (match cache with
+    | None -> []
+    | Some (hits, misses, entries) ->
+      [
+        Printf.sprintf "cache_hits %d" hits;
+        Printf.sprintf "cache_misses %d" misses;
+        Printf.sprintf "cache_entries %d" entries;
+      ])

@@ -37,5 +37,7 @@ type snapshot = {
 val snapshot : t -> snapshot
 
 (** Render a snapshot plus the store statistics as [key value] lines —
-    the payload of a [STATS] reply. *)
-val render : snapshot -> store:Oodb.Store.stats -> string list
+    the payload of a [STATS] reply. [cache] adds the query-cache
+    counters [(hits, misses, entries)]. *)
+val render : ?cache:int * int * int -> snapshot -> store:Oodb.Store.stats ->
+  string list

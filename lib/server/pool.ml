@@ -1,9 +1,19 @@
+type backend = Threads | Domains
+
+(* A worker is a thread or a domain; both block on the same mutex +
+   condition, so the queue logic is backend-agnostic. Domains buy real
+   parallelism for CPU-bound query evaluation (threads share the runtime
+   lock); threads stay the default because domains are a scarcer resource
+   (the runtime caps them near the core count). *)
+type worker = Thread_w of Thread.t | Domain_w of unit Domain.t
+
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   jobs : (unit -> unit) Queue.t;
   capacity : int;
-  mutable workers : Thread.t array;
+  backend : backend;
+  mutable workers : worker array;
   mutable active : int;  (* queued + running, bounded by workers + capacity *)
   mutable stopping : bool;
   mutable joined : bool;
@@ -32,7 +42,7 @@ let worker_loop t () =
   in
   loop ()
 
-let create ~workers ~capacity =
+let create ?(backend = Threads) ~workers ~capacity () =
   if workers < 1 then invalid_arg "Pool.create: workers < 1";
   if capacity < 0 then invalid_arg "Pool.create: capacity < 0";
   let t =
@@ -41,13 +51,19 @@ let create ~workers ~capacity =
       nonempty = Condition.create ();
       jobs = Queue.create ();
       capacity;
+      backend;
       workers = [||];
       active = 0;
       stopping = false;
       joined = false;
     }
   in
-  t.workers <- Array.init workers (fun _ -> Thread.create (worker_loop t) ());
+  let spawn () =
+    match backend with
+    | Threads -> Thread_w (Thread.create (worker_loop t) ())
+    | Domains -> Domain_w (Domain.spawn (worker_loop t))
+  in
+  t.workers <- Array.init workers (fun _ -> spawn ());
   t
 
 let submit t job =
@@ -77,6 +93,8 @@ let workers t = Array.length t.workers
 
 let capacity t = t.capacity
 
+let backend t = t.backend
+
 let shutdown t =
   Mutex.lock t.lock;
   t.stopping <- true;
@@ -84,4 +102,9 @@ let shutdown t =
   let join = not t.joined in
   t.joined <- true;
   Mutex.unlock t.lock;
-  if join then Array.iter Thread.join t.workers
+  if join then
+    Array.iter
+      (function
+        | Thread_w th -> Thread.join th
+        | Domain_w d -> Domain.join d)
+      t.workers

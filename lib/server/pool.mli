@@ -11,11 +11,17 @@
 
 type t
 
-(** [create ~workers ~capacity] starts [workers] threads serving a queue
-    that admits at most [capacity] waiting jobs (jobs being executed do
-    not count against [capacity]).
+(** [Threads] workers share the OCaml runtime lock — right for the
+    I/O-bound default, and threads are cheap. [Domains] workers run in
+    parallel — right when query evaluation itself is the bottleneck and
+    the read path takes no store lock. *)
+type backend = Threads | Domains
+
+(** [create ~workers ~capacity ()] starts [workers] workers serving a
+    queue that admits at most [capacity] waiting jobs (jobs being
+    executed do not count against [capacity]).
     @raise Invalid_argument if [workers < 1] or [capacity < 0] *)
-val create : workers:int -> capacity:int -> t
+val create : ?backend:backend -> workers:int -> capacity:int -> unit -> t
 
 (** Admit a job, or refuse: [`Rejected] when the queue is at capacity or
     the pool is shutting down. Jobs must not raise — a raising job is
@@ -28,6 +34,8 @@ val queued : t -> int
 val workers : t -> int
 
 val capacity : t -> int
+
+val backend : t -> backend
 
 (** Graceful drain: refuse new jobs, run everything already admitted, join
     the worker threads. Idempotent; safe to call from any thread except a

@@ -1,0 +1,43 @@
+type entry = { epoch : int; reply : Protocol.reply }
+
+type t = {
+  lock : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Qcache.create: capacity < 1";
+  { lock = Mutex.create (); table = Hashtbl.create 64; capacity; hits = 0;
+    misses = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t ~epoch key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some e when e.epoch = epoch ->
+        t.hits <- t.hits + 1;
+        Some e.reply
+      | Some _ ->
+        Hashtbl.remove t.table key;
+        t.misses <- t.misses + 1;
+        None
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t ~epoch key reply =
+  with_lock t (fun () ->
+      if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
+      Hashtbl.replace t.table key { epoch; reply })
+
+type stats = { hits : int; misses : int; entries : int }
+
+let stats t =
+  with_lock t (fun () ->
+      { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table })

@@ -1,0 +1,32 @@
+(** Server-side query result cache, keyed by (request text, store epoch).
+
+    The store's epoch ({!Oodb.Store.epoch}) changes exactly when a fact is
+    inserted, so a reply computed at epoch [e] stays valid as long as the
+    store still reports [e] — no invalidation protocol is needed, stale
+    entries are simply unreachable and evicted lazily when the same
+    request text is seen again at a newer epoch. Only successful replies
+    are worth caching; the caller decides what to [store].
+
+    All operations take one internal lock and are safe to call from
+    concurrent session threads or domains. *)
+
+type t
+
+(** [create ~capacity] bounds the number of live entries; at capacity the
+    whole table is dropped (epoch churn invalidates wholesale anyway, and
+    a full reset keeps the hot path free of LRU bookkeeping).
+    @raise Invalid_argument if [capacity < 1] *)
+val create : capacity:int -> t
+
+(** [find t ~epoch key] returns the cached reply computed for [key] at
+    exactly [epoch], counting a hit or a miss. An entry from an older
+    epoch is removed on the way. *)
+val find : t -> epoch:int -> string -> Protocol.reply option
+
+(** [add t ~epoch key reply] records [reply] as the answer to [key] at
+    [epoch], evicting (wholesale) if the cache is full. *)
+val add : t -> epoch:int -> string -> Protocol.reply -> unit
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : t -> stats

@@ -15,6 +15,8 @@ type config = {
   deadline_s : float option;
   work_delay_s : float;
   paranoid : bool;
+  pool_domains : bool;
+  cache_capacity : int;
 }
 
 let default_config =
@@ -25,6 +27,8 @@ let default_config =
     deadline_s = None;
     work_delay_s = 0.;
     paranoid = true;
+    pool_domains = false;
+    cache_capacity = 1024;
   }
 
 (* A one-shot mailbox: the session thread parks on it while a pool worker
@@ -61,7 +65,10 @@ type t = {
   bound : address;
   pool : Pool.t;
   metrics : Metrics.t;
-  store_lock : Mutex.t;  (* serialises evaluation against the shared store *)
+  qcache : Qcache.t;
+  store_lock : Mutex.t;
+      (* taken only by writers ({!with_store_write}, i.e. program
+         (re)load); the query path pins an epoch snapshot instead *)
   stop_m : Mutex.t;
   stop_c : Condition.t;
   mutable stopping : bool;
@@ -76,6 +83,8 @@ let address t = t.bound
 let metrics t = t.metrics
 
 let config t = t.config
+
+let cache_stats t = Qcache.stats t.qcache
 
 let request_stop t =
   Mutex.lock t.stop_m;
@@ -96,11 +105,7 @@ let install_signal_handlers t =
   Sys.set_signal Sys.sigterm handle
 
 (* ------------------------------------------------------------------ *)
-(* Request evaluation (runs in pool workers, under the store lock).    *)
-
-let store_tuples st =
-  let s = Oodb.Store.stats st in
-  (s.isa_edges, s.scalar_tuples, s.set_tuples)
+(* Request evaluation (runs in pool workers, lock-free).               *)
 
 let render_answer t (a : Program.answer) =
   match a.columns with
@@ -115,37 +120,56 @@ let render_answer t (a : Program.answer) =
 
 (* Queries are read-only modulo interning: they may add objects to the
    universe (constants first seen in query text) but never isa edges or
-   method tuples. Assert exactly that. *)
-let with_readonly_store t f =
-  Mutex.lock t.store_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.store_lock)
-    (fun () ->
-      let st = Program.store t.program in
-      let before = if t.config.paranoid then Some (store_tuples st) else None in
-      let reply = f () in
-      match before with
-      | Some b when store_tuples st <> b ->
+   method tuples. The read path therefore takes no lock at all — it pins
+   an epoch snapshot, evaluates against the (append-only) store, and uses
+   the pinned epoch twice over: as the result-cache key, and as the
+   read-only assertion (an epoch moved during evaluation means either the
+   request mutated the store or a writer ran concurrently; both void the
+   result for caching, and with [paranoid] the former is reported). Many
+   sessions — threads or domains — evaluate in parallel; writers
+   serialise through {!with_store_write}. *)
+let eval_readonly t ~cache_key f =
+  let st = Program.store t.program in
+  let snap = Oodb.Store.freeze st in
+  let epoch = Oodb.Store.snapshot_epoch snap in
+  let cached =
+    match cache_key with
+    | Some key -> Qcache.find t.qcache ~epoch key
+    | None -> None
+  in
+  match cached with
+  | Some reply -> reply
+  | None ->
+    let reply =
+      match f () with
+      | reply -> reply
+      | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
+      | exception e -> (
+        match Engine.Err.message st e with
+        | Some msg -> Protocol.Err (Protocol.Parse, msg)
+        | None -> Protocol.Err (Protocol.Internal, Printexc.to_string e))
+    in
+    if Oodb.Store.snapshot_stale snap then
+      if t.config.paranoid then
         Protocol.Err
           ( Protocol.Internal,
-            "invariant violation: a read-only request mutated the store" )
-      | _ -> reply)
+            "invariant violation: the store changed under a read-only \
+             request" )
+      else reply
+    else begin
+      (match (cache_key, reply) with
+      | Some key, Protocol.Ok _ -> Qcache.add t.qcache ~epoch key reply
+      | _ -> ());
+      reply
+    end
 
 let eval_request t req =
-  let st = Program.store t.program in
   match req with
   | Protocol.Query q ->
-    with_readonly_store t (fun () ->
-        match Program.query_string t.program q with
-        | answer -> Protocol.Ok (render_answer t answer)
-        | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
-        | exception e -> (
-          match Engine.Err.message st e with
-          | Some msg -> Protocol.Err (Protocol.Parse, msg)
-          | None ->
-            Protocol.Err (Protocol.Internal, Printexc.to_string e)))
+    eval_readonly t ~cache_key:(Some q) (fun () ->
+        Protocol.Ok (render_answer t (Program.query_string t.program q)))
   | Protocol.Why q ->
-    with_readonly_store t (fun () ->
+    eval_readonly t ~cache_key:None (fun () ->
         match Program.why_string t.program q with
         | Some proof ->
           let u = Program.universe t.program in
@@ -153,22 +177,26 @@ let eval_request t req =
             Format.asprintf "%a" (Engine.Provenance.pp_proof u) proof
           in
           Protocol.Ok (String.split_on_char '\n' text)
-        | None -> Protocol.Ok [ "not in the model" ]
-        | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
-        | exception e -> (
-          match Engine.Err.message st e with
-          | Some msg -> Protocol.Err (Protocol.Parse, msg)
-          | None ->
-            Protocol.Err (Protocol.Internal, Printexc.to_string e)))
+        | None -> Protocol.Ok [ "not in the model" ])
   | Protocol.Ping | Protocol.Stats | Protocol.Quit ->
     (* handled inline by the session; unreachable here *)
     Protocol.Err (Protocol.Internal, "verb not pooled")
 
+(* Serialised write access to the program's store — program (re)load and
+   fact assertion. Queries in flight keep their pinned epochs; replies
+   computed across a write are not cached (the epoch moved), and the
+   cache's old epoch entries become unreachable at the next lookup. *)
+let with_store_write t f =
+  Mutex.lock t.store_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.store_lock) f
+
 let stats_reply t =
+  let c = Qcache.stats t.qcache in
   Protocol.Ok
     (Metrics.render
        (Metrics.snapshot t.metrics)
-       ~store:(Oodb.Store.stats (Program.store t.program)))
+       ~store:(Oodb.Store.stats (Program.store t.program))
+       ~cache:(c.Qcache.hits, c.Qcache.misses, c.Qcache.entries))
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)
@@ -349,8 +377,12 @@ let create ?(config = default_config) ~program addr =
       config;
       listen_fd;
       bound;
-      pool = Pool.create ~workers:config.workers ~capacity:config.queue_capacity;
+      pool =
+        Pool.create
+          ~backend:(if config.pool_domains then Pool.Domains else Pool.Threads)
+          ~workers:config.workers ~capacity:config.queue_capacity ();
       metrics = Metrics.create ();
+      qcache = Qcache.create ~capacity:config.cache_capacity;
       store_lock = Mutex.create ();
       stop_m = Mutex.create ();
       stop_c = Condition.create ();

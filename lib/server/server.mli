@@ -15,11 +15,18 @@
     behind an admission queue. [PING]/[STATS]/[QUIT] are answered inline
     by the session thread so health checks and metrics stay responsive
     under full load; [QUERY]/[WHY] go through the pool and are shed with
-    [BUSY] when the queue is full. Query evaluation itself is serialised
-    by a store lock — OCaml sys-threads interleave at allocation points,
-    and interning mutates the universe — so the pool buys concurrency of
-    {e sessions} (slow readers, many sockets) rather than parallel
-    compute.
+    [BUSY] when the queue is full.
+
+    The read path is lock-free: each request pins an epoch snapshot
+    ({!Oodb.Store.freeze}) and evaluates against the append-only store —
+    interning and the hierarchy closure caches carry their own internal
+    locks, so any number of workers evaluate in parallel. The store lock
+    survives only for writers ({!with_store_write}, program (re)load);
+    with [pool_domains] the workers are {!Domain}s and CPU-bound query
+    loads actually scale across cores. Successful [QUERY] replies land in
+    an epoch-keyed result cache ({!Qcache}): a repeated query at an
+    unchanged store is answered without evaluation, and any insertion
+    invalidates wholesale by moving the epoch (counters in [STATS]).
 
     Shutdown ({!shutdown}, or SIGINT/SIGTERM after
     {!install_signal_handlers}) drains gracefully: stop accepting, finish
@@ -45,8 +52,14 @@ type config = {
           0 in production — tests and the load generator use it to make
           saturation and deadline behaviour deterministic *)
   paranoid : bool;
-      (** assert the read-only invariant around every request (cheap:
-          compares {!Oodb.Store.stats} tuple counts); on by default *)
+      (** assert the read-only invariant around every request (cheap: the
+          pinned epoch must not move during evaluation); on by default *)
+  pool_domains : bool;
+      (** back the worker pool with {!Domain}s instead of threads:
+          parallel query evaluation on the lock-free read path. Off by
+          default — domains are a scarce resource. *)
+  cache_capacity : int;
+      (** entry bound of the epoch-keyed query result cache *)
 }
 
 val default_config : config
@@ -65,6 +78,16 @@ val address : t -> address
 val metrics : t -> Metrics.t
 
 val config : t -> config
+
+(** Query-result cache counters (also rendered into [STATS]). *)
+val cache_stats : t -> Qcache.stats
+
+(** [with_store_write t f] runs [f] holding the store write lock — the
+    path for program (re)load or fact assertion while the server runs.
+    In-flight queries keep evaluating against their pinned epochs and
+    their replies are not cached (the epoch moves); cached replies from
+    older epochs become unreachable. *)
+val with_store_write : t -> (unit -> 'a) -> 'a
 
 (** Ask the server to stop. Cheap and async-signal-safe in spirit: sets a
     flag and wakes the accept loop; does not block, does not join.

@@ -21,4 +21,5 @@ let () =
       ("coverage", Test_coverage.suite);
       ("planner", Test_planner.suite);
       ("server", Test_server.suite);
+      ("parallel", Test_parallel.suite);
     ]

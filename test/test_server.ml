@@ -164,7 +164,7 @@ let test_histogram () =
 (* Pool                                                                *)
 
 let test_pool_sheds_and_drains () =
-  let pool = Pathlog.Pool.create ~workers:1 ~capacity:2 in
+  let pool = Pathlog.Pool.create ~workers:1 ~capacity:2 () in
   let gate = Mutex.create () in
   let ran = Atomic.make 0 in
   Mutex.lock gate;

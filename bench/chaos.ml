@@ -1,0 +1,228 @@
+(* Chaos harness: evaluate and serve a known workload with the fault
+   registry armed at every injection point, and assert the three
+   robustness invariants the fault layer promises:
+
+   1. the server (and the in-process evaluator) never crashes — injected
+      failures surface as per-request/per-connection errors only;
+   2. store invariants hold after the storm (Store.check_invariants);
+   3. completed, non-degraded answers equal the fault-free run — delays,
+      transient write failures and torn connections must never change
+      WHAT is computed, only whether a given attempt completes.
+
+   Deterministic under its seed: the fault schedule is a pure function of
+   (seed, point, per-point hit counter), so a failing seed replays.
+
+   dune exec bench/main.exe -- chaos [SEED] [CLIENTS] [REQUESTS] *)
+
+module Program = Pathlog.Program
+module Fault = Pathlog.Fault
+
+let size = 100
+
+let queries =
+  [|
+    "X : employee[age -> A; city -> newYork]";
+    "X : manager";
+    "e1 : employee";
+    "X : company.president[P]";
+    "X : employee[city -> X.boss.city]";
+  |]
+
+let expected_payload p (answer : Program.answer) =
+  match answer.columns with
+  | [] -> [ (if answer.rows = [] then "no" else "yes") ]
+  | columns ->
+    let u = Program.universe p in
+    String.concat "\t" columns
+    :: List.map
+         (fun row ->
+           String.concat "\t"
+             (List.map (Pathlog.Universe.to_string u) row))
+         answer.rows
+
+let company_statements () =
+  Pathlog.Company.statements (Pathlog.Company.scaled size)
+
+(* Build + evaluate under an armed registry. Solver_step delay faults and
+   transient Store_write failures are absorbed inside the engine; a
+   Store_write failure streak long enough to escape the write path's
+   bounded retry surfaces as Fault.Injected — evaluation is monotone over
+   an append-only store, so rerunning the fixpoint on the same program
+   object simply continues from the partial model. *)
+let evaluate_under_faults () =
+  let p = Program.create (company_statements ()) in
+  let rec go attempts =
+    match Program.run p with
+    | _stats -> p
+    | exception Fault.Injected _ when attempts < 50 -> go (attempts + 1)
+  in
+  go 0
+
+let main args =
+  let arg i default =
+    match List.nth_opt args i with
+    | Some s -> int_of_string s
+    | None -> default
+  in
+  let seed = arg 0 1 in
+  let clients = arg 1 6 in
+  let requests = arg 2 200 in
+  Printf.printf
+    "=== chaos: seed %d, %d clients x %d requests, company(%d) ===\n%!"
+    seed clients requests size;
+
+  (* Phase 0: the fault-free truth. *)
+  let clean = Program.create (company_statements ()) in
+  ignore (Program.run clean);
+  let expected =
+    Array.map
+      (fun q ->
+        List.sort compare (expected_payload clean (Program.query_string clean q)))
+      queries
+  in
+
+  (* Phase 1: arm every injection point and rebuild the model under
+     faults. Rates are high enough that every point fires many times over
+     the run (see the counts report), low enough that progress holds. *)
+  Fault.configure ~seed
+    [
+      (Fault.Store_write, Fault.Fail, 0.02);
+      (Fault.Solver_step, Fault.Delay 0.0002, 0.01);
+      (Fault.Wire_read, Fault.Fail, 0.01);
+      (Fault.Wire_write, Fault.Short, 0.01);
+      (Fault.Wire_write, Fault.Delay 0.001, 0.02);
+      (Fault.Pool_dispatch, Fault.Fail, 0.05);
+      (Fault.Pool_dispatch, Fault.Delay 0.001, 0.05);
+    ];
+  let failures = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+  in
+  let p = evaluate_under_faults () in
+  if Program.degraded p <> None then
+    fail "faulted evaluation ended degraded (no budget was set)";
+  Array.iteri
+    (fun i q ->
+      let got =
+        List.sort compare (expected_payload p (Program.query_string p q))
+      in
+      if got <> expected.(i) then
+        fail "faulted model differs on %S" q)
+    queries;
+
+  (* Phase 2: the storm. Concurrent clients issue mixed requests against
+     a server whose wire and dispatch fault points are live. Torn
+     connections are expected — clients reconnect; BUSY is expected —
+     clients back off; what is NOT tolerated is a wrong completed answer
+     or a dead server. *)
+  let config =
+    {
+      Pathlog.Server.default_config with
+      workers = 3;
+      queue_capacity = clients;
+      busy_retry_after_ms = 2;
+    }
+  in
+  let srv =
+    Pathlog.Server.create ~config ~program:p
+      (Pathlog.Server.Tcp ("127.0.0.1", 0))
+  in
+  let addr = Pathlog.Server.address srv in
+  let ok = ref 0
+  and busy = ref 0
+  and errs = ref 0
+  and torn = ref 0
+  and mismatches = ref 0 in
+  let tally = Mutex.create () in
+  let bump r = Mutex.lock tally; incr r; Mutex.unlock tally in
+  let nq = Array.length queries in
+  let client_thread k =
+    let conn = ref (Pathlog.Client.connect addr) in
+    let reconnect () =
+      Pathlog.Client.close !conn;
+      bump torn;
+      conn := Pathlog.Client.connect addr
+    in
+    for i = 0 to requests - 1 do
+      let qi = (k + i) mod nq in
+      let line =
+        match i mod 17 with
+        | 0 -> "PING"
+        | 1 -> "STATS"
+        | _ -> "QUERY " ^ queries.(qi)
+      in
+      let rec attempt tries =
+        if tries > 8 then bump errs
+        else
+          match
+            Pathlog.Client.request_with_retry ~max_attempts:4
+              ~base_delay_s:0.002 ~seed:((seed * 131) + k) !conn line
+          with
+          | Ok (Pathlog.Protocol.Ok lines) ->
+            bump ok;
+            if
+              String.length line > 6
+              && String.sub line 0 6 = "QUERY "
+              && List.sort compare lines <> expected.(qi)
+            then bump mismatches
+          | Ok Pathlog.Protocol.Pong -> bump ok
+          | Ok (Pathlog.Protocol.Degraded _) ->
+            (* this server's model is complete; DEGRADED would be a lie *)
+            bump mismatches
+          | Ok (Pathlog.Protocol.Busy _) -> bump busy
+          | Ok (Pathlog.Protocol.Err _) -> bump errs
+          | Error (`Eof | `Malformed _) ->
+            (* injected wire fault tore the session; reconnect, retry *)
+            (match reconnect () with
+            | () -> attempt (tries + 1)
+            | exception Unix.Unix_error _ -> bump errs)
+      in
+      attempt 0
+    done;
+    Pathlog.Client.close !conn
+  in
+  let threads = List.init clients (fun k -> Thread.create client_thread k) in
+  List.iter Thread.join threads;
+
+  (* Snapshot the injection counters before disarming clears them. *)
+  let injected_total = Fault.injected_total () in
+  let injected_counts = Fault.counts () in
+  (* The server must still be alive and coherent: a fault-free probe on a
+     fresh connection answers correctly. *)
+  Fault.disable ();
+  (match Pathlog.Client.connect addr with
+  | c ->
+    (match Pathlog.Client.query c queries.(0) with
+    | Ok lines when List.sort compare lines = expected.(0) -> ()
+    | Ok _ -> fail "post-storm probe answered incorrectly"
+    | Error msg -> fail "post-storm probe failed: %s" msg);
+    Pathlog.Client.close c
+  | exception Unix.Unix_error (e, _, _) ->
+    fail "server dead after the storm: %s" (Unix.error_message e));
+  Pathlog.Server.request_stop srv;
+  Pathlog.Server.shutdown srv;
+
+  (* Phase 3: invariants and the final verdict. *)
+  (match Pathlog.Store.check_invariants (Program.store p) with
+  | [] -> ()
+  | broken ->
+    List.iter (fun m -> fail "store invariant violated: %s" m) broken);
+  if !mismatches > 0 then
+    fail "%d completed answers differed from the fault-free run"
+      !mismatches;
+  Printf.printf
+    "requests: %d ok, %d busy, %d errors, %d torn connections, %d \
+     mismatches\n"
+    !ok !busy !errs !torn !mismatches;
+  Printf.printf "injected faults: %d total\n" injected_total;
+  List.iter
+    (fun (pt, n) ->
+      Printf.printf "  %-14s %d\n" (Fault.point_to_string pt) n)
+    injected_counts;
+  if injected_total = 0 then
+    fail "the storm injected nothing — the harness is not testing faults";
+  match !failures with
+  | [] -> print_endline "chaos: ok"
+  | fs ->
+    List.iter (fun m -> Printf.printf "chaos FAILURE: %s\n" m) (List.rev fs);
+    exit 1

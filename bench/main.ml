@@ -18,6 +18,12 @@
 
    dune exec bench/main.exe -- server [CLIENTS] [REQUESTS] [SIZE]
 
+   and a chaos harness (see chaos.ml) that drives the same server with
+   the fault-injection registry armed at every point and asserts it
+   degrades instead of crashing:
+
+   dune exec bench/main.exe -- chaos [SEED] [CLIENTS] [REQUESTS]
+
    which starts a server in-process over company(SIZE), drives it with
    CLIENTS concurrent connections issuing REQUESTS queries each (defaults
    8 x 1000, company(200)), validates every response against locally
@@ -762,12 +768,13 @@ let server_bench ~clients ~requests ~size =
                 incr mismatches;
                 Mutex.unlock tally
               end
-            | Ok (Pathlog.Protocol.Busy _) ->
+            | Ok (Pathlog.Protocol.Busy (retry_ms, _)) ->
               Mutex.lock tally;
               incr busy_retries;
               Mutex.unlock tally;
-              Thread.delay 0.001;
+              Thread.delay (Float.max 0.001 (float_of_int retry_ms /. 1000.));
               attempt (retries + 1)
+            | Ok (Pathlog.Protocol.Degraded _)
             | Ok (Pathlog.Protocol.Err _ | Pathlog.Protocol.Pong)
             | Error _ ->
               Mutex.lock tally;
@@ -822,6 +829,13 @@ let server_bench ~clients ~requests ~size =
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "perf" then begin
     Perf.main
+      (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)));
+    exit 0
+  end
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "chaos" then begin
+    Chaos.main
       (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)));
     exit 0
   end

@@ -346,12 +346,12 @@ let server_suite ~name ~config ~requests ~detail =
               Pathlog.Client.request c
                 ("QUERY " ^ server_queries.((k + i) mod nq))
             with
-            | Ok (Pathlog.Protocol.Ok _) ->
+            | Ok (Pathlog.Protocol.Ok _ | Pathlog.Protocol.Degraded _) ->
               Mutex.lock tally;
               incr ok;
               Mutex.unlock tally
-            | Ok (Pathlog.Protocol.Busy _) ->
-              Thread.delay 0.001;
+            | Ok (Pathlog.Protocol.Busy (retry_ms, _)) ->
+              Thread.delay (Float.max 0.001 (float_of_int retry_ms /. 1000.));
               attempt ()
             | Ok (Pathlog.Protocol.Err _ | Pathlog.Protocol.Pong) | Error _ ->
               ()

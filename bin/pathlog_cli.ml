@@ -54,8 +54,13 @@ let print_answer p query answer =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd file queries dump stats naive hilog max_rounds max_objects types
-    prune_dead jobs =
+    prune_dead jobs deadline =
   let config = config_of ~naive ~hilog ~max_rounds ~max_objects ~jobs in
+  let budget =
+    Option.map
+      (fun d -> Pathlog.Budget.create ~deadline_in:d ())
+      deadline
+  in
   let p =
     with_errors None (fun () ->
         Pathlog.Program.of_string ~config (read_file file))
@@ -68,10 +73,20 @@ let run_cmd file queries dump stats naive hilog max_rounds max_objects types
           Printf.printf "%% pruned: %d dead rules skipped\n" skipped;
           s
         end
-        else Pathlog.Program.run p
+        else Pathlog.Program.run ?budget p
       in
       if stats then
         Format.printf "%% %a@." Pathlog.Fixpoint.pp_stats s;
+      (match Pathlog.Program.degraded p with
+      | Some reason ->
+        (* the partial model is sound but incomplete; refuse to answer
+           queries over it and exit nonzero so scripts notice *)
+        Format.printf
+          "%% degraded: evaluation stopped early (%a); the model is a \
+           sound partial model, queries skipped@."
+          Pathlog.Budget.pp_reason reason;
+        exit Pathlog.Err.exit_runtime
+      | None -> ());
       List.iter
         (fun (lits, answer) ->
           print_answer p
@@ -288,7 +303,16 @@ let server_address ~host ~port ~unix_sock =
   | None -> Pathlog.Server.Tcp (host, port)
 
 let serve_cmd file host port unix_sock workers queue max_request deadline jobs
-    =
+    faults =
+  (match faults with
+  | None -> ()
+  | Some spec -> (
+    match Pathlog.Fault.configure_string spec with
+    | Ok () ->
+      Printf.eprintf "pathlog: fault injection armed: %s\n%!" spec
+    | Error msg ->
+      Printf.eprintf "error: bad --faults spec: %s\n" msg;
+      exit Pathlog.Err.exit_load));
   let text = read_file file in
   (* Refuse to serve a program static analysis can already prove broken:
      a conflict or divergence found mid-flight would take the whole
@@ -331,7 +355,11 @@ let serve_cmd file host port unix_sock workers queue max_request deadline jobs
 let print_reply = function
   | Ok (Pathlog.Protocol.Ok lines) -> List.iter print_endline lines
   | Ok Pathlog.Protocol.Pong -> print_endline "PONG"
-  | Ok (Pathlog.Protocol.Busy msg) -> Printf.printf "BUSY %s\n" msg
+  | Ok (Pathlog.Protocol.Degraded lines) ->
+    print_endline "DEGRADED (partial model; answers are sound, possibly incomplete)";
+    List.iter print_endline lines
+  | Ok (Pathlog.Protocol.Busy (retry_ms, msg)) ->
+    Printf.printf "BUSY (retry after %dms) %s\n" retry_ms msg
   | Ok (Pathlog.Protocol.Err (code, msg)) ->
     Printf.printf "ERR %s %s\n" (Pathlog.Protocol.code_to_string code) msg
   | Error `Eof ->
@@ -364,7 +392,9 @@ let connect_cmd host port unix_sock queries =
     (fun () ->
       if queries <> [] then
         List.iter
-          (fun q -> print_reply (Pathlog.Client.request c ("QUERY " ^ q)))
+          (fun q ->
+            print_reply
+              (Pathlog.Client.request_with_retry c ("QUERY " ^ q)))
           queries
       else begin
         Format.printf
@@ -380,7 +410,7 @@ let connect_cmd host port unix_sock queries =
             let line =
               if is_raw_request line then line else "QUERY " ^ line
             in
-            print_reply (Pathlog.Client.request c line);
+            print_reply (Pathlog.Client.request_with_retry c line);
             if String.uppercase_ascii (String.trim line) <> "QUIT" then
               loop ()
         in
@@ -457,11 +487,20 @@ let jobs_arg =
           "Evaluate fixpoint rounds on N domains in parallel (1 = the \
            sequential engine; default from \\$PATHLOG_JOBS).")
 
+let run_deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock evaluation budget. When it expires mid-evaluation \
+           the run stops cooperatively, keeps the sound partial model \
+           derived so far, prints a degraded notice, and exits 1.")
+
 let run_t =
   Term.(
     const run_cmd $ file_arg $ queries_arg $ dump_arg $ stats_arg $ naive_arg
     $ hilog_arg $ max_rounds_arg $ max_objects_arg $ types_arg
-    $ prune_dead_arg $ jobs_arg)
+    $ prune_dead_arg $ jobs_arg $ run_deadline_arg)
 
 let json_arg =
   Arg.(
@@ -569,11 +608,20 @@ let serve_jobs_arg =
           "Back the query pool with N domains instead of threads (N > 1): \
            parallel query evaluation on the lock-free read path.")
 
+let faults_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Arm deterministic fault injection, e.g. \
+           'seed=42;wire_write:short@0.01;solver_step:delay@0.001:2'. \
+           Same grammar as \\$PATHLOG_FAULTS; see lib/fault.")
+
 let serve_t =
   Term.(
     const serve_cmd $ file_arg $ host_arg $ port_arg $ unix_sock_arg
     $ workers_arg $ queue_arg $ max_request_arg $ deadline_arg
-    $ serve_jobs_arg)
+    $ serve_jobs_arg $ faults_arg)
 
 let connect_t =
   Term.(const connect_cmd $ host_arg $ port_arg $ unix_sock_arg $ queries_arg)

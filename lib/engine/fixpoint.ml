@@ -11,6 +11,7 @@ type config = {
   max_objects : int;
   rule_filter : (Rule.t -> bool) option;
   jobs : int;
+  budget : Budget.t option;
 }
 
 (* PATHLOG_JOBS flips the default degree of parallelism process-wide —
@@ -31,6 +32,7 @@ let default_config =
     max_objects = 1_000_000;
     rule_filter = None;
     jobs = default_jobs;
+    budget = None;
   }
 
 type stats = {
@@ -39,13 +41,19 @@ type stats = {
   mutable firings : int;
   mutable insertions : int;
   strata : int;
+  mutable degraded : Budget.reason option;
+      (* the budget that cut the run short, if any; the store then holds a
+         sound partial model *)
 }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "strata: %d, rounds: %d, rule evaluations: %d, firings: %d, insertions: \
      %d"
-    s.strata s.rounds s.rule_evaluations s.firings s.insertions
+    s.strata s.rounds s.rule_evaluations s.firings s.insertions;
+  match s.degraded with
+  | None -> ()
+  | Some r -> Format.fprintf ppf ", DEGRADED (%a)" Budget.pp_reason r
 
 (* All class memberships share the isa edge log; the per-class refinement
    only matters to the stratifier, so deltas normalise R_isa_c to R_isa. *)
@@ -163,6 +171,20 @@ let env_of_binding (body : Ir.query) binding =
       Semantics.Valuation.Env.add name binding.(slot) env)
     Semantics.Valuation.Env.empty body.named
 
+(* The solver-side cooperative hook: polls the budget (cancellation +
+   deadline) and the fault registry's solver-step point. [None] when
+   neither is armed, so the common case costs nothing per poll. *)
+let interrupt_of budget =
+  match (budget, Fault.enabled ()) with
+  | None, false -> None
+  | None, true -> Some (fun () -> Fault.hit Fault.Solver_step)
+  | Some b, false -> Some (fun () -> Budget.check b)
+  | Some b, true ->
+    Some
+      (fun () ->
+        Fault.hit Fault.Solver_step;
+        Budget.check b)
+
 (* Execute the rule head under one body solution, recording provenance
    and counting insertions; shared by the sequential path and the
    parallel merge phase. *)
@@ -196,12 +218,12 @@ let fire ?provenance stats store (rule : Rule.t) binding changes =
 
 (* Evaluate one rule, optionally seeded, executing the head on every body
    solution. *)
-let evaluate ?provenance config plans stats store (rule : Rule.t) seed changes
-    =
+let evaluate ?provenance ?interrupt config plans stats store (rule : Rule.t)
+    seed changes =
   stats.rule_evaluations <- stats.rule_evaluations + 1;
   let plan = plan_for plans config store rule seed in
   Semantics.Solve.iter ~order:config.order ~hilog_virtual:config.hilog_virtual
-    ?seed ?plan store rule.body
+    ?interrupt ?seed ?plan store rule.body
     ~f:(fun binding -> fire ?provenance stats store rule binding changes)
 
 (* ------------------------------------------------------------------ *)
@@ -231,13 +253,15 @@ type task = {
 let task rule seed =
   { t_rule = rule; t_seed = seed; t_plan = None; t_out = Oodb.Vec.create () }
 
-let run_tasks ?provenance config plans pool stats store tasks changes =
+let run_tasks ?provenance ?interrupt config plans pool stats store tasks
+    changes =
   match (pool : Dpool.t option) with
   | None ->
     List.iter
       (fun t ->
-        evaluate ?provenance config plans stats store t.t_rule t.t_seed
-          changes)
+        (match config.budget with Some b -> Budget.check b | None -> ());
+        evaluate ?provenance ?interrupt config plans stats store t.t_rule
+          t.t_seed changes)
       tasks
   | Some pool ->
     let tasks = Array.of_list tasks in
@@ -248,10 +272,15 @@ let run_tasks ?provenance config plans pool stats store tasks changes =
       tasks;
     stats.rule_evaluations <- stats.rule_evaluations + Array.length tasks;
     Dpool.run pool (Array.length tasks) (fun i ->
+        (* each worker re-checks the budget between task claims, so a
+           cancellation set on any domain stops the whole batch: the
+           raising task records the failure and Dpool abandons the
+           unclaimed remainder *)
+        (match config.budget with Some b -> Budget.check b | None -> ());
         let t = tasks.(i) in
         Semantics.Solve.iter ~order:config.order
-          ~hilog_virtual:config.hilog_virtual ?seed:t.t_seed ?plan:t.t_plan
-          store t.t_rule.body
+          ~hilog_virtual:config.hilog_virtual ?interrupt ?seed:t.t_seed
+          ?plan:t.t_plan store t.t_rule.body
           ~f:(fun binding -> Oodb.Vec.push t.t_out binding));
     Array.iter
       (fun t ->
@@ -260,7 +289,7 @@ let run_tasks ?provenance config plans pool stats store tasks changes =
           t.t_out)
       tasks
 
-let check_budget config store stratum_rounds =
+let check_budget config stats store stratum_rounds =
   if stratum_rounds > config.max_rounds then
     raise
       (Err.Diverged
@@ -272,9 +301,12 @@ let check_budget config store stratum_rounds =
          (Printf.sprintf
             "universe grew past %d objects (likely unbounded virtual-object \
              creation)"
-            config.max_objects))
+            config.max_objects));
+  match config.budget with
+  | None -> ()
+  | Some b -> Budget.check_caps b ~derivations:stats.firings ~objects:card
 
-let run_stratum ?provenance config plans pool stats store rules =
+let run_stratum ?provenance ?interrupt config plans pool stats store rules =
   let itn = Interner.create () in
   let crules = List.map (crule_of itn) rules in
   (* marks at the start of the previous round: the delta a seeded atom
@@ -288,7 +320,7 @@ let run_stratum ?provenance config plans pool stats store rules =
     incr round;
     stats.rounds <- stats.rounds + 1;
     let changes = ref 0 in
-    run_tasks ?provenance config plans pool stats store
+    run_tasks ?provenance ?interrupt config plans pool stats store
       (List.map (fun r -> task r None) rules)
       changes;
     !changes > 0
@@ -296,7 +328,7 @@ let run_stratum ?provenance config plans pool stats store rules =
   let next_round () =
     incr round;
     stats.rounds <- stats.rounds + 1;
-    check_budget config store !round;
+    check_budget config stats store !round;
     (* the epoch is bumped on every insertion, so an epoch unchanged since
        [prev_marks] was taken means no relation grew — skip the
        per-relation scan entirely *)
@@ -351,7 +383,8 @@ let run_stratum ?provenance config plans pool stats store rules =
                 end)
               crules
         in
-        run_tasks ?provenance config plans pool stats store tasks changes;
+        run_tasks ?provenance ?interrupt config plans pool stats store tasks
+          changes;
         prev_marks := now;
         prev_epoch := now_epoch;
         !changes > 0
@@ -373,8 +406,10 @@ let run ?(config = default_config) ?provenance store (strat : Stratify.t) =
       firings = 0;
       insertions = 0;
       strata = Array.length strat.strata;
+      degraded = None;
     }
   in
+  let interrupt = interrupt_of config.budget in
   let plans : plan_cache = Hashtbl.create 64 in
   let keep =
     match config.rule_filter with
@@ -385,8 +420,15 @@ let run ?(config = default_config) ?provenance store (strat : Stratify.t) =
   Fun.protect
     ~finally:(fun () -> Option.iter Dpool.shutdown pool)
     (fun () ->
-      Array.iter
-        (fun rules ->
-          run_stratum ?provenance config plans pool stats store (keep rules))
-        strat.strata);
+      (* A budget cutting the run short is degradation, not failure: the
+         store holds the sound prefix of the minimal model derived so far
+         (evaluation is monotone), flagged in [stats.degraded]. The hard
+         divergence guards keep raising {!Err.Diverged}. *)
+      try
+        Array.iter
+          (fun rules ->
+            run_stratum ?provenance ?interrupt config plans pool stats store
+              (keep rules))
+          strat.strata
+      with Budget.Exhausted reason -> stats.degraded <- Some reason);
   stats

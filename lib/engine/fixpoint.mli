@@ -54,6 +54,13 @@ type config = {
       (** degree of parallelism: rule-body evaluations per round run on
           this many domains (the calling domain included). [1] is the
           historical sequential engine, bit for bit. Must be [>= 1]. *)
+  budget : Budget.t option;
+      (** soft evaluation budget: deadline, cancellation token, work
+          caps. Checked at round boundaries, between parallel task
+          claims, and from the solver's cooperative poll. Exhaustion does
+          {e not} raise out of {!run}: the run stops, the store keeps the
+          sound partial model derived so far, and {!stats.degraded}
+          records the reason. Default [None]. *)
 }
 
 (** [jobs] defaults to [1], or to [$PATHLOG_JOBS] when that environment
@@ -67,9 +74,19 @@ type stats = {
   mutable firings : int;  (** body solutions found *)
   mutable insertions : int;  (** new tuples/edges inserted *)
   strata : int;  (** number of strata *)
+  mutable degraded : Budget.reason option;
+      (** [Some r] when the run was cut short by its budget: the model is
+          a sound subset of the minimal model (evaluation is monotone, so
+          every derived fact is entailed — only completeness is lost) *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** The solver interrupt for a budget: polls cancellation + deadline, and
+    the {!Fault.Solver_step} injection point when the fault registry is
+    armed; [None] when there is nothing to poll. Exposed for query-time
+    evaluation ({!Program.query}), which runs outside the fixpoint. *)
+val interrupt_of : Budget.t option -> (unit -> unit) option
 
 (** Evaluate the stratified program against the store.
     @raise Err.Functional_conflict

@@ -1,7 +1,21 @@
 open Syntax.Ast
 module Store = Oodb.Store
 
+(* The store-write fault boundary. Injected failures are transient: the
+   write path is idempotent (duplicate inserts are no-ops), so a bounded
+   retry hides them the way a real storage layer would; only a pathological
+   streak propagates, as {!Fault.Injected}. *)
+let write_faults () =
+  if Fault.enabled () then begin
+    let rec attempt n =
+      try Fault.hit Fault.Store_write
+      with Fault.Injected _ when n < 100 -> attempt (n + 1)
+    in
+    attempt 0
+  end
+
 let execute ?(on_insert = fun _ -> ()) store ~env ~rule ~changes head =
+  write_faults ();
   let self_id = Store.name store "self" in
   let add_scalar ~meth ~recv ~args ~res =
     if Oodb.Obj_id.equal meth self_id then

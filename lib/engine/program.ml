@@ -10,6 +10,9 @@ type t = {
   config : Fixpoint.config;
   provenance : Provenance.t;
   mutable facts_loaded : bool;
+  mutable degraded : Budget.reason option;
+      (* set when a budgeted [run] was cut short: the store holds a sound
+         partial model, and answers must be surfaced as degraded *)
 }
 
 exception Invalid of string
@@ -81,6 +84,7 @@ let create_spanned ?(config = Fixpoint.default_config) spanned =
     config;
     provenance = Provenance.create ();
     facts_loaded = false;
+    degraded = None;
   }
 
 let create ?config statements =
@@ -100,9 +104,21 @@ let signatures t = t.signatures
 let embedded_queries t = t.queries
 let strata t = t.strat.strata
 
-let run t =
+let run ?budget t =
   t.facts_loaded <- true;
-  Fixpoint.run ~config:t.config ~provenance:t.provenance t.store t.strat
+  let config =
+    match budget with Some _ -> { t.config with budget } | None -> t.config
+  in
+  let stats = Fixpoint.run ~config ~provenance:t.provenance t.store t.strat in
+  (match stats.Fixpoint.degraded with
+  | Some _ as d -> t.degraded <- d
+  | None ->
+    (* a later unbudgeted (or uncut) run reached the fixpoint: the model
+       is complete again *)
+    t.degraded <- None);
+  stats
+
+let degraded t = t.degraded
 
 let provenance t = t.provenance
 
@@ -125,19 +141,25 @@ let load_facts t =
       t.rules
   end
 
-let query t lits =
+let query ?budget t lits =
   (match Syntax.Wellformed.check_query lits with
   | Ok () -> ()
   | Error e -> invalid "ill-formed query: %a" Syntax.Wellformed.pp_error e);
   let q = Semantics.Flatten.literals t.store lits in
   let columns = List.map fst q.named in
-  let rows = Semantics.Solve.named_solutions ~order:t.config.order t.store q in
+  let interrupt = Fixpoint.interrupt_of budget in
+  let rows =
+    Semantics.Solve.named_solutions ~order:t.config.order ?interrupt t.store
+      q
+  in
   let rows =
     (* a ground query answers with one empty row when entailed *)
     match (columns, rows) with
     | [], [] ->
-      if Semantics.Solve.satisfiable ~order:t.config.order t.store q then
-        [ [] ]
+      if
+        Semantics.Solve.satisfiable ~order:t.config.order ?interrupt t.store
+          q
+      then [ [] ]
       else []
     | _ -> rows
   in
@@ -155,9 +177,9 @@ let strip_query_syntax s =
     String.sub s 0 (String.length s - 1)
   else s
 
-let query_string t text =
+let query_string ?budget t text =
   match Syntax.Parser.literals (strip_query_syntax text) with
-  | lits -> query t lits
+  | lits -> query ?budget t lits
   | exception Syntax.Parser.Error (pos, msg) ->
     invalid "%a: %s" Syntax.Token.pp_pos pos msg
 
@@ -285,17 +307,19 @@ let query_topdown t lits =
     Some ({ columns = List.map fst q.named; rows }, stats)
   | None -> None
 
-let why t reference =
+let why ?budget t reference =
   match Fact.of_reference t.store reference with
   | None ->
     invalid
       "why expects a ground membership or method fact, e.g. a : c or \
        x[m -> y]"
-  | Some fact -> Provenance.explain t.store t.provenance fact
+  | Some fact ->
+    let interrupt = Fixpoint.interrupt_of budget in
+    Provenance.explain ?interrupt t.store t.provenance fact
 
-let why_string t text =
+let why_string ?budget t text =
   match Syntax.Parser.reference (strip_query_syntax text) with
-  | r -> why t r
+  | r -> why ?budget t r
   | exception Syntax.Parser.Error (pos, msg) ->
     invalid "%a: %s" Syntax.Token.pp_pos pos msg
 

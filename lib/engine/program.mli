@@ -57,8 +57,16 @@ val embedded_queries : t -> Syntax.Ast.literal list list
 val strata : t -> Rule.t list array
 
 (** Evaluate to the minimal model. Idempotent: a second call finds nothing
-    new to derive. *)
-val run : t -> Fixpoint.stats
+    new to derive. [budget] (deadline, cancellation, work caps) overrides
+    the one in the program's config for this run; a budget-terminated run
+    leaves the sound partial model in the store, records the reason (see
+    {!degraded}), and still returns normally. *)
+val run : ?budget:Budget.t -> t -> Fixpoint.stats
+
+(** [Some r] when the latest {!run} was cut short by its budget: the
+    model is partial (answers are a sound subset); cleared when a later
+    run reaches the fixpoint. *)
+val degraded : t -> Budget.reason option
 
 (** Rules transitively relevant to the program's embedded queries (all
     rules when it has none); see {!Stratify.live_rules}. *)
@@ -72,12 +80,14 @@ val run_live : t -> Fixpoint.stats * int
 
 (** Answer a query (the program should normally have been {!run} first).
     A query with no variables yields one empty row if entailed, no rows
-    otherwise. *)
-val query : t -> Syntax.Ast.literal list -> answer
+    otherwise. [budget] bounds the enumeration itself: exhaustion raises
+    {!Budget.Exhausted} mid-query — the server's mid-flight
+    [ERR TIMEOUT]/[ERR CANCELLED] path. *)
+val query : ?budget:Budget.t -> t -> Syntax.Ast.literal list -> answer
 
 (** Parse and answer, e.g. [query_string p "?- X : employee."] (the leading
     [?-] and trailing [.] are optional). *)
-val query_string : t -> string -> answer
+val query_string : ?budget:Budget.t -> t -> string -> answer
 
 (** Run every embedded query. *)
 val run_queries : t -> (Syntax.Ast.literal list * answer) list
@@ -142,9 +152,12 @@ val query_topdown :
     [o : c], [o\[m -> r\]] or [o\[m ->> {r}\]]; paths are resolved against
     the store.
     @raise Invalid on other shapes *)
-val why : t -> Syntax.Ast.reference -> Provenance.proof option
+val why :
+  ?budget:Budget.t -> t -> Syntax.Ast.reference -> Provenance.proof option
+(** [budget] bounds the proof reconstruction (it replays rule bodies);
+    exhaustion raises {!Budget.Exhausted}. *)
 
-val why_string : t -> string -> Provenance.proof option
+val why_string : ?budget:Budget.t -> t -> string -> Provenance.proof option
 
 (** The source statements the program was created from. *)
 val statements : t -> Syntax.Ast.statement list

@@ -96,7 +96,7 @@ let body_facts store (q : Ir.query) binding =
       | A_eq _ | A_subset _ | A_neg _ -> [])
     q.atoms
 
-let rec explain ?(max_depth = 64) store t fact =
+let rec explain ?(max_depth = 64) ?interrupt store t fact =
   match lookup t fact with
   | None -> None
   | Some Extensional -> Some { fact; source = Extensional; support = [] }
@@ -111,11 +111,14 @@ let rec explain ?(max_depth = 64) store t fact =
           q.named
       in
       let support = ref [] in
-      Semantics.Solve.iter ~bindings ~limit:1 store q ~f:(fun binding ->
+      Semantics.Solve.iter ?interrupt ~bindings ~limit:1 store q
+        ~f:(fun binding ->
           support :=
             List.map
               (fun sub ->
-                match explain ~max_depth:(max_depth - 1) store t sub with
+                match
+                  explain ~max_depth:(max_depth - 1) ?interrupt store t sub
+                with
                 | Some p -> p
                 | None -> { fact = sub; source = Extensional; support = [] })
               (body_facts store q binding));

@@ -39,6 +39,11 @@ val size : t -> int
 (** Build the proof tree of a recorded fact. [max_depth] truncates (cycles
     cannot occur — provenance records first derivations, which are
     well-founded — but deep chains can). Unknown facts yield [None]. *)
-val explain : ?max_depth:int -> Oodb.Store.t -> t -> Fact.t -> proof option
+val explain :
+  ?max_depth:int -> ?interrupt:(unit -> unit) -> Oodb.Store.t -> t ->
+  Fact.t -> proof option
+(** [interrupt] is the solver's cooperative cancellation hook (see
+    {!Semantics.Solve.iter}); proof reconstruction replays rule bodies,
+    so it too must be killable mid-flight. *)
 
 val pp_proof : Oodb.Universe.t -> Format.formatter -> proof -> unit

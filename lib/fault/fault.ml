@@ -1,0 +1,222 @@
+type point = Store_write | Solver_step | Wire_read | Wire_write | Pool_dispatch
+
+type action =
+  | Delay of float
+  | Fail
+  | Short
+
+exception Injected of point
+
+let point_to_string = function
+  | Store_write -> "store_write"
+  | Solver_step -> "solver_step"
+  | Wire_read -> "wire_read"
+  | Wire_write -> "wire_write"
+  | Pool_dispatch -> "pool_dispatch"
+
+let point_of_string = function
+  | "store_write" -> Some Store_write
+  | "solver_step" -> Some Solver_step
+  | "wire_read" -> Some Wire_read
+  | "wire_write" -> Some Wire_write
+  | "pool_dispatch" -> Some Pool_dispatch
+  | _ -> None
+
+let point_index = function
+  | Store_write -> 0
+  | Solver_step -> 1
+  | Wire_read -> 2
+  | Wire_write -> 3
+  | Pool_dispatch -> 4
+
+let n_points = 5
+
+type registry = {
+  seed : int;
+  rules : (action * float) array array;  (* by point index *)
+  hits : int Atomic.t array;  (* draws per point *)
+  injected : int Atomic.t array;  (* faults fired per point *)
+}
+
+(* The armed registry is immutable once published; [None] is the fast
+   path. The [Atomic.t] makes arming visible across domains. *)
+let state : registry option Atomic.t = Atomic.make None
+
+(* PATHLOG_FAULTS arms every process (CLI, tests, bench) without a flag;
+   read once, before any explicit [configure]. *)
+let env_loaded = ref false
+
+let install reg =
+  env_loaded := true;
+  Atomic.set state reg
+
+let configure ~seed rules =
+  let by_point = Array.make n_points [] in
+  List.iter
+    (fun (p, action, rate) ->
+      let i = point_index p in
+      by_point.(i) <- (action, rate) :: by_point.(i))
+    rules;
+  install
+    (Some
+       {
+         seed;
+         rules = Array.map (fun l -> Array.of_list (List.rev l)) by_point;
+         hits = Array.init n_points (fun _ -> Atomic.make 0);
+         injected = Array.init n_points (fun _ -> Atomic.make 0);
+       })
+
+let disable () = install None
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing: seed=N;point:action@rate[:millis];...                  *)
+
+let parse_action s =
+  (* "fail" | "short" | "delay" | "delay:MILLIS" handled by the caller
+     splitting on ':' — here [s] is already the action name. *)
+  match s with
+  | "fail" -> Some Fail
+  | "short" -> Some Short
+  | "delay" -> Some (Delay 0.001)
+  | _ -> None
+
+let parse spec =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let segments =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go seed acc = function
+    | [] -> Ok (seed, List.rev acc)
+    | seg :: rest -> (
+      match String.index_opt seg '=' with
+      | Some _ -> (
+        match String.split_on_char '=' seg with
+        | [ "seed"; v ] -> (
+          match int_of_string_opt (String.trim v) with
+          | Some s -> go s acc rest
+          | None -> err "fault spec: bad seed %S" v)
+        | _ -> err "fault spec: bad segment %S" seg)
+      | None -> (
+        match String.split_on_char ':' seg with
+        | point :: action :: tail -> (
+          match point_of_string (String.trim point) with
+          | None -> err "fault spec: unknown point %S" point
+          | Some p -> (
+            match String.split_on_char '@' (String.trim action) with
+            | [ name; rate ] -> (
+              match
+                (parse_action (String.trim name),
+                 float_of_string_opt (String.trim rate))
+              with
+              | Some a, Some r when r >= 0. && r <= 1. -> (
+                match (a, tail) with
+                | _, [] -> go seed ((p, a, r) :: acc) rest
+                | Delay _, ms :: _ -> (
+                  match float_of_string_opt (String.trim ms) with
+                  | Some ms when ms >= 0. ->
+                    go seed ((p, Delay (ms /. 1000.), r) :: acc) rest
+                  | _ -> err "fault spec: bad delay duration %S" ms)
+                | (Fail | Short), _ :: _ ->
+                  err "fault spec: only delay takes a duration (%S)" seg)
+              | None, _ -> err "fault spec: unknown action %S" name
+              | _, None -> err "fault spec: bad rate in %S" seg
+              | Some _, Some _ -> err "fault spec: rate out of [0,1] in %S" seg)
+            | _ -> err "fault spec: expected ACTION@RATE in %S" seg))
+        | _ -> err "fault spec: bad segment %S (want point:action@rate)" seg))
+  in
+  go 0 [] segments
+
+let configure_string spec =
+  match parse spec with
+  | Ok (seed, rules) ->
+    configure ~seed rules;
+    Ok ()
+  | Error _ as e -> e
+
+let load_env () =
+  env_loaded := true;
+  match Sys.getenv_opt "PATHLOG_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match configure_string spec with
+    | Ok () -> ()
+    | Error msg -> prerr_endline ("warning: PATHLOG_FAULTS ignored: " ^ msg))
+
+let current () =
+  if not !env_loaded then load_env ();
+  Atomic.get state
+
+let enabled () = current () <> None
+
+(* ------------------------------------------------------------------ *)
+(* Sampling: splitmix64 keyed on (seed, point, rule, hit counter) — a
+   fixed seed reproduces the decision stream per point. *)
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let uniform ~seed ~stream ~n =
+  let z =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int seed) 0x9e3779b97f4a7c15L)
+         (Int64.add
+            (Int64.mul (Int64.of_int stream) 0xd1b54a32d192ed03L)
+            (Int64.of_int n)))
+  in
+  (* 53 uniform bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+
+let ask point =
+  match current () with
+  | None -> None
+  | Some reg ->
+    let i = point_index point in
+    let rules = reg.rules.(i) in
+    if Array.length rules = 0 then None
+    else begin
+      let n = Atomic.fetch_and_add reg.hits.(i) 1 in
+      let fired = ref None in
+      Array.iteri
+        (fun j (action, rate) ->
+          if
+            !fired = None
+            && uniform ~seed:reg.seed ~stream:((i * 97) + j) ~n < rate
+          then fired := Some action)
+        rules;
+      (match !fired with
+      | Some _ -> Atomic.incr reg.injected.(i)
+      | None -> ());
+      !fired
+    end
+
+let hit point =
+  match ask point with
+  | None -> ()
+  | Some (Delay d) ->
+    (* a signal cutting the nap short is fine — the injected delay is a
+       perturbation, not a guarantee; never let EINTR escape a fault *)
+    if d > 0. then ( try Unix.sleepf d with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  | Some (Fail | Short) -> raise (Injected point)
+
+let injected_total () =
+  match Atomic.get state with
+  | None -> 0
+  | Some reg -> Array.fold_left (fun acc c -> acc + Atomic.get c) 0 reg.injected
+
+let counts () =
+  match Atomic.get state with
+  | None -> []
+  | Some reg ->
+    List.filter_map
+      (fun p ->
+        let n = Atomic.get reg.injected.(point_index p) in
+        if Array.length reg.rules.(point_index p) = 0 then None
+        else Some (p, n))
+      [ Store_write; Solver_step; Wire_read; Wire_write; Pool_dispatch ]

@@ -1,0 +1,86 @@
+(** Deterministic, seed-driven fault injection.
+
+    A process-wide registry of named injection points sitting on the
+    hot-path boundaries of the system: store writes, solver steps, wire
+    reads/writes, worker-pool dispatch. Each point can be armed — via
+    {!configure}, [serve --faults SPEC] or the [PATHLOG_FAULTS]
+    environment variable — with one or more probabilistic actions:
+
+    - [delay] — sleep for a fixed duration before proceeding;
+    - [fail] — raise {!Injected}, modelling a transient error;
+    - [short] — like [fail], but the caller is expected to perform a
+      {e partial} effect first (e.g. write a truncated wire frame), so
+      the peer observes a short read/write rather than a clean error.
+
+    Decisions are drawn from a splitmix64 stream keyed on
+    [(seed, point, per-point hit counter)], so a fixed seed yields a
+    reproducible fault {e rate} and, under a deterministic workload, a
+    reproducible fault sequence. The disarmed fast path is one atomic
+    load, cheap enough for every store write and solver poll.
+
+    {2 Spec grammar}
+
+    Semicolon-separated segments; the first may set the seed:
+
+    {v
+    seed=42;store_write:fail@0.01;wire_write:short@0.02;solver_step:delay@0.001:2
+    v}
+
+    Each fault segment is [POINT:ACTION\@RATE] where [POINT] is one of
+    [store_write], [solver_step], [wire_read], [wire_write],
+    [pool_dispatch]; [ACTION] is [fail], [short], or [delay] (with an
+    optional [:MILLIS] duration suffix, default 1ms); and [RATE] is a
+    probability in [0, 1]. *)
+
+type point =
+  | Store_write  (** {!Engine.Head.execute}, retried as transient *)
+  | Solver_step  (** the solver's cooperative poll (see {!Semantics.Solve}) *)
+  | Wire_read  (** server reading a request line *)
+  | Wire_write  (** server writing a reply frame *)
+  | Pool_dispatch  (** admission into the server worker pool *)
+
+type action =
+  | Delay of float  (** seconds *)
+  | Fail
+  | Short
+
+(** Raised by an armed point on a [fail]/[short] decision. *)
+exception Injected of point
+
+val point_to_string : point -> string
+
+val point_of_string : string -> point option
+
+(** Parse a fault spec (see the grammar above). *)
+val parse : string -> ((int * (point * action * float) list), string) result
+
+(** Arm the registry with a seed and a list of [(point, action, rate)]
+    rules, replacing any previous configuration and resetting counters. *)
+val configure : seed:int -> (point * action * float) list -> unit
+
+(** {!parse} + {!configure}. *)
+val configure_string : string -> (unit, string) result
+
+(** Disarm every point and reset counters. *)
+val disable : unit -> unit
+
+(** Is any point armed? One atomic load. *)
+val enabled : unit -> bool
+
+(** Sample the armed actions at [point] and return the first that fires,
+    bumping the injection counters; [None] when disarmed or nothing
+    fires. The caller applies the action (lets [hit] sleep for it, or
+    performs a partial write for [Short]). *)
+val ask : point -> action option
+
+(** Sample and {e apply}: sleep on [Delay], raise {!Injected} on [Fail]
+    or [Short]. The one-liner for call sites with no partial-effect
+    semantics. *)
+val hit : point -> unit
+
+(** Faults injected since the last {!configure}/{!disable} (delays
+    included). *)
+val injected_total : unit -> int
+
+(** Per-point injection counts, armed points only. *)
+val counts : unit -> (point * int) list

@@ -35,6 +35,8 @@ module Err = Engine.Err
 module Rule = Engine.Rule
 module Stratify = Engine.Stratify
 module Fixpoint = Engine.Fixpoint
+module Budget = Engine.Budget
+module Fault = Fault
 module Program = Engine.Program
 module Production = Engine.Production
 module Fact = Engine.Fact

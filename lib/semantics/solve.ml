@@ -19,7 +19,19 @@ type ctx = {
       (* enumerate skolem objects for variable method positions; off by
          default because it makes programs like the generic tc of section 6
          have an infinite minimal model *)
+  mutable steps : int;
+  interrupt : unit -> unit;
+      (* cooperative cancellation hook, polled every [poll_interval]
+         unification steps; raises to abort the enumeration *)
 }
+
+(* Every solution costs at least one [bind], so an interrupt raised from
+   the poll fires within [poll_interval] unifications — the bound the
+   cancellation-latency property test relies on. A power of two keeps the
+   poll a single [land]. *)
+let poll_interval = 1024
+
+let poll_mask = poll_interval - 1
 
 let deref ctx = function
   | Ir.Const o -> Some o
@@ -27,6 +39,9 @@ let deref ctx = function
 
 (* [bind ctx t v k] unifies term [t] with object [v], runs [k], undoes. *)
 let bind ctx t v k =
+  let s = ctx.steps + 1 in
+  ctx.steps <- s;
+  if s land poll_mask = 0 then ctx.interrupt ();
   match t with
   | Ir.Const c -> if Oodb.Obj_id.equal c v then k ()
   | Ir.V i -> (
@@ -553,7 +568,9 @@ let exec_seeded ctx order atom from k =
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
-let make_ctx ~hilog_virtual store (q : Ir.query) =
+let no_interrupt () = ()
+
+let make_ctx ~hilog_virtual ~interrupt store (q : Ir.query) =
   let total which meths =
     List.fold_left (fun acc m -> acc + Oodb.Vec.length (which m)) 0 meths
   in
@@ -564,11 +581,14 @@ let make_ctx ~hilog_virtual store (q : Ir.query) =
     total_scalar = total (Store.scalar_bucket store) (Store.scalar_meths store);
     total_set = total (Store.set_bucket store) (Store.set_meths store);
     hilog_virtual;
+    steps = 0;
+    interrupt;
   }
 
-let iter ?(order = Greedy) ?(hilog_virtual = false) ?(bindings = []) ?seed
-    ?plan ?limit store (q : Ir.query) ~f =
-  let ctx = make_ctx ~hilog_virtual store q in
+let iter ?(order = Greedy) ?(hilog_virtual = false)
+    ?(interrupt = no_interrupt) ?(bindings = []) ?seed ?plan ?limit store
+    (q : Ir.query) ~f =
+  let ctx = make_ctx ~hilog_virtual ~interrupt store q in
   List.iter (fun (slot, obj) -> ctx.binding.(slot) <- Some obj) bindings;
   let produced = ref 0 in
   let finish () =
@@ -629,10 +649,11 @@ let iter ?(order = Greedy) ?(hilog_virtual = false) ?(bindings = []) ?seed
   in
   try body () with Stopped -> ()
 
-let named_solutions ?(order = Greedy) ?limit store (q : Ir.query) =
+let named_solutions ?(order = Greedy) ?interrupt ?limit store (q : Ir.query)
+    =
   let seen = Hashtbl.create 64 in
   let acc = ref [] in
-  iter ~order ?limit store q ~f:(fun binding ->
+  iter ~order ?interrupt ?limit store q ~f:(fun binding ->
       let row = List.map (fun (_, i) -> binding.(i)) q.named in
       if not (Hashtbl.mem seen row) then begin
         Hashtbl.add seen row ();
@@ -640,15 +661,15 @@ let named_solutions ?(order = Greedy) ?limit store (q : Ir.query) =
       end);
   List.rev !acc
 
-let satisfiable ?(order = Greedy) store q =
+let satisfiable ?(order = Greedy) ?interrupt store q =
   let sat = ref false in
-  iter ~order ~limit:1 store q ~f:(fun _ -> sat := true);
+  iter ~order ?interrupt ~limit:1 store q ~f:(fun _ -> sat := true);
   !sat
 
-let count ?(order = Greedy) store (q : Ir.query) =
+let count ?(order = Greedy) ?interrupt store (q : Ir.query) =
   match q.named with
-  | [] -> if satisfiable ~order store q then 1 else 0
-  | _ -> List.length (named_solutions ~order store q)
+  | [] -> if satisfiable ~order ?interrupt store q then 1 else 0
+  | _ -> List.length (named_solutions ~order ?interrupt store q)
 
 (* ------------------------------------------------------------------ *)
 (* Plan explanation                                                    *)

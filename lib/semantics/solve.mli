@@ -63,14 +63,25 @@ val plan_stale : Oodb.Store.t -> plan -> bool
 
 exception Stopped
 
+(** The enumeration calls [interrupt] (when given) at least once every
+    {!poll_interval} unification steps — the solver's cooperative
+    cancellation point. An exception raised by it (e.g.
+    [Engine.Budget.Exhausted]) aborts the search and propagates to the
+    caller of {!iter}; every solution costs at least one step, so an
+    interrupt observes its condition within a bounded amount of further
+    work (property-tested). *)
+val poll_interval : int
+
 (** [iter store q ~f] calls [f] once per satisfying assignment, with a
     binding array of length [q.nvars] (fully bound). Raise {!Stopped} from
     [f] to stop early; [iter] catches it.
 
-    @param limit stop after this many solutions. *)
+    @param limit stop after this many solutions.
+    @param interrupt polled every {!poll_interval} steps; see above. *)
 val iter :
   ?order:order ->
   ?hilog_virtual:bool ->
+  ?interrupt:(unit -> unit) ->
   ?bindings:(int * Oodb.Obj_id.t) list ->
   ?seed:seed ->
   ?plan:plan ->
@@ -100,15 +111,19 @@ val iter :
 (** Distinct bindings of the query's named variables, in the order of
     [q.named]; answers are deduplicated. *)
 val named_solutions :
-  ?order:order -> ?limit:int -> Oodb.Store.t -> Ir.query ->
-  Oodb.Obj_id.t list list
+  ?order:order -> ?interrupt:(unit -> unit) -> ?limit:int -> Oodb.Store.t ->
+  Ir.query -> Oodb.Obj_id.t list list
 
 (** Is the query satisfiable? *)
-val satisfiable : ?order:order -> Oodb.Store.t -> Ir.query -> bool
+val satisfiable :
+  ?order:order -> ?interrupt:(unit -> unit) -> Oodb.Store.t -> Ir.query ->
+  bool
 
 (** Number of distinct named-variable bindings (or of full bindings when the
     query names no variable, capped at 1 for a ground query). *)
-val count : ?order:order -> Oodb.Store.t -> Ir.query -> int
+val count :
+  ?order:order -> ?interrupt:(unit -> unit) -> Oodb.Store.t -> Ir.query ->
+  int
 
 (** The plan the solver follows: the atom execution order and the access
     path chosen for each atom (keyed lookup, receiver index, inverse

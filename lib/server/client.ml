@@ -4,7 +4,22 @@ type t = {
   oc : out_channel;
 }
 
+(* Writing into a socket whose peer is gone must surface as EPIPE (mapped
+   to [`Eof] below), not kill the process. Set once, lazily, from the
+   first connect. *)
+let ignore_sigpipe =
+  lazy
+    (if not Sys.win32 then
+       try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+       with Invalid_argument _ | Sys_error _ -> ())
+
+let rec retry_eintr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
 let connect (addr : Server.address) =
+  Lazy.force ignore_sigpipe;
   let domain, sockaddr =
     match addr with
     | Server.Tcp (host, port) ->
@@ -17,29 +32,78 @@ let connect (addr : Server.address) =
     | Server.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
   in
   let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd sockaddr
+  (try retry_eintr (fun () -> Unix.connect fd sockaddr)
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
+  (* The write side gets its own descriptor: each channel then owns (and
+     closes) exactly one fd, so {!close} never double-closes — a
+     double-close races fd reuse in other threads and can shoot down an
+     unrelated connection. *)
+  let fd_out =
+    match Unix.dup ~cloexec:true fd with
+    | fd_out -> fd_out
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
   {
     fd;
     ic = Unix.in_channel_of_descr fd;
-    oc = Unix.out_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd_out;
   }
 
 let close t =
   close_out_noerr t.oc;
   close_in_noerr t.ic
 
+(* The reply read sits inside the match too: a peer reset surfaces from
+   [input_line] as [Sys_error], not just from the write side. *)
 let request t line =
   match
     output_string t.oc line;
     output_char t.oc '\n';
-    flush t.oc
+    flush t.oc;
+    Protocol.read_reply t.ic
   with
-  | () -> Protocol.read_reply t.ic
+  | r -> r
   | exception (Sys_error _ | End_of_file) -> Error `Eof
   | exception Unix.Unix_error _ -> Error `Eof
+
+(* Jittered exponential backoff against BUSY shedding. The floor of each
+   sleep is the server's retry-after hint; on top of that the delay
+   doubles per attempt and is scaled by a seeded multiplier in
+   [0.5, 1.5), so a herd of rejected clients decorrelates instead of
+   re-stampeding in lockstep. Only [BUSY] is retried — errors and
+   transport failures are final. *)
+let request_with_retry ?(max_attempts = 5) ?(base_delay_s = 0.01)
+    ?(max_delay_s = 1.0) ?(seed = 0) t line =
+  let state = ref (seed lxor 0x9e3779b9) in
+  let jitter () =
+    (* xorshift: cheap, deterministic under [seed] *)
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x;
+    0.5 +. (float_of_int (x land 0xffff) /. 65536.)
+  in
+  let rec go attempt =
+    match request t line with
+    | Ok (Protocol.Busy (retry_after_ms, _)) as r ->
+      if attempt >= max_attempts then r
+      else begin
+        let hint = float_of_int retry_after_ms /. 1000. in
+        let backoff =
+          base_delay_s *. (2. ** float_of_int (attempt - 1))
+        in
+        let d = Float.min max_delay_s (Float.max hint backoff) *. jitter () in
+        if d > 0. then Thread.delay d;
+        go (attempt + 1)
+      end
+    | r -> r
+  in
+  go 1
 
 let ping t =
   match request t "PING" with Ok Protocol.Pong -> true | _ -> false
@@ -47,18 +111,30 @@ let ping t =
 let describe_failure = function
   | Ok (Protocol.Err (code, msg)) ->
     Printf.sprintf "%s: %s" (Protocol.code_to_string code) msg
-  | Ok (Protocol.Busy msg) -> "BUSY: " ^ msg
+  | Ok (Protocol.Busy (retry_after_ms, msg)) ->
+    Printf.sprintf "BUSY (retry after %dms): %s" retry_after_ms msg
   | Ok Protocol.Pong -> "unexpected PONG"
-  | Ok (Protocol.Ok _) -> assert false
+  | Ok (Protocol.Ok _ | Protocol.Degraded _) -> assert false
   | Error `Eof -> "connection closed"
   | Error (`Malformed msg) -> "malformed reply: " ^ msg
 
-let payload t line =
-  match request t line with
-  | Ok (Protocol.Ok lines) -> Stdlib.Ok lines
+type payload_result = {
+  lines : string list;
+  degraded : bool;
+}
+
+let payload_marked t line =
+  match request_with_retry t line with
+  | Ok (Protocol.Ok lines) -> Stdlib.Ok { lines; degraded = false }
+  | Ok (Protocol.Degraded lines) -> Stdlib.Ok { lines; degraded = true }
   | other -> Stdlib.Error (describe_failure other)
 
+let payload t line =
+  Stdlib.Result.map (fun r -> r.lines) (payload_marked t line)
+
 let query t q = payload t ("QUERY " ^ q)
+
+let query_marked t q = payload_marked t ("QUERY " ^ q)
 
 let why t f = payload t ("WHY " ^ f)
 

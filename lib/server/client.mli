@@ -1,27 +1,58 @@
 (** A blocking client for the PathLog query server — the other end of
     {!Protocol}. One request in flight per connection; not thread-safe
     (give each thread its own connection, as the bench load generator
-    does). *)
+    does). The first [connect] ignores [SIGPIPE] process-wide so a dead
+    peer surfaces as an error, not a crash. *)
 
 type t
 
-(** Connect, or raise [Unix.Unix_error] if the server is not there. *)
+(** Connect (retrying [EINTR]), or raise [Unix.Unix_error] if the server
+    is not there. *)
 val connect : Server.address -> t
 
 val close : t -> unit
 
-(** Send one raw request line and read the reply frame. *)
+(** Send one raw request line and read the reply frame. No retry. *)
 val request :
   t -> string -> (Protocol.reply, [ `Eof | `Malformed of string ]) result
+
+(** Like {!request}, but a [BUSY] reply is retried up to [max_attempts]
+    times with jittered exponential backoff. Each sleep is at least the
+    server's retry-after hint and at least
+    [base_delay_s * 2 ^ (attempt - 1)], capped at [max_delay_s], then
+    scaled by a seeded multiplier in [0.5, 1.5) so concurrent rejected
+    clients decorrelate. Errors and transport failures are returned
+    immediately; a still-[BUSY] reply after the last attempt is returned
+    as such. *)
+val request_with_retry :
+  ?max_attempts:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?seed:int ->
+  t ->
+  string ->
+  (Protocol.reply, [ `Eof | `Malformed of string ]) result
 
 (** [PING] round-trip; [false] on any non-[PONG] outcome. *)
 val ping : t -> bool
 
+(** A counted payload plus whether the server marked it [DEGRADED]
+    (sound answers over a budget-terminated partial model). *)
+type payload_result = {
+  lines : string list;
+  degraded : bool;
+}
+
 (** [QUERY q]: payload lines on success ([["yes"]] / [["no"]] for ground
     queries, otherwise a tab-separated header line followed by rows).
+    [BUSY] is retried with backoff ({!request_with_retry} defaults);
     [Error _] carries a one-line description of ERR/BUSY/transport
-    failures. *)
+    failures. A [DEGRADED] payload is accepted transparently — use
+    {!query_marked} to observe the marker. *)
 val query : t -> string -> (string list, string) result
+
+(** Like {!query}, keeping the [DEGRADED] marker. *)
+val query_marked : t -> string -> (payload_result, string) result
 
 (** [WHY f]: the proof-tree lines. *)
 val why : t -> string -> (string list, string) result

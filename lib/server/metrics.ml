@@ -1,10 +1,12 @@
-type outcome = Ok | Error | Busy | Timeout
+type outcome = Ok | Degraded | Error | Busy | Timeout | Cancelled
 
 let outcome_to_string = function
   | Ok -> "ok"
+  | Degraded -> "degraded"
   | Error -> "error"
   | Busy -> "busy"
   | Timeout -> "timeout"
+  | Cancelled -> "cancelled"
 
 type t = {
   lock : Mutex.t;
@@ -12,6 +14,8 @@ type t = {
   counters : (string * string, int ref) Hashtbl.t;
   latency : Histogram.t;
   mutable requests_total : int;
+  mutable cancelled_total : int;
+  mutable degraded_total : int;
   mutable connections_active : int;
   mutable connections_total : int;
 }
@@ -23,6 +27,8 @@ let create () =
     counters = Hashtbl.create 16;
     latency = Histogram.create ();
     requests_total = 0;
+    cancelled_total = 0;
+    degraded_total = 0;
     connections_active = 0;
     connections_total = 0;
   }
@@ -38,6 +44,10 @@ let record t ~verb ~outcome ~latency_s =
       | Some r -> incr r
       | None -> Hashtbl.add t.counters key (ref 1));
       t.requests_total <- t.requests_total + 1;
+      (match outcome with
+      | Cancelled -> t.cancelled_total <- t.cancelled_total + 1
+      | Degraded -> t.degraded_total <- t.degraded_total + 1
+      | Ok | Error | Busy | Timeout -> ());
       Histogram.observe t.latency latency_s)
 
 let connection_opened t =
@@ -53,6 +63,8 @@ type snapshot = {
   connections_active : int;
   connections_total : int;
   requests_total : int;
+  cancelled_total : int;
+  degraded_total : int;
   by_verb_outcome : (string * string * int) list;
   latency_count : int;
   latency_min_s : float;
@@ -70,6 +82,8 @@ let snapshot t =
         connections_active = t.connections_active;
         connections_total = t.connections_total;
         requests_total = t.requests_total;
+        cancelled_total = t.cancelled_total;
+        degraded_total = t.degraded_total;
         by_verb_outcome =
           Hashtbl.fold
             (fun (v, o) r acc -> (v, o, !r) :: acc)
@@ -86,13 +100,16 @@ let snapshot t =
 
 let us s = int_of_float (ceil (s *. 1e6))
 
-let render ?cache snap ~store =
+let render ?cache ?(injected_faults = 0) snap ~store =
   let { Oodb.Store.objects; isa_edges; scalar_tuples; set_tuples } = store in
   [
     Printf.sprintf "uptime_s %.3f" snap.uptime_s;
     Printf.sprintf "connections_active %d" snap.connections_active;
     Printf.sprintf "connections_total %d" snap.connections_total;
     Printf.sprintf "requests_total %d" snap.requests_total;
+    Printf.sprintf "cancelled_total %d" snap.cancelled_total;
+    Printf.sprintf "degraded_total %d" snap.degraded_total;
+    Printf.sprintf "injected_faults %d" injected_faults;
   ]
   @ List.map
       (fun (v, o, n) -> Printf.sprintf "requests %s %s %d" v o n)

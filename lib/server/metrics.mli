@@ -4,7 +4,7 @@
 
 type t
 
-type outcome = Ok | Error | Busy | Timeout
+type outcome = Ok | Degraded | Error | Busy | Timeout | Cancelled
 
 val outcome_to_string : outcome -> string
 
@@ -23,6 +23,8 @@ type snapshot = {
   connections_active : int;
   connections_total : int;
   requests_total : int;
+  cancelled_total : int;  (** requests that ended [ERR CANCELLED] *)
+  degraded_total : int;  (** requests answered from a partial model *)
   by_verb_outcome : (string * string * int) list;
       (** (verb, outcome, count), sorted *)
   latency_count : int;
@@ -38,6 +40,8 @@ val snapshot : t -> snapshot
 
 (** Render a snapshot plus the store statistics as [key value] lines —
     the payload of a [STATS] reply. [cache] adds the query-cache
-    counters [(hits, misses, entries)]. *)
-val render : ?cache:int * int * int -> snapshot -> store:Oodb.Store.stats ->
-  string list
+    counters [(hits, misses, entries)]; [injected_faults] is the fault
+    registry's running injection count (0 when disarmed). *)
+val render :
+  ?cache:int * int * int -> ?injected_faults:int -> snapshot ->
+  store:Oodb.Store.stats -> string list

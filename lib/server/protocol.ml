@@ -5,13 +5,14 @@ type request =
   | Why of string
   | Quit
 
-type error_code = Parse | Badreq | Toolarge | Timeout | Internal
+type error_code = Parse | Badreq | Toolarge | Timeout | Cancelled | Internal
 
 let code_to_string = function
   | Parse -> "PARSE"
   | Badreq -> "BADREQ"
   | Toolarge -> "TOOLARGE"
   | Timeout -> "TIMEOUT"
+  | Cancelled -> "CANCELLED"
   | Internal -> "INTERNAL"
 
 let code_of_string = function
@@ -19,6 +20,7 @@ let code_of_string = function
   | "BADREQ" -> Some Badreq
   | "TOOLARGE" -> Some Toolarge
   | "TIMEOUT" -> Some Timeout
+  | "CANCELLED" -> Some Cancelled
   | "INTERNAL" -> Some Internal
   | _ -> None
 
@@ -60,7 +62,8 @@ let parse_request line =
 type reply =
   | Pong
   | Ok of string list
-  | Busy of string
+  | Degraded of string list
+  | Busy of int * string
   | Err of error_code * string
 
 let one_line s =
@@ -78,20 +81,24 @@ let flatten_payload lines =
 
 let render_reply reply =
   let b = Buffer.create 128 in
-  (match reply with
-  | Pong -> Buffer.add_string b "PONG\n"
-  | Busy msg ->
-    Buffer.add_string b ("BUSY " ^ one_line msg ^ "\n")
-  | Err (code, msg) ->
-    Buffer.add_string b ("ERR " ^ code_to_string code ^ " " ^ one_line msg ^ "\n")
-  | Ok lines ->
+  let counted header lines =
     let lines = flatten_payload lines in
-    Buffer.add_string b (Printf.sprintf "OK %d\n" (List.length lines));
+    Buffer.add_string b (Printf.sprintf "%s %d\n" header (List.length lines));
     List.iter
       (fun l ->
         Buffer.add_string b l;
         Buffer.add_char b '\n')
-      lines);
+      lines
+  in
+  (match reply with
+  | Pong -> Buffer.add_string b "PONG\n"
+  | Busy (retry_after_ms, msg) ->
+    Buffer.add_string b
+      (Printf.sprintf "BUSY %d %s\n" (max 0 retry_after_ms) (one_line msg))
+  | Err (code, msg) ->
+    Buffer.add_string b ("ERR " ^ code_to_string code ^ " " ^ one_line msg ^ "\n")
+  | Ok lines -> counted "OK" lines
+  | Degraded lines -> counted "DEGRADED" lines);
   Buffer.contents b
 
 let read_reply ic =
@@ -100,28 +107,37 @@ let read_reply ic =
   | header -> (
     let header = String.trim header in
     let v, rest = split_verb header in
-    match v with
-    | "PONG" -> Stdlib.Ok Pong
-    | "BUSY" -> Stdlib.Ok (Busy rest)
-    | "ERR" -> (
-      let c, msg = split_verb rest in
-      match code_of_string c with
-      | Some code -> Stdlib.Ok (Err (code, msg))
-      | None -> Stdlib.Error (`Malformed ("unknown error code " ^ c)))
-    | "OK" -> (
+    let counted wrap =
       match int_of_string_opt (String.trim rest) with
-      | None -> Stdlib.Error (`Malformed ("bad OK count " ^ rest))
-      | Some n when n < 0 -> Stdlib.Error (`Malformed "negative OK count")
+      | None -> Stdlib.Error (`Malformed ("bad payload count " ^ rest))
+      | Some n when n < 0 -> Stdlib.Error (`Malformed "negative payload count")
       | Some n -> (
         let rec collect acc k =
-          if k = 0 then Stdlib.Ok (Ok (List.rev acc))
+          if k = 0 then Stdlib.Ok (wrap (List.rev acc))
           else
             match input_line ic with
             | exception End_of_file ->
               Stdlib.Error (`Malformed "truncated payload")
             | l -> collect (l :: acc) (k - 1)
         in
-        collect [] n))
+        collect [] n)
+    in
+    match v with
+    | "PONG" -> Stdlib.Ok Pong
+    | "BUSY" -> (
+      (* BUSY <retry-after-ms> <message>; a missing or non-numeric hint
+         degrades to 0 (retry whenever), keeping old peers readable *)
+      let first, msg = split_verb rest in
+      match int_of_string_opt first with
+      | Some ms -> Stdlib.Ok (Busy (max 0 ms, msg))
+      | None -> Stdlib.Ok (Busy (0, rest)))
+    | "ERR" -> (
+      let c, msg = split_verb rest in
+      match code_of_string c with
+      | Some code -> Stdlib.Ok (Err (code, msg))
+      | None -> Stdlib.Error (`Malformed ("unknown error code " ^ c)))
+    | "OK" -> counted (fun lines -> Ok lines)
+    | "DEGRADED" -> counted (fun lines -> Degraded lines)
     | other -> Stdlib.Error (`Malformed ("unknown reply " ^ other)))
 
 let input_line_bounded ic ~max =

@@ -22,15 +22,20 @@
     {v
     PONG                          to PING
     OK <n>                        followed by exactly <n> payload lines
-    BUSY <message>                load shed: retry later
+    DEGRADED <n>                  like OK, but computed against a partial
+                                  model (budget-terminated evaluation):
+                                  every line is sound, the set may be
+                                  incomplete
+    BUSY <retry-ms> <message>     load shed: retry after ~<retry-ms> ms
     ERR <CODE> <message>          the request failed; connection stays open
     v}
 
     Error codes: [PARSE] (query/fact does not parse or is ill-formed),
     [BADREQ] (unknown verb or empty request), [TOOLARGE] (request line
-    exceeded the server's byte limit), [TIMEOUT] (the request spent
-    longer than its deadline in the admission queue), [INTERNAL]
-    (unexpected server-side failure).
+    exceeded the server's byte limit), [TIMEOUT] (the request exceeded
+    its deadline — in the admission queue or mid-evaluation),
+    [CANCELLED] (the request was cooperatively cancelled, e.g. by server
+    shutdown), [INTERNAL] (unexpected server-side failure).
 
     Payload lines are guaranteed single-line (embedded newlines are
     escaped during framing). *)
@@ -42,7 +47,7 @@ type request =
   | Why of string
   | Quit
 
-type error_code = Parse | Badreq | Toolarge | Timeout | Internal
+type error_code = Parse | Badreq | Toolarge | Timeout | Cancelled | Internal
 
 val code_to_string : error_code -> string
 
@@ -58,7 +63,9 @@ val verb : request -> string
 type reply =
   | Pong
   | Ok of string list  (** payload lines *)
-  | Busy of string
+  | Degraded of string list
+      (** payload lines computed against a sound partial model *)
+  | Busy of int * string  (** retry-after hint (milliseconds), message *)
   | Err of error_code * string
 
 (** Render a reply to wire format, every line newline-terminated. Payload

@@ -13,6 +13,7 @@ type config = {
   queue_capacity : int;
   max_request_bytes : int;
   deadline_s : float option;
+  busy_retry_after_ms : int;
   work_delay_s : float;
   paranoid : bool;
   pool_domains : bool;
@@ -25,6 +26,7 @@ let default_config =
     queue_capacity = 64;
     max_request_bytes = 64 * 1024;
     deadline_s = None;
+    busy_retry_after_ms = 50;
     work_delay_s = 0.;
     paranoid = true;
     pool_domains = false;
@@ -69,6 +71,10 @@ type t = {
   store_lock : Mutex.t;
       (* taken only by writers ({!with_store_write}, i.e. program
          (re)load); the query path pins an epoch snapshot instead *)
+  cancel : bool Atomic.t;
+      (* server-wide cancellation token, shared by every in-flight
+         request's budget; set at shutdown so runaway evaluations stop at
+         their next solver poll instead of pinning workers *)
   stop_m : Mutex.t;
   stop_c : Condition.t;
   mutable stopping : bool;
@@ -144,6 +150,22 @@ let eval_readonly t ~cache_key f =
       match f () with
       | reply -> reply
       | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
+      | exception Engine.Budget.Exhausted reason ->
+        (* killed mid-evaluation: the enumeration was abandoned, nothing
+           was computed to completion — a hard per-request error, unlike
+           the DEGRADED marker (sound answers over a partial model) *)
+        (match reason with
+        | Engine.Budget.Cancelled ->
+          Protocol.Err (Protocol.Cancelled, "request cancelled")
+        | Engine.Budget.Timeout ->
+          Protocol.Err
+            (Protocol.Timeout, "deadline exceeded during evaluation")
+        | Engine.Budget.Derivations | Engine.Budget.Objects ->
+          Protocol.Err
+            ( Protocol.Timeout,
+              "evaluation budget exhausted ("
+              ^ Engine.Budget.reason_label reason
+              ^ ")" ))
       | exception e -> (
         match Engine.Err.message st e with
         | Some msg -> Protocol.Err (Protocol.Parse, msg)
@@ -163,14 +185,25 @@ let eval_readonly t ~cache_key f =
       reply
     end
 
-let eval_request t req =
+(* A sound answer over a budget-terminated (partial) materialisation is
+   surfaced as DEGRADED, not hidden behind OK: the client learns the set
+   may be incomplete. Degraded replies are never cached — the marker
+   depends on program state, and a reload to a complete model must not
+   serve stale markers. *)
+let mark_degraded t = function
+  | Protocol.Ok lines when Program.degraded t.program <> None ->
+    Protocol.Degraded lines
+  | reply -> reply
+
+let eval_request ?budget t req =
   match req with
   | Protocol.Query q ->
     eval_readonly t ~cache_key:(Some q) (fun () ->
-        Protocol.Ok (render_answer t (Program.query_string t.program q)))
+        mark_degraded t
+          (Protocol.Ok (render_answer t (Program.query_string ?budget t.program q))))
   | Protocol.Why q ->
     eval_readonly t ~cache_key:None (fun () ->
-        match Program.why_string t.program q with
+        match Program.why_string ?budget t.program q with
         | Some proof ->
           let u = Program.universe t.program in
           let text =
@@ -196,48 +229,103 @@ let stats_reply t =
     (Metrics.render
        (Metrics.snapshot t.metrics)
        ~store:(Oodb.Store.stats (Program.store t.program))
-       ~cache:(c.Qcache.hits, c.Qcache.misses, c.Qcache.entries))
+       ~cache:(c.Qcache.hits, c.Qcache.misses, c.Qcache.entries)
+       ~injected_faults:(Fault.injected_total ()))
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)
 
 let outcome_of_reply = function
   | Protocol.Ok _ | Protocol.Pong -> Metrics.Ok
+  | Protocol.Degraded _ -> Metrics.Degraded
   | Protocol.Busy _ -> Metrics.Busy
   | Protocol.Err (Protocol.Timeout, _) -> Metrics.Timeout
+  | Protocol.Err (Protocol.Cancelled, _) -> Metrics.Cancelled
   | Protocol.Err _ -> Metrics.Error
 
+(* The wire-write fault boundary: [Short] flushes a truncated frame
+   before raising, so the peer observes a short read mid-payload, not a
+   clean close between frames. The raise tears down this session only —
+   the outer handler closes the socket and the server lives on. *)
 let write_reply oc reply =
-  output_string oc (Protocol.render_reply reply);
-  flush oc
+  let s = Protocol.render_reply reply in
+  match Fault.ask Fault.Wire_write with
+  | None ->
+    output_string oc s;
+    flush oc
+  | Some (Fault.Delay d) ->
+    if d > 0. then Thread.delay d;
+    output_string oc s;
+    flush oc
+  | Some Fault.Fail -> raise (Fault.Injected Fault.Wire_write)
+  | Some Fault.Short ->
+    output_substring oc s 0 (max 1 (String.length s / 2));
+    flush oc;
+    raise (Fault.Injected Fault.Wire_write)
+
+let busy t msg = Protocol.Busy (t.config.busy_retry_after_ms, msg)
 
 let handle_pooled t req =
   let admitted_at = Unix.gettimeofday () in
   let deadline =
     Option.map (fun d -> admitted_at +. d) t.config.deadline_s
   in
-  let ivar = Ivar.create () in
-  let job () =
-    let reply =
-      match deadline with
-      | Some d when Unix.gettimeofday () > d ->
-        Protocol.Err (Protocol.Timeout, "deadline exceeded in queue")
-      | _ ->
-        if t.config.work_delay_s > 0. then Thread.delay t.config.work_delay_s;
-        eval_request t req
-    in
-    Ivar.fill ivar reply
+  (* the pool-dispatch fault boundary: an injected failure here models a
+     dispatch layer shedding load — the client gets BUSY plus the
+     retry-after hint, exactly like a full queue *)
+  let dispatch_fault =
+    match Fault.ask Fault.Pool_dispatch with
+    | None -> false
+    | Some (Fault.Delay d) ->
+      if d > 0. then Thread.delay d;
+      false
+    | Some (Fault.Fail | Fault.Short) -> true
   in
-  match Pool.submit t.pool job with
-  | `Accepted -> Ivar.read ivar
-  | `Rejected ->
-    Protocol.Busy
-      (Printf.sprintf "admission queue full (%d workers, queue capacity %d)"
-         (Pool.workers t.pool) (Pool.capacity t.pool))
+  if dispatch_fault then busy t "injected dispatch fault"
+  else
+    let ivar = Ivar.create () in
+    let job () =
+      let reply =
+        (* the deadline is re-checked after dequeue: a request can expire
+           while waiting even though it was admitted in time... *)
+        match deadline with
+        | Some d when Unix.gettimeofday () > d ->
+          Protocol.Err (Protocol.Timeout, "deadline exceeded in queue")
+        | _ ->
+          if t.config.work_delay_s > 0. then
+            Thread.delay t.config.work_delay_s;
+          (* ...and enforced during evaluation: the remaining deadline
+             becomes an engine budget polled from the solver's
+             enumeration loops, together with the server-wide
+             cancellation token *)
+          let budget =
+            Engine.Budget.create ?deadline_at:deadline ~cancel:t.cancel ()
+          in
+          eval_request ~budget t req
+      in
+      Ivar.fill ivar reply
+    in
+    match Pool.submit t.pool job with
+    | `Accepted -> Ivar.read ivar
+    | `Rejected ->
+      busy t
+        (Printf.sprintf "admission queue full (%d workers, queue capacity %d)"
+           (Pool.workers t.pool) (Pool.capacity t.pool))
 
 let session t fd =
+  (* Like the client, the write side runs on a dup of the socket so each
+     channel owns one descriptor and teardown closes each exactly once —
+     a double-close of a shared fd races descriptor reuse across threads
+     and can tear down an unrelated connection. *)
+  match Unix.dup ~cloexec:true fd with
+  | exception Unix.Unix_error _ ->
+    Mutex.lock t.conns_lock;
+    Hashtbl.remove t.conns fd;
+    Mutex.unlock t.conns_lock;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | fd_out ->
   let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd_out in
   Metrics.connection_opened t.metrics;
   let finish () =
     Metrics.connection_closed t.metrics;
@@ -252,6 +340,9 @@ let session t fd =
       ~latency_s:(Unix.gettimeofday () -. started)
   in
   let rec loop () =
+    (* the wire-read fault boundary; an injected failure drops this
+       connection (caught below), never the server *)
+    Fault.hit Fault.Wire_read;
     match Protocol.input_line_bounded ic ~max:t.config.max_request_bytes with
     | Error `Eof -> ()
     | Error `Toolarge ->
@@ -296,7 +387,8 @@ let session t fd =
   in
   (try loop () with
   | Sys_error _ | End_of_file -> ()
-  | Unix.Unix_error _ -> ());
+  | Unix.Unix_error _ -> ()
+  | Fault.Injected _ -> ());
   finish ()
 
 (* ------------------------------------------------------------------ *)
@@ -319,8 +411,11 @@ let accept_loop t () =
         | fd, _peer ->
           if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
           else begin
-            let th = Thread.create (session t) fd in
+            (* register under the lock, before the session can run: a
+               session that dies instantly must find its entry to remove,
+               or shutdown would miss (or double-see) the fd *)
             Mutex.lock t.conns_lock;
+            let th = Thread.create (session t) fd in
             Hashtbl.replace t.conns fd th;
             Mutex.unlock t.conns_lock;
             loop ()
@@ -384,6 +479,7 @@ let create ?(config = default_config) ~program addr =
       metrics = Metrics.create ();
       qcache = Qcache.create ~capacity:config.cache_capacity;
       store_lock = Mutex.create ();
+      cancel = Atomic.make false;
       stop_m = Mutex.create ();
       stop_c = Condition.create ();
       stopping = false;
@@ -408,9 +504,14 @@ let shutdown t =
   if first then begin
     (* 1. stop accepting *)
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
-    (* 2. finish every admitted request; replies reach their sessions *)
+    (* 2. cancel in-flight evaluations: every request budget shares this
+       token, so runaway queries stop at their next solver poll and are
+       answered ERR CANCELLED instead of pinning the drain *)
+    Atomic.set t.cancel true;
+    (* 3. every admitted request finishes (evaluated or cancelled);
+       replies reach their sessions *)
     Pool.shutdown t.pool;
-    (* 3. wake sessions parked in read and let them exit *)
+    (* 4. wake sessions parked in read and let them exit *)
     let sessions =
       Mutex.lock t.conns_lock;
       let l = Hashtbl.fold (fun fd th acc -> (fd, th) :: acc) t.conns [] in
@@ -423,7 +524,7 @@ let shutdown t =
         with Unix.Unix_error _ -> ())
       sessions;
     List.iter (fun (_, th) -> Thread.join th) sessions;
-    (* 4. release the listener *)
+    (* 5. release the listener *)
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     match t.bound with
     | Unix_path path -> (

@@ -28,10 +28,22 @@
     unchanged store is answered without evaluation, and any insertion
     invalidates wholesale by moving the epoch (counters in [STATS]).
 
+    Failure model: each pooled request evaluates under an
+    {!Engine.Budget} combining the remaining per-request deadline with a
+    server-wide cancellation token set at shutdown, so runaway
+    evaluations end in [ERR TIMEOUT] / [ERR CANCELLED] instead of
+    pinning workers. Answers computed over a budget-degraded (partial)
+    model are marked [DEGRADED] rather than [OK]. When the {!Fault}
+    registry is armed, the server exercises its wire-read, wire-write
+    and pool-dispatch injection points: injected wire failures tear down
+    the one session, injected dispatch failures shed the one request
+    with [BUSY] — the server itself never crashes.
+
     Shutdown ({!shutdown}, or SIGINT/SIGTERM after
-    {!install_signal_handlers}) drains gracefully: stop accepting, finish
-    every admitted request, push out the replies, then close all sockets
-    and join all threads. *)
+    {!install_signal_handlers}) drains gracefully: stop accepting,
+    cancel in-flight evaluations via the shared token, finish every
+    admitted request, push out the replies, then close all sockets and
+    join all threads. *)
 
 type address =
   | Tcp of string * int  (** host, port; port 0 binds an ephemeral port *)
@@ -44,9 +56,16 @@ type config = {
   queue_capacity : int;  (** admission queue bound; beyond it: [BUSY] *)
   max_request_bytes : int;  (** request-line limit; beyond it: [TOOLARGE] *)
   deadline_s : float option;
-      (** per-request deadline, measured from admission; a request that
-          reaches a worker after its deadline is answered [ERR TIMEOUT]
-          without being evaluated *)
+      (** per-request deadline, measured from admission. Enforced twice:
+          a request that reaches a worker after its deadline is answered
+          [ERR TIMEOUT] without being evaluated, and a request whose
+          evaluation is still running at the deadline is killed
+          cooperatively mid-enumeration (the remaining time becomes an
+          {!Engine.Budget} polled from the solver) and answered
+          [ERR TIMEOUT] as well *)
+  busy_retry_after_ms : int;
+      (** the retry-after hint carried by every [BUSY] reply (queue full,
+          injected dispatch fault); clients back off at least this long *)
   work_delay_s : float;
       (** artificial service time added in the worker before evaluation;
           0 in production — tests and the load generator use it to make

@@ -22,4 +22,6 @@ let () =
       ("planner", Test_planner.suite);
       ("server", Test_server.suite);
       ("parallel", Test_parallel.suite);
+      ("budget", Test_budget.suite);
+      ("chaos", Test_chaos.suite);
     ]

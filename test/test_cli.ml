@@ -254,6 +254,59 @@ let test_run_prune_dead () =
       Alcotest.(check bool) "answers unchanged" true
         (contains ~sub:"(2 answers)" out))
 
+let broken_plg name =
+  find_file
+    [ "../examples/broken/" ^ name;
+      "examples/broken/" ^ name;
+      "_build/default/examples/broken/" ^ name ]
+
+(* run --deadline on a divergent program: the budget must stop the run,
+   print a partial-model notice, and exit with Err.exit_runtime — while
+   the hard divergence guards are pushed out of the way so it is really
+   the wall-clock budget that fires. *)
+let test_run_deadline_degrades () =
+  let code, out =
+    run_cli
+      [
+        "run"; broken_plg "runaway_pairs.plg";
+        "--deadline"; "0.1";
+        "--max-rounds"; "1000000";
+        "--max-objects"; "1000000000";
+      ]
+  in
+  Alcotest.(check int) "exit_runtime" Pathlog.Err.exit_runtime code;
+  Alcotest.(check bool) "degraded notice" true
+    (contains ~sub:"degraded" out);
+  Alcotest.(check bool) "partial-model wording" true
+    (contains ~sub:"sound partial model" out);
+  Alcotest.(check bool) "names the reason" true
+    (contains ~sub:"timeout" out)
+
+(* and without --deadline the same program trips the hard divergence
+   guard instead: also exit 1, but as an error, not a degraded notice *)
+let test_run_divergent_hard_guard () =
+  let code, out =
+    run_cli
+      [ "run"; broken_plg "runaway_pairs.plg"; "--max-objects"; "5000" ]
+  in
+  Alcotest.(check int) "exit_runtime" Pathlog.Err.exit_runtime code;
+  Alcotest.(check bool) "diverged error" true
+    (contains ~sub:"error" out);
+  Alcotest.(check bool) "no degraded notice" false
+    (contains ~sub:"degraded" out)
+
+let test_serve_bad_faults_spec () =
+  let code, out =
+    run_cli
+      [
+        "serve"; broken_plg "runaway_pairs.plg";
+        "--faults"; "nowhere:explode@1.0";
+      ]
+  in
+  Alcotest.(check int) "exit_load" Pathlog.Err.exit_load code;
+  Alcotest.(check bool) "spec error reported" true
+    (contains ~sub:"bad --faults spec" out)
+
 let suite =
   suite
   @ [
@@ -264,4 +317,10 @@ let suite =
       Alcotest.test_case "check --json" `Quick test_check_json;
       Alcotest.test_case "check parse error" `Quick test_check_parse_error;
       Alcotest.test_case "run --prune-dead" `Quick test_run_prune_dead;
+      Alcotest.test_case "run --deadline degrades divergent program" `Quick
+        test_run_deadline_degrades;
+      Alcotest.test_case "run without deadline trips the hard guard" `Quick
+        test_run_divergent_hard_guard;
+      Alcotest.test_case "serve rejects a bad --faults spec" `Quick
+        test_serve_bad_faults_spec;
     ]

@@ -93,10 +93,31 @@ let test_reply_roundtrip () =
     Alcotest.(check bool) name true (roundtrip reply = Ok reply)
   in
   check "pong" Protocol.Pong;
-  check "busy" (Protocol.Busy "queue full");
+  check "busy" (Protocol.Busy (50, "queue full"));
+  check "busy zero hint" (Protocol.Busy (0, "later"));
   check "err" (Protocol.Err (Protocol.Parse, "unexpected token"));
+  check "err timeout" (Protocol.Err (Protocol.Timeout, "deadline exceeded"));
+  check "err cancelled" (Protocol.Err (Protocol.Cancelled, "shutting down"));
   check "ok empty" (Protocol.Ok []);
   check "ok payload" (Protocol.Ok [ "X\tZ"; "e1\tred"; "e2\tblue" ]);
+  check "degraded empty" (Protocol.Degraded []);
+  check "degraded payload" (Protocol.Degraded [ "X"; "p1" ]);
+  (* a hint-less BUSY from an older peer parses leniently: hint 0, whole
+     rest as the message *)
+  Alcotest.(check bool)
+    "legacy BUSY readable" true
+    (let file = Filename.temp_file "plsrv" ".wire" in
+     Fun.protect
+       ~finally:(fun () -> Sys.remove file)
+       (fun () ->
+         let oc = open_out_bin file in
+         output_string oc "BUSY queue full\n";
+         close_out oc;
+         let ic = open_in_bin file in
+         Fun.protect
+           ~finally:(fun () -> close_in_noerr ic)
+           (fun () ->
+             Protocol.read_reply ic = Ok (Protocol.Busy (0, "queue full")))));
   (* embedded newlines are split into extra payload lines, keeping the
      frame self-describing *)
   Alcotest.(check bool)
@@ -325,6 +346,7 @@ let test_server_busy_shedding () =
             Alcotest.failf "expected BUSY, got %s"
               (match other with
               | Ok (Protocol.Ok _) -> "OK"
+              | Ok (Protocol.Degraded _) -> "DEGRADED"
               | Ok Protocol.Pong -> "PONG"
               | Ok (Protocol.Err (c, _)) -> Protocol.code_to_string c
               | Ok (Protocol.Busy _) -> "BUSY"
@@ -430,6 +452,132 @@ let test_server_unix_socket () =
   Alcotest.(check bool)
     "socket file unlinked on shutdown" false (Sys.file_exists path)
 
+(* ------------------------------------------------------------------ *)
+(* Budgets end to end: deadlines kill mid-evaluation, shutdown cancels
+   in-flight work, degraded models are marked on the wire.              *)
+
+(* Enough nodes that the triple cross-join enumerates tens of millions
+   of solutions — minutes of work, so only the deadline can end it. *)
+let slow_query_program =
+  let b = Buffer.create (1 lsl 16) in
+  for i = 0 to 299 do
+    Buffer.add_string b (Printf.sprintf "n%d : node. " i)
+  done;
+  Buffer.contents b
+
+let slow_query = "X : node, Y : node, Z : node"
+
+let test_mid_eval_timeout ~domains () =
+  let deadline = 0.1 in
+  let config =
+    {
+      Server.default_config with
+      workers = (if domains then 4 else 1);
+      pool_domains = domains;
+      deadline_s = Some deadline;
+    }
+  in
+  with_server ~config ~program:slow_query_program (fun _p srv ->
+      with_client srv (fun c ->
+          let t0 = Unix.gettimeofday () in
+          let reply = Client.request c ("QUERY " ^ slow_query) in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          (match reply with
+          | Ok (Protocol.Err (Protocol.Timeout, _)) -> ()
+          | _ -> Alcotest.fail "expected ERR TIMEOUT mid-evaluation");
+          Alcotest.(check bool)
+            (Printf.sprintf "killed within ~2x the deadline (%.3fs)" elapsed)
+            true
+            (elapsed < 2. *. deadline);
+          (* the server is fine: the next request is served *)
+          Alcotest.(check bool) "alive after kill" true (Client.ping c)))
+
+let test_shutdown_cancels_inflight () =
+  let config = { Server.default_config with workers = 1 } in
+  with_server ~config ~program:slow_query_program (fun _p srv ->
+      let result = ref None in
+      let th =
+        Thread.create
+          (fun () ->
+            with_client srv (fun c ->
+                result := Some (Client.request c ("QUERY " ^ slow_query))))
+          ()
+      in
+      Thread.delay 0.15;
+      (* the evaluation would run for minutes; shutdown must cancel it *)
+      let t0 = Unix.gettimeofday () in
+      Server.shutdown srv;
+      let drain = Unix.gettimeofday () -. t0 in
+      Thread.join th;
+      Alcotest.(check bool)
+        (Printf.sprintf "drain was prompt (%.3fs)" drain)
+        true (drain < 5.);
+      match !result with
+      | Some (Ok (Protocol.Err (Protocol.Cancelled, _))) -> ()
+      | Some (Error `Eof) ->
+        (* also acceptable: the reply raced the socket teardown *)
+        ()
+      | _ -> Alcotest.fail "expected ERR CANCELLED for the in-flight query")
+
+let test_degraded_marker () =
+  (* a program whose materialisation was cut short by a budget: every OK
+     answer over it must be marked DEGRADED on the wire, and the STATS
+     counters must say so *)
+  let config =
+    {
+      Pathlog.Fixpoint.default_config with
+      max_rounds = 1_000_000;
+      max_objects = 1_000_000_000;
+    }
+  in
+  let p =
+    Pathlog.Program.of_string ~config
+      "p0 : pair. X.left : pair <- X : pair."
+  in
+  ignore
+    (Pathlog.Program.run
+       ~budget:(Pathlog.Budget.create ~max_derivations:20 ()) p);
+  Alcotest.(check bool)
+    "program is degraded" true
+    (Pathlog.Program.degraded p <> None);
+  let srv =
+    Server.create
+      ~config:{ Server.default_config with workers = 1 }
+      ~program:p
+      (Server.Tcp ("127.0.0.1", 0))
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown srv)
+    (fun () ->
+      with_client srv (fun c ->
+          (match Client.query_marked c "p0 : pair" with
+          | Ok { Client.lines = [ "yes" ]; degraded = true } -> ()
+          | Ok { Client.degraded = false; _ } ->
+            Alcotest.fail "payload not marked DEGRADED"
+          | Ok _ -> Alcotest.fail "unexpected payload"
+          | Error msg -> Alcotest.fail msg);
+          (* plain [query] accepts the marked payload transparently *)
+          Alcotest.(check bool)
+            "query accepts DEGRADED" true
+            (Client.query c "p0 : pair" = Ok [ "yes" ]);
+          match Client.stats c with
+          | Error msg -> Alcotest.fail msg
+          | Ok lines ->
+            let has prefix =
+              List.exists (String.starts_with ~prefix) lines
+            in
+            Alcotest.(check bool)
+              "degraded_total counted" true
+              (List.exists
+                 (fun l ->
+                   String.starts_with ~prefix:"degraded_total " l
+                   && l <> "degraded_total 0")
+                 lines);
+            Alcotest.(check bool)
+              "cancelled_total present" true (has "cancelled_total ");
+            Alcotest.(check bool)
+              "injected_faults present" true (has "injected_faults ")))
+
 let suite =
   [
     Alcotest.test_case "protocol: parse requests" `Quick test_parse_request;
@@ -455,4 +603,12 @@ let suite =
       test_server_clean_shutdown;
     Alcotest.test_case "server: unix-domain socket" `Quick
       test_server_unix_socket;
+    Alcotest.test_case "server: mid-eval timeout, thread pool" `Quick
+      (test_mid_eval_timeout ~domains:false);
+    Alcotest.test_case "server: mid-eval timeout, domain pool" `Quick
+      (test_mid_eval_timeout ~domains:true);
+    Alcotest.test_case "server: shutdown cancels in-flight query" `Quick
+      test_shutdown_cancels_inflight;
+    Alcotest.test_case "server: DEGRADED marker and counters" `Quick
+      test_degraded_marker;
   ]

@@ -58,7 +58,278 @@ let evaluate_under_faults () =
   in
   go 0
 
-let main args =
+(* ------------------------------------------------------------------ *)
+(* Mutation storm: concurrent ASSERT/RETRACT writers plus subscribers
+   under the armed fault registry.
+
+   Invariants checked:
+   1. the server survives and every writer either gets a definite reply
+      or resolves a torn connection by probing for its own facts;
+   2. replaying the committed batch log into a fresh Live instance yields
+      a model bit-for-bit equal to the server's (writers own disjoint
+      fact namespaces, so per-writer order fully determines the result);
+   3. store invariants and the replay's support index are clean;
+   4. a subscriber's baseline plus its DELTA stream reconstructs the
+      final answer set of its standing query.
+
+   dune exec bench/main.exe -- chaos mutation [SEED] [WRITERS] [BATCHES] *)
+
+let mutation_base =
+  {|
+  seed0[edge ->> {seed1}]. seed1[edge ->> {seed2}].
+  X[tc ->> {Y}] <- X[edge ->> {Y}].
+  X[tc ->> {Y}] <- X[edge ->> {Z}] , Z[tc ->> {Y}].
+  |}
+
+type op = { op_retract : bool; op_text : string }
+
+let mutation_storm ~seed ~writers ~batches =
+  Printf.printf "=== chaos mutation: seed %d, %d writers x %d batches ===\n%!"
+    seed writers batches;
+  let failures = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+  in
+  let p = Pathlog.load mutation_base in
+  let config =
+    {
+      Pathlog.Server.default_config with
+      workers = 3;
+      queue_capacity = 2 * writers;
+      busy_retry_after_ms = 2;
+    }
+  in
+  let srv =
+    Pathlog.Server.create ~config ~program:p
+      (Pathlog.Server.Tcp ("127.0.0.1", 0))
+  in
+  let addr = Pathlog.Server.address srv in
+
+  (* Subscribe before the faults go live: DELTA pushes bypass the wire
+     fault point, so the stream stays intact through the storm and the
+     reconciliation below is exact. *)
+  let sub_query = "seed0[tc ->> {Y}]" in
+  let sub_conn = Pathlog.Client.connect addr in
+  let sub_rows = ref [] in
+  let sub_deltas = ref 0 in
+  (match Pathlog.Client.subscribe sub_conn sub_query with
+  | Ok s -> sub_rows := s.Pathlog.Client.baseline
+  | Error e -> fail "SUBSCRIBE failed before the storm: %s" e);
+
+  Fault.configure ~seed
+    [
+      (Fault.Store_write, Fault.Fail, 0.01);
+      (Fault.Solver_step, Fault.Delay 0.0002, 0.01);
+      (Fault.Wire_read, Fault.Fail, 0.005);
+      (Fault.Wire_write, Fault.Short, 0.005);
+      (Fault.Wire_write, Fault.Delay 0.001, 0.01);
+    ];
+
+  (* Writer k mutates only objects named wK_*: the namespaces are
+     disjoint, so any interleaving of the per-writer logs replays to the
+     same model. Ops: grow a private chain, sometimes link it under
+     seed2 (so the subscription sees it), sometimes retract a committed
+     edge. A torn connection mid-mutation is resolved by probing for the
+     batch's distinguishing fact on a fresh connection. *)
+  let logs = Array.make writers [] in
+  let torn = ref 0 and busy_shed = ref 0 and unresolved = ref 0 in
+  let tally = Mutex.create () in
+  let bump r = Mutex.lock tally; incr r; Mutex.unlock tally in
+  let writer_thread k =
+    let rng = Random.State.make [| seed; k |] in
+    let conn = ref (Pathlog.Client.connect addr) in
+    let committed = ref [] in
+    let mutate op probe_fact expect_present =
+      (* -> true when the op definitely committed *)
+      let rec attempt tries =
+        if tries > 6 then begin
+          bump unresolved;
+          false
+        end
+        else
+          let verb = if op.op_retract then "RETRACT" else "ASSERT" in
+          match
+            Pathlog.Client.request_with_retry ~max_attempts:6
+              ~base_delay_s:0.002
+              ~seed:((seed * 257) + k)
+              !conn (verb ^ " " ^ op.op_text)
+          with
+          | Ok (Pathlog.Protocol.Ok _) -> true
+          | Ok (Pathlog.Protocol.Busy _) ->
+            (* still shedding after the client's own retries *)
+            bump busy_shed;
+            attempt (tries + 1)
+          | Ok _ -> false
+          | Error (`Eof | `Malformed _) -> (
+            (* torn mid-mutation: did it commit? probe on a fresh
+               connection for the batch's distinguishing fact *)
+            bump torn;
+            Pathlog.Client.close !conn;
+            match Pathlog.Client.connect addr with
+            | exception Unix.Unix_error _ ->
+              bump unresolved;
+              false
+            | c -> (
+              conn := c;
+              match Pathlog.Client.query c probe_fact with
+              | Ok [ "yes" ] -> expect_present
+              | Ok [ "no" ] -> not expect_present || attempt (tries + 1)
+              | Ok _ | Error _ ->
+                bump unresolved;
+                false))
+      in
+      attempt 0
+    in
+    let next = ref 0 in
+    for _ = 1 to batches do
+      let retractable = !committed in
+      if retractable <> [] && Random.State.int rng 3 = 0 then begin
+        (* retract a previously committed edge *)
+        let i = Random.State.int rng (List.length retractable) in
+        let fact = List.nth retractable i in
+        let op = { op_retract = true; op_text = fact ^ "." } in
+        if mutate op fact false then begin
+          committed := List.filteri (fun j _ -> j <> i) retractable;
+          logs.(k) <- op :: logs.(k)
+        end
+      end
+      else begin
+        let a, b =
+          if Random.State.int rng 4 = 0 then
+            (* link the private chain under the seeds *)
+            ("seed2", Printf.sprintf "w%d_n%d" k (Random.State.int rng 5))
+          else begin
+            let i = !next in
+            incr next;
+            (Printf.sprintf "w%d_n%d" k (i mod 7),
+             Printf.sprintf "w%d_n%d" k ((i + 1 + Random.State.int rng 3) mod 7))
+          end
+        in
+        let fact = Printf.sprintf "%s[edge ->> {%s}]" a b in
+        if not (List.mem fact !committed) then begin
+          let op = { op_retract = false; op_text = fact ^ "." } in
+          if mutate op fact true then begin
+            committed := fact :: !committed;
+            logs.(k) <- op :: logs.(k)
+          end
+        end
+      end
+    done;
+    Pathlog.Client.close !conn
+  in
+  let threads = List.init writers (fun k -> Thread.create writer_thread k) in
+  (* drain the subscriber concurrently: apply DELTA frames in order *)
+  let storm_done = ref false in
+  let sub_thread =
+    Thread.create
+      (fun () ->
+        let rec drain () =
+          match Pathlog.Client.next_delta ~timeout_s:0.1 sub_conn with
+          | Some d ->
+            incr sub_deltas;
+            let removed = d.Pathlog.Protocol.vanished in
+            sub_rows :=
+              List.sort compare
+                (d.Pathlog.Protocol.appeared
+                @ List.filter (fun r -> not (List.mem r removed)) !sub_rows);
+            drain ()
+          | None -> if not !storm_done then drain ()
+        in
+        drain ())
+      ()
+  in
+  List.iter Thread.join threads;
+  let injected_total = Fault.injected_total () in
+  Fault.disable ();
+  (* let the last DELTA frames flush, then stop the drain *)
+  Thread.delay 0.3;
+  storm_done := true;
+  Thread.join sub_thread;
+
+  (* Reconciliation 1: the subscriber's maintained answer set equals a
+     fresh subscription's baseline. *)
+  (match Pathlog.Client.connect addr with
+  | exception Unix.Unix_error (e, _, _) ->
+    fail "server dead after the storm: %s" (Unix.error_message e)
+  | c ->
+    (match Pathlog.Client.subscribe c sub_query with
+    | Ok s ->
+      if List.sort compare s.Pathlog.Client.baseline
+         <> List.sort compare !sub_rows
+      then
+        fail "subscriber drift: baseline+deltas %d rows, server %d rows"
+          (List.length !sub_rows)
+          (List.length s.Pathlog.Client.baseline)
+    | Error e -> fail "post-storm SUBSCRIBE failed: %s" e);
+    Pathlog.Client.close c);
+  Pathlog.Server.request_stop srv;
+  Pathlog.Server.shutdown srv;
+
+  (* Reconciliation 2: replay the committed batch log into a fresh Live
+     instance; the models must agree exactly, and both the server store's
+     invariants and the replay's support index must be clean. *)
+  let replay = Pathlog.Live.attach (Pathlog.load mutation_base) in
+  let replayed = ref 0 in
+  Array.iter
+    (fun ops ->
+      List.iter
+        (fun op ->
+          incr replayed;
+          try
+            if op.op_retract then
+              ignore
+                (Pathlog.Live.retract_batch replay op.op_text
+                  : Pathlog.Live.batch_stats)
+            else
+              ignore
+                (Pathlog.Live.assert_batch replay op.op_text
+                  : Pathlog.Live.batch_stats)
+          with Pathlog.Live.Rejected m ->
+            fail "replay rejected %S: %s" op.op_text m)
+        (List.rev ops))
+    logs;
+  let added, removed =
+    Pathlog.Program.diff_models
+      ~before:(Pathlog.Live.program replay)
+      ~after:p
+  in
+  if added <> [] || removed <> [] then
+    fail "server model differs from batch-log replay (+%d -%d)"
+      (List.length added) (List.length removed);
+  (match Pathlog.Store.check_invariants (Pathlog.Program.store p) with
+  | [] -> ()
+  | broken ->
+    List.iter (fun m -> fail "server store invariant: %s" m) broken);
+  (match Pathlog.Live.check_support replay with
+  | [] -> ()
+  | broken -> List.iter (fun m -> fail "replay support index: %s" m) broken);
+
+  Printf.printf
+    "committed batches: %d replayed; %d torn connections, %d busy sheds, \
+     %d unresolved; %d DELTA frames\n"
+    !replayed !torn !busy_shed !unresolved !sub_deltas;
+  Printf.printf "injected faults: %d total\n" injected_total;
+  Pathlog.Client.close sub_conn;
+  if injected_total = 0 then
+    fail "the storm injected nothing — the harness is not testing faults";
+  match !failures with
+  | [] -> print_endline "chaos mutation: ok"
+  | fs ->
+    List.iter (fun m -> Printf.printf "chaos FAILURE: %s\n" m) (List.rev fs);
+    exit 1
+
+let rec main args =
+  match args with
+  | "mutation" :: rest ->
+    let arg i default =
+      match List.nth_opt rest i with
+      | Some s -> int_of_string s
+      | None -> default
+    in
+    mutation_storm ~seed:(arg 0 1) ~writers:(arg 1 4) ~batches:(arg 2 40)
+  | _ -> query_storm args
+
+and query_storm args =
   let arg i default =
     match List.nth_opt args i with
     | Some s -> int_of_string s

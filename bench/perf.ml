@@ -316,6 +316,103 @@ let isa_closure_growth ~reps =
        ops = insert+query pairs";
   }
 
+(* Live-mutation write path: 200 ASSERT batches of 25 chain edges each,
+   every batch a disjoint 26-node chain so the semi-naive maintenance
+   rounds only touch that batch's delta (25 edges + 325 reach facts). *)
+let assert_batch ~reps =
+  let batches = 200 and per = 25 in
+  let base =
+    "seed[edge ->> {seed}]. X[reach ->> {Y}] <- X[edge ->> {Y}]. X[reach ->> \
+     {Y}] <- X[edge ->> {Z}], Z[reach ->> {Y}]."
+  in
+  let batch_text j =
+    let b = Buffer.create (per * 32) in
+    for i = 0 to per - 1 do
+      Buffer.add_string b (Printf.sprintf "c%d_%d[edge ->> {c%d_%d}]. " j i j (i + 1))
+    done;
+    Buffer.contents b
+  in
+  let texts = Array.init batches batch_text in
+  (* per batch: [per] edge facts + tc over a (per+1)-node chain *)
+  let expected = batches * ((per * (per + 1) / 2) + per) in
+  let run () =
+    let live = Pathlog.Live.attach (Pathlog.load base) in
+    let total = ref 0 in
+    Array.iter
+      (fun text ->
+        let stats = Pathlog.Live.assert_batch live text in
+        total := !total + List.length stats.Pathlog.Live.added)
+      texts;
+    !total
+  in
+  let total, w = best_of reps run in
+  if total <> expected then
+    failwith
+      (Printf.sprintf "assert_batch: %d net facts added, expected %d" total
+         expected);
+  {
+    name = Printf.sprintf "assert_batch_%dx%d" batches per;
+    wall_s = w;
+    ops_per_s = Some (float_of_int batches /. w);
+    rule_evaluations = None;
+    firings = None;
+    rounds = None;
+    speedup_vs_1j = None;
+    detail =
+      "200 ASSERT batches of 25 chain edges into a live reach closure; ops = \
+       batches";
+  }
+
+(* DRed stress: transitive closure of a 400-edge chain with n4k -> n4k+2
+   shortcut rungs. Retracting n200 -> n201 over-deletes every tc fact
+   whose recorded derivation crossed that edge, then the re-derivation
+   pass restores the (still reachable, via the rung) downstream closure;
+   re-asserting restores the model, so retract+assert pairs repeat
+   cleanly under the timer. *)
+let retract_rederive ~target =
+  let n = 400 in
+  let b = Buffer.create (n * 40) in
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "n%d[edge ->> {n%d}]. " i (i + 1))
+  done;
+  for k = 0 to (n / 4) - 1 do
+    Buffer.add_string b (Printf.sprintf "n%d[edge ->> {n%d}]. " (4 * k) ((4 * k) + 2))
+  done;
+  Buffer.add_string b "X[tc ->> {Y}] <- X[edge ->> {Y}]. ";
+  Buffer.add_string b "X[tc ->> {Y}] <- X[edge ->> {Z}], Z[tc ->> {Y}].";
+  let live = Pathlog.Live.attach (Pathlog.load (Buffer.contents b)) in
+  let victim = "n200[edge ->> {n201}]." in
+  (* Validate the workload shape once, outside the timer: the retract
+     must take the over-delete / re-derive path and leave the rest of
+     the chain reachable through the rung. *)
+  let stats = Pathlog.Live.retract_batch live victim in
+  if stats.Pathlog.Live.strategy <> Pathlog.Live.Dred then
+    failwith "retract_rederive: expected a DRed retract";
+  let holds q = Pathlog.holds (Pathlog.Live.program live) q in
+  if holds "n0[tc ->> {n201}]" then
+    failwith "retract_rederive: n201 still reachable after retract";
+  if not (holds (Printf.sprintf "n0[tc ->> {n%d}]" n)) then
+    failwith "retract_rederive: chain tail not re-derived via the rung";
+  ignore (Pathlog.Live.assert_batch live victim);
+  let run () =
+    ignore (Pathlog.Live.retract_batch live victim);
+    ignore (Pathlog.Live.assert_batch live victim)
+  in
+  let ops, w = measure_ops ~target run in
+  {
+    name = Printf.sprintf "retract_reDerive_tc_%d" n;
+    wall_s = w;
+    ops_per_s = Some ops;
+    rule_evaluations = None;
+    firings = None;
+    rounds = None;
+    speedup_vs_1j = None;
+    detail =
+      "retract+assert of a mid-chain edge in tc(chain 400 + rungs); each \
+       retract over-deletes and re-derives the downstream closure; ops = \
+       retract+assert pairs";
+  }
+
 let server_queries =
   [|
     "X : employee..vehicles : automobile.color[Z]";
@@ -714,6 +811,8 @@ let main args =
         (fun () -> company_queries ~target);
         (fun () -> recv_set_query ~target);
         (fun () -> isa_closure_growth ~reps);
+        (fun () -> assert_batch ~reps);
+        (fun () -> retract_rederive ~target);
         (fun () -> server_throughput ~requests);
         (fun () ->
           let s = fixpoint_par ~jobs:1 ~reps ~base:None in
@@ -733,7 +832,7 @@ let main args =
         ( "meta",
           Obj
             [
-              ("pr", Num 4.);
+              ("pr", Num 6.);
               ("mode", Str (if quick then "quick" else "full"));
               ("jobs", Num (float_of_int jobs));
               ( "cores",

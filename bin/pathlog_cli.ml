@@ -374,8 +374,27 @@ let is_raw_request line =
   | None -> false
   | Some i -> (
     match String.uppercase_ascii (String.sub line 0 i) with
-    | "PING" | "STATS" | "QUERY" | "WHY" | "QUIT" -> true
+    | "PING" | "STATS" | "QUERY" | "WHY" | "ASSERT" | "RETRACT"
+    | "SUBSCRIBE" | "QUIT" ->
+      true
     | _ -> false)
+
+(* Drain DELTA frames pushed to this session's subscriptions. Called
+   between REPL turns; non-blocking beyond [timeout_s]. *)
+let drain_deltas c =
+  let rec go () =
+    match Pathlog.Client.next_delta ~timeout_s:0.05 c with
+    | None -> ()
+    | Some d ->
+      List.iter
+        (fun r -> Printf.printf "DELTA %d + %s\n" d.Pathlog.Protocol.sub_id r)
+        d.Pathlog.Protocol.appeared;
+      List.iter
+        (fun r -> Printf.printf "DELTA %d - %s\n" d.Pathlog.Protocol.sub_id r)
+        d.Pathlog.Protocol.vanished;
+      go ()
+  in
+  go ()
 
 let connect_cmd host port unix_sock queries =
   let addr = server_address ~host ~port ~unix_sock in
@@ -399,9 +418,11 @@ let connect_cmd host port unix_sock queries =
       else begin
         Format.printf
           "connected to %a; enter queries, or PING / STATS / WHY <fact> / \
-           QUIT. Ctrl-D exits.@."
+           ASSERT <facts> / RETRACT <facts> / SUBSCRIBE <query> / QUIT. \
+           Ctrl-D exits.@."
           Pathlog.Server.pp_address addr;
         let rec loop () =
+          drain_deltas c;
           print_string "> ";
           match read_line () with
           | exception End_of_file -> ()

@@ -52,13 +52,17 @@ let scan_tuples store which env meth =
       | `Set -> Store.set_meths store)
   in
   List.concat_map
-    (fun m -> List.map (fun e -> (m, e)) (Oodb.Vec.to_list (buckets m)))
+    (fun m ->
+      List.filter_map
+        (fun e -> if Store.live e then Some (m, e) else None)
+        (Oodb.Vec.to_list (buckets m)))
     meths
 
 let isa_pairs store =
   let sources = ref Set.empty in
   Oodb.Vec.iter
-    (fun (src, _) -> sources := Set.add src !sources)
+    (fun (e : Store.ientry) ->
+      if Store.isa_live e then sources := Set.add e.i_sub !sources)
     (Store.isa_log store);
   Set.fold
     (fun o acc ->

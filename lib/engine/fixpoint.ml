@@ -188,10 +188,11 @@ let interrupt_of budget =
 (* Execute the rule head under one body solution, recording provenance
    and counting insertions; shared by the sequential path and the
    parallel merge phase. *)
-let fire ?provenance stats store (rule : Rule.t) binding changes =
+let fire ?provenance ?tracer ?(on_insert = fun _ -> ()) stats store
+    (rule : Rule.t) binding changes =
   stats.firings <- stats.firings + 1;
   let env = env_of_binding rule.body binding in
-  let on_insert =
+  let record_prov =
     match provenance with
     | None -> fun _ -> ()
     | Some prov ->
@@ -210,21 +211,35 @@ let fire ?provenance stats store (rule : Rule.t) binding changes =
         in
         Provenance.record prov fact source
   in
+  let on_insert fact =
+    record_prov fact;
+    on_insert fact
+  in
   let before = !changes in
-  ignore
-    (Head.execute ~on_insert store ~env ~rule:rule.source ~changes
-       rule.source.head);
+  (match tracer with
+  | None ->
+    ignore
+      (Head.execute ~on_insert store ~env ~rule:rule.source ~changes
+         rule.source.head)
+  | Some tr ->
+    let heads = ref [] in
+    ignore
+      (Head.execute ~on_insert
+         ~on_assert:(fun f -> heads := f :: !heads)
+         store ~env ~rule:rule.source ~changes rule.source.head);
+    tr rule binding (List.rev !heads));
   stats.insertions <- stats.insertions + (!changes - before)
 
 (* Evaluate one rule, optionally seeded, executing the head on every body
    solution. *)
-let evaluate ?provenance ?interrupt config plans stats store (rule : Rule.t)
-    seed changes =
+let evaluate ?provenance ?tracer ?on_insert ?interrupt config plans stats
+    store (rule : Rule.t) seed changes =
   stats.rule_evaluations <- stats.rule_evaluations + 1;
   let plan = plan_for plans config store rule seed in
   Semantics.Solve.iter ~order:config.order ~hilog_virtual:config.hilog_virtual
     ?interrupt ?seed ?plan store rule.body
-    ~f:(fun binding -> fire ?provenance stats store rule binding changes)
+    ~f:(fun binding ->
+      fire ?provenance ?tracer ?on_insert stats store rule binding changes)
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel rounds.
@@ -253,15 +268,15 @@ type task = {
 let task rule seed =
   { t_rule = rule; t_seed = seed; t_plan = None; t_out = Oodb.Vec.create () }
 
-let run_tasks ?provenance ?interrupt config plans pool stats store tasks
-    changes =
+let run_tasks ?provenance ?tracer ?on_insert ?interrupt config plans pool
+    stats store tasks changes =
   match (pool : Dpool.t option) with
   | None ->
     List.iter
       (fun t ->
         (match config.budget with Some b -> Budget.check b | None -> ());
-        evaluate ?provenance ?interrupt config plans stats store t.t_rule
-          t.t_seed changes)
+        evaluate ?provenance ?tracer ?on_insert ?interrupt config plans stats
+          store t.t_rule t.t_seed changes)
       tasks
   | Some pool ->
     let tasks = Array.of_list tasks in
@@ -285,7 +300,9 @@ let run_tasks ?provenance ?interrupt config plans pool stats store tasks
     Array.iter
       (fun t ->
         Oodb.Vec.iter
-          (fun binding -> fire ?provenance stats store t.t_rule binding changes)
+          (fun binding ->
+            fire ?provenance ?tracer ?on_insert stats store t.t_rule binding
+              changes)
           t.t_out)
       tasks
 
@@ -306,13 +323,26 @@ let check_budget config stats store stratum_rounds =
   | None -> ()
   | Some b -> Budget.check_caps b ~derivations:stats.firings ~objects:card
 
-let run_stratum ?provenance ?interrupt config plans pool stats store rules =
+let run_stratum ?provenance ?tracer ?on_insert ?from ?interrupt config plans
+    pool stats store rules =
   let itn = Interner.create () in
   let crules = List.map (crule_of itn) rules in
   (* marks at the start of the previous round: the delta a seeded atom
-     scans starts there *)
-  let prev_marks = ref (snapshot itn store) in
-  let prev_epoch = ref (Store.epoch store) in
+     scans starts there. With a [from] baseline the marks start at the
+     caller's watermarks instead of the current lengths, so the first
+     round is an ordinary semi-naive delta round over everything inserted
+     since the baseline — incremental maintenance re-enters the fixpoint
+     here. *)
+  let prev_marks =
+    ref
+      (match from with
+      | None -> snapshot itn store
+      | Some baseline ->
+        ignore (snapshot itn store : int array);
+        Array.init itn.Interner.count (fun id ->
+            baseline itn.Interner.rels.(id)))
+  in
+  let prev_epoch = ref (match from with None -> Store.epoch store | Some _ -> -1) in
   let round = ref 0 in
   let continue = ref true in
   (* round 1: full evaluation of every rule *)
@@ -320,7 +350,8 @@ let run_stratum ?provenance ?interrupt config plans pool stats store rules =
     incr round;
     stats.rounds <- stats.rounds + 1;
     let changes = ref 0 in
-    run_tasks ?provenance ?interrupt config plans pool stats store
+    run_tasks ?provenance ?tracer ?on_insert ?interrupt config plans pool
+      stats store
       (List.map (fun r -> task r None) rules)
       changes;
     !changes > 0
@@ -383,8 +414,8 @@ let run_stratum ?provenance ?interrupt config plans pool stats store rules =
                 end)
               crules
         in
-        run_tasks ?provenance ?interrupt config plans pool stats store tasks
-          changes;
+        run_tasks ?provenance ?tracer ?on_insert ?interrupt config plans
+          pool stats store tasks changes;
         prev_marks := now;
         prev_epoch := now_epoch;
         !changes > 0
@@ -392,13 +423,16 @@ let run_stratum ?provenance ?interrupt config plans pool stats store rules =
     end
   in
   if rules <> [] then begin
-    continue := first_round ();
+    (* with a baseline the "first full round" already happened when the
+       stratum was first evaluated; everything since is delta *)
+    continue := (match from with None -> first_round () | Some _ -> true);
     while !continue do
       continue := next_round ()
     done
   end
 
-let run ?(config = default_config) ?provenance store (strat : Stratify.t) =
+let run ?(config = default_config) ?provenance ?tracer ?on_insert ?from
+    store (strat : Stratify.t) =
   let stats =
     {
       rounds = 0;
@@ -427,8 +461,8 @@ let run ?(config = default_config) ?provenance store (strat : Stratify.t) =
       try
         Array.iter
           (fun rules ->
-            run_stratum ?provenance ?interrupt config plans pool stats store
-              (keep rules))
+            run_stratum ?provenance ?tracer ?on_insert ?from ?interrupt
+              config plans pool stats store (keep rules))
           strat.strata
       with Budget.Exhausted reason -> stats.degraded <- Some reason);
   stats

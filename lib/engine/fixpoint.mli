@@ -94,6 +94,31 @@ val interrupt_of : Budget.t option -> (unit -> unit) option
     @raise Err.Reserved_self
     @raise Err.Diverged *)
 val run :
-  ?config:config -> ?provenance:Provenance.t -> Oodb.Store.t -> Stratify.t ->
+  ?config:config ->
+  ?provenance:Provenance.t ->
+  ?tracer:(Rule.t -> Oodb.Obj_id.t array -> Fact.t list -> unit) ->
+  ?on_insert:(Fact.t -> unit) ->
+  ?from:(Semantics.Ir.rel -> int) ->
+  Oodb.Store.t ->
+  Stratify.t ->
   stats
-(** [provenance] records the first derivation of every inserted tuple. *)
+(** [provenance] records the first derivation of every inserted tuple.
+
+    [on_insert] is called once per tuple actually inserted, after
+    provenance recording — the hook incremental maintenance uses to track
+    the net model delta of a run.
+
+    [tracer rule binding heads] is called once per rule firing with the
+    body solution and every fact the head asserted — inserted {e or}
+    already present — in assertion order. Incremental maintenance records
+    these as derivations. Called from the merge phase under [jobs > 1], so
+    it runs single-threaded either way.
+
+    [from] gives a per-relation watermark (a bucket/log length captured
+    earlier). When set, every stratum skips its full first round and goes
+    straight to semi-naive delta rounds seeded at the watermark: only
+    rules reading a relation that grew past its watermark re-evaluate.
+    This is how a committed batch of new facts propagates without
+    re-running the whole program. The watermarks must come from a moment
+    no later than the insertions to propagate (raw lengths are
+    append-monotone; tombstoned entries still count). *)

@@ -14,7 +14,8 @@ let write_faults () =
     attempt 0
   end
 
-let execute ?(on_insert = fun _ -> ()) store ~env ~rule ~changes head =
+let execute ?(on_insert = fun _ -> ()) ?(on_assert = fun _ -> ()) store ~env
+    ~rule ~changes head =
   write_faults ();
   let self_id = Store.name store "self" in
   let add_scalar ~meth ~recv ~args ~res =
@@ -25,8 +26,9 @@ let execute ?(on_insert = fun _ -> ()) store ~env ~rule ~changes head =
       match Store.add_scalar store ~meth ~recv ~args ~res with
       | Added ->
         incr changes;
-        on_insert (Fact.F_scalar { meth; recv; args; res })
-      | Duplicate -> ()
+        on_insert (Fact.F_scalar { meth; recv; args; res });
+        on_assert (Fact.F_scalar { meth; recv; args; res })
+      | Duplicate -> on_assert (Fact.F_scalar { meth; recv; args; res })
       | Conflict existing ->
         raise
           (Err.Functional_conflict
@@ -45,15 +47,17 @@ let execute ?(on_insert = fun _ -> ()) store ~env ~rule ~changes head =
       match Store.add_set store ~meth ~recv ~args ~res with
       | SAdded ->
         incr changes;
-        on_insert (Fact.F_set { meth; recv; args; res })
-      | SDuplicate -> ()
+        on_insert (Fact.F_set { meth; recv; args; res });
+        on_assert (Fact.F_set { meth; recv; args; res })
+      | SDuplicate -> on_assert (Fact.F_set { meth; recv; args; res })
   in
   let add_isa o c =
     match Store.add_isa store o c with
     | IAdded ->
       incr changes;
-      on_insert (Fact.F_isa (o, c))
-    | IDuplicate -> ()
+      on_insert (Fact.F_isa (o, c));
+      on_assert (Fact.F_isa (o, c))
+    | IDuplicate -> on_assert (Fact.F_isa (o, c))
     | ICycle -> raise (Err.Isa_cycle (o, c))
   in
   (* Locate the single object a scalar head sub-reference denotes, creating

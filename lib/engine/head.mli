@@ -24,6 +24,7 @@
 
 val execute :
   ?on_insert:(Fact.t -> unit) ->
+  ?on_assert:(Fact.t -> unit) ->
   Oodb.Store.t ->
   env:Semantics.Valuation.env ->
   rule:Syntax.Ast.rule ->
@@ -31,4 +32,7 @@ val execute :
   Syntax.Ast.reference ->
   Oodb.Obj_id.t
 (** [on_insert] is called once per tuple actually inserted (provenance
-    recording). *)
+    recording). [on_assert] is called once per tuple the head {e asserts} —
+    whether it was freshly inserted or already present — which is what
+    support counting needs: a derivation supports its head facts even when
+    another derivation got there first. *)

@@ -98,6 +98,7 @@ let of_string ?config text =
     invalid "%a: %s" Syntax.Token.pp_pos pos msg
 
 let store t = t.store
+let config t = t.config
 let universe t = Oodb.Store.universe t.store
 let rules t = t.rules
 let signatures t = t.signatures

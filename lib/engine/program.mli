@@ -44,6 +44,10 @@ val load_signature :
 
 val store : t -> Oodb.Store.t
 
+(** The fixpoint configuration the program was created with (incremental
+    maintenance re-enters the fixpoint with it). *)
+val config : t -> Fixpoint.config
+
 val universe : t -> Oodb.Universe.t
 
 val rules : t -> Rule.t list

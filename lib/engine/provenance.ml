@@ -29,6 +29,8 @@ let record t fact source =
 
 let lookup t fact = Fact_tbl.find_opt t fact
 
+let forget t fact = Fact_tbl.remove t fact
+
 let size t = Fact_tbl.length t
 
 (* A chain of direct class edges from [o] up to [c]; the facts supporting a
@@ -36,7 +38,10 @@ let size t = Fact_tbl.length t
 let isa_support store o c =
   let direct_parents x =
     Oodb.Vec.fold
-      (fun acc (src, dst) -> if Oodb.Obj_id.equal src x then dst :: acc else acc)
+      (fun acc (e : Oodb.Store.ientry) ->
+        if Oodb.Store.isa_live e && Oodb.Obj_id.equal e.i_sub x then
+          e.i_cls :: acc
+        else acc)
       []
       (Oodb.Store.isa_log store)
   in

@@ -34,7 +34,18 @@ val record : t -> Fact.t -> source -> unit
 
 val lookup : t -> Fact.t -> source option
 
+(** Drop the recorded derivation of a fact (retraction support: a
+    tombstoned fact must stop explaining itself). *)
+val forget : t -> Fact.t -> unit
+
 val size : t -> int
+
+(** The ground facts one solution of a rule body rests on: method atoms as
+    facts, memberships expanded to a chain of direct class edges. Exposed
+    for incremental maintenance, which records them as a derivation's
+    support set. *)
+val body_facts :
+  Oodb.Store.t -> Semantics.Ir.query -> Oodb.Obj_id.t array -> Fact.t list
 
 (** Build the proof tree of a recorded fact. [max_depth] truncates (cycles
     cannot occur — provenance records first derivations, which are

@@ -129,7 +129,7 @@ let edb_tuples st key pattern =
   in
   Oodb.Vec.fold
     (fun acc (e : Store.mentry) ->
-      if List.length e.args <> key.arity then acc
+      if (not (Store.live e)) || List.length e.args <> key.arity then acc
       else
         let tuple = (e.recv :: e.args) @ [ e.res ] in
         if matches_pattern pattern tuple then tuple :: acc else acc)
@@ -223,7 +223,8 @@ let eval_isa st binding o c k =
   | None, None ->
     let sources = ref Set.empty in
     Oodb.Vec.iter
-      (fun (src, _) -> sources := Set.add src !sources)
+      (fun (e : Store.ientry) ->
+        if Store.isa_live e then sources := Set.add e.i_sub !sources)
       (Store.isa_log st.store);
     Set.iter
       (fun uo ->

@@ -74,20 +74,22 @@ let check_tuple store t ~scalarity ~meth (e : Store.mentry) acc =
 let check store t ~mode =
   let acc = ref [] in
   let handle scalarity meth (e : Store.mentry) =
-    let coverage, acc' = check_tuple store t ~scalarity ~meth e !acc in
-    acc := acc';
-    match coverage, mode with
-    | `No_signature, `Strict ->
-      acc :=
-        {
-          entry = no_signature_entry meth;
-          v_recv = e.recv;
-          v_args = e.args;
-          v_res = e.res;
-          reason = "no signature covers this method application";
-        }
-        :: !acc
-    | (`No_signature | `Covered), _ -> ()
+    if Store.live e then begin
+      let coverage, acc' = check_tuple store t ~scalarity ~meth e !acc in
+      acc := acc';
+      match coverage, mode with
+      | `No_signature, `Strict ->
+        acc :=
+          {
+            entry = no_signature_entry meth;
+            v_recv = e.recv;
+            v_args = e.args;
+            v_res = e.res;
+            reason = "no signature covers this method application";
+          }
+          :: !acc
+      | (`No_signature | `Covered), _ -> ()
+    end
   in
   List.iter
     (fun m -> Vec.iter (handle Scalar m) (Store.scalar_bucket store m))

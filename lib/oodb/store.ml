@@ -1,4 +1,20 @@
-type mentry = { recv : Obj_id.t; args : Obj_id.t list; res : Obj_id.t }
+(* [dead] is max_int while the tuple is live; a removal stamps it with the
+   epoch the removal produced. One record is physically shared between the
+   method bucket, the inverse index and the receiver index, so the single
+   field write hides the tuple everywhere at once while every index keeps
+   its append-only shape (watermark-based semi-naive deltas and epoch
+   snapshots stay valid). *)
+type mentry = {
+  recv : Obj_id.t;
+  args : Obj_id.t list;
+  res : Obj_id.t;
+  mutable dead : int;
+}
+
+type ientry = { i_sub : Obj_id.t; i_cls : Obj_id.t; mutable i_dead : int }
+
+let live e = e.dead = max_int
+let isa_live e = e.i_dead = max_int
 
 type scalar_insert = Added | Duplicate | Conflict of Obj_id.t
 type set_insert = SAdded | SDuplicate
@@ -24,7 +40,7 @@ type t = {
   hier_lock : Mutex.t;
   parents : Obj_id.Set.t Obj_id.Tbl.t;
   children : Obj_id.Set.t Obj_id.Tbl.t;
-  isa_log : (Obj_id.t * Obj_id.t) Vec.t;
+  isa_log : ientry Vec.t;
   mutable class_list : Obj_id.t list;
   class_seen : unit Obj_id.Tbl.t;
   (* memoized closures, maintained incrementally as edges are added *)
@@ -183,7 +199,7 @@ let add_isa st o c =
     let desc = Obj_id.Set.add o (closure st.down_cache st.children o) in
     Obj_id.Tbl.replace st.parents o (Obj_id.Set.add c (direct st.parents o));
     Obj_id.Tbl.replace st.children c (Obj_id.Set.add o (direct st.children c));
-    Vec.push st.isa_log (o, c);
+    Vec.push st.isa_log { i_sub = o; i_cls = c; i_dead = max_int };
     st.tuple_count <- st.tuple_count + 1;
     st.epoch <- st.epoch + 1;
     if not (Obj_id.Tbl.mem st.class_seen c) then begin
@@ -261,7 +277,7 @@ let add_scalar st ~meth ~recv ~args ~res =
     (match args with
     | [] -> Hashtbl.add st.scalar0 (pack meth recv) res
     | _ -> Hashtbl.add st.scalar (meth, recv, args) res);
-    let entry = { recv; args; res } in
+    let entry = { recv; args; res; dead = max_int } in
     let b = bucket st.scalar_buckets meth in
     if Vec.length b = 0 then st.scalar_meth_list <- meth :: st.scalar_meth_list;
     Vec.push b entry;
@@ -321,7 +337,7 @@ let add_set st ~meth ~recv ~args ~res =
   if Obj_id.Set.mem res !set then SDuplicate
   else begin
     set := Obj_id.Set.add res !set;
-    let entry = { recv; args; res } in
+    let entry = { recv; args; res; dead = max_int } in
     let b = bucket st.set_buckets meth in
     if Vec.length b = 0 then st.set_meth_list <- meth :: st.set_meth_list;
     Vec.push b entry;
@@ -361,6 +377,89 @@ let set_recv_keys st meth =
   | None -> 0
 
 let set_meths st = List.rev st.set_meth_list
+
+(* ------------------------------------------------------------------ *)
+(* Removal (tombstoning)                                               *)
+
+(* A removal updates the primary tables physically (lookups answer the
+   live state immediately) and tombstones the shared index record by
+   stamping [dead] with the post-bump epoch: a snapshot frozen at epoch E
+   still sees entries with [dead > E], later snapshots do not. Buckets
+   never shrink, so watermarks held by in-flight semi-naive evaluations
+   stay monotone; a re-assertion after a removal appends a fresh entry. *)
+
+let stamp st (e : mentry) =
+  st.epoch <- st.epoch + 1;
+  e.dead <- st.epoch;
+  st.tuple_count <- st.tuple_count - 1
+
+let find_live v ~args ~res =
+  let n = Vec.length v in
+  let rec go i =
+    if i >= n then None
+    else
+      let e = Vec.get v i in
+      if live e && e.args = args && Obj_id.equal e.res res then Some e
+      else go (i + 1)
+  in
+  go 0
+
+let remove_scalar st ~meth ~recv ~args ~res =
+  match scalar_lookup st ~meth ~recv ~args with
+  | Some existing when Obj_id.equal existing res -> (
+    match find_live (scalar_recv_index st ~meth ~recv) ~args ~res with
+    | None -> false
+    | Some e ->
+      (match args with
+      | [] -> Hashtbl.remove st.scalar0 (pack meth recv)
+      | _ -> Hashtbl.remove st.scalar (meth, recv, args));
+      stamp st e;
+      true)
+  | Some _ | None -> false
+
+let remove_set st ~meth ~recv ~args ~res =
+  let set =
+    match args with
+    | [] -> Hashtbl.find_opt st.set0 (pack meth recv)
+    | _ -> Hashtbl.find_opt st.set_members (meth, recv, args)
+  in
+  match set with
+  | Some r when Obj_id.Set.mem res !r -> (
+    match find_live (set_recv_index st ~meth ~recv) ~args ~res with
+    | None -> false
+    | Some e ->
+      r := Obj_id.Set.remove res !r;
+      stamp st e;
+      true)
+  | Some _ | None -> false
+
+let remove_isa st o c =
+  if not (Obj_id.Set.mem c (direct st.parents o)) then false
+  else begin
+    Mutex.lock st.hier_lock;
+    Obj_id.Tbl.replace st.parents o (Obj_id.Set.remove c (direct st.parents o));
+    Obj_id.Tbl.replace st.children c
+      (Obj_id.Set.remove o (direct st.children c));
+    (* additions patch the closure caches incrementally; removals
+       invalidate wholesale and let the caches rebuild lazily from the
+       updated adjacency *)
+    Obj_id.Tbl.reset st.up_cache;
+    Obj_id.Tbl.reset st.down_cache;
+    (try
+       Vec.iter
+         (fun e ->
+           if isa_live e && Obj_id.equal e.i_sub o && Obj_id.equal e.i_cls c
+           then begin
+             st.epoch <- st.epoch + 1;
+             e.i_dead <- st.epoch;
+             raise Exit
+           end)
+         st.isa_log
+     with Exit -> ());
+    st.tuple_count <- st.tuple_count - 1;
+    Mutex.unlock st.hier_lock;
+    true
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Epoch snapshots                                                     *)
@@ -411,13 +510,25 @@ let iter_upto f v n =
     f (Vec.get v i)
   done
 
-let snapshot_iter_isa s f = iter_upto f s.s_store.isa_log s.s_isa_len
+(* A tuple is visible to a snapshot iff it was appended before the freeze
+   (index below the pinned length) and not yet removed at the freeze
+   ([dead > s_epoch]: removals stamp the post-bump epoch). *)
+let snapshot_iter_isa s f =
+  iter_upto
+    (fun e -> if e.i_dead > s.s_epoch then f (e.i_sub, e.i_cls))
+    s.s_store.isa_log s.s_isa_len
 
 let snapshot_iter_scalar s m f =
-  iter_upto f (scalar_bucket s.s_store m) (pinned s.s_scalar_lens m)
+  iter_upto
+    (fun e -> if e.dead > s.s_epoch then f e)
+    (scalar_bucket s.s_store m)
+    (pinned s.s_scalar_lens m)
 
 let snapshot_iter_set s m f =
-  iter_upto f (set_bucket s.s_store m) (pinned s.s_set_lens m)
+  iter_upto
+    (fun e -> if e.dead > s.s_epoch then f e)
+    (set_bucket s.s_store m)
+    (pinned s.s_set_lens m)
 
 (* ------------------------------------------------------------------ *)
 (* Statistics and printing                                             *)
@@ -429,24 +540,46 @@ type stats = {
   set_tuples : int;
 }
 
+let live_count v = Vec.fold (fun acc e -> if live e then acc + 1 else acc) 0 v
+
 let stats st =
   let count_buckets tbl =
-    Obj_id.Tbl.fold (fun _ v acc -> acc + Vec.length v) tbl 0
+    Obj_id.Tbl.fold (fun _ v acc -> acc + live_count v) tbl 0
   in
   {
     objects = Universe.cardinality st.universe;
-    isa_edges = Vec.length st.isa_log;
+    isa_edges =
+      Vec.fold (fun acc e -> if isa_live e then acc + 1 else acc) 0 st.isa_log;
     scalar_tuples = count_buckets st.scalar_buckets;
     set_tuples = count_buckets st.set_buckets;
   }
 
 let snapshot_stats s =
-  let sum tbl = Obj_id.Tbl.fold (fun _ n acc -> acc + n) tbl 0 in
+  let visible buckets lens =
+    Obj_id.Tbl.fold
+      (fun m pinned_len acc ->
+        let n = ref 0 in
+        (match Obj_id.Tbl.find_opt buckets m with
+        | None -> ()
+        | Some v ->
+          iter_upto
+            (fun (e : mentry) -> if e.dead > s.s_epoch then incr n)
+            v pinned_len);
+        acc + !n)
+      lens 0
+  in
+  let isa =
+    let n = ref 0 in
+    iter_upto
+      (fun e -> if e.i_dead > s.s_epoch then incr n)
+      s.s_store.isa_log s.s_isa_len;
+    !n
+  in
   {
     objects = s.s_objects;
-    isa_edges = s.s_isa_len;
-    scalar_tuples = sum s.s_scalar_lens;
-    set_tuples = sum s.s_set_lens;
+    isa_edges = isa;
+    scalar_tuples = visible s.s_store.scalar_buckets s.s_scalar_lens;
+    set_tuples = visible s.s_store.set_buckets s.s_set_lens;
   }
 
 let check_invariants st =
@@ -455,28 +588,30 @@ let check_invariants st =
     Format.kasprintf (fun m -> problems := m :: !problems) fmt
   in
   let obj = Universe.to_string st.universe in
-  let entry_mem v { recv; args; res } =
-    Vec.exists
-      (fun e ->
-        Obj_id.equal e.recv recv && e.args = args && Obj_id.equal e.res res)
-      v
-  in
-  (* scalar: primary tables vs buckets, both directions, inverse and
-     receiver indexes *)
+  (* index records are physically shared with the bucket records *)
+  let entry_mem v e = Vec.exists (fun e' -> e' == e) v in
+  (* scalar: primary tables vs live bucket entries, both directions,
+     inverse and receiver indexes. Tombstoned entries stay in every index
+     (they are the same record), so membership is checked for all entries
+     but the primary tables must agree with the live ones only. *)
   let scalar_bucket_count = ref 0 in
+  let scalar_raw_count = ref 0 in
   List.iter
     (fun m ->
       Vec.iter
-        (fun ({ recv; args; res } as e) ->
-          incr scalar_bucket_count;
-          (match scalar_lookup st ~meth:m ~recv ~args with
-          | Some res' when Obj_id.equal res res' -> ()
-          | Some _ ->
-            problem "scalar bucket entry disagrees with primary: %s.%s"
-              (obj recv) (obj m)
-          | None ->
-            problem "scalar bucket entry missing from primary: %s.%s"
-              (obj recv) (obj m));
+        (fun ({ recv; args; res; dead = _ } as e) ->
+          incr scalar_raw_count;
+          if live e then begin
+            incr scalar_bucket_count;
+            match scalar_lookup st ~meth:m ~recv ~args with
+            | Some res' when Obj_id.equal res res' -> ()
+            | Some _ ->
+              problem "scalar bucket entry disagrees with primary: %s.%s"
+                (obj recv) (obj m)
+            | None ->
+              problem "scalar bucket entry missing from primary: %s.%s"
+                (obj recv) (obj m)
+          end;
           if not (entry_mem (scalar_inverse st ~meth:m ~res) e) then
             problem "scalar entry missing from inverse index: %s.%s"
               (obj recv) (obj m);
@@ -489,19 +624,23 @@ let check_invariants st =
     Hashtbl.length st.scalar0 + Hashtbl.length st.scalar
   in
   if scalar_primary_count <> !scalar_bucket_count then
-    problem "scalar primary has %d entries but buckets have %d"
+    problem "scalar primary has %d entries but buckets have %d live"
       scalar_primary_count !scalar_bucket_count;
   (* set methods: buckets vs member sets and receiver indexes *)
   let set_bucket_count = ref 0 in
+  let set_raw_count = ref 0 in
   List.iter
     (fun m ->
       Vec.iter
-        (fun ({ recv; args; res } as e) ->
-          incr set_bucket_count;
-          if not (Obj_id.Set.mem res (set_lookup st ~meth:m ~recv ~args))
-          then
-            problem "set bucket entry missing from member set: %s..%s"
-              (obj recv) (obj m);
+        (fun ({ recv; args; res; dead = _ } as e) ->
+          incr set_raw_count;
+          if live e then begin
+            incr set_bucket_count;
+            if not (Obj_id.Set.mem res (set_lookup st ~meth:m ~recv ~args))
+            then
+              problem "set bucket entry missing from member set: %s..%s"
+                (obj recv) (obj m)
+          end;
           if not (entry_mem (set_recv_index st ~meth:m ~recv) e) then
             problem "set entry missing from receiver index: %s..%s"
               (obj recv) (obj m))
@@ -514,7 +653,7 @@ let check_invariants st =
         st.set_members 0
   in
   if member_total <> !set_bucket_count then
-    problem "set member sets hold %d elements but buckets have %d"
+    problem "set member sets hold %d elements but buckets have %d live"
       member_total !set_bucket_count;
   (* receiver indexes: no stale extras, and the distinct-receiver counters
      agree with the actual key populations *)
@@ -544,25 +683,31 @@ let check_invariants st =
             what (obj m) counted n)
       per_meth
   in
-  check_recv "scalar" st.scalar_recv st.scalar_recv_counts
-    !scalar_bucket_count;
-  check_recv "set" st.set_recv st.set_recv_counts !set_bucket_count;
-  (* hierarchy: log vs adjacency (both directions), acyclicity *)
+  check_recv "scalar" st.scalar_recv st.scalar_recv_counts !scalar_raw_count;
+  check_recv "set" st.set_recv st.set_recv_counts !set_raw_count;
+  (* hierarchy: live log edges vs adjacency (both directions), acyclicity *)
+  let live_isa = ref 0 in
   Vec.iter
-    (fun (o, c) ->
-      if not (Obj_id.Set.mem c (direct st.parents o)) then
-        problem "isa log edge missing from parents: %s : %s" (obj o) (obj c);
-      if not (Obj_id.Set.mem o (direct st.children c)) then
-        problem "isa log edge missing from children: %s : %s" (obj o) (obj c))
+    (fun e ->
+      if isa_live e then begin
+        incr live_isa;
+        let o = e.i_sub and c = e.i_cls in
+        if not (Obj_id.Set.mem c (direct st.parents o)) then
+          problem "isa log edge missing from parents: %s : %s" (obj o)
+            (obj c);
+        if not (Obj_id.Set.mem o (direct st.children c)) then
+          problem "isa log edge missing from children: %s : %s" (obj o)
+            (obj c)
+      end)
     st.isa_log;
   let edge_count =
     Obj_id.Tbl.fold
       (fun _ s acc -> acc + Obj_id.Set.cardinal s)
       st.parents 0
   in
-  if edge_count <> Vec.length st.isa_log then
-    problem "parents adjacency has %d edges but the log has %d" edge_count
-      (Vec.length st.isa_log);
+  if edge_count <> !live_isa then
+    problem "parents adjacency has %d edges but the log has %d live"
+      edge_count !live_isa;
   Obj_id.Tbl.iter
     (fun o _ ->
       if Obj_id.Set.mem o (classes_of st o) then
@@ -582,19 +727,20 @@ let check_invariants st =
   in
   check_cache "ancestor" st.up_cache st.parents;
   check_cache "descendant" st.down_cache st.children;
-  (* global tuple counter *)
-  let total =
-    Vec.length st.isa_log + !scalar_bucket_count + !set_bucket_count
-  in
+  (* global tuple counter counts live tuples only *)
+  let total = !live_isa + !scalar_bucket_count + !set_bucket_count in
   if st.tuple_count <> total then
-    problem "tuple counter says %d but store holds %d" st.tuple_count total;
+    problem "tuple counter says %d but store holds %d live" st.tuple_count
+      total;
   List.rev !problems
 
 let pp ppf st =
   let u = st.universe in
   let obj = Universe.pp_obj u in
   Vec.iter
-    (fun (o, c) -> Format.fprintf ppf "%a : %a.@." obj o obj c)
+    (fun e ->
+      if isa_live e then
+        Format.fprintf ppf "%a : %a.@." obj e.i_sub obj e.i_cls)
     st.isa_log;
   let pp_args ppf = function
     | [] -> ()
@@ -608,16 +754,18 @@ let pp ppf st =
   List.iter
     (fun m ->
       Vec.iter
-        (fun { recv; args; res } ->
-          Format.fprintf ppf "%a[%a%a -> %a].@." obj recv obj m pp_args args
-            obj res)
+        (fun e ->
+          if live e then
+            Format.fprintf ppf "%a[%a%a -> %a].@." obj e.recv obj m pp_args
+              e.args obj e.res)
         (scalar_bucket st m))
     (scalar_meths st);
   List.iter
     (fun m ->
       Vec.iter
-        (fun { recv; args; res } ->
-          Format.fprintf ppf "%a[%a%a ->> {%a}].@." obj recv obj m pp_args args
-            obj res)
+        (fun e ->
+          if live e then
+            Format.fprintf ppf "%a[%a%a ->> {%a}].@." obj e.recv obj m
+              pp_args e.args obj e.res)
         (set_bucket st m))
     (set_meths st)

@@ -9,11 +9,29 @@
 
     All method buckets are append-only ({!Vec}), so the fixpoint engine can
     take watermarks and scan only the delta suffixes (semi-naive
-    evaluation). Nothing is ever deleted. *)
+    evaluation). Removal never shrinks a bucket: it tombstones the shared
+    index record by stamping {!field-mentry.dead}, keeping every watermark
+    and snapshot valid (see {!remove_scalar}). *)
 
 type t
 
-type mentry = { recv : Obj_id.t; args : Obj_id.t list; res : Obj_id.t }
+(** [dead] is [max_int] while the tuple is live; a removal stamps it with
+    the epoch the removal produced, so a snapshot frozen at epoch [E] sees
+    exactly the entries with [dead > E]. The same record is shared between
+    the method bucket, the inverse index and the receiver index. *)
+type mentry = {
+  recv : Obj_id.t;
+  args : Obj_id.t list;
+  res : Obj_id.t;
+  mutable dead : int;
+}
+
+(** An isa edge in the append-only log, tombstoned the same way. *)
+type ientry = { i_sub : Obj_id.t; i_cls : Obj_id.t; mutable i_dead : int }
+
+val live : mentry -> bool
+
+val isa_live : ientry -> bool
 
 type scalar_insert = Added | Duplicate | Conflict of Obj_id.t
 type set_insert = SAdded | SDuplicate
@@ -55,8 +73,9 @@ val classes_of : t -> Obj_id.t -> Obj_id.Set.t
 (** All strict descendants of [c] (its members, transitively). *)
 val members : t -> Obj_id.t -> Obj_id.Set.t
 
-(** Append-only log of directly asserted [o : c] edges. *)
-val isa_log : t -> (Obj_id.t * Obj_id.t) Vec.t
+(** Append-only log of directly asserted [o : c] edges, including
+    tombstoned ones — filter with {!isa_live}. *)
+val isa_log : t -> ientry Vec.t
 
 (** Objects that appear as the target of an isa edge, i.e. in class
     position; used to enumerate candidate classes. *)
@@ -107,6 +126,29 @@ val set_recv_keys : t -> Obj_id.t -> int
 
 val set_meths : t -> Obj_id.t list
 
+(** {1 Removal}
+
+    Removal is tombstoning: the primary tables (lookup maps, member sets,
+    hierarchy adjacency) are updated physically, while the shared bucket /
+    index record is stamped dead with the epoch the removal produced.
+    Buckets never shrink, so watermarks held by in-flight semi-naive
+    evaluations stay monotone and snapshots frozen before the removal
+    still see the tuple. Each successful removal bumps the epoch and
+    decrements {!size}; re-asserting a removed tuple appends a fresh
+    record. All three return whether the tuple was present (and live). *)
+
+val remove_scalar :
+  t -> meth:Obj_id.t -> recv:Obj_id.t -> args:Obj_id.t list -> res:Obj_id.t ->
+  bool
+
+val remove_set :
+  t -> meth:Obj_id.t -> recv:Obj_id.t -> args:Obj_id.t list -> res:Obj_id.t ->
+  bool
+
+(** Removing an isa edge resets the memoized closure caches wholesale
+    (additions patch them incrementally; deletions rebuild lazily). *)
+val remove_isa : t -> Obj_id.t -> Obj_id.t -> bool
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -118,22 +160,23 @@ type stats = {
 
 val stats : t -> stats
 
-(** Total facts stored (isa edges + scalar + set tuples); monotonically
-    increasing, O(1). Compiled query plans use it to decide when enough has
-    changed to re-plan. *)
+(** Live facts stored (isa edges + scalar + set tuples), O(1). Compiled
+    query plans use it to decide when enough has changed to re-plan. *)
 val size : t -> int
 
 (** {1 Epochs and snapshots}
 
-    The store is append-only, so a data version is just a counter:
-    {!epoch} is bumped on every actual insertion (never on duplicates).
-    {!freeze} pins the epoch together with the current length of every
-    bucket — O(#methods), not O(#tuples) — and the [snapshot_*] accessors
-    iterate only up to the pinned lengths. A reader holding a snapshot
-    therefore sees exactly the store as of the freeze while writers keep
-    appending: the basis of the server's lock-free read path and of the
-    epoch-keyed query cache, and the isolation contract the parallel
-    fixpoint relies on between merge phases.
+    Buckets are append-only, so a data version is just a counter: {!epoch}
+    is bumped on every actual insertion and removal (never on duplicates
+    or misses). {!freeze} pins the epoch together with the current length
+    of every bucket — O(#methods), not O(#tuples) — and the [snapshot_*]
+    accessors iterate only up to the pinned lengths, skipping entries
+    whose tombstone epoch is at or below the pinned one. A reader holding
+    a snapshot therefore sees exactly the store as of the freeze while
+    writers keep appending (or tombstoning): the basis of the server's
+    lock-free read path and of the epoch-keyed query cache, and the
+    isolation contract the parallel fixpoint relies on between merge
+    phases.
 
     Thread-safety contract: buckets are append-only and never moved, and
     the lazily-memoized hierarchy closure caches are guarded by an

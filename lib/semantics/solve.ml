@@ -58,7 +58,9 @@ let rec bind_list ctx ts vs k =
   | [], _ :: _ | _ :: _, [] -> ()
 
 and bind_entry ctx (app : Ir.app) (e : Store.mentry) k =
-  if List.length app.args = List.length e.args then
+  (* the single funnel for index-record access: tombstoned tuples are
+     invisible to every enumeration *)
+  if Store.live e && List.length app.args = List.length e.args then
     bind ctx app.recv e.recv (fun () ->
         bind_list ctx app.args e.args (fun () -> bind ctx app.res e.res k))
 
@@ -398,7 +400,8 @@ let exec_isa ctx o c k =
        value objects count via their built-in class *)
     let sources = ref Set.empty in
     Oodb.Vec.iter
-      (fun (src, _) -> sources := Set.add src !sources)
+      (fun (e : Store.ientry) ->
+        if Store.isa_live e then sources := Set.add e.i_sub !sources)
       (Store.isa_log ctx.store);
     let u = Store.universe ctx.store in
     (match
@@ -555,12 +558,16 @@ let exec_seeded ctx order atom from k =
     (* each new direct edge (src, dst) contributes the derived pairs
        (x, y) with x <= src and dst <= y *)
     Oodb.Vec.iter_from
-      (fun (src, dst) ->
-        let xs = Set.add src (Store.members ctx.store src) in
-        let ys = Set.add dst (Store.classes_of ctx.store dst) in
-        Set.iter
-          (fun x -> bind ctx o x (fun () -> Set.iter (fun y -> bind ctx c y k) ys))
-          xs)
+      (fun (e : Store.ientry) ->
+        if Store.isa_live e then begin
+          let src = e.i_sub and dst = e.i_cls in
+          let xs = Set.add src (Store.members ctx.store src) in
+          let ys = Set.add dst (Store.classes_of ctx.store dst) in
+          Set.iter
+            (fun x ->
+              bind ctx o x (fun () -> Set.iter (fun y -> bind ctx c y k) ys))
+            xs
+        end)
       (Store.isa_log ctx.store)
       from
   | Ir.A_eq _ | Ir.A_subset _ | Ir.A_neg _ -> exec_atom ctx order atom k

@@ -2,6 +2,7 @@ type t = {
   fd : Unix.file_descr;
   ic : in_channel;
   oc : out_channel;
+  mutable pending_deltas : Protocol.delta list;  (* oldest first *)
 }
 
 (* Writing into a socket whose peer is gone must surface as EPIPE (mapped
@@ -51,11 +52,22 @@ let connect (addr : Server.address) =
     fd;
     ic = Unix.in_channel_of_descr fd;
     oc = Unix.out_channel_of_descr fd_out;
+    pending_deltas = [];
   }
 
 let close t =
   close_out_noerr t.oc;
   close_in_noerr t.ic
+
+(* Read frames until a reply arrives; DELTA frames pushed by the server
+   in the meantime are queued for {!next_delta} instead of dropped. *)
+let rec read_reply_queueing t =
+  match Protocol.read_frame t.ic with
+  | Ok (Protocol.Delta d) ->
+    t.pending_deltas <- t.pending_deltas @ [ d ];
+    read_reply_queueing t
+  | Ok (Protocol.Reply r) -> Ok r
+  | Error e -> Error e
 
 (* The reply read sits inside the match too: a peer reset surfaces from
    [input_line] as [Sys_error], not just from the write side. *)
@@ -64,7 +76,7 @@ let request t line =
     output_string t.oc line;
     output_char t.oc '\n';
     flush t.oc;
-    Protocol.read_reply t.ic
+    read_reply_queueing t
   with
   | r -> r
   | exception (Sys_error _ | End_of_file) -> Error `Eof
@@ -139,3 +151,88 @@ let query_marked t q = payload_marked t ("QUERY " ^ q)
 let why t f = payload t ("WHY " ^ f)
 
 let stats t = payload t "STATS"
+
+(* ------------------------------------------------------------------ *)
+(* Live mutation and subscriptions                                     *)
+
+type mutation_result = {
+  epoch : int;
+  strategy : string;
+  added : int;
+  removed : int;
+}
+
+(* requests are one line on the wire; fold a multi-line batch onto one *)
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let mutation_of_lines lines =
+  let int_field k =
+    List.find_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ key; v ] when key = k -> int_of_string_opt v
+        | _ -> None)
+      lines
+  in
+  let strategy =
+    List.find_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "strategy"; s ] -> Some s
+        | _ -> None)
+      lines
+  in
+  match (int_field "epoch", strategy, int_field "added", int_field "removed")
+  with
+  | Some epoch, Some strategy, Some added, Some removed ->
+    Stdlib.Ok { epoch; strategy; added; removed }
+  | _ -> Stdlib.Error "malformed mutation reply"
+
+let mutate verb t text =
+  match payload t (verb ^ " " ^ one_line text) with
+  | Stdlib.Ok lines -> mutation_of_lines lines
+  | Stdlib.Error e -> Stdlib.Error e
+
+let assert_facts t text = mutate "ASSERT" t text
+
+let retract_facts t text = mutate "RETRACT" t text
+
+type subscription = {
+  sub_id : int;
+  baseline : string list;
+}
+
+let subscribe t q =
+  match payload t ("SUBSCRIBE " ^ one_line q) with
+  | Stdlib.Error e -> Stdlib.Error e
+  | Stdlib.Ok [] -> Stdlib.Error "empty SUBSCRIBE reply"
+  | Stdlib.Ok (first :: baseline) -> (
+    match String.split_on_char ' ' first with
+    | [ "id"; n ] -> (
+      match int_of_string_opt n with
+      | Some id -> Stdlib.Ok { sub_id = id; baseline }
+      | None -> Stdlib.Error ("malformed subscription id " ^ n))
+    | _ -> Stdlib.Error ("malformed SUBSCRIBE reply " ^ first))
+
+let next_delta ?timeout_s t =
+  match t.pending_deltas with
+  | d :: rest ->
+    t.pending_deltas <- rest;
+    Some d
+  | [] -> (
+    let ready =
+      match timeout_s with
+      | None -> true
+      | Some s -> (
+        match retry_eintr (fun () -> Unix.select [ t.fd ] [] [] s) with
+        | [], _, _ -> false
+        | _ -> true)
+    in
+    if not ready then None
+    else
+      match Protocol.read_frame t.ic with
+      | Ok (Protocol.Delta d) -> Some d
+      | Ok (Protocol.Reply _) -> None
+      | Error _ -> None
+      | exception (Sys_error _ | End_of_file) -> None
+      | exception Unix.Unix_error _ -> None)

@@ -59,3 +59,39 @@ val why : t -> string -> (string list, string) result
 
 (** [STATS]: the [key value] lines. *)
 val stats : t -> (string list, string) result
+
+(** The server's summary of a committed mutation batch. *)
+type mutation_result = {
+  epoch : int;  (** store epoch after the commit *)
+  strategy : string;  (** "counting", "dred" or "recompute" *)
+  added : int;  (** net model facts added *)
+  removed : int;  (** net model facts removed *)
+}
+
+(** [ASSERT <batch>]: submit facts/rules for incremental addition.
+    Multi-line batch text is folded onto the single request line (the
+    statement syntax does not need the newlines). [Error _] carries a
+    one-line description — including [ANALYSIS: ...] when the batch was
+    rejected by the static-analysis gate and [BADREQ: ...] when it was
+    refused (conflict, unknown rule, non-extensional retraction). *)
+val assert_facts : t -> string -> (mutation_result, string) result
+
+(** [RETRACT <batch>]: submit facts/rules for incremental removal. *)
+val retract_facts : t -> string -> (mutation_result, string) result
+
+type subscription = {
+  sub_id : int;  (** identifies this subscription's DELTA frames *)
+  baseline : string list;  (** the answer set at registration, sorted *)
+}
+
+(** [SUBSCRIBE <query>]: register a standing query. After every committed
+    ASSERT/RETRACT batch that changes its answer set, the server pushes a
+    [DELTA] frame; read them with {!next_delta}. *)
+val subscribe : t -> string -> (subscription, string) result
+
+(** The next pushed [DELTA]: first from the queue of frames that arrived
+    interleaved with earlier replies, then from the wire. With
+    [timeout_s], waits at most that long for the socket to become
+    readable and returns [None] on expiry; without it, blocks until a
+    frame (or EOF, returning [None]) arrives. *)
+val next_delta : ?timeout_s:float -> t -> Protocol.delta option

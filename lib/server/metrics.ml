@@ -18,6 +18,10 @@ type t = {
   mutable degraded_total : int;
   mutable connections_active : int;
   mutable connections_total : int;
+  mutable asserts_total : int;
+  mutable retracts_total : int;
+  mutable subscriptions_active : int;
+  mutable deltas_pushed : int;
 }
 
 let create () =
@@ -31,6 +35,10 @@ let create () =
     degraded_total = 0;
     connections_active = 0;
     connections_total = 0;
+    asserts_total = 0;
+    retracts_total = 0;
+    subscriptions_active = 0;
+    deltas_pushed = 0;
   }
 
 let with_lock t f =
@@ -58,6 +66,22 @@ let connection_opened t =
 let connection_closed t =
   with_lock t (fun () -> t.connections_active <- t.connections_active - 1)
 
+let batch_committed t ~retract =
+  with_lock t (fun () ->
+      if retract then t.retracts_total <- t.retracts_total + 1
+      else t.asserts_total <- t.asserts_total + 1)
+
+let subscription_opened t =
+  with_lock t (fun () ->
+      t.subscriptions_active <- t.subscriptions_active + 1)
+
+let subscription_closed t =
+  with_lock t (fun () ->
+      t.subscriptions_active <- t.subscriptions_active - 1)
+
+let delta_pushed t =
+  with_lock t (fun () -> t.deltas_pushed <- t.deltas_pushed + 1)
+
 type snapshot = {
   uptime_s : float;
   connections_active : int;
@@ -66,6 +90,10 @@ type snapshot = {
   cancelled_total : int;
   degraded_total : int;
   by_verb_outcome : (string * string * int) list;
+  asserts_total : int;
+  retracts_total : int;
+  subscriptions_active : int;
+  deltas_pushed : int;
   latency_count : int;
   latency_min_s : float;
   latency_mean_s : float;
@@ -89,6 +117,10 @@ let snapshot t =
             (fun (v, o) r acc -> (v, o, !r) :: acc)
             t.counters []
           |> List.sort compare;
+        asserts_total = t.asserts_total;
+        retracts_total = t.retracts_total;
+        subscriptions_active = t.subscriptions_active;
+        deltas_pushed = t.deltas_pushed;
         latency_count = Histogram.count t.latency;
         latency_min_s = Histogram.min_s t.latency;
         latency_mean_s = Histogram.mean_s t.latency;
@@ -110,6 +142,10 @@ let render ?cache ?(injected_faults = 0) snap ~store =
     Printf.sprintf "cancelled_total %d" snap.cancelled_total;
     Printf.sprintf "degraded_total %d" snap.degraded_total;
     Printf.sprintf "injected_faults %d" injected_faults;
+    Printf.sprintf "asserts_total %d" snap.asserts_total;
+    Printf.sprintf "retracts_total %d" snap.retracts_total;
+    Printf.sprintf "subscriptions_active %d" snap.subscriptions_active;
+    Printf.sprintf "deltas_pushed %d" snap.deltas_pushed;
   ]
   @ List.map
       (fun (v, o, n) -> Printf.sprintf "requests %s %s %d" v o n)

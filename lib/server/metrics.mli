@@ -18,6 +18,16 @@ val connection_opened : t -> unit
 
 val connection_closed : t -> unit
 
+(** Count one committed mutation batch ([retract] selects the counter). *)
+val batch_committed : t -> retract:bool -> unit
+
+val subscription_opened : t -> unit
+
+val subscription_closed : t -> unit
+
+(** Count one [DELTA] frame flushed to a subscriber. *)
+val delta_pushed : t -> unit
+
 type snapshot = {
   uptime_s : float;
   connections_active : int;
@@ -27,6 +37,10 @@ type snapshot = {
   degraded_total : int;  (** requests answered from a partial model *)
   by_verb_outcome : (string * string * int) list;
       (** (verb, outcome, count), sorted *)
+  asserts_total : int;  (** committed ASSERT batches *)
+  retracts_total : int;  (** committed RETRACT batches *)
+  subscriptions_active : int;  (** live standing queries *)
+  deltas_pushed : int;  (** DELTA frames flushed to subscribers *)
   latency_count : int;
   latency_min_s : float;
   latency_mean_s : float;

@@ -3,9 +3,19 @@ type request =
   | Stats
   | Query of string
   | Why of string
+  | Assert of string
+  | Retract of string
+  | Subscribe of string
   | Quit
 
-type error_code = Parse | Badreq | Toolarge | Timeout | Cancelled | Internal
+type error_code =
+  | Parse
+  | Badreq
+  | Toolarge
+  | Timeout
+  | Cancelled
+  | Analysis
+  | Internal
 
 let code_to_string = function
   | Parse -> "PARSE"
@@ -13,6 +23,7 @@ let code_to_string = function
   | Toolarge -> "TOOLARGE"
   | Timeout -> "TIMEOUT"
   | Cancelled -> "CANCELLED"
+  | Analysis -> "ANALYSIS"
   | Internal -> "INTERNAL"
 
 let code_of_string = function
@@ -21,6 +32,7 @@ let code_of_string = function
   | "TOOLARGE" -> Some Toolarge
   | "TIMEOUT" -> Some Timeout
   | "CANCELLED" -> Some Cancelled
+  | "ANALYSIS" -> Some Analysis
   | "INTERNAL" -> Some Internal
   | _ -> None
 
@@ -29,6 +41,9 @@ let verb = function
   | Stats -> "STATS"
   | Query _ -> "QUERY"
   | Why _ -> "WHY"
+  | Assert _ -> "ASSERT"
+  | Retract _ -> "RETRACT"
+  | Subscribe _ -> "SUBSCRIBE"
   | Quit -> "QUIT"
 
 (* Split "VERB rest" on the first run of blanks; the verb is
@@ -57,6 +72,15 @@ let parse_request line =
     | "WHY" ->
       if arg = "" then Stdlib.Error (Badreq, "WHY needs a fact")
       else Stdlib.Ok (Why arg)
+    | "ASSERT" ->
+      if arg = "" then Stdlib.Error (Badreq, "ASSERT needs statements")
+      else Stdlib.Ok (Assert arg)
+    | "RETRACT" ->
+      if arg = "" then Stdlib.Error (Badreq, "RETRACT needs statements")
+      else Stdlib.Ok (Retract arg)
+    | "SUBSCRIBE" ->
+      if arg = "" then Stdlib.Error (Badreq, "SUBSCRIBE needs a query")
+      else Stdlib.Ok (Subscribe arg)
     | other -> Stdlib.Error (Badreq, "unknown verb " ^ other)
 
 type reply =
@@ -101,7 +125,43 @@ let render_reply reply =
   | Degraded lines -> counted "DEGRADED" lines);
   Buffer.contents b
 
-let read_reply ic =
+(* A DELTA frame is pushed by the server to subscribers after a committed
+   mutation batch: "DELTA <id> <n>" followed by exactly <n> signed lines
+   ("+ <row>" for answers that appeared, "- <row>" for answers that
+   vanished). It can arrive between a request and its reply, so clients
+   read frames, not replies. *)
+type delta = {
+  sub_id : int;
+  appeared : string list;
+  vanished : string list;
+}
+
+let render_delta d =
+  let b = Buffer.create 128 in
+  let signed sign rows = List.map (fun r -> sign ^ " " ^ one_line r) rows in
+  let lines = signed "+" d.appeared @ signed "-" d.vanished in
+  Buffer.add_string b
+    (Printf.sprintf "DELTA %d %d\n" d.sub_id (List.length lines));
+  List.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    lines;
+  Buffer.contents b
+
+type frame = Reply of reply | Delta of delta
+
+let collect_payload ic n wrap =
+  let rec collect acc k =
+    if k = 0 then Stdlib.Ok (wrap (List.rev acc))
+    else
+      match input_line ic with
+      | exception End_of_file -> Stdlib.Error (`Malformed "truncated payload")
+      | l -> collect (l :: acc) (k - 1)
+  in
+  collect [] n
+
+let read_frame ic =
   match input_line ic with
   | exception End_of_file -> Stdlib.Error `Eof
   | header -> (
@@ -111,34 +171,58 @@ let read_reply ic =
       match int_of_string_opt (String.trim rest) with
       | None -> Stdlib.Error (`Malformed ("bad payload count " ^ rest))
       | Some n when n < 0 -> Stdlib.Error (`Malformed "negative payload count")
-      | Some n -> (
-        let rec collect acc k =
-          if k = 0 then Stdlib.Ok (wrap (List.rev acc))
-          else
-            match input_line ic with
-            | exception End_of_file ->
-              Stdlib.Error (`Malformed "truncated payload")
-            | l -> collect (l :: acc) (k - 1)
-        in
-        collect [] n)
+      | Some n -> collect_payload ic n wrap
     in
     match v with
-    | "PONG" -> Stdlib.Ok Pong
+    | "PONG" -> Stdlib.Ok (Reply Pong)
     | "BUSY" -> (
       (* BUSY <retry-after-ms> <message>; a missing or non-numeric hint
          degrades to 0 (retry whenever), keeping old peers readable *)
       let first, msg = split_verb rest in
       match int_of_string_opt first with
-      | Some ms -> Stdlib.Ok (Busy (max 0 ms, msg))
-      | None -> Stdlib.Ok (Busy (0, rest)))
+      | Some ms -> Stdlib.Ok (Reply (Busy (max 0 ms, msg)))
+      | None -> Stdlib.Ok (Reply (Busy (0, rest))))
     | "ERR" -> (
       let c, msg = split_verb rest in
       match code_of_string c with
-      | Some code -> Stdlib.Ok (Err (code, msg))
+      | Some code -> Stdlib.Ok (Reply (Err (code, msg)))
       | None -> Stdlib.Error (`Malformed ("unknown error code " ^ c)))
-    | "OK" -> counted (fun lines -> Ok lines)
-    | "DEGRADED" -> counted (fun lines -> Degraded lines)
+    | "OK" -> counted (fun lines -> Reply (Ok lines))
+    | "DEGRADED" -> counted (fun lines -> Reply (Degraded lines))
+    | "DELTA" -> (
+      let id_s, count_s = split_verb rest in
+      match (int_of_string_opt id_s, int_of_string_opt (String.trim count_s)) with
+      | Some id, Some n when n >= 0 ->
+        collect_payload ic n (fun lines ->
+            let appeared, vanished =
+              List.fold_left
+                (fun (app, van) l ->
+                  let sign, row = split_verb l in
+                  match sign with
+                  | "+" -> (row :: app, van)
+                  | "-" -> (app, row :: van)
+                  | _ -> (app, van))
+                ([], []) lines
+            in
+            Delta
+              {
+                sub_id = id;
+                appeared = List.rev appeared;
+                vanished = List.rev vanished;
+              })
+      | _ -> Stdlib.Error (`Malformed ("bad DELTA header " ^ rest)))
     | other -> Stdlib.Error (`Malformed ("unknown reply " ^ other)))
+
+(* Read one reply, discarding any DELTA frames that arrive in between —
+   the convenience entry point for clients that never subscribe. *)
+let read_reply ic =
+  let rec go () =
+    match read_frame ic with
+    | Stdlib.Ok (Reply r) -> Stdlib.Ok r
+    | Stdlib.Ok (Delta _) -> go ()
+    | Stdlib.Error e -> Stdlib.Error e
+  in
+  go ()
 
 let input_line_bounded ic ~max =
   let b = Buffer.create 256 in

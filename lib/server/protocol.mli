@@ -14,6 +14,9 @@
     STATS                server counters + latency histogram
     QUERY <literals>     answer a PathLog query, e.g. QUERY X : employee.color[Z]
     WHY <fact>           proof tree of a ground fact, e.g. WHY e1 : employee
+    ASSERT <statements>  add facts/rules, maintained incrementally
+    RETRACT <statements> remove extensional facts or rules
+    SUBSCRIBE <query>    standing query: push DELTA frames after commits
     QUIT                 polite close
     v}
 
@@ -35,7 +38,24 @@
     exceeded the server's byte limit), [TIMEOUT] (the request exceeded
     its deadline — in the admission queue or mid-evaluation),
     [CANCELLED] (the request was cooperatively cancelled, e.g. by server
-    shutdown), [INTERNAL] (unexpected server-side failure).
+    shutdown), [ANALYSIS] (an ASSERT/RETRACT batch failed static checks
+    at error severity and was rejected atomically), [INTERNAL]
+    (unexpected server-side failure).
+
+    {2 Push frames}
+
+    A session that issued [SUBSCRIBE] also receives asynchronous frames:
+
+    {v
+    DELTA <id> <n>       followed by exactly <n> signed payload lines:
+                         "+ <row>" — an answer that appeared,
+                         "- <row>" — an answer that vanished
+    v}
+
+    [DELTA] frames are emitted after each committed ASSERT/RETRACT batch
+    that changed the subscription's answer set, and may arrive between a
+    request and its reply; subscribing clients must read {e frames} (see
+    {!read_frame}) rather than bare replies.
 
     Payload lines are guaranteed single-line (embedded newlines are
     escaped during framing). *)
@@ -45,9 +65,19 @@ type request =
   | Stats
   | Query of string
   | Why of string
+  | Assert of string
+  | Retract of string
+  | Subscribe of string
   | Quit
 
-type error_code = Parse | Badreq | Toolarge | Timeout | Cancelled | Internal
+type error_code =
+  | Parse
+  | Badreq
+  | Toolarge
+  | Timeout
+  | Cancelled
+  | Analysis
+  | Internal
 
 val code_to_string : error_code -> string
 
@@ -73,9 +103,26 @@ type reply =
     frame is always self-describing. *)
 val render_reply : reply -> string
 
-(** Read one reply frame (header plus counted payload) from a channel.
+(** One subscription update: the answers that appeared and vanished for
+    subscription [sub_id] in the batch that just committed. *)
+type delta = {
+  sub_id : int;
+  appeared : string list;
+  vanished : string list;
+}
+
+val render_delta : delta -> string
+
+type frame = Reply of reply | Delta of delta
+
+(** Read one frame — a reply or a pushed [DELTA] — from a channel.
     [Error `Eof] on a cleanly closed connection, [Error (`Malformed s)] if
     the peer violates the framing. *)
+val read_frame :
+  in_channel -> (frame, [ `Eof | `Malformed of string ]) result
+
+(** Read one reply, silently discarding interleaved [DELTA] frames — for
+    clients that never subscribe. *)
 val read_reply :
   in_channel -> (reply, [ `Eof | `Malformed of string ]) result
 

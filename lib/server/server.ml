@@ -60,6 +60,19 @@ module Ivar = struct
     v
 end
 
+(* A standing query. [sub_wlock] is the owning session's write lock: the
+   session serialises its own reply writes through it, and the writer
+   thread that commits a mutation batch takes it to push DELTA frames —
+   so frames never interleave mid-line on the wire. *)
+type subscription = {
+  sub_id : int;
+  sub_query : string;
+  sub_fd : Unix.file_descr;  (* owning session, keyed for teardown *)
+  sub_oc : out_channel;
+  sub_wlock : Mutex.t;
+  mutable sub_rows : string list;  (* last pushed answer set, sorted *)
+}
+
 type t = {
   program : Program.t;
   config : config;
@@ -70,7 +83,19 @@ type t = {
   qcache : Qcache.t;
   store_lock : Mutex.t;
       (* taken only by writers ({!with_store_write}, i.e. program
-         (re)load); the query path pins an epoch snapshot instead *)
+         (re)load and ASSERT/RETRACT); the query path pins an epoch
+         snapshot instead *)
+  write_seq : int Atomic.t;
+      (* seqlock over the store: odd while a writer holds [store_lock],
+         bumped again on release. Lets the lock-free read path tell a
+         benign concurrent write (epoch moved because a writer ran) from
+         a genuine read-only violation. *)
+  mutable live : Incremental.Live.t option;
+      (* incremental-maintenance state, attached lazily by the first
+         mutation batch; guarded by [store_lock] *)
+  subs_lock : Mutex.t;
+  subs : (int, subscription) Hashtbl.t;
+  mutable next_sub_id : int;
   cancel : bool Atomic.t;
       (* server-wide cancellation token, shared by every in-flight
          request's budget; set at shutdown so runaway evaluations stop at
@@ -136,6 +161,7 @@ let render_answer t (a : Program.answer) =
    serialise through {!with_store_write}. *)
 let eval_readonly t ~cache_key f =
   let st = Program.store t.program in
+  let seq0 = Atomic.get t.write_seq in
   let snap = Oodb.Store.freeze st in
   let epoch = Oodb.Store.snapshot_epoch snap in
   let cached =
@@ -172,7 +198,13 @@ let eval_readonly t ~cache_key f =
         | None -> Protocol.Err (Protocol.Internal, Printexc.to_string e))
     in
     if Oodb.Store.snapshot_stale snap then
-      if t.config.paranoid then
+      (* the epoch moved during evaluation: if the seqlock shows a writer
+         was active at any point, that is the benign explanation — the
+         reply is still sound for its pinned snapshot, just not cacheable.
+         Only a moved epoch with no writer in sight is the invariant
+         violation paranoid mode reports. *)
+      if seq0 land 1 = 1 || Atomic.get t.write_seq <> seq0 then reply
+      else if t.config.paranoid then
         Protocol.Err
           ( Protocol.Internal,
             "invariant violation: the store changed under a read-only \
@@ -211,17 +243,191 @@ let eval_request ?budget t req =
           in
           Protocol.Ok (String.split_on_char '\n' text)
         | None -> Protocol.Ok [ "not in the model" ])
-  | Protocol.Ping | Protocol.Stats | Protocol.Quit ->
+  | Protocol.Ping | Protocol.Stats | Protocol.Quit | Protocol.Assert _
+  | Protocol.Retract _ | Protocol.Subscribe _ ->
     (* handled inline by the session; unreachable here *)
     Protocol.Err (Protocol.Internal, "verb not pooled")
 
 (* Serialised write access to the program's store — program (re)load and
-   fact assertion. Queries in flight keep their pinned epochs; replies
+   mutation batches. Queries in flight keep their pinned epochs; replies
    computed across a write are not cached (the epoch moved), and the
-   cache's old epoch entries become unreachable at the next lookup. *)
+   cache's old epoch entries become unreachable at the next lookup. The
+   seqlock brackets the critical section so concurrent readers can
+   recognise the write (see {!eval_readonly}). *)
 let with_store_write t f =
   Mutex.lock t.store_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.store_lock) f
+  Atomic.incr t.write_seq;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.incr t.write_seq;
+      Mutex.unlock t.store_lock)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Live mutation and subscriptions                                     *)
+
+let live_of t =
+  (* called under [store_lock] only *)
+  match t.live with
+  | Some l -> l
+  | None ->
+    let l = Incremental.Live.attach t.program in
+    t.live <- Some l;
+    l
+
+(* A subscription's answer set, as sorted single-line rows. A query with
+   no variables renders as the single row "true" when entailed, so its
+   delta stream reads "+ true" / "- true". *)
+let subscription_rows t (a : Program.answer) =
+  match a.columns with
+  | [] -> if a.rows = [] then [] else [ "true" ]
+  | _ ->
+    let u = Program.universe t.program in
+    List.sort compare
+      (List.map
+         (fun row ->
+           String.concat "\t" (List.map (Oodb.Universe.to_string u) row))
+         a.rows)
+
+(* Difference of two sorted string lists: (appeared, vanished). *)
+let diff_sorted before after =
+  let rec go before after appeared vanished =
+    match (before, after) with
+    | [], [] -> (List.rev appeared, List.rev vanished)
+    | [], a :: after -> go [] after (a :: appeared) vanished
+    | b :: before, [] -> go before [] appeared (b :: vanished)
+    | b :: before', a :: after' ->
+      let c = compare b a in
+      if c = 0 then go before' after' appeared vanished
+      else if c < 0 then go before' after appeared (b :: vanished)
+      else go before after' (a :: appeared) vanished
+  in
+  go before after [] []
+
+let drop_subscription t s =
+  Mutex.lock t.subs_lock;
+  let present = Hashtbl.mem t.subs s.sub_id in
+  Hashtbl.remove t.subs s.sub_id;
+  Mutex.unlock t.subs_lock;
+  if present then Metrics.subscription_closed t.metrics
+
+(* Re-evaluate every standing query against the just-committed store and
+   push a DELTA frame where the answer set changed. Runs inside
+   [with_store_write], so the store is stable and frames are ordered
+   consistently with commits. A subscriber whose socket is gone is
+   dropped here; its session tears down on its own schedule. *)
+let push_deltas t =
+  let subs =
+    Mutex.lock t.subs_lock;
+    let l = Hashtbl.fold (fun _ s acc -> s :: acc) t.subs [] in
+    Mutex.unlock t.subs_lock;
+    List.sort (fun a b -> compare a.sub_id b.sub_id) l
+  in
+  List.iter
+    (fun s ->
+      match Program.query_string t.program s.sub_query with
+      | exception _ -> ()
+      | a ->
+        let rows = subscription_rows t a in
+        let appeared, vanished = diff_sorted s.sub_rows rows in
+        if appeared <> [] || vanished <> [] then begin
+          s.sub_rows <- rows;
+          let frame =
+            Protocol.render_delta
+              { Protocol.sub_id = s.sub_id; appeared; vanished }
+          in
+          Mutex.lock s.sub_wlock;
+          (match
+             output_string s.sub_oc frame;
+             flush s.sub_oc
+           with
+          | () -> Metrics.delta_pushed t.metrics
+          | exception (Sys_error _ | Unix.Unix_error _) ->
+            drop_subscription t s);
+          Mutex.unlock s.sub_wlock
+        end)
+    subs
+
+let render_batch_stats (st : Incremental.Live.batch_stats) =
+  Protocol.Ok
+    [
+      Printf.sprintf "epoch %d" st.Incremental.Live.epoch;
+      Printf.sprintf "strategy %s"
+        (Incremental.Live.strategy_name st.Incremental.Live.strategy);
+      Printf.sprintf "added %d" (List.length st.Incremental.Live.added);
+      Printf.sprintf "removed %d" (List.length st.Incremental.Live.removed);
+    ]
+
+(* ASSERT / RETRACT, inline in the session thread. The batch first passes
+   the same static-analysis gate as a program load — error-severity
+   diagnostics reject it atomically with ERR ANALYSIS before any store
+   write — then commits under the store lock, bumps the counters, and
+   fans out DELTA frames while the store is still quiescent. *)
+let handle_mutation t ~retract text =
+  match Pathlog_analysis.Check.gate text with
+  | Error msg -> Protocol.Err (Protocol.Analysis, msg)
+  | Ok _ -> (
+    with_store_write t (fun () ->
+        let live = live_of t in
+        let apply =
+          if retract then Incremental.Live.retract_batch
+          else Incremental.Live.assert_batch
+        in
+        match apply live text with
+        | exception Incremental.Live.Rejected msg ->
+          Protocol.Err (Protocol.Badreq, msg)
+        | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
+        | exception Fault.Injected _ ->
+          (* an injected store fault escaped the engine's bounded retry;
+             the batch was rolled back — shed it like a full queue *)
+          Protocol.Busy
+            ( t.config.busy_retry_after_ms,
+              "transient fault during mutation; retry" )
+        | st ->
+          Metrics.batch_committed t.metrics ~retract;
+          push_deltas t;
+          render_batch_stats st))
+
+(* SUBSCRIBE, inline in the session thread. Registration runs under the
+   store lock so the baseline answer set is atomic with respect to
+   commits: every later batch either predates the baseline or produces a
+   DELTA. The reply carries the id and the baseline rows. *)
+let handle_subscribe t ~fd ~oc ~wlock query =
+  with_store_write t (fun () ->
+      match Program.query_string t.program query with
+      | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
+      | exception e -> (
+        match Engine.Err.message (Program.store t.program) e with
+        | Some msg -> Protocol.Err (Protocol.Parse, msg)
+        | None -> Protocol.Err (Protocol.Internal, Printexc.to_string e))
+      | a ->
+        let rows = subscription_rows t a in
+        Mutex.lock t.subs_lock;
+        let id = t.next_sub_id in
+        t.next_sub_id <- id + 1;
+        Hashtbl.replace t.subs id
+          {
+            sub_id = id;
+            sub_query = query;
+            sub_fd = fd;
+            sub_oc = oc;
+            sub_wlock = wlock;
+            sub_rows = rows;
+          };
+        Mutex.unlock t.subs_lock;
+        Metrics.subscription_opened t.metrics;
+        Protocol.Ok (Printf.sprintf "id %d" id :: rows))
+
+let unsubscribe_session t fd =
+  Mutex.lock t.subs_lock;
+  let mine =
+    Hashtbl.fold
+      (fun id s acc -> if s.sub_fd = fd then id :: acc else acc)
+      t.subs []
+  in
+  List.iter (Hashtbl.remove t.subs) mine;
+  Mutex.unlock t.subs_lock;
+  List.iter (fun _ -> Metrics.subscription_closed t.metrics) mine
 
 let stats_reply t =
   let c = Qcache.stats t.qcache in
@@ -327,13 +533,27 @@ let session t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd_out in
   Metrics.connection_opened t.metrics;
+  (* serialises this session's reply writes with DELTA pushes from
+     writer threads (see {!subscription}) *)
+  let wlock = Mutex.create () in
+  let write_reply oc reply =
+    Mutex.lock wlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock wlock)
+      (fun () -> write_reply oc reply)
+  in
   let finish () =
+    unsubscribe_session t fd;
     Metrics.connection_closed t.metrics;
     Mutex.lock t.conns_lock;
     Hashtbl.remove t.conns fd;
     Mutex.unlock t.conns_lock;
+    (* a writer thread may be pushing a DELTA right now; wait it out so
+       the channel is not closed mid-write *)
+    Mutex.lock wlock;
     close_out_noerr oc;
-    close_in_noerr ic
+    close_in_noerr ic;
+    Mutex.unlock wlock
   in
   let record verb reply started =
     Metrics.record t.metrics ~verb ~outcome:(outcome_of_reply reply)
@@ -379,6 +599,21 @@ let session t fd =
           write_reply oc reply;
           record verb reply started;
           loop ()
+        | Protocol.Assert text ->
+          let reply = handle_mutation t ~retract:false text in
+          write_reply oc reply;
+          record verb reply started;
+          if not t.stopping then loop ()
+        | Protocol.Retract text ->
+          let reply = handle_mutation t ~retract:true text in
+          write_reply oc reply;
+          record verb reply started;
+          if not t.stopping then loop ()
+        | Protocol.Subscribe q ->
+          let reply = handle_subscribe t ~fd ~oc ~wlock q in
+          write_reply oc reply;
+          record verb reply started;
+          if not t.stopping then loop ()
         | Protocol.Query _ | Protocol.Why _ ->
           let reply = handle_pooled t req in
           write_reply oc reply;
@@ -479,6 +714,11 @@ let create ?(config = default_config) ~program addr =
       metrics = Metrics.create ();
       qcache = Qcache.create ~capacity:config.cache_capacity;
       store_lock = Mutex.create ();
+      write_seq = Atomic.make 0;
+      live = None;
+      subs_lock = Mutex.create ();
+      subs = Hashtbl.create 8;
+      next_sub_id = 1;
       cancel = Atomic.make false;
       stop_m = Mutex.create ();
       stop_c = Condition.create ();

@@ -24,4 +24,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("budget", Test_budget.suite);
       ("chaos", Test_chaos.suite);
+      ("incremental", Test_incremental.suite);
     ]

@@ -1,0 +1,299 @@
+(* Incremental view maintenance: counting for non-recursive strata, DRed
+   over-delete/re-derive for recursive ones, honest recompute behind
+   negation — always bit-for-bit equal to a from-scratch fixpoint on the
+   final extensional state. *)
+
+module Program = Pathlog.Program
+module Fixpoint = Pathlog.Fixpoint
+module Store = Pathlog.Store
+module Live = Pathlog.Live
+
+let attach ?(jobs = 1) text =
+  let config = { Fixpoint.default_config with jobs } in
+  Live.attach (Program.of_string ~config text)
+
+let holds live q = Pathlog.holds (Live.program live) q
+
+(* The live model must equal the model of a fresh program loaded from the
+   live source (current extensional facts + current rules). *)
+let check_equiv ?(jobs = 1) live =
+  let config = { Fixpoint.default_config with jobs } in
+  let reference = Program.of_string ~config (Live.dump_source live) in
+  ignore (Program.run reference);
+  let added, removed =
+    Program.diff_models ~before:reference ~after:(Live.program live)
+  in
+  Alcotest.(check (pair (list string) (list string)))
+    "live model = from-scratch model" ([], []) (added, removed)
+
+let check_clean live =
+  Alcotest.(check (list string))
+    "store invariants" []
+    (Store.check_invariants (Live.store live));
+  Alcotest.(check (list string)) "support index" [] (Live.check_support live)
+
+(* ------------------------------------------------------------------ *)
+(* Counting: non-recursive strata *)
+
+(* diamond: a reaches c both directly and through b, so retracting the
+   b-c edge over-deletes a's closure and the re-derive pass must restore
+   what the direct edge still supports *)
+let tc_text =
+  {|
+    a[edge ->> {b}]. b[edge ->> {c}]. c[edge ->> {d}]. a[edge ->> {c}].
+    X[tc ->> {Y}] <- X[edge ->> {Y}].
+    X[tc ->> {Y}] <- X[edge ->> {Z}] , Z[tc ->> {Y}].
+  |}
+
+let counting_assert () =
+  let live = attach {|
+    x[p -> v]. y[p -> v].
+    X[m -> Y] <- X[p -> Y].
+  |} in
+  Alcotest.(check bool) "derived" true (holds live "x[m -> v]");
+  let st = Live.assert_batch live "z[p -> v]. x[q -> w]." in
+  Alcotest.(check string) "strategy" "counting"
+    (Live.strategy_name st.Live.strategy);
+  Alcotest.(check bool) "new derivation" true (holds live "z[m -> v]");
+  check_equiv live;
+  check_clean live
+
+let counting_retract_multi_support () =
+  (* a fact derived by two rules survives losing one support *)
+  let live = attach {|
+    x[p -> v]. x[q -> v].
+    X[m -> Y] <- X[p -> Y].
+    X[m -> Y] <- X[q -> Y].
+  |} in
+  let st = Live.retract_batch live "x[p -> v]." in
+  Alcotest.(check string) "strategy" "counting"
+    (Live.strategy_name st.Live.strategy);
+  Alcotest.(check bool) "still derived via q" true (holds live "x[m -> v]");
+  Alcotest.(check bool) "p gone" false (holds live "x[p -> v]");
+  let _ = Live.retract_batch live "x[q -> v]." in
+  Alcotest.(check bool) "now gone" false (holds live "x[m -> v]");
+  check_equiv live;
+  check_clean live
+
+let revalidation_alternative_chain () =
+  (* the recorded derivation rests on one isa chain; retracting it must
+     re-validate against the alternative chain, not delete the head *)
+  let live = attach {|
+    mid1 :: top. mid2 :: top.
+    o : mid1. o : mid2.
+    X[t -> yes] <- X : top.
+  |} in
+  Alcotest.(check bool) "derived" true (holds live "o[t -> yes]");
+  let st = Live.retract_batch live "o : mid1." in
+  Alcotest.(check string) "strategy" "counting"
+    (Live.strategy_name st.Live.strategy);
+  Alcotest.(check bool) "survives via mid2" true (holds live "o[t -> yes]");
+  let _ = Live.retract_batch live "o : mid2." in
+  Alcotest.(check bool) "gone" false (holds live "o[t -> yes]");
+  check_equiv live;
+  check_clean live
+
+(* ------------------------------------------------------------------ *)
+(* DRed: recursive strata *)
+
+let dred_retract_support () =
+  let live = attach tc_text in
+  Alcotest.(check bool) "closure" true (holds live "a[tc ->> {d}]");
+  (* retract a support of the recursively derived a-tc-d *)
+  let st = Live.retract_batch live "b[edge ->> {c}]." in
+  Alcotest.(check string) "strategy" "dred"
+    (Live.strategy_name st.Live.strategy);
+  Alcotest.(check bool) "b no longer reaches d" false
+    (holds live "b[tc ->> {d}]");
+  Alcotest.(check bool) "a re-derived via the direct edge" true
+    (holds live "a[tc ->> {c}]");
+  Alcotest.(check bool) "a still reaches d" true (holds live "a[tc ->> {d}]");
+  Alcotest.(check bool) "c still reaches d" true (holds live "c[tc ->> {d}]");
+  check_equiv live;
+  check_clean live;
+  (* re-assert: the delta rounds rebuild the closure *)
+  let st = Live.assert_batch live "b[edge ->> {c}]." in
+  Alcotest.(check string) "assert strategy" "counting"
+    (Live.strategy_name st.Live.strategy);
+  Alcotest.(check bool) "closure restored" true (holds live "b[tc ->> {d}]");
+  check_equiv live;
+  check_clean live
+
+let dred_cycle () =
+  (* a cycle sustains itself through counting; DRed must still delete it *)
+  let live =
+    attach
+      {|
+        a[edge ->> {b}]. b[edge ->> {a}]. x[edge ->> {a}].
+        X[tc ->> {Y}] <- X[edge ->> {Y}].
+        X[tc ->> {Y}] <- X[edge ->> {Z}] , Z[tc ->> {Y}].
+      |}
+  in
+  Alcotest.(check bool) "a reaches a through the cycle" true
+    (holds live "a[tc ->> {a}]");
+  let st = Live.retract_batch live "b[edge ->> {a}]." in
+  Alcotest.(check string) "strategy" "dred"
+    (Live.strategy_name st.Live.strategy);
+  Alcotest.(check bool) "cycle broken" false (holds live "a[tc ->> {a}]");
+  Alcotest.(check bool) "a still reaches b" true (holds live "a[tc ->> {b}]");
+  Alcotest.(check bool) "x still reaches b" true (holds live "x[tc ->> {b}]");
+  check_equiv live;
+  check_clean live
+
+(* ------------------------------------------------------------------ *)
+(* Fallbacks and atomicity *)
+
+let negation_gate () =
+  let live =
+    attach
+      {|
+        a[passed ->> {c1}].
+        X : ready <- X[passed ->> {c1}] , not X[passed ->> {c2}].
+      |}
+  in
+  Alcotest.(check bool) "a ready" true (holds live "a : ready");
+  (* asserting into a negated relation must recompute, and the derived
+     fact must disappear — additions delete through negation *)
+  let st = Live.assert_batch live "a[passed ->> {c2}]." in
+  Alcotest.(check string) "strategy" "recompute"
+    (Live.strategy_name st.Live.strategy);
+  Alcotest.(check bool) "no longer ready" false (holds live "a : ready");
+  let st = Live.retract_batch live "a[passed ->> {c2}]." in
+  Alcotest.(check string) "retract strategy" "recompute"
+    (Live.strategy_name st.Live.strategy);
+  Alcotest.(check bool) "ready again" true (holds live "a : ready");
+  check_equiv live;
+  check_clean live
+
+let rule_assert_and_retract () =
+  let live = attach "a[edge ->> {b}]. b[edge ->> {c}]." in
+  let st = Live.assert_batch live "X[r ->> {Y}] <- X[edge ->> {Y}]." in
+  Alcotest.(check string) "rule assert strategy" "recompute"
+    (Live.strategy_name st.Live.strategy);
+  Alcotest.(check bool) "rule fired" true (holds live "a[r ->> {b}]");
+  let _ = Live.retract_batch live "X[r ->> {Y}] <- X[edge ->> {Y}]." in
+  Alcotest.(check bool) "derivations gone" false (holds live "a[r ->> {b}]");
+  Alcotest.(check bool) "edb untouched" true (holds live "a[edge ->> {b}]");
+  check_equiv live;
+  check_clean live
+
+let reject_atomic () =
+  let live = attach "x[age -> 30]." in
+  let before = Live.dump_source live in
+  (* scalar conflict: the whole batch must be rolled back, including the
+     harmless first statement *)
+  (try
+     ignore (Live.assert_batch live "y[age -> 1]. x[age -> 31]." : Live.batch_stats);
+     Alcotest.fail "conflicting batch accepted"
+   with Live.Rejected _ -> ());
+  Alcotest.(check bool) "y insert rolled back" false (holds live "y[age -> 1]");
+  Alcotest.(check string) "source unchanged" before (Live.dump_source live);
+  check_equiv live;
+  check_clean live;
+  (* retracting a derived-only or absent fact is refused *)
+  (try
+     ignore (Live.retract_batch live "x[age -> 99]." : Live.batch_stats);
+     Alcotest.fail "absent retraction accepted"
+   with Live.Rejected _ -> ());
+  Alcotest.(check bool) "still there" true (holds live "x[age -> 30]")
+
+let unstratifiable_rule_rejected () =
+  let live = attach "a[p ->> {b}]." in
+  (try
+     ignore
+       (Live.assert_batch live
+          "X[p ->> {Y}] <- Y[q ->> {X}] , not X[p ->> {Y}]."
+         : Live.batch_stats);
+     Alcotest.fail "unstratifiable rule accepted"
+   with Live.Rejected _ -> ());
+  check_equiv live;
+  check_clean live
+
+(* ------------------------------------------------------------------ *)
+(* Property: random assert/retract interleavings = from-scratch *)
+
+let base_program =
+  {|
+    X[reach ->> {Y}] <- X[edge ->> {Y}].
+    X[reach ->> {Y}] <- X[edge ->> {Z}] , Z[reach ->> {Y}].
+    X : connected <- X[reach ->> {Y}].
+    X[deg -> one] <- X : connected.
+  |}
+
+let interleaving_equals_scratch ~jobs seed =
+  let rng = Random.State.make [| seed |] in
+  let live = attach ~jobs base_program in
+  (* mirror of the extensional state, for picking valid retractions *)
+  let mirror = ref [] in
+  let obj i = Printf.sprintf "n%d" i in
+  let random_fact () =
+    if Random.State.int rng 4 = 0 then
+      Printf.sprintf "%s : grp%d." (obj (Random.State.int rng 8))
+        (Random.State.int rng 3)
+    else
+      Printf.sprintf "%s[edge ->> {%s}]." (obj (Random.State.int rng 8))
+        (obj (Random.State.int rng 8))
+  in
+  let steps = 8 in
+  for _ = 1 to steps do
+    let retract = !mirror <> [] && Random.State.bool rng in
+    let k = 1 + Random.State.int rng 3 in
+    if retract then begin
+      let batch = ref [] in
+      for _ = 1 to k do
+        match !mirror with
+        | [] -> ()
+        | l ->
+          let i = Random.State.int rng (List.length l) in
+          let f = List.nth l i in
+          batch := f :: !batch;
+          mirror := List.filteri (fun j _ -> j <> i) l
+      done;
+      if !batch <> [] then
+        ignore
+          (Live.retract_batch live (String.concat " " !batch)
+            : Live.batch_stats)
+    end
+    else begin
+      let batch = List.init k (fun _ -> random_fact ()) in
+      mirror := batch @ !mirror;
+      ignore (Live.assert_batch live (String.concat " " batch) : Live.batch_stats)
+    end
+  done;
+  (* final state: live model must equal a from-scratch fixpoint on the
+     final extensional facts, and all invariants must hold *)
+  let config = { Fixpoint.default_config with jobs } in
+  let reference = Program.of_string ~config (Live.dump_source live) in
+  ignore (Program.run reference);
+  Program.diff_models ~before:reference ~after:(Live.program live) = ([], [])
+  && Store.check_invariants (Live.store live) = []
+  && Live.check_support live = []
+
+let qcheck_interleaving jobs =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "random assert/retract = from-scratch, jobs=%d" jobs)
+    ~count:40
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100_000))
+    (interleaving_equals_scratch ~jobs)
+
+(* ------------------------------------------------------------------ *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    case "counting: assert delta" counting_assert;
+    case "counting: retract with multiple supports"
+      counting_retract_multi_support;
+    case "counting: re-validation over alternative isa chain"
+      revalidation_alternative_chain;
+    case "dred: retract support of recursive derivation" dred_retract_support;
+    case "dred: cyclic support deleted" dred_cycle;
+    case "negation gate falls back to recompute" negation_gate;
+    case "rule assert and retract" rule_assert_and_retract;
+    case "rejected batches are atomic" reject_atomic;
+    case "unstratifiable rule rejected" unstratifiable_rule_rejected;
+    QCheck_alcotest.to_alcotest (qcheck_interleaving 1);
+    QCheck_alcotest.to_alcotest (qcheck_interleaving 4);
+  ]

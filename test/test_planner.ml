@@ -286,7 +286,7 @@ let test_sealed_empty_bucket () =
   Alcotest.(check int) "empty" 0 (Vec.length missing);
   Alcotest.check_raises "push on the shared empty bucket raises"
     (Invalid_argument "Vec.push: sealed vector") (fun () ->
-      Vec.push missing { Store.recv = 0; args = []; res = 0 });
+      Vec.push missing { Store.recv = 0; args = []; res = 0; dead = max_int });
   Alcotest.check_raises "clear on the shared empty bucket raises"
     (Invalid_argument "Vec.clear: sealed vector") (fun () ->
       Vec.clear missing);

@@ -578,6 +578,167 @@ let test_degraded_marker () =
             Alcotest.(check bool)
               "injected_faults present" true (has "injected_faults ")))
 
+(* ------------------------------------------------------------------ *)
+(* Live mutation: ASSERT / RETRACT / SUBSCRIBE                         *)
+
+let tc_program =
+  {|
+  a[edge ->> {b}]. b[edge ->> {c}].
+  X[tc ->> {Y}] <- X[edge ->> {Y}].
+  X[tc ->> {Y}] <- X[edge ->> {Z}] , Z[tc ->> {Y}].
+  |}
+
+let test_live_mutation () =
+  with_server ~program:tc_program (fun _p srv ->
+      with_client srv (fun c ->
+          (* assert: new edges extend the closure (and the a->c edge
+             makes a's reach of c doubly supported) *)
+          (match Client.assert_facts c "c[edge ->> {d}]. a[edge ->> {c}]." with
+          | Error e -> Alcotest.fail ("ASSERT failed: " ^ e)
+          | Ok r ->
+            Alcotest.(check string) "assert strategy" "counting" r.strategy;
+            Alcotest.(check bool) "epoch advanced" true (r.epoch > 0));
+          Alcotest.(check (result (list string) string))
+            "closure extended"
+            (Ok [ "yes" ])
+            (Client.query c "a[tc ->> {d}]");
+          (* retract one support of the recursively derived closure:
+             over-delete kills a's reach of c, the re-derive pass restores
+             it from the direct edge *)
+          (match Client.retract_facts c "b[edge ->> {c}]." with
+          | Error e -> Alcotest.fail ("RETRACT failed: " ^ e)
+          | Ok r ->
+            Alcotest.(check string) "retract strategy" "dred" r.strategy);
+          Alcotest.(check (result (list string) string))
+            "b's reach gone"
+            (Ok [ "no" ])
+            (Client.query c "b[tc ->> {d}]");
+          Alcotest.(check (result (list string) string))
+            "a's reach re-derived"
+            (Ok [ "yes" ])
+            (Client.query c "a[tc ->> {c}]");
+          (* the analysis gate rejects a definite conflict atomically *)
+          (match Client.assert_facts c "x[age -> 1]. x[age -> 2]." with
+          | Ok _ -> Alcotest.fail "conflicting batch accepted"
+          | Error e ->
+            Alcotest.(check bool)
+              ("ANALYSIS error: " ^ e)
+              true
+              (String.length e >= 8 && String.sub e 0 8 = "ANALYSIS"));
+          Alcotest.(check (result (list string) string))
+            "gate left no partial write"
+            (Ok [ "no" ])
+            (Client.query c "x[age -> 1]");
+          (* retracting an absent extensional fact is refused *)
+          (match Client.retract_facts c "a[edge ->> {zz}]." with
+          | Ok _ -> Alcotest.fail "absent retraction accepted"
+          | Error e ->
+            Alcotest.(check bool)
+              ("BADREQ error: " ^ e)
+              true
+              (String.length e >= 6 && String.sub e 0 6 = "BADREQ"));
+          (* counters *)
+          match Client.stats c with
+          | Error e -> Alcotest.fail e
+          | Ok lines ->
+            let has l = List.mem l lines in
+            Alcotest.(check bool) "asserts_total 1" true
+              (has "asserts_total 1");
+            Alcotest.(check bool) "retracts_total 1" true
+              (has "retracts_total 1");
+            Alcotest.(check bool) "subscriptions_active 0" true
+              (has "subscriptions_active 0")))
+
+let test_subscribe_push () =
+  with_server ~program:tc_program (fun _p srv ->
+      with_client srv (fun subscriber ->
+          with_client srv (fun writer ->
+              let sub =
+                match Client.subscribe subscriber "a[tc ->> {Y}]" with
+                | Ok s -> s
+                | Error e -> Alcotest.fail ("SUBSCRIBE failed: " ^ e)
+              in
+              Alcotest.(check (list string))
+                "baseline closure" [ "b"; "c" ] sub.Client.baseline;
+              (* an assert batch extends the closure: DELTA + *)
+              (match Client.assert_facts writer "c[edge ->> {d}]." with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail ("ASSERT failed: " ^ e));
+              (match Client.next_delta ~timeout_s:5.0 subscriber with
+              | None -> Alcotest.fail "no DELTA after assert"
+              | Some d ->
+                Alcotest.(check int) "sub id" sub.Client.sub_id
+                  d.Protocol.sub_id;
+                Alcotest.(check (list string))
+                  "appeared" [ "d" ] d.Protocol.appeared;
+                Alcotest.(check (list string))
+                  "vanished" [] d.Protocol.vanished);
+              (* retracting a support of the recursively derived facts:
+                 DELTA - for everything that lost its derivation *)
+              (match Client.retract_facts writer "b[edge ->> {c}]." with
+              | Ok r ->
+                Alcotest.(check bool) "model shrank" true (r.removed > 0)
+              | Error e -> Alcotest.fail ("RETRACT failed: " ^ e));
+              (match Client.next_delta ~timeout_s:5.0 subscriber with
+              | None -> Alcotest.fail "no DELTA after retract"
+              | Some d ->
+                Alcotest.(check (list string))
+                  "appeared" [] d.Protocol.appeared;
+                Alcotest.(check (list string))
+                  "vanished" [ "c"; "d" ] d.Protocol.vanished);
+              (* an unrelated batch produces no frame *)
+              (match Client.assert_facts writer "q[edge ->> {r}]." with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail ("ASSERT failed: " ^ e));
+              (match Client.next_delta ~timeout_s:0.2 subscriber with
+              | None -> ()
+              | Some _ -> Alcotest.fail "spurious DELTA");
+              (* a subscribing session can also mutate: its own DELTA
+                 arrives before the ASSERT reply and is queued *)
+              (match Client.assert_facts subscriber "a[edge ->> {e}]." with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail ("ASSERT failed: " ^ e));
+              (match Client.next_delta ~timeout_s:5.0 subscriber with
+              | None -> Alcotest.fail "no DELTA for own assert"
+              | Some d ->
+                Alcotest.(check (list string))
+                  "appeared" [ "e" ] d.Protocol.appeared);
+              (* live subscription gauge *)
+              match Client.stats writer with
+              | Error e -> Alcotest.fail e
+              | Ok lines ->
+                Alcotest.(check bool)
+                  "subscriptions_active 1" true
+                  (List.mem "subscriptions_active 1" lines))))
+
+let test_subscribe_ground () =
+  with_server ~program:tc_program (fun _p srv ->
+      with_client srv (fun subscriber ->
+          with_client srv (fun writer ->
+              let sub =
+                match Client.subscribe subscriber "a[tc ->> {d}]" with
+                | Ok s -> s
+                | Error e -> Alcotest.fail ("SUBSCRIBE failed: " ^ e)
+              in
+              Alcotest.(check (list string))
+                "not yet entailed" [] sub.Client.baseline;
+              (match Client.assert_facts writer "c[edge ->> {d}]." with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail ("ASSERT failed: " ^ e));
+              (match Client.next_delta ~timeout_s:5.0 subscriber with
+              | None -> Alcotest.fail "no DELTA"
+              | Some d ->
+                Alcotest.(check (list string))
+                  "entailed" [ "true" ] d.Protocol.appeared);
+              match Client.retract_facts writer "c[edge ->> {d}]." with
+              | Error e -> Alcotest.fail ("RETRACT failed: " ^ e)
+              | Ok _ -> (
+                match Client.next_delta ~timeout_s:5.0 subscriber with
+                | None -> Alcotest.fail "no DELTA"
+                | Some d ->
+                  Alcotest.(check (list string))
+                    "no longer entailed" [ "true" ] d.Protocol.vanished))))
+
 let suite =
   [
     Alcotest.test_case "protocol: parse requests" `Quick test_parse_request;
@@ -611,4 +772,10 @@ let suite =
       test_shutdown_cancels_inflight;
     Alcotest.test_case "server: DEGRADED marker and counters" `Quick
       test_degraded_marker;
+    Alcotest.test_case "server: ASSERT/RETRACT with analysis gate" `Quick
+      test_live_mutation;
+    Alcotest.test_case "server: SUBSCRIBE pushes DELTA frames" `Quick
+      test_subscribe_push;
+    Alcotest.test_case "server: ground subscription true/false" `Quick
+      test_subscribe_ground;
   ]

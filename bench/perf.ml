@@ -35,6 +35,8 @@ type suite = {
   rounds : int option;
   speedup_vs_1j : float option;
       (* scaling suites: this run's speedup over the jobs=1 run *)
+  speedup_vs_full : float option;
+      (* demand suites: full-materialisation wall over demand wall *)
   detail : string;
 }
 
@@ -90,6 +92,7 @@ let fixpoint_suite name stmts ~jobs ~reps ~detail =
     firings = Some stats.firings;
     rounds = Some stats.rounds;
     speedup_vs_1j = None;
+    speedup_vs_full = None;
     detail;
   }
 
@@ -184,6 +187,7 @@ let fixpoint_par ~jobs ~reps ~base =
       (match base with
       | Some b when jobs > 1 -> Some (b /. max 1e-9 w)
       | _ -> None);
+    speedup_vs_full = None;
     detail =
       Printf.sprintf
         "16-partition chain(48) closure into a shared reach method, jobs=%d"
@@ -228,6 +232,7 @@ let company_queries ~target =
     firings = None;
     rounds = None;
     speedup_vs_1j = None;
+    speedup_vs_full = None;
     detail =
       Printf.sprintf "%d-query workload over company(400); ops = workload \
                       evaluations" (List.length qs);
@@ -275,6 +280,7 @@ let recv_set_query ~target =
     firings = None;
     rounds = None;
     speedup_vs_1j = None;
+    speedup_vs_full = None;
     detail =
       "r0[edge@(A) ->> {X}] over 200 receivers x 25 one-ary tuples; ops = \
        query evaluations";
@@ -311,6 +317,7 @@ let isa_closure_growth ~reps =
     firings = None;
     rounds = None;
     speedup_vs_1j = None;
+    speedup_vs_full = None;
     detail =
       "400 isa inserts into an 8-class hierarchy, members(root) after each; \
        ops = insert+query pairs";
@@ -358,6 +365,7 @@ let assert_batch ~reps =
     firings = None;
     rounds = None;
     speedup_vs_1j = None;
+    speedup_vs_full = None;
     detail =
       "200 ASSERT batches of 25 chain edges into a live reach closure; ops = \
        batches";
@@ -407,6 +415,7 @@ let retract_rederive ~target =
     firings = None;
     rounds = None;
     speedup_vs_1j = None;
+    speedup_vs_full = None;
     detail =
       "retract+assert of a mid-chain edge in tc(chain 400 + rungs); each \
        retract over-deletes and re-derives the downstream closure; ops = \
@@ -476,6 +485,7 @@ let server_suite ~name ~config ~requests ~detail =
     firings = None;
     rounds = None;
     speedup_vs_1j = None;
+    speedup_vs_full = None;
     detail = Printf.sprintf detail requests;
   }
 
@@ -505,6 +515,89 @@ let server_par_read ~requests =
     ~detail:
       "4 clients x %d requests, 4 domain workers on snapshot reads, \
        company(100)"
+
+(* ------------------------------------------------------------------ *)
+(* Demand-driven evaluation (PR 7): a bound-receiver query answered via
+   the magic-sets transform against fresh programs, timed against full
+   materialisation of the same program. The transform must not fall
+   back — a fallback would silently time the full run twice. *)
+
+let demand_suite name stmts query ~reps ~detail =
+  let demand () =
+    let p = Program.create stmts in
+    snd (Program.query_demand_string p query)
+  in
+  let full () =
+    let p = Program.create stmts in
+    let s = Program.run p in
+    ignore (Program.query_string p query);
+    s
+  in
+  let report, dw = best_of reps demand in
+  let _, fw = best_of reps full in
+  (match report.Pathlog.Program.d_fallback with
+  | Some fb ->
+    failwith
+      (name ^ ": unexpected demand fallback: "
+      ^ Pathlog.Demand.fallback_to_string fb)
+  | None -> ());
+  {
+    name;
+    wall_s = dw;
+    ops_per_s = None;
+    rule_evaluations =
+      Some report.Pathlog.Program.d_stats.Pathlog.Fixpoint.rule_evaluations;
+    firings = Some report.Pathlog.Program.d_stats.Pathlog.Fixpoint.firings;
+    rounds = Some report.Pathlog.Program.d_stats.Pathlog.Fixpoint.rounds;
+    speedup_vs_1j = None;
+    speedup_vs_full = Some (fw /. max 1e-9 dw);
+    detail;
+  }
+
+(* 100 disjoint boss chains of 100 nodes each under a recursive [up]
+   closure: full materialisation derives all 100 chain closures (~505k
+   tuples), the demanded query needs exactly one. *)
+let magic_chain_stmts =
+  lazy
+    (let chains = 100 and n = 100 in
+     let b = Buffer.create (chains * n * 24) in
+     for c = 0 to chains - 1 do
+       for i = 0 to n - 1 do
+         Buffer.add_string b
+           (Printf.sprintf "c%dn%d[boss -> c%dn%d]. " c i c (i + 1))
+       done
+     done;
+     Buffer.add_string b "X[up ->> {Y}] <- X[boss -> Y]. ";
+     Buffer.add_string b "X[up ->> {Y}] <- X[boss -> Z], Z[up ->> {Y}]. ";
+     Pathlog.Parser.program (Buffer.contents b))
+
+let magic_bound_tc ~reps =
+  demand_suite "magic_bound_tc_10k"
+    (Lazy.force magic_chain_stmts)
+    "c0n0[up ->> {X}]" ~reps
+    ~detail:
+      "bound-receiver up-closure point query, 100 disjoint chains x 100 \
+       nodes; counters are the demanded run's"
+
+(* company(400) plus a quadratic same-city join and a recursive
+   colleague-reachability closure; the point query demands one
+   employee's reach chain and drops the join entirely. *)
+let magic_company_stmts =
+  lazy
+    (Pathlog.Company.statements (Pathlog.Company.scaled 400)
+    @ Pathlog.Parser.program
+        "X[sameCity ->> {Y}] <- X[city -> C], Y[city -> C]. \
+         X[colleague ->> {Y}] <- X[boss -> B], Y[boss -> B]. \
+         X[reach ->> {Y}] <- X[colleague ->> {Y}]. \
+         X[reach ->> {Y}] <- X[colleague ->> {Z}], Z[reach ->> {Y}].")
+
+let magic_company_point ~reps =
+  demand_suite "magic_company_point_400"
+    (Lazy.force magic_company_stmts)
+    "e1[reach ->> {Y}]" ~reps
+    ~detail:
+      "bound-receiver colleague-reach point query over company(400) with \
+       a quadratic same-city join dropped by the transform"
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON (writer + reader for our own reports)                  *)
@@ -733,6 +826,7 @@ let suite_json ~baseline (s : suite) =
     @ opt "firings" s.firings (fun x -> Num (float_of_int x))
     @ opt "rounds" s.rounds (fun x -> Num (float_of_int x))
     @ opt "speedup_vs_1j" s.speedup_vs_1j (fun x -> Num x)
+    @ opt "speedup_vs_full" s.speedup_vs_full (fun x -> Num x)
     @ (match base with
       | Some (Some bw, _) ->
         [
@@ -821,6 +915,8 @@ let main args =
         (fun () -> fixpoint_par ~jobs:2 ~reps ~base:!par_base);
         (fun () -> fixpoint_par ~jobs:4 ~reps ~base:!par_base);
         (fun () -> server_par_read ~requests);
+        (fun () -> magic_bound_tc ~reps);
+        (fun () -> magic_company_point ~reps);
       ]
   in
   let baseline =
@@ -832,7 +928,7 @@ let main args =
         ( "meta",
           Obj
             [
-              ("pr", Num 6.);
+              ("pr", Num 7.);
               ("mode", Str (if quick then "quick" else "full"));
               ("jobs", Num (float_of_int jobs));
               ( "cores",

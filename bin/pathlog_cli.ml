@@ -53,8 +53,54 @@ let print_answer p query answer =
 
 (* ------------------------------------------------------------------ *)
 
+let pp_query_lits ppf lits =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    Pathlog.Pretty.pp_literal ppf lits
+
+(* run --demand: no up-front materialisation — each query (embedded or
+   --query) runs the magic-sets transform and fixpoints only its demanded
+   fragment (see DESIGN.md); unsound cases fall back to a full run with a
+   notice. *)
+let run_demand p ~budget ~stats queries =
+  let answer name run =
+    let a, (r : Pathlog.Program.demand_report) = run () in
+    (match r.Pathlog.Program.d_fallback with
+    | Some fb ->
+      Printf.printf "%% demand fallback (%s): full materialisation ran\n"
+        (Pathlog.Demand.fallback_to_string fb)
+    | None ->
+      if stats then
+        Printf.printf
+          "%% demand: %d seeds, %d magic rules, %d guarded, %d unguarded, \
+           %d magic facts\n"
+          r.d_seeds r.d_magic_rules r.d_guarded r.d_unguarded
+          r.d_magic_facts);
+    if stats then
+      Format.printf "%% %a@." Pathlog.Fixpoint.pp_stats r.d_stats;
+    print_answer p name a
+  in
+  List.iter
+    (fun lits ->
+      answer
+        (Format.asprintf "%a" pp_query_lits lits)
+        (fun () -> Pathlog.Program.query_demand ?budget p lits))
+    (Pathlog.Program.embedded_queries p);
+  List.iter
+    (fun q ->
+      answer q (fun () -> Pathlog.Program.query_demand_string ?budget p q))
+    queries;
+  match Pathlog.Program.degraded p with
+  | Some reason ->
+    Format.printf
+      "%% degraded: evaluation stopped early (%a); answers above are a \
+       sound subset@."
+      Pathlog.Budget.pp_reason reason;
+    exit Pathlog.Err.exit_runtime
+  | None -> ()
+
 let run_cmd file queries dump stats naive hilog max_rounds max_objects types
-    prune_dead jobs deadline =
+    prune_dead jobs deadline demand =
   let config = config_of ~naive ~hilog ~max_rounds ~max_objects ~jobs in
   let budget =
     Option.map
@@ -66,6 +112,11 @@ let run_cmd file queries dump stats naive hilog max_rounds max_objects types
         Pathlog.Program.of_string ~config (read_file file))
   in
   let st = Pathlog.Program.store p in
+  if demand then
+    with_errors (Some st) (fun () ->
+        run_demand p ~budget ~stats queries;
+        if dump then Format.printf "%a" Pathlog.Store.pp st)
+  else
   with_errors (Some st) (fun () ->
       let s =
         if prune_dead then begin
@@ -147,20 +198,31 @@ let check_cmd file json deny =
   end;
   if denied then exit Pathlog.Err.exit_analysis
 
-let explain_cmd file queries =
+let explain_cmd file queries demand =
   let p =
     with_errors None (fun () -> Pathlog.Program.of_string (read_file file))
   in
   let st = Pathlog.Program.store p in
   with_errors (Some st) (fun () ->
-      ignore (Pathlog.Program.run p);
-      List.iter
-        (fun q ->
-          Printf.printf "?- %s\n" q;
-          List.iteri
-            (fun i line -> Printf.printf "  %d. %s\n" (i + 1) line)
-            (Pathlog.Program.explain_string p q))
-        queries)
+      if demand then
+        (* the adorned, magic-transformed program per query — no
+           evaluation happens *)
+        List.iter
+          (fun q ->
+            Printf.printf "?- %s\n" q;
+            List.iter print_endline
+              (Pathlog.Program.explain_demand_string p q))
+          queries
+      else begin
+        ignore (Pathlog.Program.run p);
+        List.iter
+          (fun q ->
+            Printf.printf "?- %s\n" q;
+            List.iteri
+              (fun i line -> Printf.printf "  %d. %s\n" (i + 1) line)
+              (Pathlog.Program.explain_string p q))
+          queries
+      end)
 
 let query_cmd file strategy queries =
   let p =
@@ -303,7 +365,7 @@ let server_address ~host ~port ~unix_sock =
   | None -> Pathlog.Server.Tcp (host, port)
 
 let serve_cmd file host port unix_sock workers queue max_request deadline jobs
-    faults =
+    faults demand =
   (match faults with
   | None -> ()
   | Some spec -> (
@@ -322,7 +384,13 @@ let serve_cmd file host port unix_sock workers queue max_request deadline jobs
   | Error msg ->
     Printf.eprintf "error: program refused by static analysis:\n%s\n" msg;
     exit Pathlog.Err.exit_analysis);
-  let p = with_errors None (fun () -> Pathlog.load text) in
+  (* --demand serves from the parsed program without materialising it:
+     the first sight of each query fixpoints only its demanded
+     fragment *)
+  let p =
+    with_errors None (fun () ->
+        if demand then Pathlog.parse text else Pathlog.load text)
+  in
   (* --jobs N with N > 1 turns on real parallelism end to end: the query
      pool is backed by N domains instead of threads (queries evaluate
      concurrently on the lock-free read path). *)
@@ -334,6 +402,7 @@ let serve_cmd file host port unix_sock workers queue max_request deadline jobs
       queue_capacity = queue;
       max_request_bytes = max_request;
       deadline_s = deadline;
+      demand;
     }
   in
   let srv =
@@ -342,9 +411,11 @@ let serve_cmd file host port unix_sock workers queue max_request deadline jobs
   in
   Pathlog.Server.install_signal_handlers srv;
   Format.printf
-    "pathlog: serving %s on %a (%d %s workers, queue %d); SIGINT/SIGTERM \
+    "pathlog: serving %s%s on %a (%d %s workers, queue %d); SIGINT/SIGTERM \
      drains@."
-    file Pathlog.Server.pp_address
+    file
+    (if demand then " demand-driven" else "")
+    Pathlog.Server.pp_address
     (Pathlog.Server.address srv)
     config.workers
     (if config.pool_domains then "domain" else "thread")
@@ -517,11 +588,21 @@ let run_deadline_arg =
            the run stops cooperatively, keeps the sound partial model \
            derived so far, prints a degraded notice, and exits 1.")
 
+let demand_arg =
+  Arg.(
+    value & flag
+    & info [ "demand" ]
+        ~doc:
+          "Demand-driven evaluation: skip full materialisation and answer \
+           each query over only the fragment its bound receivers demand \
+           (magic-sets transform; falls back to a full run on negation, \
+           inclusion or hilog).")
+
 let run_t =
   Term.(
     const run_cmd $ file_arg $ queries_arg $ dump_arg $ stats_arg $ naive_arg
     $ hilog_arg $ max_rounds_arg $ max_objects_arg $ types_arg
-    $ prune_dead_arg $ jobs_arg $ run_deadline_arg)
+    $ prune_dead_arg $ jobs_arg $ run_deadline_arg $ demand_arg)
 
 let json_arg =
   Arg.(
@@ -552,7 +633,16 @@ let repl_file_arg =
 
 let repl_t = Term.(const repl_cmd $ repl_file_arg)
 
-let explain_t = Term.(const explain_cmd $ file_arg $ queries_arg)
+let explain_demand_arg =
+  Arg.(
+    value & flag
+    & info [ "demand" ]
+        ~doc:
+          "Print the adorned, magic-transformed program the demand-driven \
+           evaluator would run for each query.")
+
+let explain_t =
+  Term.(const explain_cmd $ file_arg $ queries_arg $ explain_demand_arg)
 
 let lint_t = Term.(const lint_cmd $ file_arg)
 
@@ -642,7 +732,7 @@ let serve_t =
   Term.(
     const serve_cmd $ file_arg $ host_arg $ port_arg $ unix_sock_arg
     $ workers_arg $ queue_arg $ max_request_arg $ deadline_arg
-    $ serve_jobs_arg $ faults_arg)
+    $ serve_jobs_arg $ faults_arg $ demand_arg)
 
 let connect_t =
   Term.(const connect_cmd $ host_arg $ port_arg $ unix_sock_arg $ queries_arg)

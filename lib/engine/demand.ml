@@ -1,0 +1,535 @@
+module Ast = Syntax.Ast
+module Ir = Semantics.Ir
+module Store = Oodb.Store
+module S = Set.Make (String)
+
+type fallback = Negation | Inclusion | Hilog | Unsafe
+
+let fallback_to_string = function
+  | Negation -> "negation"
+  | Inclusion -> "set-inclusion"
+  | Hilog -> "variable-method (hilog)"
+  | Unsafe -> "untransformable rule"
+
+type t = {
+  rules : Rule.t list;
+  strat : Stratify.t;
+  n_seeds : int;
+  n_magic : int;
+  n_guarded : int;
+  n_unguarded : int;
+  n_dropped : int;
+  listing : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Naming. The [$] character cannot appear in a lexed identifier, so the
+   demand object and magic method names can never collide with user
+   vocabulary; the same goes for the [#] in generated variables. *)
+
+let demand_obj = Ast.Name "$demand"
+
+let magic_prefix = "magic$"
+
+let is_magic_name s =
+  String.length s > String.length magic_prefix
+  && String.sub s 0 (String.length magic_prefix) = magic_prefix
+
+let magic_name store rel =
+  let u = Store.universe store in
+  match (rel : Ir.rel) with
+  | Ir.R_scalar m -> magic_prefix ^ "sc$" ^ Oodb.Universe.to_string u m
+  | Ir.R_set m -> magic_prefix ^ "set$" ^ Oodb.Universe.to_string u m
+  | Ir.R_isa | Ir.R_isa_c _ | Ir.R_any -> invalid_arg "Demand.magic_name"
+
+(* ------------------------------------------------------------------ *)
+(* Reference analysis *)
+
+let rec ground_simple store (r : Ast.reference) =
+  match r with
+  | Ast.Name n -> Some (Store.name store n)
+  | Ast.Int_lit n -> Some (Store.int store n)
+  | Ast.Str_lit s -> Some (Store.str store s)
+  | Ast.Paren r -> ground_simple store r
+  | Ast.Var _ | Ast.Path _ | Ast.Filter _ | Ast.Isa _ -> None
+
+let is_self meth args =
+  match (meth : Ast.reference) with
+  | Ast.Name "self" -> args = []
+  | _ -> false
+
+(* The relation a method application touches; [None] for the built-in
+   [self]. A non-ground method position is [R_any] (the gate rejects the
+   program before any transform sees it). *)
+let app_rel store ~set meth args =
+  if is_self meth args then None
+  else
+    match ground_simple store meth with
+    | Some m -> Some (if set then Ir.R_set m else Ir.R_scalar m)
+    | None -> Some Ir.R_any
+
+(* Every method application in a reference, pre-order, with its receiver
+   sub-reference; isa atoms reported separately. *)
+let rec walk store ~f (r : Ast.reference) =
+  match r with
+  | Ast.Name _ | Ast.Int_lit _ | Ast.Str_lit _ | Ast.Var _ -> ()
+  | Ast.Paren r -> walk store ~f r
+  | Ast.Isa { recv; cls } ->
+    f `Isa;
+    walk store ~f recv;
+    walk store ~f cls
+  | Ast.Path { p_recv; p_sep; p_meth; p_args } ->
+    (match app_rel store ~set:(p_sep = Ast.Dotdot) p_meth p_args with
+    | Some rel -> f (`App (rel, p_recv))
+    | None -> ());
+    walk store ~f p_recv;
+    List.iter (walk store ~f) p_args
+  | Ast.Filter { f_recv; f_meth; f_args; f_rhs } ->
+    (match f_rhs with
+    | Ast.Rsig_scalar _ | Ast.Rsig_set _ -> ()
+    | Ast.Rscalar _ | Ast.Rset_ref _ | Ast.Rset_enum _ ->
+      let set =
+        match f_rhs with Ast.Rscalar _ -> false | _ -> true
+      in
+      (match app_rel store ~set f_meth f_args with
+      | Some rel -> f (`App (rel, f_recv))
+      | None -> ());
+      walk store ~f f_recv;
+      List.iter (walk store ~f) f_args;
+      (match f_rhs with
+      | Ast.Rscalar rhs | Ast.Rset_ref rhs -> walk store ~f rhs
+      | Ast.Rset_enum ms -> List.iter (walk store ~f) ms
+      | Ast.Rsig_scalar _ | Ast.Rsig_set _ -> ()))
+
+let has_anon r =
+  Ast.fold_reference (fun acc s -> acc || s = Ast.Var "_") false r
+
+(* Can this receiver be evaluated to a known set of objects once [bound]
+   is bound? Anonymous variables are fresh existentials — never bound. *)
+let boundable bound recv =
+  (not (has_anon recv))
+  && S.subset (S.of_list (Ast.vars_of_reference recv)) bound
+
+(* ------------------------------------------------------------------ *)
+(* Fallback gate *)
+
+let ref_has_inclusion r =
+  Ast.fold_reference
+    (fun acc sub ->
+      acc
+      ||
+      match sub with
+      | Ast.Filter { f_rhs = Ast.Rset_ref _; _ } -> true
+      | _ -> false)
+    false r
+
+let body_fallback lits =
+  List.fold_left
+    (fun acc lit ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match (lit : Ast.literal) with
+        | Ast.Neg _ -> Some Negation
+        | Ast.Pos r -> if ref_has_inclusion r then Some Inclusion else None))
+    None lits
+
+let is_any r = Ir.equal_rel (Ir.norm_rel r) Ir.R_any
+
+let gate query_lits goals relevant =
+  match body_fallback query_lits with
+  | Some fb -> Some fb
+  | None ->
+    if List.exists is_any goals then Some Hilog
+    else
+      List.fold_left
+        (fun acc (r : Rule.t) ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match body_fallback r.source.body with
+            | Some fb -> Some fb
+            | None ->
+              if r.reads_any || List.exists is_any r.defines then Some Hilog
+              else None))
+        None relevant
+
+(* ------------------------------------------------------------------ *)
+(* Guardability: a rule we can restrict with a magic guard. It must
+   define exactly one relation, through a flat filter head — simple
+   receiver, ground method, simple args and simple right-hand-side terms —
+   so that prefixing the guard cannot change what the head writes and the
+   guard variable is exactly the head receiver. *)
+
+let guard_info store (r : Rule.t) =
+  match (r.defines, r.source.head) with
+  | [ d ], Ast.Filter { f_recv; f_meth; f_args; f_rhs }
+    when Ast.is_simple f_recv
+         && (not (has_anon f_recv))
+         && List.for_all Ast.is_simple f_args
+         && not (is_self f_meth f_args) ->
+    let check ~set rhs_ok =
+      if not rhs_ok then None
+      else
+        match app_rel store ~set f_meth f_args with
+        | Some rel when (not (is_any rel)) && Ir.equal_rel rel d ->
+          Some (rel, f_recv)
+        | _ -> None
+    in
+    (match f_rhs with
+    | Ast.Rscalar rhs -> check ~set:false (Ast.is_simple rhs)
+    | Ast.Rset_enum ms -> check ~set:true (List.for_all Ast.is_simple ms)
+    | Ast.Rset_ref _ | Ast.Rsig_scalar _ | Ast.Rsig_set _ -> None)
+  | _ -> None
+
+let guard_lit store rel recv =
+  Ast.Pos
+    (Ast.Filter
+       {
+         f_recv = demand_obj;
+         f_meth = Ast.Name (magic_name store rel);
+         f_args = [];
+         f_rhs = Ast.Rset_enum [ recv ];
+       })
+
+(* ------------------------------------------------------------------ *)
+(* Demand analysis. Levels form the lattice none < B < F per normalised
+   relation: B (bound receiver) means every occurrence demand reaches has
+   an evaluable receiver; one free occurrence anywhere upgrades to F.
+   Class membership is conservatively F — isa feeds the hierarchy closure
+   and is cheap to materialise in full. *)
+
+type level = B | F
+
+let lub a b = match (a, b) with F, _ | _, F -> F | B, B -> B
+
+let compute_levels store proper query_lits =
+  let levels : (Ir.rel, level) Hashtbl.t = Hashtbl.create 32 in
+  let definers : (Ir.rel, Rule.t list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Rule.t) ->
+      List.iter
+        (fun d ->
+          let d = Ir.norm_rel d in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt definers d) in
+          if not (List.memq r cur) then Hashtbl.replace definers d (r :: cur))
+        r.defines)
+    proper;
+  let queue = Queue.create () in
+  let demand rel lvl =
+    let rel = Ir.norm_rel rel in
+    match rel with
+    | Ir.R_any -> ()
+    | _ ->
+      let lvl = match rel with Ir.R_isa -> F | _ -> lvl in
+      let cur = Hashtbl.find_opt levels rel in
+      let nu = match cur with None -> lvl | Some c -> lub c lvl in
+      if cur <> Some nu then begin
+        Hashtbl.replace levels rel nu;
+        Queue.push (rel, nu) queue
+      end
+  in
+  let demand_ref bound r =
+    walk store r ~f:(function
+      | `Isa -> demand Ir.R_isa F
+      | `App (rel, recv) -> demand rel (if boundable bound recv then B else F))
+  in
+  let demand_body init_bound lits =
+    ignore
+      (List.fold_left
+         (fun bound lit ->
+           (match (lit : Ast.literal) with
+           | Ast.Pos r -> demand_ref bound r
+           | Ast.Neg r ->
+             (* unreachable behind the gate; conservative if it ever runs *)
+             demand_ref S.empty r);
+           S.union bound (S.of_list (Ast.vars_of_literal lit)))
+         init_bound lits)
+  in
+  (* Head components below the outermost application are reads (path
+     prefixes resolve before skolemising, set-valued right-hand sides
+     evaluate): demand them fully. The outermost application itself is the
+     define — not demanded by occurring in its own head. *)
+  let rec demand_head (r : Ast.reference) =
+    match r with
+    | Ast.Name _ | Ast.Int_lit _ | Ast.Str_lit _ | Ast.Var _ -> ()
+    | Ast.Paren r -> demand_head r
+    | Ast.Isa { recv; cls } ->
+      demand_ref S.empty recv;
+      demand_ref S.empty cls
+    | Ast.Path { p_recv; p_args; _ } ->
+      demand_ref S.empty p_recv;
+      List.iter (demand_ref S.empty) p_args
+    | Ast.Filter { f_recv; f_args; f_rhs; _ } ->
+      demand_ref S.empty f_recv;
+      List.iter (demand_ref S.empty) f_args;
+      (match f_rhs with
+      | Ast.Rscalar rhs | Ast.Rset_ref rhs -> demand_ref S.empty rhs
+      | Ast.Rset_enum ms -> List.iter (demand_ref S.empty) ms
+      | Ast.Rsig_scalar _ | Ast.Rsig_set _ -> ())
+  in
+  (* the query seeds the analysis as a pseudo-body with nothing bound *)
+  demand_body S.empty query_lits;
+  let processed : (int * bool, unit) Hashtbl.t = Hashtbl.create 32 in
+  let process (r : Rule.t) lvl =
+    let guard = if lvl = B then guard_info store r else None in
+    let guarded = guard <> None in
+    let key = (r.uid, guarded) in
+    if not (Hashtbl.mem processed key) then begin
+      Hashtbl.add processed key ();
+      let init =
+        match guard with
+        | Some (_, recv) -> S.of_list (Ast.vars_of_reference recv)
+        | None -> S.empty
+      in
+      demand_body init r.source.body;
+      demand_head r.source.head
+    end
+  in
+  let rec drain () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some (rel, lvl) ->
+      List.iter
+        (fun r -> process r lvl)
+        (Option.value ~default:[] (Hashtbl.find_opt definers rel));
+      drain ()
+  in
+  drain ();
+  levels
+
+(* ------------------------------------------------------------------ *)
+(* Emission. Forms first (guarded / unguarded / dropped), then one pass
+   over the query and every emitted body producing magic rules: a
+   bound-receiver application of a B-level relation that some guarded
+   rule is keyed on yields
+
+     $demand[magic_m ->> {recv}]  <-  <body prefix binding recv>.
+
+   (plus the guard, for guarded contexts). A receiver that is itself a
+   path gets a fresh variable extracted with the built-in [self], which
+   evaluates without skolemising. An empty prefix with a constant
+   receiver degenerates to a magic seed fact. *)
+
+let emit store proper query_lits levels =
+  let level rel = Hashtbl.find_opt levels (Ir.norm_rel rel) in
+  let forms =
+    List.map
+      (fun (r : Rule.t) ->
+        if not (List.exists (fun d -> level d <> None) r.defines) then
+          (r, `Dropped)
+        else
+          match guard_info store r with
+          | Some (d, recv) when level d = Some B -> (r, `Guarded (d, recv))
+          | Some _ | None -> (r, `Unguarded))
+      proper
+  in
+  let guarded_rels =
+    List.filter_map
+      (function
+        | _, `Guarded (d, _) -> Some (Ir.norm_rel d)
+        | _ -> None)
+      forms
+  in
+  let needs_magic rel =
+    List.exists (Ir.equal_rel (Ir.norm_rel rel)) guarded_rels
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let seeds = ref [] in
+  let magic = ref [] in
+  let fresh = ref 0 in
+  let add_magic (rule : Ast.rule) =
+    let key = Format.asprintf "%a" Syntax.Pretty.pp_rule rule in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      if rule.body = [] then seeds := rule :: !seeds
+      else magic := rule :: !magic
+    end
+  in
+  let emit_for_app context rel recv =
+    let member, binding =
+      match recv with
+      | Ast.Var _ -> (recv, [])
+      | r when ground_simple store r <> None -> (recv, [])
+      | _ ->
+        incr fresh;
+        let v = Printf.sprintf "Seed#%d" !fresh in
+        ( Ast.Var v,
+          [
+            Ast.Pos
+              (Ast.Filter
+                 {
+                   f_recv = recv;
+                   f_meth = Ast.Name "self";
+                   f_args = [];
+                   f_rhs = Ast.Rscalar (Ast.Var v);
+                 });
+          ] )
+    in
+    let head =
+      Ast.Filter
+        {
+          f_recv = demand_obj;
+          f_meth = Ast.Name (magic_name store rel);
+          f_args = [];
+          f_rhs = Ast.Rset_enum [ member ];
+        }
+    in
+    add_magic { Ast.head; body = context @ binding }
+  in
+  let emit_body context_init bound_init lits =
+    ignore
+      (List.fold_left
+         (fun (ctx, bound) lit ->
+           (match (lit : Ast.literal) with
+           | Ast.Pos r ->
+             walk store r ~f:(function
+               | `Isa -> ()
+               | `App (rel, recv) ->
+                 if
+                   level rel = Some B && boundable bound recv
+                   && needs_magic rel
+                 then emit_for_app (List.rev ctx) rel recv)
+           | Ast.Neg _ -> ());
+           (lit :: ctx, S.union bound (S.of_list (Ast.vars_of_literal lit))))
+         (context_init, bound_init) lits)
+  in
+  (* the query's own bound applications seed the demand sets *)
+  emit_body [] S.empty query_lits;
+  let guarded_asts = ref [] in
+  let unguarded = ref [] in
+  let n_dropped = ref 0 in
+  List.iter
+    (fun ((r : Rule.t), form) ->
+      match form with
+      | `Dropped -> incr n_dropped
+      | `Guarded (d, recv) ->
+        let guard = guard_lit store d recv in
+        guarded_asts :=
+          ({ Ast.head = r.source.head; body = guard :: r.source.body }, recv)
+          :: !guarded_asts;
+        emit_body [ guard ]
+          (S.of_list (Ast.vars_of_reference recv))
+          r.source.body
+      | `Unguarded ->
+        unguarded := r :: !unguarded;
+        emit_body [] S.empty r.source.body)
+    forms;
+  let seeds = List.rev !seeds in
+  let magic = List.rev !magic in
+  let guarded = List.rev !guarded_asts in
+  let unguarded = List.rev !unguarded in
+  (seeds, magic, guarded, unguarded, !n_dropped)
+
+(* ------------------------------------------------------------------ *)
+
+let count_live vec =
+  let n = ref 0 in
+  Oodb.Vec.iter (fun e -> if Store.live e then incr n) vec;
+  !n
+
+let magic_fact_total store =
+  let u = Store.universe store in
+  List.fold_left
+    (fun acc m ->
+      match Oodb.Universe.descriptor u m with
+      | Oodb.Universe.Name s when is_magic_name s ->
+        acc + count_live (Store.set_bucket store m)
+      | _ -> acc)
+    0 (Store.set_meths store)
+
+let listing_of store levels ~seeds ~magic ~guarded ~unguarded ~n_dropped
+    compiled_guarded =
+  let u = Store.universe store in
+  let pp_rule ru = Format.asprintf "%a" Syntax.Pretty.pp_rule ru in
+  let adorned =
+    Hashtbl.fold
+      (fun rel lvl acc ->
+        Format.asprintf "%%   %a : %s" (Ir.pp_rel u) rel
+          (match lvl with B -> "bound-receiver" | F -> "free")
+        :: acc)
+      levels []
+    |> List.sort compare
+  in
+  let section title rules =
+    Printf.sprintf "%%%% %s (%d)" title (List.length rules)
+    :: List.map pp_rule rules
+  in
+  (* the adorned plan each guarded body follows once its receiver slot is
+     seeded from the magic set *)
+  let plans =
+    List.concat_map
+      (fun ((r : Rule.t), recv) ->
+        let bindings =
+          match (recv : Ast.reference) with
+          | Ast.Var v -> (
+            match List.assoc_opt v r.body.named with
+            | Some slot -> [ (slot, Store.name store "$demand") ]
+            | None -> [])
+          | _ -> []
+        in
+        (pp_rule r.source :: List.map (fun l -> "%   " ^ l)
+          (Semantics.Solve.explain ~order:Semantics.Solve.Compiled ~bindings
+             store r.body)))
+      compiled_guarded
+  in
+  (Printf.sprintf "%%%% adorned relations (%d)" (List.length adorned)
+   :: adorned)
+  @ section "magic seeds" seeds
+  @ section "magic rules" magic
+  @ section "guarded rules" guarded
+  @ section "unguarded rules" (List.map (fun (r : Rule.t) -> r.source) unguarded)
+  @ [ Printf.sprintf "%%%% dropped rules: %d" n_dropped ]
+  @ (match plans with
+    | [] -> []
+    | _ -> "%% guarded plans (receiver bound)" :: plans)
+
+let transform store (all_rules : Rule.t list) query_lits =
+  let q = Semantics.Flatten.literals store query_lits in
+  let goals = Ir.query_rels q.atoms in
+  let relevant = Stratify.live_rules all_rules ~goals in
+  match gate query_lits goals relevant with
+  | Some fb -> Error fb
+  | None ->
+    let proper =
+      List.filter
+        (fun (r : Rule.t) -> r.source.body <> [] || r.reads <> [])
+        relevant
+    in
+    let levels = compute_levels store proper query_lits in
+    let seeds, magic, guarded_pairs, unguarded, n_dropped =
+      emit store proper query_lits levels
+    in
+    let guarded = List.map fst guarded_pairs in
+    let generated = seeds @ magic @ guarded in
+    if
+      List.exists
+        (fun ru -> Syntax.Wellformed.check_rule ru <> Ok ())
+        generated
+    then Error Unsafe
+    else begin
+      let compiled_guarded =
+        List.map2
+          (fun ast (_, recv) -> (Rule.compile store ast, recv))
+          guarded guarded_pairs
+      in
+      let compiled =
+        List.map (Rule.compile store) (seeds @ magic)
+        @ List.map fst compiled_guarded
+        @ unguarded
+      in
+      let strat = Stratify.compute store compiled in
+      Ok
+        {
+          rules = compiled;
+          strat;
+          n_seeds = List.length seeds;
+          n_magic = List.length magic;
+          n_guarded = List.length guarded;
+          n_unguarded = List.length unguarded;
+          n_dropped;
+          listing =
+            listing_of store levels ~seeds ~magic ~guarded ~unguarded
+              ~n_dropped compiled_guarded;
+        }
+    end

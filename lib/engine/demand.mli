@@ -1,0 +1,86 @@
+(** Demand-driven evaluation: the magic-sets transform.
+
+    Materialising the whole minimal model makes every query pay for every
+    derivable fact. Given a query, this module rewrites the program so the
+    semi-naive fixpoint derives only the fragment the query can actually
+    read — the binding-aware generalisation of {!Stratify.live_rules}'s
+    static relevance.
+
+    The transform adorns relations from the query's bound/free pattern
+    (receiver-bound path queries like [alice\[boss ->> {Y}\]] are the
+    headline case, adornment [B]); a relation every occurrence of which has
+    a bound receiver gets a {e magic predicate} — a set-valued method
+    [magic$...] on the reserved object [$demand] holding the receivers
+    demand has reached. Each rule defining a [B]-adorned relation is
+    {e guarded}: its body is prefixed with a magic-membership literal on
+    its head receiver, so it only fires for demanded receivers. {e Magic
+    rules} propagate demand sideways: for every bound-receiver application
+    in a rule body, a rule derives that receiver into the application's
+    magic set from the body prefix that binds it (plus the guard). The
+    query's own constants become magic {e seed} facts. Relations demanded
+    with a free receiver anywhere stay unadorned ([F]) and their rules run
+    unrestricted, exactly as relevance pruning would.
+
+    Soundness: guarded rules derive a subset of the original program's
+    minimal model (dropping body solutions of a monotone program loses
+    only completeness, never soundness). Completeness for the seeded
+    query follows the classic magic-sets argument: the demand analysis
+    and the magic-rule emission walk rule bodies with the same
+    left-to-right sideways-information-passing discipline, so every fact
+    a query answer depends on has its receiver reached by a magic set
+    (adornment [B]) or its relation fully derived (adornment [F]).
+
+    The transform refuses programs it cannot treat soundly — see
+    {!fallback}; callers then fall back to full materialisation. *)
+
+(** Why the transform declined, in fallback-to-full-materialisation order
+    of precedence:
+    - [Negation]: a negated literal in the query or a relevant rule body.
+      Restricting a stratum that a negation reads would make the
+      complement unsound.
+    - [Inclusion]: a set-inclusion filter ([t\[m ->> s\]] with a set-valued
+      reference [s]) in the query or a relevant rule body — same
+      completion-semantics problem as negation.
+    - [Hilog]: a variable or computed method position ([R_any]) in the
+      query or a relevant rule: demand cannot be attributed to a specific
+      relation.
+    - [Unsafe]: a generated rule failed the well-formedness check — a
+      defensive impossibility guard, never expected in practice. *)
+type fallback = Negation | Inclusion | Hilog | Unsafe
+
+val fallback_to_string : fallback -> string
+
+type t = {
+  rules : Rule.t list;
+      (** the transformed program: seeds, magic rules, guarded rules, and
+          the untouched [F]-adorned rules (which keep their original
+          compiled identity, so plan-cache entries survive) *)
+  strat : Stratify.t;  (** stratification of [rules] *)
+  n_seeds : int;  (** magic seed facts from the query's constants *)
+  n_magic : int;  (** demand-propagation rules *)
+  n_guarded : int;  (** rules restricted by a magic guard *)
+  n_unguarded : int;  (** relevant rules kept unrestricted *)
+  n_dropped : int;  (** relevant rules no demand reaches *)
+  listing : string list;
+      (** the adorned, transformed program rendered as PathLog source with
+          section comments — what [explain --demand] prints *)
+}
+
+(** [transform store rules query] builds the demand-transformed program
+    for [query]. Pure facts (empty body, no reads) are {e not} included:
+    they are extensional and the caller loads them directly
+    ({!Program.load_facts}). Interns magic method names into the store's
+    universe but inserts no tuples. *)
+val transform :
+  Oodb.Store.t ->
+  Rule.t list ->
+  Syntax.Ast.literal list ->
+  (t, fallback) result
+
+(** Number of live magic tuples currently in the store — the size of all
+    demand sets, across every transform that ran against it (the
+    [magic_facts] STATS gauge). *)
+val magic_fact_total : Oodb.Store.t -> int
+
+(** Is this method name a demand-transform artefact ([magic$...])? *)
+val is_magic_name : string -> bool

@@ -12,6 +12,7 @@ type config = {
   rule_filter : (Rule.t -> bool) option;
   jobs : int;
   budget : Budget.t option;
+  plan_variant : int;
 }
 
 (* PATHLOG_JOBS flips the default degree of parallelism process-wide —
@@ -33,6 +34,7 @@ let default_config =
     rule_filter = None;
     jobs = default_jobs;
     budget = None;
+    plan_variant = 0;
   }
 
 type stats = {
@@ -138,11 +140,17 @@ let crule_of itn (rule : Rule.t) =
   { rule; read_ids; seed_ids; seed_rel_ids }
 
 (* ------------------------------------------------------------------ *)
-(* Compiled-plan cache: one plan per (rule, seed adornment), reused
-   across rounds and strata; recompiled when the store has grown enough
-   that the cost ranking is likely stale. *)
+(* Compiled-plan cache: one plan per (rule, seed adornment, evaluation
+   variant), reused across rounds and strata — and, when the caller passes
+   a shared cache, across whole runs; recompiled when the store has grown
+   enough that the cost ranking is likely stale. The variant component
+   keeps full, pruned (rule-filtered) and demand-transformed runs from
+   sharing plans: the same rule uid evaluates against differently shaped
+   stores in each mode. *)
 
-type plan_cache = (int * int, Semantics.Solve.plan) Hashtbl.t
+type plan_cache = (int * int * int, Semantics.Solve.plan) Hashtbl.t
+
+let plan_cache () : plan_cache = Hashtbl.create 64
 
 let plan_for (cache : plan_cache) config store (rule : Rule.t) seed =
   match config.order with
@@ -153,7 +161,7 @@ let plan_for (cache : plan_cache) config store (rule : Rule.t) seed =
       | Some s -> s.Semantics.Solve.seed_atom
       | None -> -1
     in
-    let key = (rule.uid, seed_idx) in
+    let key = (rule.uid, seed_idx, config.plan_variant) in
     (match Hashtbl.find_opt cache key with
     | Some p when not (Semantics.Solve.plan_stale store p) -> Some p
     | Some _ | None ->
@@ -432,7 +440,7 @@ let run_stratum ?provenance ?tracer ?on_insert ?from ?interrupt config plans
   end
 
 let run ?(config = default_config) ?provenance ?tracer ?on_insert ?from
-    store (strat : Stratify.t) =
+    ?plans store (strat : Stratify.t) =
   let stats =
     {
       rounds = 0;
@@ -444,7 +452,9 @@ let run ?(config = default_config) ?provenance ?tracer ?on_insert ?from
     }
   in
   let interrupt = interrupt_of config.budget in
-  let plans : plan_cache = Hashtbl.create 64 in
+  let plans =
+    match plans with Some p -> p | None -> (plan_cache () : plan_cache)
+  in
   let keep =
     match config.rule_filter with
     | None -> fun rules -> rules

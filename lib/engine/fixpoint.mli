@@ -61,6 +61,13 @@ type config = {
           {e not} raise out of {!run}: the run stops, the store keeps the
           sound partial model derived so far, and {!stats.degraded}
           records the reason. Default [None]. *)
+  plan_variant : int;
+      (** evaluation-mode component of the compiled-plan cache key. Runs
+          that evaluate the same rule uids against differently shaped
+          stores — full materialisation ([0]), pruned/live-filtered runs
+          ([1]), demand-transformed runs ([2]) — must use distinct
+          variants so a shared cache (see {!run}'s [plans]) never serves a
+          plan compiled under the other mode's store statistics. *)
 }
 
 (** [jobs] defaults to [1], or to [$PATHLOG_JOBS] when that environment
@@ -88,6 +95,17 @@ val pp_stats : Format.formatter -> stats -> unit
     evaluation ({!Program.query}), which runs outside the fixpoint. *)
 val interrupt_of : Budget.t option -> (unit -> unit) option
 
+(** Compiled-plan cache, keyed by (rule uid, seed adornment,
+    {!config.plan_variant}). {!run} creates a private one when none is
+    passed; callers that evaluate the same program repeatedly
+    ({!Program.t} does) pass one shared cache so plans survive across
+    runs. Plans are recompiled in place when the store outgrows them, so
+    sharing is always sound — the variant key only exists to keep the
+    {e cost rankings} of different evaluation modes apart. *)
+type plan_cache
+
+val plan_cache : unit -> plan_cache
+
 (** Evaluate the stratified program against the store.
     @raise Err.Functional_conflict
     @raise Err.Isa_cycle
@@ -99,6 +117,7 @@ val run :
   ?tracer:(Rule.t -> Oodb.Obj_id.t array -> Fact.t list -> unit) ->
   ?on_insert:(Fact.t -> unit) ->
   ?from:(Semantics.Ir.rel -> int) ->
+  ?plans:plan_cache ->
   Oodb.Store.t ->
   Stratify.t ->
   stats

@@ -9,6 +9,9 @@ type t = {
   queries : Ast.literal list list;
   config : Fixpoint.config;
   provenance : Provenance.t;
+  plans : Fixpoint.plan_cache;
+      (* shared across every evaluation of this program; the cache key's
+         variant component keeps full / pruned / demand modes apart *)
   mutable facts_loaded : bool;
   mutable degraded : Budget.reason option;
       (* set when a budgeted [run] was cut short: the store holds a sound
@@ -83,6 +86,7 @@ let create_spanned ?(config = Fixpoint.default_config) spanned =
     queries = List.rev !queries;
     config;
     provenance = Provenance.create ();
+    plans = Fixpoint.plan_cache ();
     facts_loaded = false;
     degraded = None;
   }
@@ -110,7 +114,10 @@ let run ?budget t =
   let config =
     match budget with Some _ -> { t.config with budget } | None -> t.config
   in
-  let stats = Fixpoint.run ~config ~provenance:t.provenance t.store t.strat in
+  let stats =
+    Fixpoint.run ~config ~provenance:t.provenance ~plans:t.plans t.store
+      t.strat
+  in
   (match stats.Fixpoint.degraded with
   | Some _ as d -> t.degraded <- d
   | None ->
@@ -276,10 +283,14 @@ let run_live t =
         t.config with
         Fixpoint.rule_filter =
           Some (fun (r : Rule.t) -> Int_set.mem r.uid live);
+        plan_variant = 1;
       }
     end
   in
-  let stats = Fixpoint.run ~config ~provenance:t.provenance t.store t.strat in
+  let stats =
+    Fixpoint.run ~config ~provenance:t.provenance ~plans:t.plans t.store
+      t.strat
+  in
   (stats, skipped)
 
 let query_focused t lits =
@@ -290,7 +301,9 @@ let query_focused t lits =
   let rules = relevant_rules t q in
   let strat = Stratify.compute t.store rules in
   let stats =
-    Fixpoint.run ~config:t.config ~provenance:t.provenance t.store strat
+    Fixpoint.run
+      ~config:{ t.config with Fixpoint.plan_variant = 1 }
+      ~provenance:t.provenance ~plans:t.plans t.store strat
   in
   (query t lits, stats, List.length rules)
 
@@ -307,6 +320,101 @@ let query_topdown t lits =
   | Some (rows, stats) ->
     Some ({ columns = List.map fst q.named; rows }, stats)
   | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Demand-driven evaluation: magic-sets transform, query-seeded fixpoint.
+   See {!Demand}. The transformed fragment accumulates in the program's
+   own store — monotone, so repeated demand queries (and a later full
+   {!run}) compose soundly. *)
+
+type demand_report = {
+  d_fallback : Demand.fallback option;
+  d_stats : Fixpoint.stats;
+  d_seeds : int;
+  d_magic_rules : int;
+  d_guarded : int;
+  d_unguarded : int;
+  d_dropped : int;
+  d_magic_facts : int;
+}
+
+let query_demand ?budget t lits =
+  (match Syntax.Wellformed.check_query lits with
+  | Ok () -> ()
+  | Error e -> invalid "ill-formed query: %a" Syntax.Wellformed.pp_error e);
+  match Demand.transform t.store t.rules lits with
+  | Error fb ->
+    (* negation / inclusion / hilog strata make the transform unsound:
+       fall back to honest full materialisation *)
+    let stats = run ?budget t in
+    let answer = query ?budget t lits in
+    ( answer,
+      {
+        d_fallback = Some fb;
+        d_stats = stats;
+        d_seeds = 0;
+        d_magic_rules = 0;
+        d_guarded = 0;
+        d_unguarded = 0;
+        d_dropped = 0;
+        d_magic_facts = Demand.magic_fact_total t.store;
+      } )
+  | Ok d ->
+    load_facts t;
+    let config =
+      {
+        t.config with
+        Fixpoint.plan_variant = 2;
+        budget = (match budget with Some _ -> budget | None -> t.config.budget);
+      }
+    in
+    let stats =
+      Fixpoint.run ~config ~provenance:t.provenance ~plans:t.plans t.store
+        d.strat
+    in
+    (* a budget-cut demand run left a sound but possibly incomplete
+       fragment: flag it exactly as a cut full run would be *)
+    (match stats.Fixpoint.degraded with
+    | Some _ as dg -> t.degraded <- dg
+    | None -> ());
+    let answer = query ?budget t lits in
+    ( answer,
+      {
+        d_fallback = None;
+        d_stats = stats;
+        d_seeds = d.Demand.n_seeds;
+        d_magic_rules = d.Demand.n_magic;
+        d_guarded = d.Demand.n_guarded;
+        d_unguarded = d.Demand.n_unguarded;
+        d_dropped = d.Demand.n_dropped;
+        d_magic_facts = Demand.magic_fact_total t.store;
+      } )
+
+let query_demand_string ?budget t text =
+  match Syntax.Parser.literals (strip_query_syntax text) with
+  | lits -> query_demand ?budget t lits
+  | exception Syntax.Parser.Error (pos, msg) ->
+    invalid "%a: %s" Syntax.Token.pp_pos pos msg
+
+let explain_demand t lits =
+  (match Syntax.Wellformed.check_query lits with
+  | Ok () -> ()
+  | Error e -> invalid "ill-formed query: %a" Syntax.Wellformed.pp_error e);
+  match Demand.transform t.store t.rules lits with
+  | Error fb ->
+    [
+      Printf.sprintf
+        "%% demand transform unavailable (%s): full materialisation would \
+         run"
+        (Demand.fallback_to_string fb);
+    ]
+  | Ok d -> d.Demand.listing
+
+let explain_demand_string t text =
+  match Syntax.Parser.literals (strip_query_syntax text) with
+  | lits -> explain_demand t lits
+  | exception Syntax.Parser.Error (pos, msg) ->
+    invalid "%a: %s" Syntax.Token.pp_pos pos msg
 
 let why ?budget t reference =
   match Fact.of_reference t.store reference with

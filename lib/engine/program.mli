@@ -142,6 +142,54 @@ val provenance : t -> Provenance.t
 val query_focused :
   t -> Syntax.Ast.literal list -> answer * Fixpoint.stats * int
 
+(** Execute the program's fact statements (empty-body rules) into the
+    store without running any rule; idempotent. Demand-driven evaluation
+    loads the extensional database this way and derives the rest from the
+    query. *)
+val load_facts : t -> unit
+
+(** What a demand-driven query did: the transform shape (or the fallback
+    that prevented it), the fixpoint statistics of the demanded run, and
+    the store's live magic-tuple count afterwards. *)
+type demand_report = {
+  d_fallback : Demand.fallback option;
+      (** [Some _]: the transform was unsound for this program/query and
+          full materialisation ran instead *)
+  d_stats : Fixpoint.stats;
+  d_seeds : int;
+  d_magic_rules : int;
+  d_guarded : int;
+  d_unguarded : int;
+  d_dropped : int;
+  d_magic_facts : int;
+}
+
+(** Demand-driven answering: magic-sets transform seeded by the query's
+    bound receivers (see {!Demand}), facts loaded extensionally, then a
+    semi-naive fixpoint over the demanded fragment only. Falls back to
+    {!run} when the transform is unsound (negation, inclusion, hilog).
+    Answers always agree with {!run} + {!query} (property-tested at jobs
+    1 and 4). [budget] bounds the demanded run {e and} the final
+    enumeration; a budget-cut run is flagged in {!degraded} and the
+    report's stats. *)
+val query_demand :
+  ?budget:Budget.t ->
+  t ->
+  Syntax.Ast.literal list ->
+  answer * demand_report
+
+val query_demand_string :
+  ?budget:Budget.t -> t -> string -> answer * demand_report
+
+(** The adorned, magic-transformed program for a query, rendered as
+    PathLog source with section comments — seeds, magic rules, guarded
+    rules, unguarded rules, and the bound-receiver plan of each guarded
+    body. A single comment line explaining the fallback when the
+    transform declines. *)
+val explain_demand : t -> Syntax.Ast.literal list -> string list
+
+val explain_demand_string : t -> string -> string list
+
 (** Goal-directed tabled evaluation for the flat-headed fragment (see
     {!Topdown}): answers point queries without materialising the model,
     propagating the query's constants into recursion. Loads the program's

@@ -42,6 +42,7 @@ module Production = Engine.Production
 module Fact = Engine.Fact
 module Provenance = Engine.Provenance
 module Topdown = Engine.Topdown
+module Demand = Engine.Demand
 module Live = Incremental.Live
 module Typecheck = Engine.Typecheck
 module Diagnostic = Pathlog_analysis.Diagnostic

@@ -686,9 +686,10 @@ let count ?(order = Greedy) ?interrupt store (q : Ir.query) =
    runtime order can diverge when intermediate bindings change the cost
    ranking). Access paths are described under the boundness reached at
    each step, mirroring [exec_app]'s dispatch. *)
-let explain ?(order = Greedy) store (q : Ir.query) =
+let explain ?(order = Greedy) ?(bindings = []) store (q : Ir.query) =
   let u = Store.universe store in
   let bound = Array.make (max q.nvars 1) false in
+  List.iter (fun (slot, _) -> bound.(slot) <- true) bindings;
   let is_bound = function Ir.Const _ -> true | Ir.V i -> bound.(i) in
   let self_id = Store.name store "self" in
   let describe (a : Ir.atom) =
@@ -736,7 +737,7 @@ let explain ?(order = Greedy) store (q : Ir.query) =
   let perm =
     match order with
     | Source -> Array.init (Array.length atoms) (fun i -> i)
-    | Greedy | Compiled -> (compile_plan store q).plan_perm
+    | Greedy | Compiled -> (compile_plan ~bindings store q).plan_perm
   in
   Array.to_list
     (Array.map

@@ -130,5 +130,15 @@ val count :
     index, bucket scan, ...), one line per atom. For [Compiled] this is
     {e exactly} the executed plan (both come from {!compile_plan}); for
     [Greedy] it is the same static simulation, which the runtime order can
-    leave when intermediate bindings change the cost ranking. *)
-val explain : ?order:order -> Oodb.Store.t -> Ir.query -> string list
+    leave when intermediate bindings change the cost ranking.
+
+    [bindings] marks slots as bound before the plan is compiled and the
+    access paths are described — the {e adorned} plan a magic-guarded rule
+    body follows once demand seeding has bound those slots (the values are
+    ignored; only the slots matter). *)
+val explain :
+  ?order:order ->
+  ?bindings:(int * Oodb.Obj_id.t) list ->
+  Oodb.Store.t ->
+  Ir.query ->
+  string list

@@ -22,6 +22,8 @@ type t = {
   mutable retracts_total : int;
   mutable subscriptions_active : int;
   mutable deltas_pushed : int;
+  mutable demand_queries_total : int;
+  mutable demand_fallbacks_total : int;
 }
 
 let create () =
@@ -39,6 +41,8 @@ let create () =
     retracts_total = 0;
     subscriptions_active = 0;
     deltas_pushed = 0;
+    demand_queries_total = 0;
+    demand_fallbacks_total = 0;
   }
 
 let with_lock t f =
@@ -82,6 +86,14 @@ let subscription_closed t =
 let delta_pushed t =
   with_lock t (fun () -> t.deltas_pushed <- t.deltas_pushed + 1)
 
+let demand_query t =
+  with_lock t (fun () ->
+      t.demand_queries_total <- t.demand_queries_total + 1)
+
+let demand_fallback t =
+  with_lock t (fun () ->
+      t.demand_fallbacks_total <- t.demand_fallbacks_total + 1)
+
 type snapshot = {
   uptime_s : float;
   connections_active : int;
@@ -94,6 +106,8 @@ type snapshot = {
   retracts_total : int;
   subscriptions_active : int;
   deltas_pushed : int;
+  demand_queries_total : int;
+  demand_fallbacks_total : int;
   latency_count : int;
   latency_min_s : float;
   latency_mean_s : float;
@@ -121,6 +135,8 @@ let snapshot t =
         retracts_total = t.retracts_total;
         subscriptions_active = t.subscriptions_active;
         deltas_pushed = t.deltas_pushed;
+        demand_queries_total = t.demand_queries_total;
+        demand_fallbacks_total = t.demand_fallbacks_total;
         latency_count = Histogram.count t.latency;
         latency_min_s = Histogram.min_s t.latency;
         latency_mean_s = Histogram.mean_s t.latency;
@@ -132,7 +148,7 @@ let snapshot t =
 
 let us s = int_of_float (ceil (s *. 1e6))
 
-let render ?cache ?(injected_faults = 0) snap ~store =
+let render ?cache ?(injected_faults = 0) ?(magic_facts = 0) snap ~store =
   let { Oodb.Store.objects; isa_edges; scalar_tuples; set_tuples } = store in
   [
     Printf.sprintf "uptime_s %.3f" snap.uptime_s;
@@ -146,6 +162,9 @@ let render ?cache ?(injected_faults = 0) snap ~store =
     Printf.sprintf "retracts_total %d" snap.retracts_total;
     Printf.sprintf "subscriptions_active %d" snap.subscriptions_active;
     Printf.sprintf "deltas_pushed %d" snap.deltas_pushed;
+    Printf.sprintf "demand_queries_total %d" snap.demand_queries_total;
+    Printf.sprintf "demand_fallbacks_total %d" snap.demand_fallbacks_total;
+    Printf.sprintf "magic_facts %d" magic_facts;
   ]
   @ List.map
       (fun (v, o, n) -> Printf.sprintf "requests %s %s %d" v o n)

@@ -28,6 +28,14 @@ val subscription_closed : t -> unit
 (** Count one [DELTA] frame flushed to a subscriber. *)
 val delta_pushed : t -> unit
 
+(** Count one QUERY answered through the demand-driven (magic-sets)
+    path. *)
+val demand_query : t -> unit
+
+(** Count one request where the demand transform declined (negation,
+    inclusion, hilog, or a mutation) and full materialisation ran. *)
+val demand_fallback : t -> unit
+
 type snapshot = {
   uptime_s : float;
   connections_active : int;
@@ -41,6 +49,9 @@ type snapshot = {
   retracts_total : int;  (** committed RETRACT batches *)
   subscriptions_active : int;  (** live standing queries *)
   deltas_pushed : int;  (** DELTA frames flushed to subscribers *)
+  demand_queries_total : int;  (** QUERYs answered demand-driven *)
+  demand_fallbacks_total : int;
+      (** demand transforms that declined to full materialisation *)
   latency_count : int;
   latency_min_s : float;
   latency_mean_s : float;
@@ -55,7 +66,8 @@ val snapshot : t -> snapshot
 (** Render a snapshot plus the store statistics as [key value] lines —
     the payload of a [STATS] reply. [cache] adds the query-cache
     counters [(hits, misses, entries)]; [injected_faults] is the fault
-    registry's running injection count (0 when disarmed). *)
+    registry's running injection count (0 when disarmed); [magic_facts]
+    is the store's live magic-tuple count (0 outside demand mode). *)
 val render :
-  ?cache:int * int * int -> ?injected_faults:int -> snapshot ->
-  store:Oodb.Store.stats -> string list
+  ?cache:int * int * int -> ?injected_faults:int -> ?magic_facts:int ->
+  snapshot -> store:Oodb.Store.stats -> string list

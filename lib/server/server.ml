@@ -18,6 +18,7 @@ type config = {
   paranoid : bool;
   pool_domains : bool;
   cache_capacity : int;
+  demand : bool;
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     paranoid = true;
     pool_domains = false;
     cache_capacity = 1024;
+    demand = false;
   }
 
 (* A one-shot mailbox: the session thread parks on it while a pool worker
@@ -93,6 +95,15 @@ type t = {
   mutable live : Incremental.Live.t option;
       (* incremental-maintenance state, attached lazily by the first
          mutation batch; guarded by [store_lock] *)
+  demand_lock : Mutex.t;
+  mutable demand_materialised : bool;
+      (* demand mode only: the full model has been materialised (a
+         fallback or a mutation forced it) — every query takes the
+         ordinary lock-free read path from here on. Written only under
+         [store_lock]; [demand_lock] covers the read-path check. *)
+  demand_ready : (string, unit) Hashtbl.t;
+      (* demand mode only: query strings whose demanded fragment has
+         been fixpointed to completion; guarded by [demand_lock] *)
   subs_lock : Mutex.t;
   subs : (int, subscription) Hashtbl.t;
   mutable next_sub_id : int;
@@ -159,6 +170,33 @@ let render_answer t (a : Program.answer) =
    result for caching, and with [paranoid] the former is reported). Many
    sessions — threads or domains — evaluate in parallel; writers
    serialise through {!with_store_write}. *)
+(* Map evaluation exceptions to protocol errors: the shared fault
+   boundary of the read-only and demand paths. *)
+let reply_of_eval t f =
+  match f () with
+  | reply -> reply
+  | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
+  | exception Engine.Budget.Exhausted reason ->
+    (* killed mid-evaluation: the enumeration was abandoned, nothing
+       was computed to completion — a hard per-request error, unlike
+       the DEGRADED marker (sound answers over a partial model) *)
+    (match reason with
+    | Engine.Budget.Cancelled ->
+      Protocol.Err (Protocol.Cancelled, "request cancelled")
+    | Engine.Budget.Timeout ->
+      Protocol.Err
+        (Protocol.Timeout, "deadline exceeded during evaluation")
+    | Engine.Budget.Derivations | Engine.Budget.Objects ->
+      Protocol.Err
+        ( Protocol.Timeout,
+          "evaluation budget exhausted ("
+          ^ Engine.Budget.reason_label reason
+          ^ ")" ))
+  | exception e -> (
+    match Engine.Err.message (Program.store t.program) e with
+    | Some msg -> Protocol.Err (Protocol.Parse, msg)
+    | None -> Protocol.Err (Protocol.Internal, Printexc.to_string e))
+
 let eval_readonly t ~cache_key f =
   let st = Program.store t.program in
   let seq0 = Atomic.get t.write_seq in
@@ -172,31 +210,7 @@ let eval_readonly t ~cache_key f =
   match cached with
   | Some reply -> reply
   | None ->
-    let reply =
-      match f () with
-      | reply -> reply
-      | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
-      | exception Engine.Budget.Exhausted reason ->
-        (* killed mid-evaluation: the enumeration was abandoned, nothing
-           was computed to completion — a hard per-request error, unlike
-           the DEGRADED marker (sound answers over a partial model) *)
-        (match reason with
-        | Engine.Budget.Cancelled ->
-          Protocol.Err (Protocol.Cancelled, "request cancelled")
-        | Engine.Budget.Timeout ->
-          Protocol.Err
-            (Protocol.Timeout, "deadline exceeded during evaluation")
-        | Engine.Budget.Derivations | Engine.Budget.Objects ->
-          Protocol.Err
-            ( Protocol.Timeout,
-              "evaluation budget exhausted ("
-              ^ Engine.Budget.reason_label reason
-              ^ ")" ))
-      | exception e -> (
-        match Engine.Err.message st e with
-        | Some msg -> Protocol.Err (Protocol.Parse, msg)
-        | None -> Protocol.Err (Protocol.Internal, Printexc.to_string e))
-    in
+    let reply = reply_of_eval t f in
     if Oodb.Store.snapshot_stale snap then
       (* the epoch moved during evaluation: if the seqlock shows a writer
          was active at any point, that is the benign explanation — the
@@ -227,8 +241,76 @@ let mark_degraded t = function
     Protocol.Degraded lines
   | reply -> reply
 
+(* Serialised write access to the program's store — program (re)load,
+   mutation batches, and first-time demand materialisation. Queries in
+   flight keep their pinned epochs; replies computed across a write are
+   not cached (the epoch moved), and the cache's old epoch entries
+   become unreachable at the next lookup. The seqlock brackets the
+   critical section so concurrent readers can recognise the write (see
+   {!eval_readonly}). *)
+let with_store_write t f =
+  Mutex.lock t.store_lock;
+  Atomic.incr t.write_seq;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.incr t.write_seq;
+      Mutex.unlock t.store_lock)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Demand mode: first sight of a query materialises only its demanded
+   fragment (magic-sets transform, see {!Engine.Demand}) under the
+   store write lock; every later request takes the ordinary lock-free
+   read path over the accumulated store. *)
+
+let demand_done t q =
+  Mutex.lock t.demand_lock;
+  let r = t.demand_materialised || Hashtbl.mem t.demand_ready q in
+  Mutex.unlock t.demand_lock;
+  r
+
+let demand_pending t q = t.config.demand && not (demand_done t q)
+
+(* Transform and fixpoint the fragment [q] demands; called under
+   [store_lock]. When the transform declines (negation, inclusion,
+   hilog) the engine has fully materialised instead — remember that, so
+   the demand path never runs again. A budget-degraded run is not
+   marked ready: the next identical query re-demands and can complete
+   the fragment. *)
+let demand_materialise_locked ?budget t q =
+  let ans, report = Program.query_demand_string ?budget t.program q in
+  (match report.Program.d_fallback with
+  | Some _ ->
+    Metrics.demand_fallback t.metrics;
+    if Program.degraded t.program = None then begin
+      Mutex.lock t.demand_lock;
+      t.demand_materialised <- true;
+      Mutex.unlock t.demand_lock
+    end
+  | None ->
+    Metrics.demand_query t.metrics;
+    if Program.degraded t.program = None then begin
+      Mutex.lock t.demand_lock;
+      Hashtbl.replace t.demand_ready q ();
+      Mutex.unlock t.demand_lock
+    end);
+  ans
+
+(* A first-time demand query, in a pool worker. The double check under
+   the lock covers the race where two sessions demand the same query:
+   the loser answers from the store the winner just grew. *)
+let eval_demand ?budget t q =
+  with_store_write t (fun () ->
+      reply_of_eval t (fun () ->
+          let ans =
+            if demand_done t q then Program.query_string ?budget t.program q
+            else demand_materialise_locked ?budget t q
+          in
+          mark_degraded t (Protocol.Ok (render_answer t ans))))
+
 let eval_request ?budget t req =
   match req with
+  | Protocol.Query q when demand_pending t q -> eval_demand ?budget t q
   | Protocol.Query q ->
     eval_readonly t ~cache_key:(Some q) (fun () ->
         mark_degraded t
@@ -247,21 +329,6 @@ let eval_request ?budget t req =
   | Protocol.Retract _ | Protocol.Subscribe _ ->
     (* handled inline by the session; unreachable here *)
     Protocol.Err (Protocol.Internal, "verb not pooled")
-
-(* Serialised write access to the program's store — program (re)load and
-   mutation batches. Queries in flight keep their pinned epochs; replies
-   computed across a write are not cached (the epoch moved), and the
-   cache's old epoch entries become unreachable at the next lookup. The
-   seqlock brackets the critical section so concurrent readers can
-   recognise the write (see {!eval_readonly}). *)
-let with_store_write t f =
-  Mutex.lock t.store_lock;
-  Atomic.incr t.write_seq;
-  Fun.protect
-    ~finally:(fun () ->
-      Atomic.incr t.write_seq;
-      Mutex.unlock t.store_lock)
-    f
 
 (* ------------------------------------------------------------------ *)
 (* Live mutation and subscriptions                                     *)
@@ -368,6 +435,17 @@ let handle_mutation t ~retract text =
   | Error msg -> Protocol.Err (Protocol.Analysis, msg)
   | Ok _ -> (
     with_store_write t (fun () ->
+        (* incremental maintenance is defined against the full minimal
+           model; with only demanded fragments materialised, a mutation
+           first forces full materialisation (counted as a demand
+           fallback) and proceeds on the ordinary Live path *)
+        if t.config.demand && not t.demand_materialised then begin
+          ignore (Program.run t.program);
+          Mutex.lock t.demand_lock;
+          t.demand_materialised <- true;
+          Mutex.unlock t.demand_lock;
+          Metrics.demand_fallback t.metrics
+        end;
         let live = live_of t in
         let apply =
           if retract then Incremental.Live.retract_batch
@@ -394,6 +472,10 @@ let handle_mutation t ~retract text =
    DELTA. The reply carries the id and the baseline rows. *)
 let handle_subscribe t ~fd ~oc ~wlock query =
   with_store_write t (fun () ->
+      (* a standing query's fragment must exist before the baseline is
+         taken; errors surface through the baseline query below *)
+      (if t.config.demand && not (demand_done t query) then
+         try ignore (demand_materialise_locked t query) with _ -> ());
       match Program.query_string t.program query with
       | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
       | exception e -> (
@@ -436,7 +518,9 @@ let stats_reply t =
        (Metrics.snapshot t.metrics)
        ~store:(Oodb.Store.stats (Program.store t.program))
        ~cache:(c.Qcache.hits, c.Qcache.misses, c.Qcache.entries)
-       ~injected_faults:(Fault.injected_total ()))
+       ~injected_faults:(Fault.injected_total ())
+       ~magic_facts:
+         (Engine.Demand.magic_fact_total (Program.store t.program)))
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)
@@ -716,6 +800,9 @@ let create ?(config = default_config) ~program addr =
       store_lock = Mutex.create ();
       write_seq = Atomic.make 0;
       live = None;
+      demand_lock = Mutex.create ();
+      demand_materialised = false;
+      demand_ready = Hashtbl.create 16;
       subs_lock = Mutex.create ();
       subs = Hashtbl.create 8;
       next_sub_id = 1;

@@ -79,6 +79,19 @@ type config = {
           default — domains are a scarce resource. *)
   cache_capacity : int;
       (** entry bound of the epoch-keyed query result cache *)
+  demand : bool;
+      (** demand-driven evaluation: serve from a program that was parsed
+          but {e not} materialised. The first sight of each query runs
+          the magic-sets transform ({!Engine.Demand}) under the store
+          write lock and fixpoints only the demanded fragment; repeats
+          and other queries over the grown store take the ordinary
+          lock-free read path. When the transform is unsound for the
+          program (negation, inclusion strata, hilog) — or on the first
+          [ASSERT]/[RETRACT], whose incremental maintenance is defined
+          against the full model — the server falls back to full
+          materialisation once and behaves as without this flag
+          ([demand_fallbacks_total] in [STATS] counts these). Off by
+          default. *)
 }
 
 val default_config : config

@@ -25,4 +25,5 @@ let () =
       ("budget", Test_budget.suite);
       ("chaos", Test_chaos.suite);
       ("incremental", Test_incremental.suite);
+      ("demand", Test_demand.suite);
     ]

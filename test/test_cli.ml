@@ -295,6 +295,41 @@ let test_run_divergent_hard_guard () =
   Alcotest.(check bool) "no degraded notice" false
     (contains ~sub:"degraded" out)
 
+let demand_chain_text =
+  "a0[boss -> a1].\na1[boss -> a2].\nb0[boss -> b1].\n\
+   X[up ->> {Y}] <- X[boss -> Y].\n\
+   X[up ->> {Y}] <- X[boss -> Z], Z[up ->> {Y}].\n\
+   ?- a0[up ->> {W}].\n"
+
+let test_run_demand () =
+  with_program demand_chain_text (fun file ->
+      let code, out =
+        run_cli
+          [ "run"; file; "--demand"; "--stats"; "-q"; "b0[up ->> {X}]" ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "demand stats line" true
+        (contains ~sub:"% demand:" out);
+      Alcotest.(check bool) "guarded rules counted" true
+        (contains ~sub:"2 guarded" out);
+      Alcotest.(check bool) "embedded query answered" true
+        (contains ~sub:"(2 answers)" out);
+      Alcotest.(check bool) "flag query answered" true
+        (contains ~sub:"(1 answers)" out))
+
+let test_explain_demand () =
+  with_program demand_chain_text (fun file ->
+      let code, out =
+        run_cli [ "explain"; file; "--demand"; "-q"; "a0[up ->> {X}]" ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "magic seeds" true
+        (contains ~sub:"magic seeds" out);
+      Alcotest.(check bool) "magic predicate" true
+        (contains ~sub:"magic$set$up" out);
+      Alcotest.(check bool) "adornment shown" true
+        (contains ~sub:"bound-receiver" out))
+
 let test_serve_bad_faults_spec () =
   let code, out =
     run_cli
@@ -323,4 +358,6 @@ let suite =
         test_run_divergent_hard_guard;
       Alcotest.test_case "serve rejects a bad --faults spec" `Quick
         test_serve_bad_faults_spec;
+      Alcotest.test_case "run --demand" `Quick test_run_demand;
+      Alcotest.test_case "explain --demand" `Quick test_explain_demand;
     ]

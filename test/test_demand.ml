@@ -1,0 +1,250 @@
+(* Demand-driven evaluation: magic-sets transform, query-seeded fixpoints,
+   fallback golden cases, and the demand-equals-full equivalence QCheck at
+   jobs 1 and 4. *)
+
+module Program = Pathlog.Program
+module Demand = Pathlog.Demand
+
+let lits = Pathlog.Parser.literals
+
+let render p rows =
+  List.sort compare (List.map (Program.row_to_string p) rows)
+
+(* Answers of a demand-driven query vs full materialisation, on fresh
+   program instances (object ids are store-specific). Returns the demand
+   report for further assertions. *)
+let check_demand_equals_full ?(config = Pathlog.Fixpoint.default_config)
+    text q =
+  let pd = Program.of_string ~config text in
+  let demand_ans, report = Program.query_demand pd (lits q) in
+  let pf = Program.of_string ~config text in
+  ignore (Program.run pf);
+  let full_ans = Program.query_string pf q in
+  Alcotest.(check (list string))
+    ("demand agrees with full: " ^ q)
+    (render pf full_ans.rows) (render pd demand_ans.rows);
+  (pd, report)
+
+(* Disjoint transitive-closure chains over a scalar [boss] edge; a
+   receiver-bound query on one chain must not materialise the others. *)
+let chains prefixes n =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun prefix ->
+      for i = 0 to n - 1 do
+        Buffer.add_string b
+          (Printf.sprintf "%s%d[boss -> %s%d].\n" prefix i prefix (i + 1))
+      done)
+    prefixes;
+  Buffer.add_string b "X[up ->> {Y}] <- X[boss -> Y].\n";
+  Buffer.add_string b "X[up ->> {Y}] <- X[boss -> Z], Z[up ->> {Y}].\n";
+  Buffer.contents b
+
+let two_chains n = chains [ "a"; "b" ] n
+
+let test_bound_tc () =
+  let text = chains [ "a"; "b"; "c"; "d" ] 30 in
+  let p, report = check_demand_equals_full text "a0[up ->> {X}]" in
+  Alcotest.(check bool) "no fallback" true (report.Program.d_fallback = None);
+  Alcotest.(check bool) "guarded the up rules" true
+    (report.Program.d_guarded = 2);
+  Alcotest.(check bool) "seeded from the constant" true
+    (report.Program.d_seeds >= 1);
+  Alcotest.(check bool) "magic facts present" true
+    (report.Program.d_magic_facts > 0);
+  (* the other chain's closure was never derived *)
+  Alcotest.(check int) "b-chain closure not materialised" 0
+    (List.length (Program.query_string p "b0[up ->> {X}]").rows);
+  (* demand derived far fewer tuples than the full closure: one chain's
+     closure plus its magic set, against four chains' closures *)
+  let full = Program.of_string (chains [ "a"; "b"; "c"; "d" ] 30) in
+  let full_stats = Program.run full in
+  Alcotest.(check bool) "derived fewer tuples than full" true
+    (report.Program.d_stats.Pathlog.Fixpoint.insertions
+    < full_stats.Pathlog.Fixpoint.insertions / 2)
+
+let test_demand_chained_query () =
+  (* the second literal's receiver is bound sideways by the first *)
+  let text = two_chains 10 in
+  let _, report =
+    check_demand_equals_full text "a0[boss -> X], X[up ->> {Y}]"
+  in
+  Alcotest.(check bool) "no fallback" true (report.Program.d_fallback = None)
+
+let test_free_query_falls_back_to_full_rules () =
+  (* a free-receiver query demands everything: answers still agree *)
+  let text = two_chains 5 in
+  let _, report = check_demand_equals_full text "X[up ->> {Y}]" in
+  Alcotest.(check bool) "no fallback" true (report.Program.d_fallback = None);
+  Alcotest.(check int) "nothing guarded" 0 report.Program.d_guarded;
+  Alcotest.(check int) "rules kept unguarded" 2 report.Program.d_unguarded
+
+let test_demand_composes () =
+  (* two demand queries against the same program instance: the second
+     fragment accumulates monotonically over the first *)
+  let p = Program.of_string (two_chains 10) in
+  let a1, r1 = Program.query_demand_string p "a3[up ->> {X}]" in
+  let a2, r2 = Program.query_demand_string p "b3[up ->> {X}]" in
+  Alcotest.(check (pair bool bool))
+    "no fallback" (true, true)
+    (r1.Program.d_fallback = None, r2.Program.d_fallback = None);
+  let full = Program.of_string (two_chains 10) in
+  ignore (Program.run full);
+  Alcotest.(check (list string))
+    "first query right" (render full (Program.query_string full "a3[up ->> {X}]").rows)
+    (render p a1.rows);
+  Alcotest.(check (list string))
+    "second query right" (render full (Program.query_string full "b3[up ->> {X}]").rows)
+    (render p a2.rows);
+  Alcotest.(check bool) "magic sets grew" true
+    (r2.Program.d_magic_facts > r1.Program.d_magic_facts)
+
+let test_isa_query () =
+  (* class membership is conservatively free-adorned *)
+  let text =
+    {|
+    a0[boss -> a1]. a1[boss -> a2].
+    X : managed <- X[boss -> Y].
+    |}
+  in
+  let _, report = check_demand_equals_full text "X : managed" in
+  Alcotest.(check bool) "no fallback" true (report.Program.d_fallback = None)
+
+let test_skolem_head_unguarded () =
+  (* a skolemising path head defines two relations: never guarded, but
+     still demand-evaluable *)
+  let text =
+    {|
+    e1[salary -> s50]. e2[salary -> s60].
+    X.review[grade -> good] <- X[salary -> Y].
+    |}
+  in
+  let _, report = check_demand_equals_full text "e1.review[grade -> G]" in
+  Alcotest.(check bool) "no fallback" true (report.Program.d_fallback = None);
+  Alcotest.(check int) "not guarded" 0 report.Program.d_guarded
+
+(* ------------------------------------------------------------------ *)
+(* Golden fallback cases: the transform must decline and full
+   materialisation must answer, identically. *)
+
+let test_fallback_negation () =
+  let text =
+    {|
+    a : ca. b : cb. a[f -> b]. b[f -> a].
+    X[g -> Y] <- X[f -> Y], not Y : cb.
+    |}
+  in
+  let _, report = check_demand_equals_full text "b[g -> Y]" in
+  Alcotest.(check bool) "negation fallback" true
+    (report.Program.d_fallback = Some Demand.Negation)
+
+let test_fallback_inclusion () =
+  let text =
+    {|
+    boss[pals ->> {b, c}]. a[pals ->> {b, c, d}]. e[pals ->> {b}].
+    X : sociable <- X[pals ->> boss..pals].
+    |}
+  in
+  let _, report = check_demand_equals_full text "X : sociable" in
+  Alcotest.(check bool) "inclusion fallback" true
+    (report.Program.d_fallback = Some Demand.Inclusion)
+
+let test_fallback_hilog () =
+  let text = {|
+    a[f -> b]. a[g -> c].
+    |} in
+  let _, report = check_demand_equals_full text "a[M -> Y]" in
+  Alcotest.(check bool) "hilog fallback" true
+    (report.Program.d_fallback = Some Demand.Hilog)
+
+let test_fallback_only_when_relevant () =
+  (* a negated rule in an unrelated family must not force the fallback *)
+  let text =
+    two_chains 5
+    ^ {|
+    p : person. q : person.
+    X : lonely <- X : person, not X[pals ->> {q}].
+    |}
+  in
+  let _, report = check_demand_equals_full text "a0[up ->> {X}]" in
+  Alcotest.(check bool) "no fallback for unrelated negation" true
+    (report.Program.d_fallback = None)
+
+(* ------------------------------------------------------------------ *)
+(* explain --demand *)
+
+let has_sub line needle =
+  let ll = String.length line and nl = String.length needle in
+  let rec scan i =
+    i + nl <= ll && (String.sub line i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_explain_demand_listing () =
+  let p = Program.of_string (two_chains 5) in
+  let listing = Program.explain_demand_string p "a0[up ->> {X}]" in
+  let has needle = List.exists (fun line -> has_sub line needle) listing in
+  Alcotest.(check bool) "shows magic predicates" true (has "magic$");
+  Alcotest.(check bool) "shows guarded section" true (has "guarded rules (2)");
+  Alcotest.(check bool) "shows seeds" true (has "$demand");
+  Alcotest.(check bool) "shows adornments" true (has "bound-receiver");
+  let fb = Program.explain_demand_string p "X[M ->> {Y}]" in
+  Alcotest.(check bool) "fallback explained" true
+    (match fb with [ line ] -> has_sub line "unavailable" | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: demand answers = full-materialisation answers on randprog
+   workloads, at jobs 1 and 4. *)
+
+let queries =
+  [
+    "o1[r ->> {X}]";
+    "o2[s ->> {X}]";
+    "o3[t ->> {X}]";
+    "o1[r ->> {X}], X[s ->> {Y}]";
+    "o4[f -> X]";
+  ]
+
+let qcheck_demand_equals_full jobs =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "demand = full on randprog (jobs %d)" jobs)
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let text =
+        Pathlog.Randprog.generate
+          { Pathlog.Randprog.seed; facts = 24; rules = 8 }
+      in
+      let config = { Pathlog.Fixpoint.default_config with jobs } in
+      match
+        let pf = Program.of_string ~config text in
+        ignore (Program.run pf);
+        (pf, Program.of_string ~config text)
+      with
+      | exception _ -> QCheck.assume_fail () (* e.g. scalar conflict *)
+      | pf, pd ->
+        List.for_all
+          (fun q ->
+            match Program.query_demand_string pd q with
+            | exception _ -> QCheck.assume_fail ()
+            | ans, _ ->
+              render pd ans.rows = render pf (Program.query_string pf q).rows)
+          queries)
+
+let suite =
+  [
+    Alcotest.test_case "bound tc" `Quick test_bound_tc;
+    Alcotest.test_case "chained query" `Quick test_demand_chained_query;
+    Alcotest.test_case "free query" `Quick test_free_query_falls_back_to_full_rules;
+    Alcotest.test_case "demand composes" `Quick test_demand_composes;
+    Alcotest.test_case "isa query" `Quick test_isa_query;
+    Alcotest.test_case "skolem head" `Quick test_skolem_head_unguarded;
+    Alcotest.test_case "fallback: negation" `Quick test_fallback_negation;
+    Alcotest.test_case "fallback: inclusion" `Quick test_fallback_inclusion;
+    Alcotest.test_case "fallback: hilog" `Quick test_fallback_hilog;
+    Alcotest.test_case "fallback scoped to relevant rules" `Quick
+      test_fallback_only_when_relevant;
+    Alcotest.test_case "explain --demand" `Quick test_explain_demand_listing;
+    QCheck_alcotest.to_alcotest (qcheck_demand_equals_full 1);
+    QCheck_alcotest.to_alcotest (qcheck_demand_equals_full 4);
+  ]

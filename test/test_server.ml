@@ -739,6 +739,107 @@ let test_subscribe_ground () =
                   Alcotest.(check (list string))
                     "no longer entailed" [ "true" ] d.Protocol.vanished))))
 
+(* ------------------------------------------------------------------ *)
+(* Demand mode: serve --demand                                         *)
+
+(* Two disjoint boss chains with a transitive [up] closure; in demand
+   mode, querying one chain must not materialise the other. *)
+let demand_program =
+  {|
+  a0[boss -> a1]. a1[boss -> a2]. a2[boss -> a3].
+  b0[boss -> b1]. b1[boss -> b2].
+  X[up ->> {Y}] <- X[boss -> Y].
+  X[up ->> {Y}] <- X[boss -> Z], Z[up ->> {Y}].
+  |}
+
+(* Demand servers start from a parsed, {e unevaluated} program. *)
+let with_demand_server ~program f =
+  let p = Pathlog.parse program in
+  let config = { Server.default_config with demand = true } in
+  let srv = Server.create ~config ~program:p (Server.Tcp ("127.0.0.1", 0)) in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) (fun () -> f p srv)
+
+let stat_value lines key =
+  List.find_map
+    (fun line ->
+      match String.index_opt line ' ' with
+      | Some i when String.sub line 0 i = key ->
+        int_of_string_opt
+          (String.sub line (i + 1) (String.length line - i - 1))
+      | _ -> None)
+    lines
+
+let test_demand_queries () =
+  (* a fully materialised twin supplies the expected payloads *)
+  let full = load demand_program in
+  with_demand_server ~program:demand_program (fun _p srv ->
+      with_client srv (fun c ->
+          let check_q q =
+            match Client.query c ("?- " ^ q ^ ".") with
+            | Error e -> Alcotest.fail ("QUERY failed: " ^ e)
+            | Ok lines ->
+              Alcotest.(check (list string))
+                ("demand answer agrees with full: " ^ q)
+                (List.sort compare (expected_payload full ("?- " ^ q ^ ".")))
+                (List.sort compare lines)
+          in
+          check_q "a0[up ->> {X}]";
+          (* the repeat takes the ordinary read path (and the cache) *)
+          check_q "a0[up ->> {X}]";
+          check_q "b1[up ->> {X}]";
+          match Client.stats c with
+          | Error e -> Alcotest.fail ("STATS failed: " ^ e)
+          | Ok lines ->
+            Alcotest.(check bool) "two demanded queries" true
+              (stat_value lines "demand_queries_total" = Some 2);
+            Alcotest.(check bool) "no fallback" true
+              (stat_value lines "demand_fallbacks_total" = Some 0);
+            Alcotest.(check bool) "magic facts counted" true
+              (match stat_value lines "magic_facts" with
+              | Some n -> n > 0
+              | None -> false)))
+
+(* The rule-mutation-mid-subscription golden: a mutation arriving while
+   only demanded fragments exist forces full materialisation (counted as
+   a fallback), and the standing query still sees a correct DELTA. *)
+let test_demand_mutation_fallback () =
+  with_demand_server ~program:demand_program (fun _p srv ->
+      with_client srv (fun subscriber ->
+          with_client srv (fun writer ->
+              let sub =
+                match Client.subscribe subscriber "a0[up ->> {Y}]" with
+                | Ok s -> s
+                | Error e -> Alcotest.fail ("SUBSCRIBE failed: " ^ e)
+              in
+              Alcotest.(check (list string))
+                "baseline from the demanded fragment"
+                [ "a1"; "a2"; "a3" ] sub.Client.baseline;
+              (match Client.assert_facts writer "a3[boss -> a4]." with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail ("ASSERT failed: " ^ e));
+              (match Client.next_delta ~timeout_s:5.0 subscriber with
+              | None -> Alcotest.fail "no DELTA after assert"
+              | Some d ->
+                Alcotest.(check (list string))
+                  "appeared" [ "a4" ] d.Protocol.appeared;
+                Alcotest.(check (list string))
+                  "vanished" [] d.Protocol.vanished);
+              (* the store is fully materialised now: the other chain
+                 answers on the plain read path *)
+              (match Client.query writer "?- b0[up ->> {X}]." with
+              | Error e -> Alcotest.fail ("QUERY failed: " ^ e)
+              | Ok lines ->
+                Alcotest.(check (list string))
+                  "post-fallback answer" [ "X"; "b1"; "b2" ]
+                  (List.sort compare lines));
+              match Client.stats writer with
+              | Error e -> Alcotest.fail ("STATS failed: " ^ e)
+              | Ok lines ->
+                Alcotest.(check bool) "mutation counted as fallback" true
+                  (match stat_value lines "demand_fallbacks_total" with
+                  | Some n -> n >= 1
+                  | None -> false))))
+
 let suite =
   [
     Alcotest.test_case "protocol: parse requests" `Quick test_parse_request;
@@ -778,4 +879,8 @@ let suite =
       test_subscribe_push;
     Alcotest.test_case "server: ground subscription true/false" `Quick
       test_subscribe_ground;
+    Alcotest.test_case "server: demand-driven QUERY path" `Quick
+      test_demand_queries;
+    Alcotest.test_case "server: mutation mid-subscription falls back"
+      `Quick test_demand_mutation_fallback;
   ]

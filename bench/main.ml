@@ -834,6 +834,13 @@ let () =
   end
 
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "emit" then begin
+    Perf.emit_programs
+      (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)));
+    exit 0
+  end
+
+let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "chaos" then begin
     Chaos.main
       (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)));

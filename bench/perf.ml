@@ -110,37 +110,42 @@ let tc_forest ~jobs ~reps =
     @ Pathlog.Genealogy.desc_rules)
     ~jobs ~reps ~detail:"desc closure of random forest(256), semi-naive"
 
-let tc_dag ~jobs ~reps =
-  let stmts =
-    Pathlog.Graph.layered_dag ~layers:7 ~width:14 ~fanout:3 ~seed:7
+let tc_dag_stmts =
+  lazy
+    (Pathlog.Graph.layered_dag ~layers:7 ~width:14 ~fanout:3 ~seed:7
     @ Pathlog.Parser.program
         {|
         X[reach ->> {Y}] <- X[to ->> {Y}].
         X[reach ->> {Y}] <- X[to ->> {Z}], Z[reach ->> {Y}].
-        |}
-  in
-  fixpoint_suite "tc_dag_7x14" stmts ~jobs ~reps
+        |})
+
+let tc_dag ~jobs ~reps =
+  fixpoint_suite "tc_dag_7x14" (Lazy.force tc_dag_stmts) ~jobs ~reps
     ~detail:"reach closure of layered dag(7x14, fanout 3), semi-naive"
 
 (* A fixpoint that derives one isa edge per round along a scalar chain:
    every insertion invalidates (or, incrementally, updates) the hierarchy
    closure caches while the seeded isa delta is being consumed. *)
+let isa_derive_stmts =
+  lazy
+    (let n = 400 in
+     let b = Buffer.create (n * 24) in
+     for i = 0 to n - 1 do
+       Buffer.add_string b (Printf.sprintf "o%d[next -> o%d]. " i (i + 1))
+     done;
+     Buffer.add_string b (Printf.sprintf "o%d : reach. " n);
+     (* m0..m63 : hub is a static membership set enumerated once per
+        round via the class-bound isa access path *)
+     for j = 0 to 63 do
+       Buffer.add_string b (Printf.sprintf "m%d : hub. " j)
+     done;
+     Buffer.add_string b "X : reach <- X[next -> Y], Y : reach. ";
+     Buffer.add_string b "X[sees ->> {Y}] <- X : hub, Y : reach. ";
+     Pathlog.Parser.program (Buffer.contents b))
+
 let isa_derive ~jobs ~reps =
-  let n = 400 in
-  let b = Buffer.create (n * 24) in
-  for i = 0 to n - 1 do
-    Buffer.add_string b (Printf.sprintf "o%d[next -> o%d]. " i (i + 1))
-  done;
-  Buffer.add_string b (Printf.sprintf "o%d : reach. " n);
-  (* m0..m63 : hub is a static membership set enumerated once per round
-     via the class-bound isa access path *)
-  for j = 0 to 63 do
-    Buffer.add_string b (Printf.sprintf "m%d : hub. " j)
-  done;
-  Buffer.add_string b "X : reach <- X[next -> Y], Y : reach. ";
-  Buffer.add_string b "X[sees ->> {Y}] <- X : hub, Y : reach. ";
-  fixpoint_suite (Printf.sprintf "isa_derive_%d" n)
-    (Pathlog.Parser.program (Buffer.contents b))
+  fixpoint_suite "isa_derive_400"
+    (Lazy.force isa_derive_stmts)
     ~jobs ~reps
     ~detail:
       "chain(400) reachability derived as isa edges + hub(64) join; one \
@@ -600,6 +605,97 @@ let magic_company_point ~reps =
        a quadratic same-city join dropped by the transform"
 
 (* ------------------------------------------------------------------ *)
+(* The deterministic generator workloads as concrete program text:
+   `bench emit` lists them, `bench emit NAME` prints one. CI feeds each
+   through `pathlog check` so a generator can never silently start
+   emitting programs the static analyzer would reject. *)
+
+let generator_workloads () =
+  [
+    ( "tc_chain_256",
+      Pathlog.Genealogy.statements (Pathlog.Genealogy.Chain 256)
+      @ Pathlog.Genealogy.desc_rules );
+    ( "tc_forest_256",
+      Pathlog.Genealogy.statements
+        (Pathlog.Genealogy.Random_forest
+           { people = 256; max_kids = 3; seed = 11 })
+      @ Pathlog.Genealogy.desc_rules );
+    ("tc_dag_7x14", Lazy.force tc_dag_stmts);
+    ("isa_derive_400", Lazy.force isa_derive_stmts);
+    ("fixpoint_par", Lazy.force par_stmts);
+    ("company_100", Pathlog.Company.statements (Pathlog.Company.scaled 100));
+    ("magic_bound_tc", Lazy.force magic_chain_stmts);
+    ("magic_company_400", Lazy.force magic_company_stmts);
+  ]
+
+let emit_programs args =
+  let ws = generator_workloads () in
+  match args with
+  | [] -> List.iter (fun (n, _) -> print_endline n) ws
+  | name :: _ -> (
+    match List.assoc_opt name ws with
+    | Some stmts -> Format.printf "%a@." Pathlog.Pretty.pp_program stmts
+    | None ->
+      Printf.eprintf "bench emit: unknown workload %s\n" name;
+      exit 2)
+
+(* ------------------------------------------------------------------ *)
+(* Estimator accuracy: the cardinality abstract interpreter's predicted
+   fixpoint size (summed relation bounds evaluated at the final universe
+   size) vs the measured insertion count, over the deterministic
+   fixpoint workloads. A factor >= 1 is the soundness invariant (also
+   property-tested); closer to 1 is a tighter planner/admission
+   estimate. Wall time covers analysis + evaluation of all workloads. *)
+let estimator_accuracy () =
+  let workloads =
+    [
+      ( "tc_chain_256",
+        Pathlog.Genealogy.statements (Pathlog.Genealogy.Chain 256)
+        @ Pathlog.Genealogy.desc_rules );
+      ( "tc_dag_7x14",
+        Pathlog.Graph.layered_dag ~layers:7 ~width:14 ~fanout:3 ~seed:7
+        @ Pathlog.Parser.program
+            "X[reach ->> {Y}] <- X[to ->> {Y}]. \
+             X[reach ->> {Y}] <- X[to ->> {Z}], Z[reach ->> {Y}]." );
+      ( "company_100",
+        Pathlog.Company.statements (Pathlog.Company.scaled 100) );
+      ("fixpoint_par", Lazy.force par_stmts);
+    ]
+  in
+  let sat_add a b = if a > max_int - b then max_int else a + b in
+  let measure (name, stmts) =
+    let p = Program.create stmts in
+    let t = Pathlog.Absint.analyze (Program.store p) (Program.rules p) in
+    let stats = Program.run p in
+    let n = max 1 (Pathlog.Universe.cardinality (Program.universe p)) in
+    let predicted =
+      List.fold_left
+        (fun acc (_, c) -> sat_add acc (Pathlog.Absint.eval_card ~n c))
+        0
+        (Pathlog.Absint.rel_cards t)
+    in
+    let actual = max 1 stats.Pathlog.Fixpoint.insertions in
+    (name, float_of_int predicted /. float_of_int actual)
+  in
+  let factors, w = wall (fun () -> List.map measure workloads) in
+  {
+    name = "estimator_accuracy";
+    wall_s = w;
+    ops_per_s = None;
+    rule_evaluations = None;
+    firings = None;
+    rounds = None;
+    speedup_vs_1j = None;
+    speedup_vs_full = None;
+    detail =
+      "predicted/actual fixpoint size (>= 1 is sound): "
+      ^ String.concat ", "
+          (List.map
+             (fun (n, f) -> Printf.sprintf "%s %.1fx" n f)
+             factors);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Minimal JSON (writer + reader for our own reports)                  *)
 
 type json =
@@ -836,8 +932,10 @@ let suite_json ~baseline (s : suite) =
       | _ -> [])
     @ [ ("detail", Str s.detail) ])
 
+(* Returns the regressed suites as (name, now, baseline) so the caller
+   can say exactly which suite regressed and by how much. *)
 let check ~committed suites =
-  let failures = ref 0 in
+  let failures = ref [] in
   List.iter
     (fun (s : suite) ->
       match (s.rule_evaluations, List.assoc_opt s.name committed) with
@@ -848,7 +946,7 @@ let check ~committed suites =
           (* >20% regression fails *)
         in
         if now > limit then begin
-          incr failures;
+          failures := (s.name, now, baseline) :: !failures;
           Printf.printf
             "CHECK FAIL %-24s rule_evaluations %d > %d (baseline %d +20%%)\n"
             s.name now limit baseline
@@ -858,7 +956,7 @@ let check ~committed suites =
             s.name now baseline
       | _ -> ())
     suites;
-  !failures = 0
+  List.rev !failures
 
 let main args =
   let quick = List.mem "--quick" args in
@@ -917,6 +1015,7 @@ let main args =
         (fun () -> server_par_read ~requests);
         (fun () -> magic_bound_tc ~reps);
         (fun () -> magic_company_point ~reps);
+        (fun () -> estimator_accuracy ());
       ]
   in
   let baseline =
@@ -928,7 +1027,7 @@ let main args =
         ( "meta",
           Obj
             [
-              ("pr", Num 7.);
+              ("pr", Num 8.);
               ("mode", Str (if quick then "quick" else "full"));
               ("jobs", Num (float_of_int jobs));
               ( "cores",
@@ -945,10 +1044,18 @@ let main args =
   Printf.printf "wrote %s\n%!" out;
   match check_file with
   | None -> ()
-  | Some f ->
+  | Some f -> (
     let committed = load_report f in
-    if not (check ~committed suites) then begin
-      print_endline "perf check: FAILED";
-      exit 1
-    end
-    else print_endline "perf check: ok"
+    match check ~committed suites with
+    | [] -> print_endline "perf check: ok"
+    | regressed ->
+      Printf.printf "perf check: FAILED — %d suite(s) regressed vs %s:\n"
+        (List.length regressed) f;
+      List.iter
+        (fun (name, now, baseline) ->
+          Printf.printf
+            "  %s: rule_evaluations %d vs baseline %d (+%.0f%%)\n" name now
+            baseline
+            (100. *. ((float_of_int now /. float_of_int baseline) -. 1.)))
+        regressed;
+      exit 1)

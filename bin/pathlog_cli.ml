@@ -165,9 +165,9 @@ let run_cmd file queries dump stats naive hilog max_rounds max_objects types
       end;
       if dump then Format.printf "%a" Pathlog.Store.pp st)
 
-let check_cmd file json deny =
+let check_cmd file json deny estimates card_threshold =
   let text = read_file file in
-  let result = Pathlog.Check.analyze text in
+  let result = Pathlog.Check.analyze ?card_threshold text in
   let denied =
     List.exists
       (fun (d : Pathlog.Diagnostic.t) ->
@@ -180,6 +180,12 @@ let check_cmd file json deny =
     List.iter
       (fun d -> print_endline (Pathlog.Diagnostic.to_string ~file d))
       result.diagnostics;
+    (if estimates then
+       match Pathlog.Check.program_of text with
+       | Some (store, rules, _) ->
+         let t = Pathlog.Absint.analyze store rules in
+         List.iter print_endline (Pathlog.Absint.describe store t)
+       | None -> ());
     if (not denied) && Pathlog.Check.ok result then begin
       Printf.printf "ok: %d rules, %d strata\n" result.n_rules
         result.n_strata;
@@ -198,11 +204,17 @@ let check_cmd file json deny =
   end;
   if denied then exit Pathlog.Err.exit_analysis
 
-let explain_cmd file queries demand =
+let explain_cmd file queries demand estimates =
   let p =
     with_errors None (fun () -> Pathlog.Program.of_string (read_file file))
   in
   let st = Pathlog.Program.store p in
+  (* --estimates: rank joins from (and annotate plan nodes with) the
+     abstract interpreter's predicted cardinalities *)
+  if estimates then begin
+    let t = Pathlog.Absint.analyze st (Pathlog.Program.rules p) in
+    Pathlog.Program.set_estimates p (Some (Pathlog.Absint.estimator t st))
+  end;
   with_errors (Some st) (fun () ->
       if demand then
         (* the adorned, magic-transformed program per query — no
@@ -365,7 +377,7 @@ let server_address ~host ~port ~unix_sock =
   | None -> Pathlog.Server.Tcp (host, port)
 
 let serve_cmd file host port unix_sock workers queue max_request deadline jobs
-    faults demand =
+    faults demand admit_cost =
   (match faults with
   | None -> ()
   | Some spec -> (
@@ -403,6 +415,7 @@ let serve_cmd file host port unix_sock workers queue max_request deadline jobs
       max_request_bytes = max_request;
       deadline_s = deadline;
       demand;
+      admit_cost;
     }
   in
   let srv =
@@ -626,7 +639,28 @@ let deny_arg =
           "Exit non-zero when a diagnostic at or above $(docv) is reported \
            (error, warning, or hint; default error).")
 
-let check_t = Term.(const check_cmd $ file_arg $ json_arg $ deny_arg)
+let estimates_arg =
+  Arg.(
+    value & flag
+    & info [ "estimates" ]
+        ~doc:
+          "Print the abstract interpreter's predicted cardinalities: \
+           per-relation bounds, per-rule firing bounds, and per-stratum \
+           termination verdicts.")
+
+let card_threshold_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "card-threshold" ] ~docv:"N"
+        ~doc:
+          "PL051 threshold: warn when the predicted derivation count \
+           exceeds $(docv) (default 1000000).")
+
+let check_t =
+  Term.(
+    const check_cmd $ file_arg $ json_arg $ deny_arg $ estimates_arg
+    $ card_threshold_arg)
 
 let repl_file_arg =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -642,7 +676,9 @@ let explain_demand_arg =
            evaluator would run for each query.")
 
 let explain_t =
-  Term.(const explain_cmd $ file_arg $ queries_arg $ explain_demand_arg)
+  Term.(
+    const explain_cmd $ file_arg $ queries_arg $ explain_demand_arg
+    $ estimates_arg)
 
 let lint_t = Term.(const lint_cmd $ file_arg)
 
@@ -728,11 +764,21 @@ let faults_arg =
            'seed=42;wire_write:short@0.01;solver_step:delay@0.001:2'. \
            Same grammar as \\$PATHLOG_FAULTS; see lib/fault.")
 
+let admit_cost_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "admit-cost" ] ~docv:"BOUND"
+        ~doc:
+          "Admission control: refuse queries whose statically predicted \
+           derivation count exceeds $(docv) with ERR COST, before any \
+           evaluation starts.")
+
 let serve_t =
   Term.(
     const serve_cmd $ file_arg $ host_arg $ port_arg $ unix_sock_arg
     $ workers_arg $ queue_arg $ max_request_arg $ deadline_arg
-    $ serve_jobs_arg $ faults_arg $ demand_arg)
+    $ serve_jobs_arg $ faults_arg $ demand_arg $ admit_cost_arg)
 
 let connect_t =
   Term.(const connect_cmd $ host_arg $ port_arg $ unix_sock_arg $ queries_arg)

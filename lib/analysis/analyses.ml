@@ -10,8 +10,12 @@ module Rel_set = Set.Make (struct
   let compare = Ir.compare_rel
 end)
 
+(* Diagnostics show the rule the user wrote: for transformed variants
+   (demand guards, magic rules) that is the origin, not the synthesized
+   form. *)
 let rule_context (r : Rule.t) =
-  Format.asprintf "%a" Syntax.Pretty.pp_rule r.source
+  Format.asprintf "%a" Syntax.Pretty.pp_rule
+    (Option.value r.origin ~default:r.source)
 
 (* ------------------------------------------------------------------ *)
 (* PL030 — skolem-creation cycles.
@@ -101,7 +105,11 @@ let flow_defines anc (r : Rule.t) =
       | R_scalar _ | R_set _ -> [ d ])
     r.defines
 
-let skolem_cycles store rules =
+(* The creation-cycle core, shared between PL030 (warning, here) and the
+   abstract interpreter's PL050/∞-cardinality verdicts ({!Absint}):
+   non-fact rules whose fresh skolem objects can flow back into a
+   relation their own body reads, paired with that back-edge relation. *)
+let creation_cycles store rules =
   let anc = Stratify.static_ancestors rules in
   let nodes =
     List.fold_left
@@ -158,23 +166,31 @@ let skolem_cycles store rules =
     go (Rel_set.elements starts);
     !seen
   in
+  List.filter_map
+    (fun (r : Rule.t) ->
+      if r.source.body = [] then None
+      else
+        let entries = skolem_entries store anc r.source.head in
+        if Rel_set.is_empty entries then None
+        else
+          let reach = reachable_from entries in
+          Option.map
+            (fun back -> (r, back))
+            (List.find_opt (fun rd -> Rel_set.mem rd reach) (flow_reads r)))
+    rules
+
+let skolem_cycles store rules =
+  let cycles = creation_cycles store rules in
   let universe = Oodb.Store.universe store in
   List.concat_map
     (fun (r : Rule.t) ->
       if r.source.body = [] then []
       else begin
-        let skolems = Rule.skolem_defines store r.source.head in
-        let creates_any = List.mem Ir.R_any skolems in
-        let entries = skolem_entries store anc r.source.head in
-        let cycle =
-          if Rel_set.is_empty entries then None
-          else begin
-            let reach = reachable_from entries in
-            List.find_opt (fun rd -> Rel_set.mem rd reach) (flow_reads r)
-          end
+        let creates_any =
+          List.mem Ir.R_any (Rule.skolem_defines store r.source.head)
         in
-        (match cycle with
-        | Some back ->
+        (match List.find_opt (fun (r', _) -> r' == r) cycles with
+        | Some (_, back) ->
           [
             Diagnostic.make ?span:r.span ~context:(rule_context r)
               ~code:"PL030" ~severity:Diagnostic.Warning

@@ -4,6 +4,16 @@
     the code taxonomy and {!Check.analyze} for the driver that runs them
     as part of [pathlog check]. *)
 
+val creation_cycles :
+  Oodb.Store.t ->
+  Engine.Rule.t list ->
+  (Engine.Rule.t * Semantics.Ir.rel) list
+(** The creation-cycle core shared by PL030 and {!Absint}: non-fact rules
+    whose fresh skolem objects can flow back into a relation their own
+    body reads, paired with the back-edge relation. Such a rule's model
+    contribution is potentially infinite (each firing can enable another
+    on a fresh receiver). *)
+
 val skolem_cycles :
   Oodb.Store.t -> Engine.Rule.t list -> Diagnostic.t list
 (** PL030: rules that create virtual objects ([X.m] in a head) and whose

@@ -33,7 +33,7 @@ let code_of_wellformed (e : Syntax.Wellformed.error) =
   | Unsafe_head_variable _ -> "PL016"
   | Unsafe_negated_variable _ -> "PL017"
 
-let analyze text =
+let analyze ?card_threshold text =
   match Syntax.Parser.program_spanned text with
   | exception Syntax.Parser.Error (pos, msg) ->
     let span = { Syntax.Token.s_start = pos; s_end = pos } in
@@ -87,9 +87,9 @@ let analyze text =
       spanned;
     let rules = List.rev !rules in
     let queries = List.rev !queries in
-    let n_strata =
+    let strat =
       match Engine.Stratify.compute store rules with
-      | strat -> Array.length strat.strata
+      | strat -> Some strat
       | exception Engine.Err.Unstratifiable u ->
         let span, context =
           match u.u_rule with
@@ -105,7 +105,12 @@ let analyze text =
           (Diagnostic.make ?span ?context ~code:"PL020"
              ~severity:Diagnostic.Error "program is not stratifiable: %s"
              u.u_message);
-        0
+        None
+    in
+    let n_strata =
+      match strat with
+      | Some s -> Array.length s.Engine.Stratify.strata
+      | None -> 0
     in
     List.iter
       (fun (w : Engine.Typecheck.warning) ->
@@ -117,6 +122,8 @@ let analyze text =
     List.iter emit (Analyses.skolem_cycles store rules);
     List.iter emit (Analyses.dead_rules store rules ~queries);
     List.iter emit (Analyses.scalar_conflicts rules);
+    List.iter emit
+      (Absint.check ?strat ?threshold:card_threshold store rules ~queries);
     {
       diagnostics = List.stable_sort Diagnostic.compare (List.rev !diags);
       n_rules = List.length rules;
@@ -124,13 +131,44 @@ let analyze text =
       n_strata;
     }
 
+(* Bump when the JSON shape changes (fields, span encoding, ordering
+   contract). 2: added schema_version itself and byte offsets in spans. *)
+let schema_version = 2
+
 let to_json t =
-  Printf.sprintf "{\"ok\":%b,\"rules\":%d,\"queries\":%d,\"strata\":%d,\"diagnostics\":%s}"
-    (ok t) t.n_rules t.n_queries t.n_strata
+  Printf.sprintf
+    "{\"schema_version\":%d,\"ok\":%b,\"rules\":%d,\"queries\":%d,\"strata\":%d,\"diagnostics\":%s}"
+    schema_version (ok t) t.n_rules t.n_queries t.n_strata
     (Diagnostic.json_of_list t.diagnostics)
 
-let gate ?(deny = Diagnostic.Error) text =
-  let t = analyze text in
+(* The compiled program a successfully parsed text denotes, for callers
+   that need the rules themselves (check --estimates, admission
+   control) rather than diagnostics. Malformed statements are skipped —
+   the diagnostics pipeline reports them. *)
+let program_of text =
+  match Syntax.Parser.program_spanned text with
+  | exception Syntax.Parser.Error _ -> None
+  | spanned ->
+    let store = Oodb.Store.create () in
+    let rules = ref [] in
+    let queries = ref [] in
+    List.iter
+      (fun (stmt, span) ->
+        match Syntax.Wellformed.signature_of_statement stmt with
+        | Some _ -> ()
+        | None -> (
+          match stmt with
+          | Ast.Rule r ->
+            if Syntax.Wellformed.check_rule r = Ok () then
+              rules := Engine.Rule.compile ~span store r :: !rules
+          | Ast.Query lits ->
+            if Syntax.Wellformed.check_query lits = Ok () then
+              queries := lits :: !queries))
+      spanned;
+    Some (store, List.rev !rules, List.rev !queries)
+
+let gate ?(deny = Diagnostic.Error) ?card_threshold text =
+  let t = analyze ?card_threshold text in
   match
     List.filter
       (fun (d : Diagnostic.t) ->

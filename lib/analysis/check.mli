@@ -18,7 +18,9 @@ type t = {
   n_strata : int;  (** 0 when stratification failed *)
 }
 
-val analyze : string -> t
+val analyze : ?card_threshold:int -> string -> t
+(** [card_threshold] tunes PL051 ({!Absint.default_threshold} when
+    omitted). *)
 
 val ok : t -> bool
 (** No error-severity diagnostics. *)
@@ -26,10 +28,27 @@ val ok : t -> bool
 val worst : t -> Diagnostic.severity option
 (** Highest severity present, [None] for a clean program. *)
 
-val to_json : t -> string
-(** [{"ok":…,"rules":…,"queries":…,"strata":…,"diagnostics":[…]}] *)
+val schema_version : int
+(** Version of the JSON shape below; bumped on any change to fields,
+    span encoding or ordering. *)
 
-val gate : ?deny:Diagnostic.severity -> string -> (t, string) result
+val to_json : t -> string
+(** [{"schema_version":…,"ok":…,"rules":…,"queries":…,"strata":…,
+    "diagnostics":[…]}]. Deterministic: diagnostics are sorted by
+    (byte offset, code, severity, message), and spans carry both
+    start and end byte offsets. *)
+
+val program_of :
+  string ->
+  (Oodb.Store.t * Engine.Rule.t list * Syntax.Ast.literal list list) option
+(** The compiled rules and embedded queries of a parseable program
+    ([None] on a parse error; malformed statements are skipped). For
+    callers that feed {!Absint} directly — [check --estimates],
+    admission control. *)
+
+val gate :
+  ?deny:Diagnostic.severity -> ?card_threshold:int -> string ->
+  (t, string) result
 (** Refuse program text carrying diagnostics at or above [deny]
     (default [Error]); the error string is the rendered offending
     diagnostics, one per line. The server calls this before loading. *)

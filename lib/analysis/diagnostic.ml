@@ -26,19 +26,25 @@ let make ?span ?context ~code ~severity fmt =
     (fun message -> { code; severity; message; span; context })
     fmt
 
-(* Source order first (span-less diagnostics last), then severity
-   descending, then code: the order a reader fixes things in. *)
+(* Source order first, keyed on the byte offset so the sort is total and
+   deterministic (span-less diagnostics last), then code, then severity
+   descending: the order a reader fixes things in, stable under re-runs
+   for CI diffing. *)
 let compare a b =
-  let pos_of d =
+  let offset_of d =
     match d.span with
-    | Some sp -> (sp.Syntax.Token.s_start.line, sp.Syntax.Token.s_start.col)
-    | None -> (max_int, max_int)
+    | Some sp -> sp.Syntax.Token.s_start.offset
+    | None -> max_int
   in
-  match Stdlib.compare (pos_of a) (pos_of b) with
+  match Stdlib.compare (offset_of a) (offset_of b) with
   | 0 -> (
-    match Stdlib.compare (severity_rank b.severity) (severity_rank a.severity)
-    with
-    | 0 -> Stdlib.compare (a.code, a.message) (b.code, b.message)
+    match Stdlib.compare a.code b.code with
+    | 0 -> (
+      match
+        Stdlib.compare (severity_rank b.severity) (severity_rank a.severity)
+      with
+      | 0 -> Stdlib.compare a.message b.message
+      | c -> c)
     | c -> c)
   | c -> c
 
@@ -92,8 +98,9 @@ let add_json b d =
   | Some { Syntax.Token.s_start; s_end } ->
     Buffer.add_string b
       (Printf.sprintf
-         "{\"start\":{\"line\":%d,\"col\":%d},\"end\":{\"line\":%d,\"col\":%d}}"
-         s_start.line s_start.col s_end.line s_end.col));
+         "{\"start\":{\"line\":%d,\"col\":%d,\"offset\":%d},\"end\":{\"line\":%d,\"col\":%d,\"offset\":%d}}"
+         s_start.line s_start.col s_start.offset s_end.line s_end.col
+         s_end.offset));
   Buffer.add_string b ",\"context\":";
   (match d.context with
   | None -> Buffer.add_string b "null"

@@ -338,15 +338,18 @@ let emit store proper query_lits levels =
   let seeds = ref [] in
   let magic = ref [] in
   let fresh = ref 0 in
-  let add_magic (rule : Ast.rule) =
+  (* [origin]: the user-written rule whose body demanded this magic rule
+     (None when the query itself did); diagnostics on the synthesized rule
+     anchor to it. *)
+  let add_magic origin (rule : Ast.rule) =
     let key = Format.asprintf "%a" Syntax.Pretty.pp_rule rule in
     if not (Hashtbl.mem seen key) then begin
       Hashtbl.add seen key ();
-      if rule.body = [] then seeds := rule :: !seeds
-      else magic := rule :: !magic
+      if rule.body = [] then seeds := (rule, origin) :: !seeds
+      else magic := (rule, origin) :: !magic
     end
   in
-  let emit_for_app context rel recv =
+  let emit_for_app origin context rel recv =
     let member, binding =
       match recv with
       | Ast.Var _ -> (recv, [])
@@ -375,9 +378,9 @@ let emit store proper query_lits levels =
           f_rhs = Ast.Rset_enum [ member ];
         }
     in
-    add_magic { Ast.head; body = context @ binding }
+    add_magic origin { Ast.head; body = context @ binding }
   in
-  let emit_body context_init bound_init lits =
+  let emit_body origin context_init bound_init lits =
     ignore
       (List.fold_left
          (fun (ctx, bound) lit ->
@@ -389,13 +392,13 @@ let emit store proper query_lits levels =
                  if
                    level rel = Some B && boundable bound recv
                    && needs_magic rel
-                 then emit_for_app (List.rev ctx) rel recv)
+                 then emit_for_app origin (List.rev ctx) rel recv)
            | Ast.Neg _ -> ());
            (lit :: ctx, S.union bound (S.of_list (Ast.vars_of_literal lit))))
          (context_init, bound_init) lits)
   in
   (* the query's own bound applications seed the demand sets *)
-  emit_body [] S.empty query_lits;
+  emit_body None [] S.empty query_lits;
   let guarded_asts = ref [] in
   let unguarded = ref [] in
   let n_dropped = ref 0 in
@@ -406,14 +409,16 @@ let emit store proper query_lits levels =
       | `Guarded (d, recv) ->
         let guard = guard_lit store d recv in
         guarded_asts :=
-          ({ Ast.head = r.source.head; body = guard :: r.source.body }, recv)
+          ( { Ast.head = r.source.head; body = guard :: r.source.body },
+            recv,
+            r )
           :: !guarded_asts;
-        emit_body [ guard ]
+        emit_body (Some r) [ guard ]
           (S.of_list (Ast.vars_of_reference recv))
           r.source.body
       | `Unguarded ->
         unguarded := r :: !unguarded;
-        emit_body [] S.empty r.source.body)
+        emit_body (Some r) [] S.empty r.source.body)
     forms;
   let seeds = List.rev !seeds in
   let magic = List.rev !magic in
@@ -497,10 +502,12 @@ let transform store (all_rules : Rule.t list) query_lits =
         relevant
     in
     let levels = compute_levels store proper query_lits in
-    let seeds, magic, guarded_pairs, unguarded, n_dropped =
+    let seed_pairs, magic_pairs, guarded_triples, unguarded, n_dropped =
       emit store proper query_lits levels
     in
-    let guarded = List.map fst guarded_pairs in
+    let seeds = List.map fst seed_pairs in
+    let magic = List.map fst magic_pairs in
+    let guarded = List.map (fun (ast, _, _) -> ast) guarded_triples in
     let generated = seeds @ magic @ guarded in
     if
       List.exists
@@ -508,13 +515,25 @@ let transform store (all_rules : Rule.t list) query_lits =
         generated
     then Error Unsafe
     else begin
+      (* Synthesized rules inherit the span and origin of the user rule
+         they were derived from, so diagnostics report the source text. *)
+      let compile_from (orig : Rule.t option) ast =
+        match orig with
+        | Some r ->
+          Rule.compile ?span:r.span
+            ~origin:(Option.value r.origin ~default:r.source)
+            store ast
+        | None -> Rule.compile store ast
+      in
       let compiled_guarded =
-        List.map2
-          (fun ast (_, recv) -> (Rule.compile store ast, recv))
-          guarded guarded_pairs
+        List.map
+          (fun (ast, recv, r) -> (compile_from (Some r) ast, recv))
+          guarded_triples
       in
       let compiled =
-        List.map (Rule.compile store) (seeds @ magic)
+        List.map
+          (fun (ast, orig) -> compile_from orig ast)
+          (seed_pairs @ magic_pairs)
         @ List.map fst compiled_guarded
         @ unguarded
       in

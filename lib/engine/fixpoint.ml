@@ -13,6 +13,10 @@ type config = {
   jobs : int;
   budget : Budget.t option;
   plan_variant : int;
+  estimates : Semantics.Solve.estimator option;
+      (* absint cardinality predictions driving compile_plan; the
+         estimator's epoch is part of the plan-cache key so plans compiled
+         under different (or no) estimates never alias *)
 }
 
 (* PATHLOG_JOBS flips the default degree of parallelism process-wide —
@@ -35,6 +39,7 @@ let default_config =
     jobs = default_jobs;
     budget = None;
     plan_variant = 0;
+    estimates = None;
   }
 
 type stats = {
@@ -148,9 +153,16 @@ let crule_of itn (rule : Rule.t) =
    sharing plans: the same rule uid evaluates against differently shaped
    stores in each mode. *)
 
-type plan_cache = (int * int * int, Semantics.Solve.plan) Hashtbl.t
+type plan_cache = (int * int * int * int, Semantics.Solve.plan) Hashtbl.t
 
 let plan_cache () : plan_cache = Hashtbl.create 64
+
+(* epoch 0 is reserved for "no estimates": an estimator must carry a
+   non-zero epoch to get distinct cache entries *)
+let estimates_epoch config =
+  match config.estimates with
+  | None -> 0
+  | Some e -> e.Semantics.Solve.est_epoch
 
 let plan_for (cache : plan_cache) config store (rule : Rule.t) seed =
   match config.order with
@@ -161,12 +173,14 @@ let plan_for (cache : plan_cache) config store (rule : Rule.t) seed =
       | Some s -> s.Semantics.Solve.seed_atom
       | None -> -1
     in
-    let key = (rule.uid, seed_idx, config.plan_variant) in
+    let key =
+      (rule.uid, seed_idx, config.plan_variant, estimates_epoch config)
+    in
     (match Hashtbl.find_opt cache key with
     | Some p when not (Semantics.Solve.plan_stale store p) -> Some p
     | Some _ | None ->
       let p =
-        Semantics.Solve.compile_plan
+        Semantics.Solve.compile_plan ?estimator:config.estimates
           ?seed_atom:(if seed_idx >= 0 then Some seed_idx else None)
           store rule.body
       in

@@ -68,6 +68,14 @@ type config = {
           ([1]), demand-transformed runs ([2]) — must use distinct
           variants so a shared cache (see {!run}'s [plans]) never serves a
           plan compiled under the other mode's store statistics. *)
+  estimates : Semantics.Solve.estimator option;
+      (** statically predicted relation cardinalities (from the
+          abstract-interpretation pass) replacing the heuristic bucket
+          lengths in {!Semantics.Solve.compile_plan}. The estimator's
+          [est_epoch] joins the plan-cache key, so plans compiled under
+          different estimates (or none — epoch [0] is reserved for that)
+          never alias; recompiles on store growth stay sound. Estimates
+          affect join order only, never answers. Default [None]. *)
 }
 
 (** [jobs] defaults to [1], or to [$PATHLOG_JOBS] when that environment
@@ -96,7 +104,8 @@ val pp_stats : Format.formatter -> stats -> unit
 val interrupt_of : Budget.t option -> (unit -> unit) option
 
 (** Compiled-plan cache, keyed by (rule uid, seed adornment,
-    {!config.plan_variant}). {!run} creates a private one when none is
+    {!config.plan_variant}, estimates epoch). {!run} creates a private
+    one when none is
     passed; callers that evaluate the same program repeatedly
     ({!Program.t} does) pass one shared cache so plans survive across
     runs. Plans are recompiled in place when the store outgrows them, so

@@ -7,7 +7,9 @@ type t = {
   rules : Rule.t list;
   strat : Stratify.t;
   queries : Ast.literal list list;
-  config : Fixpoint.config;
+  mutable config : Fixpoint.config;
+      (* mutable only for [set_estimates]: estimates change plan ranking,
+         never answers, and the plan cache keys on the estimates epoch *)
   provenance : Provenance.t;
   plans : Fixpoint.plan_cache;
       (* shared across every evaluation of this program; the cache key's
@@ -103,6 +105,8 @@ let of_string ?config text =
 
 let store t = t.store
 let config t = t.config
+
+let set_estimates t estimates = t.config <- { t.config with estimates }
 let universe t = Oodb.Store.universe t.store
 let rules t = t.rules
 let signatures t = t.signatures
@@ -239,11 +243,18 @@ let dump_model t = Format.asprintf "%a" Oodb.Store.pp t.store
 
 let explain t lits =
   let q = Semantics.Flatten.literals t.store lits in
-  Semantics.Solve.explain ~order:t.config.order t.store q
+  Semantics.Solve.explain ~order:t.config.order
+    ?estimator:t.config.estimates t.store q
 
 let explain_string t text =
   match Syntax.Parser.literals (strip_query_syntax text) with
   | lits -> explain t lits
+  | exception Syntax.Parser.Error (pos, msg) ->
+    invalid "%a: %s" Syntax.Token.pp_pos pos msg
+
+let parse_query text =
+  match Syntax.Parser.literals (strip_query_syntax text) with
+  | lits -> lits
   | exception Syntax.Parser.Error (pos, msg) ->
     invalid "%a: %s" Syntax.Token.pp_pos pos msg
 

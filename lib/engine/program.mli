@@ -48,6 +48,13 @@ val store : t -> Oodb.Store.t
     maintenance re-enters the fixpoint with it). *)
 val config : t -> Fixpoint.config
 
+(** Install (or clear) statically predicted relation cardinalities: every
+    later evaluation and {!explain} ranks join orders from them instead
+    of the store heuristic. Sound to flip at any time — estimates change
+    plan ranking, never answers, and compiled plans are cached under the
+    estimator's epoch. *)
+val set_estimates : t -> Semantics.Solve.estimator option -> unit
+
 val universe : t -> Oodb.Universe.t
 
 val rules : t -> Rule.t list
@@ -92,6 +99,11 @@ val query : ?budget:Budget.t -> t -> Syntax.Ast.literal list -> answer
 (** Parse and answer, e.g. [query_string p "?- X : employee."] (the leading
     [?-] and trailing [.] are optional). *)
 val query_string : ?budget:Budget.t -> t -> string -> answer
+
+(** Parse query text to literals without evaluating (the parsing half of
+    {!query_string}; admission control estimates costs from these).
+    @raise Invalid on a parse error. *)
+val parse_query : string -> Syntax.Ast.literal list
 
 (** Run every embedded query. *)
 val run_queries : t -> (Syntax.Ast.literal list * answer) list

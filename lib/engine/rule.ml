@@ -4,6 +4,7 @@ module Ir = Semantics.Ir
 type t = {
   uid : int;
   source : Syntax.Ast.rule;
+  origin : Syntax.Ast.rule option;
   span : Syntax.Token.span option;
   body : Ir.query;
   defines : Ir.rel list;
@@ -154,7 +155,7 @@ let head_class_edges store head =
   in
   List.rev (fold_reference add [] head)
 
-let compile ?span store (rule : Syntax.Ast.rule) : t =
+let compile ?span ?origin store (rule : Syntax.Ast.rule) : t =
   let body = Semantics.Flatten.literals store rule.body in
   let defines = head_defines store rule.head in
   let reads =
@@ -176,6 +177,7 @@ let compile ?span store (rule : Syntax.Ast.rule) : t =
   {
     uid;
     source = rule;
+    origin;
     span;
     body;
     defines;

@@ -6,9 +6,15 @@ type t = {
       (** process-unique identity; the fixpoint engine keys its compiled
           plan cache on it *)
   source : Syntax.Ast.rule;
+  origin : Syntax.Ast.rule option;
+      (** for rules synthesized by a transform (demand guards, magic
+          rules), the user-written rule they were derived from;
+          diagnostics report this rule's text instead of the synthesized
+          form *)
   span : Syntax.Token.span option;
       (** source extent of the statement the rule was parsed from, when it
-          came from text (diagnostics anchor on it) *)
+          came from text (diagnostics anchor on it); transforms propagate
+          the originating rule's span *)
   body : Semantics.Ir.query;
   defines : Semantics.Ir.rel list;
       (** relations the head may insert into (skolemised paths included) *)
@@ -30,8 +36,14 @@ type t = {
 }
 
 (** Compile a well-formedness-checked rule. Interning happens against the
-    store's universe. *)
-val compile : ?span:Syntax.Token.span -> Oodb.Store.t -> Syntax.Ast.rule -> t
+    store's universe. [origin] records the user-written rule a synthesized
+    rule was derived from. *)
+val compile :
+  ?span:Syntax.Token.span ->
+  ?origin:Syntax.Ast.rule ->
+  Oodb.Store.t ->
+  Syntax.Ast.rule ->
+  t
 
 (** Relations a reference reads when evaluated (used for head [->>]
     right-hand sides and query dependency reporting). *)

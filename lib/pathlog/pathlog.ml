@@ -47,6 +47,7 @@ module Live = Incremental.Live
 module Typecheck = Engine.Typecheck
 module Diagnostic = Pathlog_analysis.Diagnostic
 module Analyses = Pathlog_analysis.Analyses
+module Absint = Pathlog_analysis.Absint
 module Check = Pathlog_analysis.Check
 module Build = Syntax.Build
 module Conjunctive = Baseline.Conjunctive

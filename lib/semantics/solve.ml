@@ -158,16 +158,38 @@ type plan = {
   plan_size : int;  (* Store.size when compiled, for staleness checks *)
 }
 
+(* Statically predicted final relation cardinalities, supplied by the
+   abstract-interpretation pass (lib/analysis). When available they
+   replace the store's {e current} bucket lengths in the cost model —
+   at plan-compile time a derived relation may still be empty, while its
+   predicted fixpoint size ranks joins the way they will actually run.
+   [est_epoch] versions the estimates for plan-cache keys: plans
+   compiled under different estimates must not be confused. Plans remain
+   sound under any estimates (every permutation computes the same
+   answers); only ranking quality changes. *)
+type estimator = {
+  est_epoch : int;
+  est_card : Ir.rel -> int option;
+}
+
 (* Cost of an atom under {e simulated} boundness, from the store's current
    index statistics. This is the planner's model, shared with [explain];
    the runtime estimator above refines it with the actual bound values
    (exact receiver-index and inverse-index lengths). *)
-let static_cost store ~self_id ~is_bound (a : Ir.atom) =
+let static_cost ?estimator store ~self_id ~is_bound (a : Ir.atom) =
+  let est rel =
+    match estimator with None -> None | Some e -> e.est_card rel
+  in
   let app_cost which (app : Ir.app) =
     let bucket_len m =
-      match which with
-      | `Scalar -> Oodb.Vec.length (Store.scalar_bucket store m)
-      | `Set -> Oodb.Vec.length (Store.set_bucket store m)
+      match
+        est (match which with `Scalar -> Ir.R_scalar m | `Set -> Ir.R_set m)
+      with
+      | Some c -> c
+      | None -> (
+        match which with
+        | `Scalar -> Oodb.Vec.length (Store.scalar_bucket store m)
+        | `Set -> Oodb.Vec.length (Store.set_bucket store m))
     in
     (* average tuples per receiver: the expected receiver-index hit *)
     let per_recv m =
@@ -205,7 +227,11 @@ let static_cost store ~self_id ~is_bound (a : Ir.atom) =
   | Ir.A_scalar app -> app_cost `Scalar app
   | Ir.A_member app -> app_cost `Set app
   | Ir.A_isa (o, c) -> (
-    let log_len = Oodb.Vec.length (Store.isa_log store) in
+    let log_len =
+      match est Ir.R_isa with
+      | Some c -> c
+      | None -> Oodb.Vec.length (Store.isa_log store)
+    in
     match (is_bound o, is_bound c) with
     | true, true -> 1
     | true, false -> 4
@@ -223,7 +249,8 @@ let static_cost store ~self_id ~is_bound (a : Ir.atom) =
    permutation is sound — every atom executes correctly under any
    boundness — so the plan can be cached and reused across rounds and
    bindings; only its quality decays as the store grows. *)
-let compile_plan ?(bindings = []) ?seed_atom store (q : Ir.query) =
+let compile_plan ?estimator ?(bindings = []) ?seed_atom store (q : Ir.query)
+    =
   let self_id = Store.name store "self" in
   let bound = Array.make (max q.nvars 1) false in
   List.iter (fun (slot, _) -> bound.(slot) <- true) bindings;
@@ -254,7 +281,7 @@ let compile_plan ?(bindings = []) ?seed_atom store (q : Ir.query) =
     let best_cost = ref max_int in
     for i = 0 to n - 1 do
       if not used.(i) then begin
-        let c = static_cost store ~self_id ~is_bound atoms.(i) in
+        let c = static_cost ?estimator store ~self_id ~is_bound atoms.(i) in
         if c < !best_cost then begin
           best_cost := c;
           best := i
@@ -593,8 +620,8 @@ let make_ctx ~hilog_virtual ~interrupt store (q : Ir.query) =
   }
 
 let iter ?(order = Greedy) ?(hilog_virtual = false)
-    ?(interrupt = no_interrupt) ?(bindings = []) ?seed ?plan ?limit store
-    (q : Ir.query) ~f =
+    ?(interrupt = no_interrupt) ?estimator ?(bindings = []) ?seed ?plan
+    ?limit store (q : Ir.query) ~f =
   let ctx = make_ctx ~hilog_virtual ~interrupt store q in
   List.iter (fun (slot, obj) -> ctx.binding.(slot) <- Some obj) bindings;
   let produced = ref 0 in
@@ -628,7 +655,7 @@ let iter ?(order = Greedy) ?(hilog_virtual = false)
       match order with
       | Compiled ->
         Some
-          (compile_plan ~bindings
+          (compile_plan ?estimator ~bindings
              ?seed_atom:(if seed_idx >= 0 then Some seed_idx else None)
              store q)
       | Greedy | Source -> None)
@@ -686,7 +713,8 @@ let count ?(order = Greedy) ?interrupt store (q : Ir.query) =
    runtime order can diverge when intermediate bindings change the cost
    ranking). Access paths are described under the boundness reached at
    each step, mirroring [exec_app]'s dispatch. *)
-let explain ?(order = Greedy) ?(bindings = []) store (q : Ir.query) =
+let explain ?(order = Greedy) ?estimator ?(bindings = []) store (q : Ir.query)
+    =
   let u = Store.universe store in
   let bound = Array.make (max q.nvars 1) false in
   List.iter (fun (slot, _) -> bound.(slot) <- true) bindings;
@@ -731,13 +759,24 @@ let explain ?(order = Greedy) ?(bindings = []) store (q : Ir.query) =
       | Ir.A_subset _ -> "nested set-inclusion subquery"
       | Ir.A_neg _ -> "nested negation subquery"
     in
-    Format.asprintf "%a  [%s]" (Ir.pp_atom u) a path
+    (* per-plan-node predicted cardinality, when the static estimator
+       supplied one for the atom's relation *)
+    let predicted =
+      match (estimator, Ir.atom_rel a) with
+      | Some e, Some rel -> (
+        match e.est_card rel with
+        | Some n -> Printf.sprintf "  ~%d tuples" n
+        | None -> "")
+      | _, _ -> ""
+    in
+    Format.asprintf "%a  [%s]%s" (Ir.pp_atom u) a path predicted
   in
   let atoms = Array.of_list q.atoms in
   let perm =
     match order with
     | Source -> Array.init (Array.length atoms) (fun i -> i)
-    | Greedy | Compiled -> (compile_plan ~bindings store q).plan_perm
+    | Greedy | Compiled ->
+      (compile_plan ?estimator ~bindings store q).plan_perm
   in
   Array.to_list
     (Array.map

@@ -15,6 +15,7 @@ type error_code =
   | Timeout
   | Cancelled
   | Analysis
+  | Cost
   | Internal
 
 let code_to_string = function
@@ -24,6 +25,7 @@ let code_to_string = function
   | Timeout -> "TIMEOUT"
   | Cancelled -> "CANCELLED"
   | Analysis -> "ANALYSIS"
+  | Cost -> "COST"
   | Internal -> "INTERNAL"
 
 let code_of_string = function
@@ -33,6 +35,7 @@ let code_of_string = function
   | "TIMEOUT" -> Some Timeout
   | "CANCELLED" -> Some Cancelled
   | "ANALYSIS" -> Some Analysis
+  | "COST" -> Some Cost
   | "INTERNAL" -> Some Internal
   | _ -> None
 

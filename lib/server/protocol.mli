@@ -77,6 +77,10 @@ type error_code =
   | Timeout
   | Cancelled
   | Analysis
+  | Cost
+      (** admission control: the statically predicted derivation count
+          exceeds the server's [--admit-cost] bound; the message carries
+          the estimate. Sent before any evaluation starts. *)
   | Internal
 
 val code_to_string : error_code -> string

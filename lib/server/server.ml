@@ -19,6 +19,7 @@ type config = {
   pool_domains : bool;
   cache_capacity : int;
   demand : bool;
+  admit_cost : int option;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     pool_domains = false;
     cache_capacity = 1024;
     demand = false;
+    admit_cost = None;
   }
 
 (* A one-shot mailbox: the session thread parks on it while a pool worker
@@ -78,6 +80,10 @@ type subscription = {
 type t = {
   program : Program.t;
   config : config;
+  admission : (int * Pathlog_analysis.Absint.t) option;
+      (* cost bound and the abstract interpretation of the loaded
+         program, precomputed at create time when [admit_cost] is set;
+         estimates are evaluated at the current universe size per query *)
   listen_fd : Unix.file_descr;
   bound : address;
   pool : Pool.t;
@@ -555,7 +561,43 @@ let write_reply oc reply =
 
 let busy t msg = Protocol.Busy (t.config.busy_retry_after_ms, msg)
 
-let handle_pooled t req =
+(* Admission control ([--admit-cost]): reject a query whose statically
+   predicted derivation count exceeds the bound — before the pool, the
+   engine, or any evaluation sees it. A query that fails to parse is let
+   through: the normal evaluation path owns the parse error reply. The
+   estimate composes with per-request budgets: admission refuses work
+   that is predictably too large, budgets stop work that turns out too
+   large. *)
+let admission_reject t req =
+  match (t.admission, req) with
+  | Some (bound, absint), Protocol.Query q -> (
+    match Program.parse_query q with
+    | exception Program.Invalid _ -> None
+    | lits -> (
+      let store = Program.store t.program in
+      match
+        Pathlog_analysis.Absint.query_cost absint store
+          (Program.rules t.program) lits
+      with
+      | `Infinite ->
+        Some
+          (Protocol.Err
+             ( Protocol.Cost,
+               Printf.sprintf
+                 "unbounded: predicted derivations are infinite \
+                  (admit-cost bound %d)"
+                 bound ))
+      | `Bound est when est > bound ->
+        Some
+          (Protocol.Err
+             ( Protocol.Cost,
+               Printf.sprintf
+                 "%d predicted derivations exceed the admit-cost bound %d"
+                 est bound ))
+      | `Bound _ -> None))
+  | _, _ -> None
+
+let handle_pooled_admitted t req =
   let admitted_at = Unix.gettimeofday () in
   let deadline =
     Option.map (fun d -> admitted_at +. d) t.config.deadline_s
@@ -601,6 +643,11 @@ let handle_pooled t req =
       busy t
         (Printf.sprintf "admission queue full (%d workers, queue capacity %d)"
            (Pool.workers t.pool) (Pool.capacity t.pool))
+
+let handle_pooled t req =
+  match admission_reject t req with
+  | Some reply -> reply
+  | None -> handle_pooled_admitted t req
 
 let session t fd =
   (* Like the client, the write side runs on a dup of the socket so each
@@ -789,6 +836,14 @@ let create ?(config = default_config) ~program addr =
     {
       program;
       config;
+      admission =
+        (match config.admit_cost with
+        | None -> None
+        | Some bound ->
+          Some
+            ( bound,
+              Pathlog_analysis.Absint.analyze (Program.store program)
+                (Program.rules program) ));
       listen_fd;
       bound;
       pool =

@@ -92,6 +92,16 @@ type config = {
           materialisation once and behaves as without this flag
           ([demand_fallbacks_total] in [STATS] counts these). Off by
           default. *)
+  admit_cost : int option;
+      (** admission control by predicted cost: when set, the program is
+          abstractly interpreted once at server creation
+          ({!Pathlog_analysis.Absint}), and every [QUERY] whose
+          statically predicted derivation count (evaluated at the
+          current universe size) exceeds the bound is refused with
+          [ERR COST <estimate>] {e before} it reaches the worker pool or
+          the engine. Composes with [deadline_s]: admission refuses work
+          that is predictably too large, budgets stop work that turns
+          out too large. [None] (default) admits everything. *)
 }
 
 val default_config : config

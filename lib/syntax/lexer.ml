@@ -8,7 +8,7 @@ type state = {
 }
 
 let current_pos st : Token.pos =
-  { line = st.line; col = st.pos - st.bol + 1 }
+  { line = st.line; col = st.pos - st.bol + 1; offset = st.pos }
 
 let error st msg = raise (Error (current_pos st, msg))
 

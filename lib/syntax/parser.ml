@@ -5,7 +5,7 @@ type state = { mutable toks : (Token.t * Token.pos) list }
 let peek st =
   match st.toks with
   | (t, p) :: _ -> (t, p)
-  | [] -> (Token.EOF, { Token.line = 0; col = 0 })
+  | [] -> (Token.EOF, { Token.line = 0; col = 0; offset = 0 })
 
 let advance st =
   match st.toks with (_ :: rest) -> st.toks <- rest | [] -> ()

@@ -26,7 +26,7 @@ type t =
   | NOT
   | EOF
 
-type pos = { line : int; col : int }
+type pos = { line : int; col : int; offset : int }
 
 type span = { s_start : pos; s_end : pos }
 
@@ -58,7 +58,8 @@ let pp ppf = function
   | NOT -> Format.pp_print_string ppf "'not'"
   | EOF -> Format.pp_print_string ppf "end of input"
 
-let pp_pos ppf { line; col } = Format.fprintf ppf "line %d, column %d" line col
+let pp_pos ppf { line; col; offset = _ } =
+  Format.fprintf ppf "line %d, column %d" line col
 
 let pp_span ppf { s_start; s_end } =
   if s_start.line = s_end.line then

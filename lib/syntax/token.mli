@@ -28,7 +28,9 @@ type t =
   | NOT
   | EOF
 
-type pos = { line : int; col : int }
+type pos = { line : int; col : int; offset : int }
+(** [offset] is the 0-based byte offset of the position in the source
+    text, so spans are stable for tooling regardless of line endings. *)
 
 (** Source extent of a statement: position of its first token through the
     position of its terminating ['.'] token (inclusive). *)

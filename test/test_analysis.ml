@@ -200,11 +200,12 @@ let test_json_rendering () =
     (fun sub ->
       Alcotest.(check bool) ("json has " ^ sub) true (contains ~sub json))
     [
+      Printf.sprintf {|"schema_version":%d|} Check.schema_version;
       {|"ok":false|};
       {|"rules":2|};
       {|"code":"PL040"|};
       {|"severity":"error"|};
-      {|"span":{"start":{"line":2,"col":1},"end":{"line":2,"col":10}}|};
+      {|"span":{"start":{"line":2,"col":1,"offset":11},"end":{"line":2,"col":10,"offset":20}}|};
       {|"context":"x[m -> b]."|};
     ]
 
@@ -228,6 +229,71 @@ let test_gate () =
   with
   | Ok _ -> Alcotest.fail "deny=warning let PL030 through"
   | Error _ -> ()
+
+(* PL050 — provably unbounded creation reachable from a query *)
+let test_unbounded_creation () =
+  let t =
+    Check.analyze "p0 : pair.\nX.left : pair <- X : pair.\n?- X : pair."
+  in
+  let d = find "PL050" t in
+  Alcotest.(check string)
+    "PL050 severity" "error"
+    (Diagnostic.severity_to_string d.severity);
+  (match d.span with
+  | Some sp -> Alcotest.(check int) "PL050 line" 2 (start_line sp)
+  | None -> Alcotest.fail "PL050 carries no span");
+  (* the same cycle without a query is PL030 territory only: nothing
+     demands the unbounded relation *)
+  let t' = Check.analyze "p0 : pair.\nX.left : pair <- X : pair." in
+  Alcotest.(check bool)
+    "no PL050 without a query" false
+    (List.mem "PL050" (codes t'))
+
+(* PL051 — predicted fixpoint size exceeds the threshold *)
+let test_fixpoint_blowup () =
+  let text =
+    "n1 : node. n2 : node. n3 : node.\n\
+     n1[e ->> {n2}]. n2[e ->> {n3}].\n\
+     X[t ->> {Y}] <- X[e ->> {Y}].\n\
+     X[e ->> {Y}] <- X[t ->> {Y}]."
+  in
+  let t = Check.analyze ~card_threshold:10 text in
+  let d = find "PL051" t in
+  Alcotest.(check string)
+    "PL051 severity" "warning"
+    (Diagnostic.severity_to_string d.severity);
+  Alcotest.(check bool)
+    "message names the threshold" true
+    (contains ~sub:"threshold (10)" d.message);
+  (match d.span with
+  | None -> Alcotest.fail "PL051 carries no span"
+  | Some _ -> ());
+  (* at the default threshold this tiny program is quiet *)
+  Alcotest.(check bool)
+    "quiet at the default threshold" false
+    (List.mem "PL051" (codes (Check.analyze text)))
+
+(* PL052 — cross-product join *)
+let test_cross_product () =
+  let t =
+    Check.analyze
+      "a1 : a.\nb1 : b.\nX[p ->> {Y}] <- X : a, Y : b.\n?- X[p ->> {Z}]."
+  in
+  let d = find "PL052" t in
+  Alcotest.(check string)
+    "PL052 severity" "hint"
+    (Diagnostic.severity_to_string d.severity);
+  (match d.span with
+  | Some sp -> Alcotest.(check int) "PL052 line" 3 (start_line sp)
+  | None -> Alcotest.fail "PL052 carries no span");
+  (* a shared variable connects the body: no cross product *)
+  let t' =
+    Check.analyze
+      "n1[e -> n2].\nn2[e -> n3].\nX[p -> Y] <- X[e -> Z], Z[e -> Y]."
+  in
+  Alcotest.(check bool)
+    "connected body is quiet" false
+    (List.mem "PL052" (codes t'))
 
 let test_severity_roundtrip () =
   List.iter
@@ -279,6 +345,66 @@ let pruning_preserves_answers =
       | a1, a2 -> a1 = a2
       | exception _ -> QCheck.assume_fail () (* e.g. scalar conflict *))
 
+(* the abstract interpreter's cardinality bounds, evaluated at the final
+   universe size, over-approximate the actual number of fixpoint
+   insertions — under both sequential and parallel evaluation *)
+let absint_sound jobs =
+  let sat_add a b = if a > max_int - b then max_int else a + b in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "absint bounds fixpoint size (jobs=%d)" jobs)
+    ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let text = randprog seed in
+      match
+        let config = { Pathlog.Fixpoint.default_config with jobs } in
+        let p = Program.of_string ~config text in
+        (* analyse the un-run program — what check/serve see *)
+        let t =
+          Pathlog.Absint.analyze (Program.store p) (Program.rules p)
+        in
+        let stats = Program.run p in
+        let n =
+          max 1 (Pathlog.Universe.cardinality (Program.universe p))
+        in
+        let bound =
+          List.fold_left
+            (fun acc (_, c) ->
+              sat_add acc (Pathlog.Absint.eval_card ~n c))
+            0
+            (Pathlog.Absint.rel_cards t)
+        in
+        (bound, stats.Pathlog.Fixpoint.insertions)
+      with
+      | bound, actual -> bound >= actual
+      | exception _ -> QCheck.assume_fail () (* e.g. scalar conflict *))
+
+(* estimates-driven planning changes join orders only, never answers *)
+let estimates_preserve_answers =
+  QCheck.Test.make ~name:"estimate-planned answers = heuristic answers"
+    ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let text = randprog seed ^ "\n?- X[r ->> {Y}].\n?- X : ca." in
+      let answers ~estimates =
+        let p = Program.of_string text in
+        if estimates then begin
+          let st = Program.store p in
+          let t = Pathlog.Absint.analyze st (Program.rules p) in
+          Program.set_estimates p (Some (Pathlog.Absint.estimator t st))
+        end;
+        ignore (Program.run p);
+        List.map
+          (fun (_, (a : Program.answer)) ->
+            List.sort_uniq compare
+              (List.map (Program.row_to_string p) a.rows))
+          (Program.run_queries p)
+      in
+      match (answers ~estimates:false, answers ~estimates:true) with
+      | a1, a2 -> a1 = a2
+      | exception _ -> QCheck.assume_fail ())
+
 let suite =
   [
     Alcotest.test_case "PL001 parse error" `Quick test_parse_error;
@@ -303,10 +429,17 @@ let suite =
     Alcotest.test_case "clean program" `Quick test_clean_program_ok;
     Alcotest.test_case "sorted diagnostics" `Quick
       test_multiple_diagnostics_sorted;
+    Alcotest.test_case "PL050 unbounded creation" `Quick
+      test_unbounded_creation;
+    Alcotest.test_case "PL051 fixpoint blowup" `Quick test_fixpoint_blowup;
+    Alcotest.test_case "PL052 cross product" `Quick test_cross_product;
     Alcotest.test_case "json rendering" `Quick test_json_rendering;
     Alcotest.test_case "json escaping" `Quick test_json_escaping;
     Alcotest.test_case "gate" `Quick test_gate;
     Alcotest.test_case "severity roundtrip" `Quick test_severity_roundtrip;
     QCheck_alcotest.to_alcotest analyze_total;
     QCheck_alcotest.to_alcotest pruning_preserves_answers;
+    QCheck_alcotest.to_alcotest (absint_sound 1);
+    QCheck_alcotest.to_alcotest (absint_sound 4);
+    QCheck_alcotest.to_alcotest estimates_preserve_answers;
   ]

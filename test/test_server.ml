@@ -840,6 +840,62 @@ let test_demand_mutation_fallback () =
                   | Some n -> n >= 1
                   | None -> false))))
 
+(* --admit-cost: a query whose statically predicted derivation count
+   exceeds the bound is refused with ERR COST before any evaluation —
+   the result cache never even sees a lookup — while cheap queries over
+   the same program are answered normally. *)
+let admit_program =
+  {|
+  n1 : node. n2 : node. n3 : node.
+  n1[edge ->> {n2}]. n2[edge ->> {n3}].
+  X[trace ->> {Y}] <- X[edge ->> {Y}].
+  X[edge ->> {Y}] <- X[trace ->> {Y}].
+  e1 : employee[age -> 30].
+  |}
+
+let test_admit_cost () =
+  (* unit: a creation cycle is predicted infinite (never materialise
+     this program — its minimal model does not exist) *)
+  let p =
+    Pathlog.Program.of_string "p0 : pair.\nX.left : pair <- X : pair."
+  in
+  let st = Pathlog.Program.store p in
+  let rules = Pathlog.Program.rules p in
+  let t = Pathlog.Absint.analyze st rules in
+  (match
+     Pathlog.Absint.query_cost t st rules
+       (Pathlog.Program.parse_query "X : pair")
+   with
+  | `Infinite -> ()
+  | `Bound est ->
+    Alcotest.failf "creation cycle predicted finite (%d)" est);
+  (* e2e over the wire *)
+  let config = { Server.default_config with admit_cost = Some 10 } in
+  with_server ~config ~program:admit_program (fun _p srv ->
+      with_client srv (fun c ->
+          (match Client.request c "QUERY X[trace ->> {Y}]" with
+          | Ok (Protocol.Err (Protocol.Cost, msg)) ->
+            Alcotest.(check bool)
+              "message names the bound" true
+              (contains ~sub:"admit-cost bound 10" msg)
+          | Ok r ->
+            Alcotest.failf "expected ERR COST, got %s"
+              (Protocol.render_reply r)
+          | Error `Eof -> Alcotest.fail "request failed: eof"
+          | Error (`Malformed m) ->
+            Alcotest.fail ("request failed: " ^ m));
+          (* the rejection happened before evaluation: no cache lookup *)
+          let cs = Server.cache_stats srv in
+          Alcotest.(check int)
+            "no evaluation behind the rejection" 0 (cs.hits + cs.misses);
+          (* a cheap query on the same connection still evaluates *)
+          match Client.query c "e1 : employee" with
+          | Ok [ "yes" ] -> ()
+          | Ok lines ->
+            Alcotest.failf "cheap query answered oddly: %s"
+              (String.concat "|" lines)
+          | Error e -> Alcotest.fail ("cheap query failed: " ^ e)))
+
 let suite =
   [
     Alcotest.test_case "protocol: parse requests" `Quick test_parse_request;
@@ -883,4 +939,6 @@ let suite =
       test_demand_queries;
     Alcotest.test_case "server: mutation mid-subscription falls back"
       `Quick test_demand_mutation_fallback;
+    Alcotest.test_case "server: --admit-cost rejects with ERR COST" `Quick
+      test_admit_cost;
   ]

@@ -19,7 +19,9 @@
                        baseline wall times + speedup factors
      --check FILE      compare this run's rule_evaluations against the
                        committed report; exit non-zero on a >20%%
-                       regression (used by CI) *)
+                       regression (used by CI)
+     --only PREFIX     run only the suites whose name starts with PREFIX
+                       (e.g. --only regex for the automaton suites) *)
 
 module Program = Pathlog.Program
 module Store = Pathlog.Store
@@ -562,7 +564,7 @@ let demand_suite name stmts query ~reps ~detail =
 (* 100 disjoint boss chains of 100 nodes each under a recursive [up]
    closure: full materialisation derives all 100 chain closures (~505k
    tuples), the demanded query needs exactly one. *)
-let magic_chain_stmts =
+let boss_chain_edges =
   lazy
     (let chains = 100 and n = 100 in
      let b = Buffer.create (chains * n * 24) in
@@ -572,9 +574,14 @@ let magic_chain_stmts =
            (Printf.sprintf "c%dn%d[boss -> c%dn%d]. " c i c (i + 1))
        done
      done;
-     Buffer.add_string b "X[up ->> {Y}] <- X[boss -> Y]. ";
-     Buffer.add_string b "X[up ->> {Y}] <- X[boss -> Z], Z[up ->> {Y}]. ";
      Pathlog.Parser.program (Buffer.contents b))
+
+let magic_chain_stmts =
+  lazy
+    (Lazy.force boss_chain_edges
+    @ Pathlog.Parser.program
+        "X[up ->> {Y}] <- X[boss -> Y]. \
+         X[up ->> {Y}] <- X[boss -> Z], Z[up ->> {Y}].")
 
 let magic_bound_tc ~reps =
   demand_suite "magic_bound_tc_10k"
@@ -605,6 +612,113 @@ let magic_company_point ~reps =
        a quadratic same-city join dropped by the transform"
 
 (* ------------------------------------------------------------------ *)
+(* Regular path expressions (PR 9): the automaton-product join against
+   the recursive closure it replaces, over the same 100-chains x
+   100-nodes boss store as the magic suites (10k objects). The regex
+   program holds only the edge facts — the product join walks outward
+   from the query's bound endpoint — while the recursive program must
+   materialise the whole up-closure (~505k tuples) before the point
+   query can read it. Both sides time the full pipeline (parse-free
+   statement load, fixpoint, query); answers are checked equal.
+
+   [rule_evaluations] for these suites is the number of (object, state)
+   pairs the product BFS popped for the query — the join's deterministic
+   work counter, so `--check` catches product-join regressions the same
+   way it catches fixpoint ones. *)
+
+let regex_suite name ~edges ~regex_query ~tc_stmts ~tc_query ~reps ~detail =
+  let pairs = ref 0 in
+  let named p rows = List.map (Program.row_to_string p) rows in
+  let regex () =
+    let p = Program.create edges in
+    ignore (Program.run p);
+    let s0 = Atomic.get Solve.product_states_expanded in
+    let rows = (Program.query_string p regex_query).Program.rows in
+    pairs := Atomic.get Solve.product_states_expanded - s0;
+    named p rows
+  in
+  let tc () =
+    let p = Program.create tc_stmts in
+    ignore (Program.run p);
+    named p (Program.query_string p tc_query).Program.rows
+  in
+  let rrows, rw = best_of reps regex in
+  let trows, tw = best_of reps tc in
+  let sorted = List.sort compare in
+  if sorted rrows <> sorted trows then
+    failwith
+      (Printf.sprintf "%s: regex answered %d rows, recursive closure %d"
+         name (List.length rrows) (List.length trows));
+  {
+    name;
+    wall_s = rw;
+    ops_per_s = None;
+    rule_evaluations = Some !pairs;
+    firings = None;
+    rounds = None;
+    speedup_vs_1j = None;
+    speedup_vs_full = Some (tw /. max 1e-9 rw);
+    detail =
+      Printf.sprintf
+        "%s; rule_evaluations counts product (object, state) pairs popped; \
+         recursive-closure side %.4f s"
+        detail tw;
+  }
+
+let regex_bound_tc ~reps =
+  regex_suite "regex_bound_tc_10k"
+    ~edges:(Lazy.force boss_chain_edges)
+    ~regex_query:"c0n0.boss+[Y]"
+    ~tc_stmts:(Lazy.force magic_chain_stmts)
+    ~tc_query:"c0n0[up ->> {Y}]" ~reps
+    ~detail:
+      "bound-receiver boss+ walked by the automaton product vs the \
+       recursive up-closure, 100 disjoint chains x 100 nodes"
+
+let regex_unbound_tc ~reps =
+  regex_suite "regex_unbound_tc_10k"
+    ~edges:(Lazy.force boss_chain_edges)
+    ~regex_query:"X.boss+[Y]"
+    ~tc_stmts:(Lazy.force magic_chain_stmts)
+    ~tc_query:"X[up ->> {Y}]" ~reps
+    ~detail:
+      "both endpoints free: the product join enumerates the universe \
+       (~505k pairs), same asymptotics as materialising the closure"
+
+(* A second edge relation inside each chain (i -> i+2 mentor skips) so
+   the alternation's language stays within the chain. *)
+let mentor_chain_edges =
+  lazy
+    (let chains = 100 and n = 100 in
+     let b = Buffer.create (chains * n * 24) in
+     for c = 0 to chains - 1 do
+       for i = 0 to n - 2 do
+         Buffer.add_string b
+           (Printf.sprintf "c%dn%d[mentor -> c%dn%d]. " c i c (i + 2))
+       done
+     done;
+     Pathlog.Parser.program (Buffer.contents b))
+
+let regex_alt_stmts =
+  lazy (Lazy.force boss_chain_edges @ Lazy.force mentor_chain_edges)
+
+let regex_alt ~reps =
+  regex_suite "regex_alt_bound_10k"
+    ~edges:(Lazy.force regex_alt_stmts)
+    ~regex_query:"c0n0.(boss|mentor)+[Y]"
+    ~tc_stmts:
+      (Lazy.force regex_alt_stmts
+      @ Pathlog.Parser.program
+          "X[e ->> {Y}] <- X[boss -> Y]. \
+           X[e ->> {Y}] <- X[mentor -> Y]. \
+           X[reach ->> {Y}] <- X[e ->> {Y}]. \
+           X[reach ->> {Y}] <- X[e ->> {Z}], Z[reach ->> {Y}].")
+    ~tc_query:"c0n0[reach ->> {Y}]" ~reps
+    ~detail:
+      "bound-receiver (boss|mentor)+ alternation vs a recursive closure \
+       over the union edge relation, boss chains + mentor skip edges"
+
+(* ------------------------------------------------------------------ *)
 (* The deterministic generator workloads as concrete program text:
    `bench emit` lists them, `bench emit NAME` prints one. CI feeds each
    through `pathlog check` so a generator can never silently start
@@ -626,6 +740,9 @@ let generator_workloads () =
     ("company_100", Pathlog.Company.statements (Pathlog.Company.scaled 100));
     ("magic_bound_tc", Lazy.force magic_chain_stmts);
     ("magic_company_400", Lazy.force magic_company_stmts);
+    ( "regex_bound_tc",
+      Lazy.force regex_alt_stmts
+      @ Pathlog.Parser.program "?- c0n0.(boss|mentor)+[Y]." );
   ]
 
 let emit_programs args =
@@ -982,10 +1099,53 @@ let main args =
   let target = if quick then 0.2 else 1.0 in
   let requests = if quick then 100 else 400 in
   Printf.printf "perf harness (%s mode)\n%!" (if quick then "quick" else "full");
+  let only = opt "--only" args in
   let par_base = ref None in
+  let all =
+    [
+      ("tc_chain_256", fun () -> tc_chain ~jobs ~reps);
+      ("tc_dag_7x14", fun () -> tc_dag ~jobs ~reps);
+      ("tc_forest_256", fun () -> tc_forest ~jobs ~reps);
+      ("isa_derive_400", fun () -> isa_derive ~jobs ~reps);
+      ("company_queries_400", fun () -> company_queries ~target);
+      ("recv_set_query", fun () -> recv_set_query ~target);
+      ("isa_closure_growth", fun () -> isa_closure_growth ~reps);
+      ("assert_batch", fun () -> assert_batch ~reps);
+      ("retract_rederive", fun () -> retract_rederive ~target);
+      ("server_throughput_4w", fun () -> server_throughput ~requests);
+      ( "fixpoint_par_1j",
+        fun () ->
+          let s = fixpoint_par ~jobs:1 ~reps ~base:None in
+          par_base := Some s.wall_s;
+          s );
+      ("fixpoint_par_2j", fun () -> fixpoint_par ~jobs:2 ~reps ~base:!par_base);
+      ("fixpoint_par_4j", fun () -> fixpoint_par ~jobs:4 ~reps ~base:!par_base);
+      ("server_par_read", fun () -> server_par_read ~requests);
+      ("magic_bound_tc_10k", fun () -> magic_bound_tc ~reps);
+      ("magic_company_point_400", fun () -> magic_company_point ~reps);
+      ("regex_bound_tc_10k", fun () -> regex_bound_tc ~reps);
+      ("regex_unbound_tc_10k", fun () -> regex_unbound_tc ~reps);
+      ("regex_alt_bound_10k", fun () -> regex_alt ~reps);
+      ("estimator_accuracy", fun () -> estimator_accuracy ());
+    ]
+  in
+  let selected =
+    match only with
+    | None -> all
+    | Some prefix -> (
+      match
+        List.filter
+          (fun (name, _) -> String.starts_with ~prefix name)
+          all
+      with
+      | [] ->
+        Printf.eprintf "bench perf: --only %s matches no suite\n" prefix;
+        exit 2
+      | some -> some)
+  in
   let suites =
     List.map
-      (fun (mk : unit -> suite) ->
+      (fun ((_ : string), (mk : unit -> suite)) ->
         let s = mk () in
         Printf.printf "%-26s %8.4f s%s%s\n%!" s.name s.wall_s
           (match s.ops_per_s with
@@ -995,28 +1155,7 @@ let main args =
           | Some r -> Printf.sprintf "  rule_evals %d" r
           | None -> "");
         s)
-      [
-        (fun () -> tc_chain ~jobs ~reps);
-        (fun () -> tc_dag ~jobs ~reps);
-        (fun () -> tc_forest ~jobs ~reps);
-        (fun () -> isa_derive ~jobs ~reps);
-        (fun () -> company_queries ~target);
-        (fun () -> recv_set_query ~target);
-        (fun () -> isa_closure_growth ~reps);
-        (fun () -> assert_batch ~reps);
-        (fun () -> retract_rederive ~target);
-        (fun () -> server_throughput ~requests);
-        (fun () ->
-          let s = fixpoint_par ~jobs:1 ~reps ~base:None in
-          par_base := Some s.wall_s;
-          s);
-        (fun () -> fixpoint_par ~jobs:2 ~reps ~base:!par_base);
-        (fun () -> fixpoint_par ~jobs:4 ~reps ~base:!par_base);
-        (fun () -> server_par_read ~requests);
-        (fun () -> magic_bound_tc ~reps);
-        (fun () -> magic_company_point ~reps);
-        (fun () -> estimator_accuracy ());
-      ]
+      selected
   in
   let baseline =
     match baseline_file with Some f -> load_report f | None -> []
@@ -1027,7 +1166,7 @@ let main args =
         ( "meta",
           Obj
             [
-              ("pr", Num 8.);
+              ("pr", Num 9.);
               ("mode", Str (if quick then "quick" else "full"));
               ("jobs", Num (float_of_int jobs));
               ( "cores",

@@ -98,7 +98,7 @@ let const_obj store : reference -> Oodb.Obj_id.t option = function
   | Name n -> Some (Oodb.Store.name store n)
   | Int_lit n -> Some (Oodb.Store.int store n)
   | Str_lit s -> Some (Oodb.Store.str store s)
-  | Var _ | Paren _ | Path _ | Filter _ | Isa _ -> None
+  | Var _ | Paren _ | Path _ | Regex _ | Filter _ | Isa _ -> None
 
 let meth_rel store ~set m : Ir.rel =
   match const_obj store m with
@@ -139,6 +139,14 @@ let rec note_atom w (a : Ir.atom) =
     note_arity w rel (List.length s.s_args);
     List.iter (note_atom w) s.sub_atoms
   | A_neg n -> List.iter (note_atom w) n.n_atoms
+  | A_regex x ->
+    Array.iter
+      (fun out ->
+        Array.iter
+          (fun ((l : Ir.label), _) ->
+            note_arity w (Ir.label_rel l) (List.length l.Ir.lbl_args))
+          out)
+      x.x_auto.Ir.a_trans
 
 let note_head store w head =
   let add () = function
@@ -154,7 +162,8 @@ let note_head store w head =
       | Rset_ref _ | Rset_enum _ ->
         note_arity w (meth_rel store ~set:true f_meth) (List.length f_args)
       | Rsig_scalar _ | Rsig_set _ -> ())
-    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Isa _ -> ()
+    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Regex _ | Isa _ ->
+      ()
   in
   fold_reference add () head
 
@@ -196,7 +205,7 @@ let head_occs store head : Ir.rel list =
       | Rscalar _ -> meth_rel store ~set:false f_meth :: acc
       | Rset_ref _ | Rset_enum _ -> meth_rel store ~set:true f_meth :: acc
       | Rsig_scalar _ | Rsig_set _ -> acc)
-    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ -> acc
+    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Regex _ -> acc
   in
   List.rev (fold_reference add [] head)
 
@@ -301,7 +310,7 @@ let slot_cover (q : Ir.query) =
     | A_neg n ->
       let acc = List.rev_append n.n_locals acc in
       List.fold_left locals_of acc n.n_atoms
-    | A_isa _ | A_scalar _ | A_member _ | A_eq _ -> acc
+    | A_isa _ | A_scalar _ | A_member _ | A_eq _ | A_regex _ -> acc
   in
   List.iter
     (fun (a : Ir.atom) ->
@@ -315,6 +324,9 @@ let slot_cover (q : Ir.query) =
         cover recv;
         List.iter cover args;
         cover res
+      | A_regex { x_recv; x_res; _ } ->
+        cover x_recv;
+        cover x_res
       | A_eq _ | A_subset _ | A_neg _ -> ())
     q.atoms;
   (* unification propagates boundness; iterate to a (tiny) fixpoint *)
@@ -337,7 +349,9 @@ let slot_cover (q : Ir.query) =
             cover t1;
             changed := true
           end
-        | A_isa _ | A_scalar _ | A_member _ | A_subset _ | A_neg _ -> ())
+        | A_isa _ | A_scalar _ | A_member _ | A_subset _ | A_neg _
+        | A_regex _ ->
+          ())
       q.atoms
   done;
   let locals = List.fold_left locals_of [] q.atoms in
@@ -355,15 +369,22 @@ let atom_read_rel (a : Ir.atom) : Ir.rel option =
   | A_scalar { meth = Const m; _ } -> Some (Ir.R_scalar m)
   | A_member { meth = Const m; _ } -> Some (Ir.R_set m)
   | A_scalar { meth = V _; _ } | A_member { meth = V _; _ } -> Some Ir.R_any
-  | A_eq _ | A_subset _ | A_neg _ -> None
+  | A_eq _ | A_subset _ | A_neg _ | A_regex _ -> None
 
 let firings_of read_card ~uncovered (r : Rule.t) =
   let f =
     List.fold_left
       (fun acc (a : Ir.atom) ->
-        match atom_read_rel a with
-        | Some rel when Ir.atom_vars a <> [] -> card_mul acc (read_card rel)
-        | Some _ | None -> acc)
+        match (a : Ir.atom) with
+        (* the product BFS expands at most |states|·n pairs per receiver
+           seed; that is the atom's enumeration bound *)
+        | A_regex x when Ir.atom_vars a <> [] ->
+          card_mul acc (Poly (x.x_auto.Ir.a_nstates, 1))
+        | _ -> (
+          match atom_read_rel a with
+          | Some rel when Ir.atom_vars a <> [] ->
+            card_mul acc (read_card rel)
+          | Some _ | None -> acc))
       (Exact 1) r.body.atoms
   in
   if uncovered > 0 then card_mul f (Poly (1, uncovered)) else f

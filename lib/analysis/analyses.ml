@@ -55,7 +55,7 @@ let is_skolem_path r =
   | Path { p_sep = Dot; _ } -> true
   | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _
   | Path { p_sep = Dotdot; _ }
-  | Filter _ | Isa _ ->
+  | Regex _ | Filter _ | Isa _ ->
     false
 
 let const_obj store r =
@@ -63,7 +63,7 @@ let const_obj store r =
   | Name n -> Some (Oodb.Store.name store n)
   | Int_lit n -> Some (Oodb.Store.int store n)
   | Str_lit s -> Some (Oodb.Store.str store s)
-  | Var _ | Paren _ | Path _ | Filter _ | Isa _ -> None
+  | Var _ | Paren _ | Path _ | Regex _ | Filter _ | Isa _ -> None
 
 (* Relations a fresh virtual object created by this head enters in a
    position rule bodies can match it back out of. *)
@@ -88,8 +88,8 @@ let skolem_entries store anc head =
       match const_obj store p_meth with
       | Some m -> Rel_set.add (Ir.R_scalar m) acc
       | None -> acc)
-    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Filter _
-    | Isa _ ->
+    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Regex _
+    | Filter _ | Isa _ ->
       acc
   in
   fold_reference add Rel_set.empty head
@@ -243,10 +243,29 @@ let required_reads (r : Rule.t) =
       | A_scalar { meth = Const m; _ } -> Some (Req_rel (Ir.R_scalar m))
       | A_member { meth = Const m; _ } -> Some (Req_rel (Ir.R_set m))
       | A_scalar { meth = V _; _ } | A_member { meth = V _; _ } -> None
-      | A_eq _ | A_subset _ | A_neg _ -> None)
+      (* a regex atom may succeed with some label relations empty (a
+         nullable or alternated automaton), so it imposes no conjunctive
+         requirement here; unsatisfiable automata get their own warning
+         (PL060, {!regex_dead}) *)
+      | A_eq _ | A_subset _ | A_neg _ | A_regex _ -> None)
     r.body.atoms
 
-let never_fires store rules =
+(* The producibility fixpoint shared by PL031 and PL060: which relations
+   can some chain of rule firings (seeded by facts) ever populate. *)
+type producibility = {
+  p_produced : Rel_set.t;
+  p_any_isa : bool;
+  p_unknown_isa : bool;
+  p_unknown_meth : bool;
+  p_fired : (int, unit) Hashtbl.t;
+}
+
+let req_satisfied p = function
+  | Req_isa_c c -> p.p_unknown_isa || Rel_set.mem (Ir.R_isa_c c) p.p_produced
+  | Req_isa_any -> p.p_any_isa
+  | Req_rel r -> p.p_unknown_meth || Rel_set.mem r p.p_produced
+
+let producibility rules =
   let anc = Stratify.static_ancestors rules in
   let produced = ref Rel_set.empty in
   let any_isa = ref false in
@@ -287,6 +306,18 @@ let never_fires store rules =
         end)
       rules
   done;
+  {
+    p_produced = !produced;
+    p_any_isa = !any_isa;
+    p_unknown_isa = !unknown_isa;
+    p_unknown_meth = !unknown_meth;
+    p_fired = fired;
+  }
+
+let never_fires store rules =
+  let p = producibility rules in
+  let fired = p.p_fired in
+  let satisfied = req_satisfied p in
   let universe = Oodb.Store.universe store in
   let pp_required ppf = function
     | Req_isa_c c ->
@@ -344,6 +375,80 @@ let dead_rules store rules ~queries =
   never_fires store rules @ unreachable_rules store rules ~queries
 
 (* ------------------------------------------------------------------ *)
+(* PL060 — unsatisfiable regular path expressions.
+
+   A regex atom matches when some word of the automaton's language is a
+   chain of edges the model can contain. A transition whose label
+   relation no rule or fact ever produces can never be taken, so we
+   erase those transitions and ask whether an accepting state is still
+   reachable from the start state. When it is not, the language over
+   the producible vocabulary is empty and the expression cannot match
+   any pair of objects — the atom silently kills its rule or query.
+   Nullable automata ([boss*]) keep the empty word and degenerate to
+   the identity instead, which still matches, so they are not flagged.
+
+   Top-level positive atoms only, like PL031: a dead regex under
+   negation makes the negation trivially true rather than the clause
+   dead, which is a different (and much weaker) signal. *)
+
+let automaton_satisfiable p (auto : Ir.automaton) =
+  let reached = Array.make auto.Ir.a_nstates false in
+  let rec go q =
+    if not reached.(q) then begin
+      reached.(q) <- true;
+      Array.iter
+        (fun ((l : Ir.label), q') ->
+          if p.p_unknown_meth || Rel_set.mem (Ir.label_rel l) p.p_produced
+          then go q')
+        auto.Ir.a_trans.(q)
+    end
+  in
+  go auto.Ir.a_start;
+  let ok = ref false in
+  Array.iteri
+    (fun q acc -> if acc && reached.(q) then ok := true)
+    auto.Ir.a_accept;
+  !ok
+
+let regex_dead store rules ~queries =
+  let p = producibility rules in
+  let universe = Oodb.Store.universe store in
+  let check_atoms ?span ~context atoms =
+    List.filter_map
+      (fun (a : Ir.atom) ->
+        match a with
+        | Ir.A_regex x when not (automaton_satisfiable p x.x_auto) ->
+          let dead =
+            List.filter
+              (fun rel -> not (Rel_set.mem rel p.p_produced))
+              (Ir.automaton_rels x.x_auto)
+          in
+          Some
+            (Diagnostic.make ?span ~context ~code:"PL060"
+               ~severity:Diagnostic.Warning
+               "regular path expression can never match: every path from \
+                the start state to an accepting state needs %s, which no \
+                rule or fact produces"
+               (String.concat " or "
+                  (List.map
+                     (fun rel -> Format.asprintf "%a" (Ir.pp_rel universe) rel)
+                     dead)))
+        | _ -> None)
+      atoms
+  in
+  List.concat_map
+    (fun (r : Rule.t) ->
+      check_atoms ?span:r.span ~context:(rule_context r) r.body.atoms)
+    rules
+  @ List.concat_map
+      (fun lits ->
+        let q = Semantics.Flatten.literals store lits in
+        check_atoms
+          ~context:(Syntax.Pretty.statement_to_string (Query lits))
+          q.atoms)
+      queries
+
+(* ------------------------------------------------------------------ *)
 (* PL040 / PL041 — scalar-functionality conflicts.
 
    Scalar methods interpret partial functions (section 3): two head
@@ -380,12 +485,12 @@ let rec strip = function Paren r -> strip r | r -> r
 let rec recv_obj r =
   match r with
   | Paren r | Isa { recv = r; _ } | Filter { f_recv = r; _ } -> recv_obj r
-  | Name _ | Int_lit _ | Str_lit _ | Var _ | Path _ -> r
+  | Name _ | Int_lit _ | Str_lit _ | Var _ | Path _ | Regex _ -> r
 
 let is_ground r =
   match strip r with
   | Name _ | Int_lit _ | Str_lit _ -> true
-  | Var _ | Paren _ | Path _ | Filter _ | Isa _ -> false
+  | Var _ | Paren _ | Path _ | Regex _ | Filter _ | Isa _ -> false
 
 let head_assignments (rule : Rule.t) =
   let add acc = function
@@ -401,8 +506,8 @@ let head_assignments (rule : Rule.t) =
         }
         :: acc
       else acc
-    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Isa _
-    | Filter _ ->
+    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Regex _
+    | Isa _ | Filter _ ->
       acc
   in
   List.rev (fold_reference add [] rule.source.head)

@@ -1,8 +1,9 @@
-(** The three whole-program analyses over compiled rules: skolem-creation
-    cycles (PL030), dead rules (PL031/PL032) and static
-    scalar-functionality conflicts (PL040/PL041). See {!Diagnostic} for
-    the code taxonomy and {!Check.analyze} for the driver that runs them
-    as part of [pathlog check]. *)
+(** The whole-program analyses over compiled rules: skolem-creation
+    cycles (PL030), dead rules (PL031/PL032), static
+    scalar-functionality conflicts (PL040/PL041) and unsatisfiable
+    regular path expressions (PL060). See {!Diagnostic} for the code
+    taxonomy and {!Check.analyze} for the driver that runs them as part
+    of [pathlog check]. *)
 
 val creation_cycles :
   Oodb.Store.t ->
@@ -41,6 +42,19 @@ val dead_rules :
     backward-reachability closure of the queried relations
     ({!Engine.Stratify.live_rules}); {!Engine.Program.run_live} skips
     exactly these. *)
+
+val regex_dead :
+  Oodb.Store.t ->
+  Engine.Rule.t list ->
+  queries:Syntax.Ast.literal list list ->
+  Diagnostic.t list
+(** PL060 (warning): a regular path expression whose automaton accepts no
+    word over the producible vocabulary — transitions reading a relation
+    no rule or fact produces are erased and no accepting state stays
+    reachable from the start state. Such an atom can never match and
+    silently kills its rule or query. Nullable automata ([m*]) keep the
+    empty word (the expression degenerates to the identity but still
+    matches), so they are not flagged. *)
 
 val scalar_conflicts : Engine.Rule.t list -> Diagnostic.t list
 (** PL040 (error): two ground facts assign the same scalar method

@@ -32,6 +32,7 @@ let code_of_wellformed (e : Syntax.Wellformed.error) =
   | Set_valued_head _ -> "PL015"
   | Unsafe_head_variable _ -> "PL016"
   | Unsafe_negated_variable _ -> "PL017"
+  | Regex_in_head _ -> "PL019"
 
 let analyze ?card_threshold text =
   match Syntax.Parser.program_spanned text with
@@ -121,6 +122,7 @@ let analyze ?card_threshold text =
       (Engine.Typecheck.check_rules store signatures rules);
     List.iter emit (Analyses.skolem_cycles store rules);
     List.iter emit (Analyses.dead_rules store rules ~queries);
+    List.iter emit (Analyses.regex_dead store rules ~queries);
     List.iter emit (Analyses.scalar_conflicts rules);
     List.iter emit
       (Absint.check ?strat ?threshold:card_threshold store rules ~queries);

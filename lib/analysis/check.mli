@@ -5,7 +5,7 @@
     diagnostic instead of stopping at the first problem: parse (PL001),
     per-statement well-formedness (PL010–PL017), signature loading
     (PL018), stratification (PL020), the signature type lint (PL021), and
-    the three whole-program analyses of {!Analyses} (PL030–PL041).
+    the whole-program analyses of {!Analyses} (PL030–PL041, PL060).
     Statements that fail well-formedness are excluded from the later
     stages; a parse error short-circuits everything (there is no
     statement stream to continue with). *)

@@ -71,6 +71,40 @@ let isa_pairs store =
 
 let self_id store = Store.name store "self"
 
+(* Objects reachable from [r0] along some word of the automaton's
+   language — a naive depth-first product walk, mirroring the
+   automaton-product BFS in {!Semantics.Solve}. *)
+let regex_reachable store (auto : Ir.automaton) r0 =
+  let visited = Hashtbl.create 16 in
+  let emitted = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go obj q =
+    if not (Hashtbl.mem visited (obj, q)) then begin
+      Hashtbl.add visited (obj, q) ();
+      if auto.Ir.a_accept.(q) && not (Hashtbl.mem emitted obj) then begin
+        Hashtbl.add emitted obj ();
+        out := obj :: !out
+      end;
+      Array.iter
+        (fun ((lbl : Ir.label), q') ->
+          if lbl.Ir.lbl_set then
+            Set.iter
+              (fun v -> go v q')
+              (Store.set_lookup store ~meth:lbl.Ir.lbl_meth ~recv:obj
+                 ~args:lbl.Ir.lbl_args)
+          else
+            match
+              Store.scalar_lookup store ~meth:lbl.Ir.lbl_meth ~recv:obj
+                ~args:lbl.Ir.lbl_args
+            with
+            | Some v -> go v q'
+            | None -> ())
+        auto.Ir.a_trans.(q)
+    end
+  in
+  go r0 auto.Ir.a_start;
+  List.rev !out
+
 let rec eval_atom store env (atom : Ir.atom) : env list =
   match atom with
   | A_eq (a, b) -> (
@@ -102,6 +136,21 @@ let rec eval_atom store env (atom : Ir.atom) : env list =
   | A_neg n ->
     let envs = bind_all store env n.n_outer in
     List.filter (fun env' -> eval_atoms store env' n.n_atoms = []) envs
+  | A_regex x ->
+    let recvs =
+      match deref env x.x_recv with
+      | Some r -> [ r ]
+      | None -> universe_objects store
+    in
+    List.concat_map
+      (fun r ->
+        match unify env x.x_recv r with
+        | None -> []
+        | Some env1 ->
+          List.filter_map
+            (fun v -> unify env1 x.x_res v)
+            (regex_reachable store x.x_auto r))
+      recvs
 
 
 and eval_app store env which (app : Ir.app) : env list =

@@ -7,6 +7,7 @@ let rec atom_count (a : Ir.atom) =
   | A_isa _ | A_scalar _ | A_member _ | A_eq _ -> 1
   | A_subset s -> 1 + List.fold_left (fun n a -> n + atom_count a) 0 s.sub_atoms
   | A_neg n -> 1 + List.fold_left (fun n a -> n + atom_count a) 0 n.n_atoms
+  | A_regex _ -> 1
 
 let conjunct_count store reference =
   let q, _ = flatten store reference in
@@ -39,6 +40,9 @@ let rec atom_text u q (a : Ir.atom) =
   | A_neg n ->
     Printf.sprintf "NOT (%s)"
       (String.concat " AND " (List.map (atom_text u q) n.n_atoms))
+  | A_regex x ->
+    Printf.sprintf "%s REACHES %s VIA %d-STATE AUTOMATON" (t x.x_recv)
+      (t x.x_res) x.x_auto.Ir.a_nstates
 
 let to_xsql_text store ~select reference =
   let q, _ = flatten store reference in

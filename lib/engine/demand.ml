@@ -51,7 +51,7 @@ let rec ground_simple store (r : Ast.reference) =
   | Ast.Int_lit n -> Some (Store.int store n)
   | Ast.Str_lit s -> Some (Store.str store s)
   | Ast.Paren r -> ground_simple store r
-  | Ast.Var _ | Ast.Path _ | Ast.Filter _ | Ast.Isa _ -> None
+  | Ast.Var _ | Ast.Path _ | Ast.Regex _ | Ast.Filter _ | Ast.Isa _ -> None
 
 let is_self meth args =
   match (meth : Ast.reference) with
@@ -84,6 +84,23 @@ let rec walk store ~f (r : Ast.reference) =
     | None -> ());
     walk store ~f p_recv;
     List.iter (walk store ~f) p_args
+  | Ast.Regex { x_recv; x_re } ->
+    (* The automaton walks intermediate objects no syntactic receiver
+       names, so each label relation is reported with an unboundable
+       receiver: the demand analysis assigns it level F and the demanded
+       submodel materialises the whole relation — sound over-demand, and
+       the product BFS then runs correctly over the demanded store. *)
+    let rec labels (re : Ast.regex) =
+      match re with
+      | Ast.Rlit { l_sep; l_meth; l_args } -> (
+        match app_rel store ~set:(l_sep = Ast.Dotdot) l_meth l_args with
+        | Some rel -> f (`App (rel, Ast.Var "_"))
+        | None -> ())
+      | Ast.Rseq rs | Ast.Ralt rs -> List.iter labels rs
+      | Ast.Rstar r | Ast.Rplus r | Ast.Ropt r -> labels r
+    in
+    labels x_re;
+    walk store ~f x_recv
   | Ast.Filter { f_recv; f_meth; f_args; f_rhs } ->
     (match f_rhs with
     | Ast.Rsig_scalar _ | Ast.Rsig_set _ -> ()
@@ -260,6 +277,9 @@ let compute_levels store proper query_lits =
     | Ast.Path { p_recv; p_args; _ } ->
       demand_ref S.empty p_recv;
       List.iter (demand_ref S.empty) p_args
+    (* regex heads are rejected by Wellformed (PL019); conservative if
+       ever reached *)
+    | Ast.Regex _ -> demand_ref S.empty r
     | Ast.Filter { f_recv; f_args; f_rhs; _ } ->
       demand_ref S.empty f_recv;
       List.iter (demand_ref S.empty) f_args;

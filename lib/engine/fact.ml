@@ -57,7 +57,7 @@ let rec resolve store (r : Syntax.Ast.reference) : Oodb.Obj_id.t option =
         Oodb.Store.scalar_lookup store ~meth ~recv ~args:(List.rev rev_args)
       | None -> None)
     | _, _ -> None)
-  | Var _ | Path { p_sep = Dotdot; _ } | Filter _ | Isa _ -> None
+  | Var _ | Path { p_sep = Dotdot; _ } | Regex _ | Filter _ | Isa _ -> None
 
 let of_reference store (r : Syntax.Ast.reference) : t option =
   match r with
@@ -93,4 +93,5 @@ let of_reference store (r : Syntax.Ast.reference) : t option =
       | Some (meth, recv, args, res) -> Some (F_set { meth; recv; args; res })
       | None -> None)
     | Rset_enum _ | Rset_ref _ | Rsig_scalar _ | Rsig_set _ -> None)
-  | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ -> None
+  | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Regex _ ->
+    None

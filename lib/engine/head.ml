@@ -92,6 +92,10 @@ let execute ?(on_insert = fun _ -> ()) ?(on_assert = fun _ -> ()) store ~env
       (* a well-formed head is scalar, so set-valued paths cannot occur in
          located positions *)
       invalid_arg "Head.execute: set-valued path in a located position"
+    | Regex _ ->
+      (* rejected by Wellformed (PL019): a regular path denotes a set and
+         cannot be asserted *)
+      invalid_arg "Head.execute: regular path in a rule head"
     | Isa { recv; cls } ->
       let o = locate recv in
       let c = locate cls in

@@ -35,7 +35,7 @@ let ground_object store (r : Ast.reference) =
   | Name n -> Oodb.Store.name store n
   | Int_lit n -> Oodb.Store.int store n
   | Str_lit s -> Oodb.Store.str store s
-  | Paren _ | Var _ | Path _ | Filter _ | Isa _ ->
+  | Paren _ | Var _ | Path _ | Regex _ | Filter _ | Isa _ ->
     invalid "signature declarations must use ground names: %a"
       Syntax.Pretty.pp_reference r
 

@@ -98,7 +98,10 @@ let body_facts store (q : Ir.query) binding =
                 res = deref res;
               };
           ]
-      | A_eq _ | A_subset _ | A_neg _ -> [])
+      (* a regex atom's support is the set of edges the product BFS
+         traversed, which the join does not record; like negation and
+         inclusion it contributes no individual ground facts *)
+      | A_eq _ | A_subset _ | A_neg _ | A_regex _ -> [])
     q.atoms
 
 let rec explain ?(max_depth = 64) ?interrupt store t fact =

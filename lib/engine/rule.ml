@@ -25,7 +25,7 @@ let const_obj store : reference -> Oodb.Obj_id.t option = function
   | Name n -> Some (Oodb.Store.name store n)
   | Int_lit n -> Some (Oodb.Store.int store n)
   | Str_lit s -> Some (Oodb.Store.str store s)
-  | Var _ | Paren _ | Path _ | Filter _ | Isa _ -> None
+  | Var _ | Paren _ | Path _ | Regex _ | Filter _ | Isa _ -> None
 
 let isa_rel store cls : Ir.rel =
   match const_obj store cls with
@@ -43,7 +43,15 @@ let meth_rel store ~set (meth : reference) : Ir.rel =
   | Str_lit s ->
     let m = Oodb.Store.str store s in
     if set then R_set m else R_scalar m
-  | Var _ | Paren _ | Path _ | Filter _ | Isa _ -> R_any
+  | Var _ | Paren _ | Path _ | Regex _ | Filter _ | Isa _ -> R_any
+
+(* Every label relation a regular path's automaton can traverse. *)
+let rec regex_label_rels store acc (re : regex) =
+  match re with
+  | Rlit { l_sep; l_meth; _ } ->
+    add_rel acc (meth_rel store ~set:(l_sep = Dotdot) l_meth)
+  | Rseq rs | Ralt rs -> List.fold_left (regex_label_rels store) acc rs
+  | Rstar r | Rplus r | Ropt r -> regex_label_rels store acc r
 
 (* Relations read when a reference is evaluated. *)
 let rels_of_reference store t =
@@ -51,6 +59,7 @@ let rels_of_reference store t =
     | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ -> acc
     | Path { p_sep; p_meth; _ } ->
       add_rel acc (meth_rel store ~set:(p_sep = Dotdot) p_meth)
+    | Regex { x_re; _ } -> regex_label_rels store acc x_re
     | Isa { cls; _ } -> add_rel acc (isa_rel store cls)
     | Filter { f_meth; f_rhs; _ } -> (
       match f_rhs with
@@ -72,6 +81,7 @@ let head_defines store head =
     | Path { p_sep = Dot; p_meth; _ } ->
       add_rel acc (meth_rel store ~set:false p_meth)
     | Path { p_sep = Dotdot; _ } -> acc  (* only inside ->> rhs; no creation *)
+    | Regex _ -> acc  (* rejected in heads by Wellformed (PL019) *)
     | Isa { cls; _ } -> add_rel acc (isa_rel store cls)
     | Filter { f_meth; f_rhs; _ } -> (
       match f_rhs with
@@ -94,7 +104,7 @@ let skolem_defines store head =
       add_rel acc (meth_rel store ~set:false p_meth)
     | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _
     | Path { p_sep = Dotdot; _ }
-    | Isa _ | Filter _ ->
+    | Regex _ | Isa _ | Filter _ ->
       acc
   in
   List.rev (fold_reference add [] head)
@@ -105,8 +115,8 @@ let head_eval_reads store head =
   let add acc = function
     | Filter { f_rhs = Rset_ref s; _ } ->
       List.fold_left add_rel acc (rels_of_reference store s)
-    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Isa _
-    | Filter _ ->
+    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Regex _
+    | Isa _ | Filter _ ->
       acc
   in
   List.rev (fold_reference add [] head)
@@ -127,13 +137,19 @@ let rec atom_reads acc (a : Ir.atom) =
     in
     List.fold_left atom_reads acc s.sub_atoms
   | A_neg n -> List.fold_left atom_reads acc n.n_atoms
+  (* [atom_rel] reports no single relation for a regex atom; every label
+     relation must count as a read here so growth of any of them
+     re-triggers the rule in the semi-naive fixpoint *)
+  | A_regex x -> List.fold_left add_rel acc (Ir.automaton_rels x.x_auto)
 
 (* Relations inside set-inclusion and negation sub-queries: these are
    consulted with "is the set complete?" semantics and force
    stratification. *)
 let rec atom_completions acc (a : Ir.atom) =
   match a with
-  | A_isa _ | A_scalar _ | A_member _ | A_eq _ -> acc
+  (* the star closure is a monotone least fixpoint over its label
+     relations, so a regex read never forces stratification *)
+  | A_isa _ | A_scalar _ | A_member _ | A_eq _ | A_regex _ -> acc
   | A_subset s ->
     let acc = List.fold_left atom_reads acc s.sub_atoms in
     List.fold_left atom_completions acc s.sub_atoms
@@ -150,7 +166,8 @@ let head_class_edges store head =
       match (const_obj store recv, const_obj store cls) with
       | Some a, Some b -> (a, b) :: acc
       | _, _ -> acc)
-    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Filter _ ->
+    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Regex _
+    | Filter _ ->
       acc
   in
   List.rev (fold_reference add [] head)
@@ -170,7 +187,9 @@ let compile ?span ?origin store (rule : Syntax.Ast.rule) : t =
            | A_isa _ -> Some (Ir.R_isa, i)
            | A_scalar { meth = Const m; _ } -> Some (Ir.R_scalar m, i)
            | A_member { meth = Const m; _ } -> Some (Ir.R_set m, i)
-           | A_scalar _ | A_member _ | A_eq _ | A_subset _ | A_neg _ -> None)
+           | A_scalar _ | A_member _ | A_eq _ | A_subset _ | A_neg _
+           | A_regex _ ->
+             None)
   in
   let uid = !next_uid in
   incr next_uid;

@@ -35,7 +35,7 @@ let term_of_simple store (body : Ir.query) (r : Syntax.Ast.reference) :
   | Str_lit s -> Some (Const (Store.str store s))
   | Var v ->
     Option.map (fun slot -> Ir.V slot) (List.assoc_opt v body.named)
-  | Paren _ | Path _ | Filter _ | Isa _ -> None
+  | Paren _ | Path _ | Regex _ | Filter _ | Isa _ -> None
 
 let atoms_supported atoms =
   List.for_all
@@ -45,7 +45,7 @@ let atoms_supported atoms =
       | A_scalar { meth = Const _; _ } | A_member { meth = Const _; _ } ->
         true
       | A_scalar { meth = V _; _ } | A_member { meth = V _; _ } -> false
-      | A_subset _ | A_neg _ -> false)
+      | A_subset _ | A_neg _ | A_regex _ -> false)
     atoms
 
 let flat_head store (rule : Rule.t) : head_shape option =
@@ -81,7 +81,8 @@ let flat_head store (rule : Rule.t) : head_shape option =
           h_terms = (recv :: args) @ [ res ];
         }
     | _ -> None)
-  | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Isa _ ->
+  | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Regex _
+  | Isa _ ->
     None
 
 let compile_fragment store (rules : Rule.t list) : flat_rule list option =
@@ -249,7 +250,8 @@ let rec eval_atoms st binding atoms k =
       | Some x, None -> bind binding b x continue
       | None, Some y -> bind binding a y continue
       | None, None -> ())
-    | A_subset _ | A_neg _ -> ())
+    (* filtered out by [atoms_supported]; unreachable for qualified rules *)
+    | A_subset _ | A_neg _ | A_regex _ -> ())
 
 (* One evaluation pass of every rule producing [goal]'s relation, head
    bound to the goal pattern. *)

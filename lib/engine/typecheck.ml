@@ -18,7 +18,7 @@ let const_obj store : reference -> Oodb.Obj_id.t option = function
   | Name n -> Some (Oodb.Store.name store n)
   | Int_lit n -> Some (Oodb.Store.int store n)
   | Str_lit s -> Some (Oodb.Store.str store s)
-  | Var _ | Paren _ | Path _ | Filter _ | Isa _ -> None
+  | Var _ | Paren _ | Path _ | Regex _ | Filter _ | Isa _ -> None
 
 (* Classes statically known for a variable: collected from body literals of
    the form [X : c] with constant [c] (Isa nodes anywhere in positive
@@ -83,7 +83,8 @@ let known_classes ~close tbl = function
     | Some cs ->
       Some (Obj_set.fold (fun c acc -> Obj_set.union acc (close c)) cs Obj_set.empty)
     | None -> None)
-  | Name _ | Int_lit _ | Str_lit _ | Paren _ | Path _ | Filter _ | Isa _ ->
+  | Name _ | Int_lit _ | Str_lit _ | Paren _ | Path _ | Regex _ | Filter _
+  | Isa _ ->
     None
 
 let check_rule store signatures ~close (rule : Rule.t) =
@@ -141,7 +142,9 @@ let check_rule store signatures ~close (rule : Rule.t) =
                 results)
             applicable)
       | _ -> ())
-    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Isa _ -> ()
+    | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Regex _
+    | Isa _ ->
+      ()
   in
   fold_reference visit () rule.source.head;
   List.rev !warnings

@@ -47,6 +47,152 @@ let captured b f =
 let is_self meth args =
   match meth with Name "self" -> args = [] | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Regular paths: Thompson construction into an epsilon-NFA, epsilon
+   closures folded away, states unreachable from the start pruned. The
+   result is the plan-node payload Solve's automaton-product join runs
+   directly, so compilation happens once per flattened reference and the
+   automaton travels with the query through the plan cache. *)
+
+let compile_regex store (re : Syntax.Ast.regex) : Ir.automaton =
+  let nstates = ref 0 in
+  let eps : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let steps : (int, (Ir.label * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let fresh () =
+    let i = !nstates in
+    incr nstates;
+    i
+  in
+  let find tbl q = Option.value ~default:[] (Hashtbl.find_opt tbl q) in
+  let add_eps a b = Hashtbl.replace eps a (b :: find eps a) in
+  let add_step a l b = Hashtbl.replace steps a ((l, b) :: find steps a) in
+  let const_id : Syntax.Ast.reference -> Oodb.Obj_id.t = function
+    | Name n -> Oodb.Store.name store n
+    | Int_lit n -> Oodb.Store.int store n
+    | Str_lit s -> Oodb.Store.str store s
+    | Var _ | Paren _ | Path _ | Regex _ | Filter _ | Isa _ ->
+      invalid_arg "Flatten: regular path literals must be ground"
+  in
+  (* each fragment has one start and one accept state *)
+  let rec frag (re : Syntax.Ast.regex) : int * int =
+    match re with
+    | Rlit { l_sep; l_meth; l_args } ->
+      let i = fresh () and f = fresh () in
+      let lbl =
+        {
+          Ir.lbl_set = (l_sep = Syntax.Ast.Dotdot);
+          lbl_meth = const_id l_meth;
+          lbl_args = List.map const_id l_args;
+        }
+      in
+      add_step i lbl f;
+      (i, f)
+    | Rseq [] ->
+      let i = fresh () in
+      (i, i)
+    | Rseq (r :: rest) ->
+      let i, f = frag r in
+      let f =
+        List.fold_left
+          (fun f r ->
+            let i', f' = frag r in
+            add_eps f i';
+            f')
+          f rest
+      in
+      (i, f)
+    | Ralt rs ->
+      let i = fresh () and f = fresh () in
+      List.iter
+        (fun r ->
+          let ri, rf = frag r in
+          add_eps i ri;
+          add_eps rf f)
+        rs;
+      (i, f)
+    | Rstar r ->
+      let i = fresh () and f = fresh () in
+      let ri, rf = frag r in
+      add_eps i ri;
+      add_eps i f;
+      add_eps rf ri;
+      add_eps rf f;
+      (i, f)
+    | Rplus r ->
+      let i = fresh () and f = fresh () in
+      let ri, rf = frag r in
+      add_eps i ri;
+      add_eps rf ri;
+      add_eps rf f;
+      (i, f)
+    | Ropt r ->
+      let i = fresh () and f = fresh () in
+      let ri, rf = frag r in
+      add_eps i ri;
+      add_eps i f;
+      add_eps rf f;
+      (i, f)
+  in
+  let start, accept = frag re in
+  let n = !nstates in
+  let closure_of q =
+    let seen = Array.make n false in
+    let rec go s =
+      if not seen.(s) then begin
+        seen.(s) <- true;
+        List.iter go (find eps s)
+      end
+    in
+    go q;
+    seen
+  in
+  let closures = Array.init n closure_of in
+  let accepts q = closures.(q).(accept) in
+  let out q =
+    let acc = ref [] in
+    Array.iteri
+      (fun s in_closure -> if in_closure then acc := find steps s @ !acc)
+      closures.(q);
+    List.sort_uniq Stdlib.compare !acc
+  in
+  let trans = Array.init n out in
+  (* keep only states reachable from the start, renumbered by discovery *)
+  let renum = Array.make n (-1) in
+  let order = ref [] in
+  let count = ref 0 in
+  let rec reach q =
+    if renum.(q) < 0 then begin
+      renum.(q) <- !count;
+      incr count;
+      order := q :: !order;
+      List.iter (fun (_, q') -> reach q') trans.(q)
+    end
+  in
+  reach start;
+  let old_of = Array.make !count 0 in
+  List.iter (fun q -> old_of.(renum.(q)) <- q) !order;
+  let m = !count in
+  let a_trans =
+    Array.init m (fun q ->
+        Array.of_list
+          (List.map (fun (l, q') -> (l, renum.(q'))) trans.(old_of.(q))))
+  in
+  let a_rtrans_l = Array.make m [] in
+  Array.iteri
+    (fun q out ->
+      Array.iter
+        (fun (l, q') -> a_rtrans_l.(q') <- (l, q) :: a_rtrans_l.(q'))
+        out)
+    a_trans;
+  Atomic.incr Solve.regex_plans_total;
+  {
+    Ir.a_nstates = m;
+    a_start = renum.(start);
+    a_accept = Array.init m (fun q -> accepts old_of.(q));
+    a_trans;
+    a_rtrans = Array.map Array.of_list a_rtrans_l;
+  }
+
 let rec flatten b (t : reference) : Ir.term =
   match t with
   | Name n -> Const (Oodb.Store.name b.store n)
@@ -66,6 +212,12 @@ let rec flatten b (t : reference) : Ir.term =
         (match p_sep with Dot -> A_scalar app | Dotdot -> A_member app);
       res
     end
+  | Regex { x_recv; x_re } ->
+    let recv = flatten b x_recv in
+    let auto = compile_regex b.store x_re in
+    let res = Ir.V (fresh b) in
+    emit b (A_regex { x_auto = auto; x_recv = recv; x_res = res });
+    res
   | Isa { recv; cls } ->
     let r = flatten b recv in
     let c = flatten b cls in

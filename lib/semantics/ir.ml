@@ -1,5 +1,27 @@
 type term = Const of Oodb.Obj_id.t | V of int
 
+(* One transition label of a path automaton: a ground method application.
+   [lbl_set] selects the set-valued ('..') edge relation over the scalar
+   ('.') one. *)
+type label = {
+  lbl_set : bool;
+  lbl_meth : Oodb.Obj_id.t;
+  lbl_args : Oodb.Obj_id.t list;
+}
+
+(* An epsilon-free NFA over ground labels (Thompson construction with
+   epsilon closures folded in, unreachable states pruned). [a_trans] is
+   the forward transition table, [a_rtrans] its reverse — the
+   automaton-product join walks whichever direction the bound side
+   dictates. *)
+type automaton = {
+  a_nstates : int;
+  a_start : int;
+  a_accept : bool array;
+  a_trans : (label * int) array array;
+  a_rtrans : (label * int) array array;
+}
+
 type atom =
   | A_isa of term * term
   | A_scalar of app
@@ -7,8 +29,11 @@ type atom =
   | A_eq of term * term
   | A_subset of subset
   | A_neg of negation
+  | A_regex of regex_app
 
 and app = { meth : term; recv : term; args : term list; res : term }
+
+and regex_app = { x_auto : automaton; x_recv : term; x_res : term }
 
 and subset = {
   s_meth : term;
@@ -75,6 +100,9 @@ let rec pp_atom u ppf = function
          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
          (pp_atom u))
       n.n_atoms
+  | A_regex x ->
+    Format.fprintf ppf "regex(%a ~%d states~> %a)" (pp_term u) x.x_recv
+      x.x_auto.a_nstates (pp_term u) x.x_res
 
 let pp_query u ppf q =
   Format.fprintf ppf "@[<v>vars: %d, named: %a@,%a@]" q.nvars
@@ -102,6 +130,17 @@ let atom_vars = function
   | A_subset s ->
     List.fold_left term_vars s.s_outer (s.s_meth :: s.s_recv :: s.s_args)
   | A_neg n -> n.n_outer
+  | A_regex x -> term_vars (term_vars [] x.x_res) x.x_recv
+
+let label_rel l = if l.lbl_set then R_set l.lbl_meth else R_scalar l.lbl_meth
+
+(* Distinct relations an automaton's transitions read. *)
+let automaton_rels a =
+  let acc = ref [] in
+  Array.iter
+    (fun out -> Array.iter (fun (l, _) -> acc := label_rel l :: !acc) out)
+    a.a_trans;
+  List.sort_uniq Stdlib.compare !acc
 
 (* The store keeps one isa edge log for all classes; per-class refinement
    only matters to the stratifier, so runtime consumers normalise
@@ -120,6 +159,10 @@ let atom_rel = function
   | A_subset { s_meth = Const m; _ } -> Some (R_set m)
   | A_subset { s_meth = V _; _ } -> Some R_any
   | A_neg _ -> None
+  (* reads one relation per transition label; single-relation consumers
+     (the runtime estimator) see none, multi-relation ones use
+     [automaton_rels] via [query_rels] and [Rule.compile] *)
+  | A_regex _ -> None
 
 let query_rels atoms =
   let rec go acc a =
@@ -129,6 +172,7 @@ let query_rels atoms =
     match a with
     | A_subset s -> List.fold_left go acc s.sub_atoms
     | A_neg n -> List.fold_left go acc n.n_atoms
+    | A_regex x -> List.rev_append (automaton_rels x.x_auto) acc
     | A_isa _ | A_scalar _ | A_member _ | A_eq _ -> acc
   in
   List.sort_uniq compare_rel (List.fold_left go [] atoms)

@@ -11,6 +11,25 @@ type term =
   | Const of Oodb.Obj_id.t
   | V of int  (** variable slot *)
 
+type label = {
+  lbl_set : bool;  (** set-valued ([..]) vs scalar ([.]) edge relation *)
+  lbl_meth : Oodb.Obj_id.t;
+  lbl_args : Oodb.Obj_id.t list;
+}
+(** One transition label of a path automaton: a ground method
+    application. *)
+
+type automaton = {
+  a_nstates : int;
+  a_start : int;
+  a_accept : bool array;
+  a_trans : (label * int) array array;  (** forward transitions per state *)
+  a_rtrans : (label * int) array array;  (** reverse transitions per state *)
+}
+(** An epsilon-free NFA over ground labels, compiled from a regular path
+    by {!Flatten} (Thompson construction, epsilon closures folded in,
+    unreachable states pruned). *)
+
 type atom =
   | A_isa of term * term  (** [recv <=_U cls] *)
   | A_scalar of app  (** [I_->(meth)(recv, args) = res] *)
@@ -23,8 +42,13 @@ type atom =
   | A_neg of negation
       (** no extension of the current binding satisfies [n_atoms]
           (stratified-negation extension) *)
+  | A_regex of regex_app
+      (** [x_res] reachable from [x_recv] along a word of the automaton's
+          language — evaluated as an automaton-product join in {!Solve} *)
 
 and app = { meth : term; recv : term; args : term list; res : term }
+
+and regex_app = { x_auto : automaton; x_recv : term; x_res : term }
 
 and subset = {
   s_meth : term;
@@ -76,8 +100,16 @@ val pp_rel : Oodb.Universe.t -> Format.formatter -> rel -> unit
     are). *)
 val atom_vars : atom -> int list
 
-(** The relation an atom reads. [A_eq] reads nothing ([None]). *)
+(** The relation an atom reads. [A_eq] reads nothing ([None]); so does
+    [A_regex], whose multi-relation reads are exposed by
+    {!automaton_rels} and {!query_rels} instead. *)
 val atom_rel : atom -> rel option
+
+(** The relation one transition label reads. *)
+val label_rel : label -> rel
+
+(** Distinct relations an automaton's transitions read. *)
+val automaton_rels : automaton -> rel list
 
 (** Collapse per-class membership relations ([R_isa_c]) to the shared isa
     edge log ([R_isa]) — the runtime store does not refine memberships per

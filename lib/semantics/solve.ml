@@ -33,6 +33,20 @@ let poll_interval = 1024
 
 let poll_mask = poll_interval - 1
 
+(* STATS counters, process-wide: regex plan nodes compiled (bumped by
+   {!Flatten.compile_regex}) and (object, state) product pairs expanded
+   by the automaton join. *)
+let regex_plans_total = Atomic.make 0
+
+let product_states_expanded = Atomic.make 0
+
+(* Expansion steps between binds (the automaton-product BFS) count
+   against the same budget poll as unifications. *)
+let tick ctx =
+  let s = ctx.steps + 1 in
+  ctx.steps <- s;
+  if s land poll_mask = 0 then ctx.interrupt ()
+
 let deref ctx = function
   | Ir.Const o -> Some o
   | Ir.V i -> ctx.binding.(i)
@@ -148,6 +162,14 @@ let cost ctx = function
   | Ir.A_neg n ->
     if List.for_all (fun v -> ctx.binding.(v) <> None) n.n_outer then 32
     else infinity_cost
+  | Ir.A_regex x -> (
+    (* the product BFS visits at most |states|·|reachable objects| pairs;
+       with a bound endpoint the reachable set is usually tiny, unbound it
+       can touch every edge of every label relation *)
+    let n = x.x_auto.Ir.a_nstates in
+    match (deref ctx x.x_recv, deref ctx x.x_res) with
+    | Some _, _ | _, Some _ -> 16 * n
+    | None, None -> n * (16 + ctx.total_scalar + ctx.total_set))
 
 (* ------------------------------------------------------------------ *)
 (* Compiled plans                                                      *)
@@ -243,6 +265,27 @@ let static_cost ?estimator store ~self_id ~is_bound (a : Ir.atom) =
   | Ir.A_neg n ->
     if List.for_all (fun v -> is_bound (Ir.V v)) n.n_outer then 32
     else 100_000
+  | Ir.A_regex x ->
+    (* |states| · Σ label-relation cardinalities bounds the product BFS;
+       a bound endpoint prunes it to the reachable slice *)
+    let n = x.x_auto.Ir.a_nstates in
+    let label_total =
+      List.fold_left
+        (fun acc rel ->
+          acc
+          +
+          match est rel with
+          | Some c -> c
+          | None -> (
+            match rel with
+            | Ir.R_scalar m -> Oodb.Vec.length (Store.scalar_bucket store m)
+            | Ir.R_set m -> Oodb.Vec.length (Store.set_bucket store m)
+            | Ir.R_isa | Ir.R_isa_c _ | Ir.R_any -> 0))
+        0
+        (Ir.automaton_rels x.x_auto)
+    in
+    if is_bound x.x_recv || is_bound x.x_res then 16 + (n * label_total / 8)
+    else 1024 + (n * label_total)
 
 (* Compile a join order once from the static cost model: repeatedly pick
    the cheapest remaining atom under the boundness reached so far. Any
@@ -458,6 +501,106 @@ let exec_eq ctx a b k =
         | Some x -> bind ctx b x k
         | None -> assert false)
 
+(* ------------------------------------------------------------------ *)
+(* Automaton-product join: BFS over (object, state) pairs. The direction
+   follows the bound endpoint — forward from a bound receiver along
+   [a_trans], backward from a bound result along [a_rtrans] and the
+   inverse indexes; with neither bound the receiver ranges over the
+   universe. Each popped pair costs one budget-poll tick and one
+   [product_states_expanded]. *)
+
+let regex_step ctx (lbl : Ir.label) obj f =
+  if lbl.Ir.lbl_set then
+    Set.iter f
+      (Store.set_lookup ctx.store ~meth:lbl.Ir.lbl_meth ~recv:obj
+         ~args:lbl.Ir.lbl_args)
+  else
+    match
+      Store.scalar_lookup ctx.store ~meth:lbl.Ir.lbl_meth ~recv:obj
+        ~args:lbl.Ir.lbl_args
+    with
+    | Some v -> f v
+    | None -> ()
+
+let regex_rstep ctx (lbl : Ir.label) obj f =
+  let inv =
+    if lbl.Ir.lbl_set then
+      Store.set_inverse ctx.store ~meth:lbl.Ir.lbl_meth ~res:obj
+    else Store.scalar_inverse ctx.store ~meth:lbl.Ir.lbl_meth ~res:obj
+  in
+  Oodb.Vec.iter
+    (fun (e : Store.mentry) ->
+      if Store.live e && e.args = lbl.Ir.lbl_args then f e.recv)
+    inv
+
+(* [emit] runs the solution continuation, so arbitrary nested enumeration
+   (and interrupt exceptions) fire while the queue still holds unexpanded
+   pairs — queue and visited set are per-call, which keeps that safe.
+   Objects are deduplicated on emission: a pair may be reached through
+   many accepting states but each endpoint object is one solution. *)
+let regex_bfs ctx ~init ~next ~emits emit =
+  let visited = Hashtbl.create 64 in
+  let emitted = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let push obj q =
+    if not (Hashtbl.mem visited (obj, q)) then begin
+      Hashtbl.add visited (obj, q) ();
+      Queue.add (obj, q) queue
+    end
+  in
+  List.iter (fun (obj, q) -> push obj q) init;
+  while not (Queue.is_empty queue) do
+    let obj, q = Queue.pop queue in
+    Atomic.incr product_states_expanded;
+    tick ctx;
+    if emits q && not (Hashtbl.mem emitted obj) then begin
+      Hashtbl.add emitted obj ();
+      emit obj
+    end;
+    next obj q push
+  done
+
+let regex_forward ctx (auto : Ir.automaton) r0 emit =
+  regex_bfs ctx
+    ~init:[ (r0, auto.Ir.a_start) ]
+    ~next:(fun obj q push ->
+      Array.iter
+        (fun (lbl, q') -> regex_step ctx lbl obj (fun v -> push v q'))
+        auto.Ir.a_trans.(q))
+    ~emits:(fun q -> auto.Ir.a_accept.(q))
+    emit
+
+(* Backward: a pair (obj, q) means "obj steps to the bound result along a
+   word taking q to an accepting state"; seeded with the result at every
+   accepting state (the empty word), answers pop at the start state. *)
+let regex_backward ctx (auto : Ir.automaton) res emit =
+  let init = ref [] in
+  Array.iteri
+    (fun q acc -> if acc then init := (res, q) :: !init)
+    auto.Ir.a_accept;
+  regex_bfs ctx ~init:!init
+    ~next:(fun obj q push ->
+      Array.iter
+        (fun (lbl, q0) -> regex_rstep ctx lbl obj (fun v -> push v q0))
+        auto.Ir.a_rtrans.(q))
+    ~emits:(fun q -> q = auto.Ir.a_start)
+    emit
+
+let exec_regex ctx (x : Ir.regex_app) k =
+  let auto = x.x_auto in
+  match deref ctx x.x_recv with
+  | Some r0 -> regex_forward ctx auto r0 (fun v -> bind ctx x.x_res v k)
+  | None -> (
+    match deref ctx x.x_res with
+    | Some res ->
+      regex_backward ctx auto res (fun v -> bind ctx x.x_recv v k)
+    | None ->
+      enum_universe ctx x.x_recv (fun () ->
+          match deref ctx x.x_recv with
+          | Some r0 ->
+            regex_forward ctx auto r0 (fun v -> bind ctx x.x_res v k)
+          | None -> assert false))
+
 (* Nested enumeration of a sub-query's atoms against the shared binding
    array; used for A_subset members and A_neg. *)
 let rec solve_atoms ctx order atoms k =
@@ -511,6 +654,7 @@ and exec_atom ctx order atom k =
   | Ir.A_member app -> exec_app ctx `Set app k
   | Ir.A_subset s -> exec_subset ctx order s k
   | Ir.A_neg n -> exec_neg ctx order n k
+  | Ir.A_regex x -> exec_regex ctx x k
 
 and exec_subset ctx order s k =
   force_bound ctx s.s_outer (fun () ->
@@ -597,7 +741,11 @@ let exec_seeded ctx order atom from k =
         end)
       (Store.isa_log ctx.store)
       from
-  | Ir.A_eq _ | Ir.A_subset _ | Ir.A_neg _ -> exec_atom ctx order atom k
+  (* a regex atom has no single delta relation: when any label relation
+     grows, [Rule.seedable] keeps the atom out of the seed set and the
+     whole rule re-evaluates, so a plain [exec_atom] here is sound *)
+  | Ir.A_eq _ | Ir.A_subset _ | Ir.A_neg _ | Ir.A_regex _ ->
+    exec_atom ctx order atom k
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -758,18 +906,87 @@ let explain ?(order = Greedy) ?estimator ?(bindings = []) store (q : Ir.query)
         | false, false -> "scan class hierarchy")
       | Ir.A_subset _ -> "nested set-inclusion subquery"
       | Ir.A_neg _ -> "nested negation subquery"
+      | Ir.A_regex x ->
+        if is_bound x.x_recv then
+          "automaton product, forward BFS from receiver"
+        else if is_bound x.x_res then
+          "automaton product, backward BFS from result"
+        else "automaton product, forward BFS over the universe"
     in
     (* per-plan-node predicted cardinality, when the static estimator
-       supplied one for the atom's relation *)
+       supplied one for the atom's relation; a regex node is bounded by
+       |states| · Σ label-relation cardinalities *)
     let predicted =
-      match (estimator, Ir.atom_rel a) with
-      | Some e, Some rel -> (
-        match e.est_card rel with
-        | Some n -> Printf.sprintf "  ~%d tuples" n
+      match (estimator, a) with
+      | Some e, Ir.A_regex x ->
+        let total =
+          List.fold_left
+            (fun acc rel ->
+              match e.est_card rel with Some c -> acc + c | None -> acc)
+            0
+            (Ir.automaton_rels x.x_auto)
+        in
+        if total > 0 then
+          Printf.sprintf "  ~%d product pairs"
+            (x.x_auto.Ir.a_nstates * total)
+        else ""
+      | Some e, a -> (
+        match Ir.atom_rel a with
+        | Some rel -> (
+          match e.est_card rel with
+          | Some n -> Printf.sprintf "  ~%d tuples" n
+          | None -> "")
         | None -> "")
-      | _, _ -> ""
+      | None, _ -> ""
     in
-    Format.asprintf "%a  [%s]%s" (Ir.pp_atom u) a path predicted
+    (* the compiled automaton itself: states, transitions, seed set *)
+    let detail =
+      match a with
+      | Ir.A_regex x ->
+        let auto = x.x_auto in
+        let b = Buffer.create 128 in
+        let accepting =
+          List.filter
+            (fun q -> auto.Ir.a_accept.(q))
+            (List.init auto.Ir.a_nstates Fun.id)
+        in
+        Printf.bprintf b
+          "\n      automaton: %d states, start %d, accepting {%s}"
+          auto.Ir.a_nstates auto.Ir.a_start
+          (String.concat ", " (List.map string_of_int accepting));
+        Array.iteri
+          (fun q out ->
+            Array.iter
+              (fun ((lbl : Ir.label), q') ->
+                Printf.bprintf b "\n        %d %s%s%s-> %d" q
+                  (if lbl.Ir.lbl_set then "-.." else "-.")
+                  (Format.asprintf "%a" (Oodb.Universe.pp_obj u)
+                     lbl.Ir.lbl_meth)
+                  (match lbl.Ir.lbl_args with
+                  | [] -> ""
+                  | args ->
+                    Format.asprintf "@@(%a)"
+                      (Format.pp_print_list
+                         ~pp_sep:(fun ppf () ->
+                           Format.pp_print_string ppf ", ")
+                         (Oodb.Universe.pp_obj u))
+                      args)
+                  q')
+              out)
+          auto.Ir.a_trans;
+        let seed =
+          if is_bound x.x_recv then
+            Printf.sprintf "{(receiver, %d)}" auto.Ir.a_start
+          else if is_bound x.x_res then "{(result, q) | q accepting}"
+          else "universe × {start}"
+        in
+        Printf.bprintf b "\n      seed set: %s" seed;
+        Buffer.contents b
+      | Ir.A_isa _ | Ir.A_scalar _ | Ir.A_member _ | Ir.A_eq _
+      | Ir.A_subset _ | Ir.A_neg _ ->
+        ""
+    in
+    Format.asprintf "%a  [%s]%s%s" (Ir.pp_atom u) a path predicted detail
   in
   let atoms = Array.of_list q.atoms in
   let perm =

@@ -88,6 +88,13 @@ exception Stopped
     work (property-tested). *)
 val poll_interval : int
 
+(** Process-wide STATS counters for the automaton-product join: regular
+    path plans compiled ({!Flatten.compile_regex}) and (object, state)
+    product pairs expanded by the BFS. *)
+val regex_plans_total : int Atomic.t
+
+val product_states_expanded : int Atomic.t
+
 (** [iter store q ~f] calls [f] once per satisfying assignment, with a
     binding array of length [q.nvars] (fully bound). Raise {!Stopped} from
     [f] to stop early; [iter] catches it.

@@ -56,6 +56,8 @@ let rec eval store env (t : reference) : Set.t =
           recvs)
       meths;
     !acc
+  | Regex { x_recv; x_re } ->
+    eval_regex store env x_re (eval store env x_recv)
   | Isa { recv; cls } ->
     let recvs = eval store env recv in
     let clss = eval store env cls in
@@ -113,3 +115,44 @@ let rec eval store env (t : reference) : Set.t =
         meths
     in
     Set.filter satisfied recvs
+
+(* The denotation of a regular path at a set of receivers: the objects
+   reachable along some word of its language. Every clause is additive in
+   [from], so the star closure's frontier iteration is exact. Labels are
+   plain store relations (no built-in [self] identity), matching the
+   automaton-product join in {!Solve}. *)
+and eval_regex store env (re : regex) (from : Set.t) : Set.t =
+  let lit_step l_sep m args from =
+    Set.fold
+      (fun recv acc ->
+        match l_sep with
+        | Dot -> (
+          match Oodb.Store.scalar_lookup store ~meth:m ~recv ~args with
+          | Some res -> Set.add res acc
+          | None -> acc)
+        | Dotdot ->
+          Set.union acc (Oodb.Store.set_lookup store ~meth:m ~recv ~args))
+      from Set.empty
+  in
+  let closure step from =
+    let rec go acc frontier =
+      if Set.is_empty frontier then acc
+      else
+        let next = Set.diff (step frontier) acc in
+        go (Set.union acc next) next
+    in
+    go from from
+  in
+  match re with
+  | Rlit { l_sep; l_meth; l_args } ->
+    let m = Set.choose (eval store env l_meth) in
+    let args = List.map (fun a -> Set.choose (eval store env a)) l_args in
+    lit_step l_sep m args from
+  | Rseq rs -> List.fold_left (fun s r -> eval_regex store env r s) from rs
+  | Ralt rs ->
+    List.fold_left
+      (fun acc r -> Set.union acc (eval_regex store env r from))
+      Set.empty rs
+  | Ropt r -> Set.union from (eval_regex store env r from)
+  | Rstar r -> closure (eval_regex store env r) from
+  | Rplus r -> closure (eval_regex store env r) (eval_regex store env r from)

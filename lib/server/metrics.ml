@@ -148,7 +148,8 @@ let snapshot t =
 
 let us s = int_of_float (ceil (s *. 1e6))
 
-let render ?cache ?(injected_faults = 0) ?(magic_facts = 0) snap ~store =
+let render ?cache ?(injected_faults = 0) ?(magic_facts = 0)
+    ?(regex_plans = 0) ?(product_states = 0) snap ~store =
   let { Oodb.Store.objects; isa_edges; scalar_tuples; set_tuples } = store in
   [
     Printf.sprintf "uptime_s %.3f" snap.uptime_s;
@@ -165,6 +166,8 @@ let render ?cache ?(injected_faults = 0) ?(magic_facts = 0) snap ~store =
     Printf.sprintf "demand_queries_total %d" snap.demand_queries_total;
     Printf.sprintf "demand_fallbacks_total %d" snap.demand_fallbacks_total;
     Printf.sprintf "magic_facts %d" magic_facts;
+    Printf.sprintf "regex_plans_total %d" regex_plans;
+    Printf.sprintf "product_states_expanded %d" product_states;
   ]
   @ List.map
       (fun (v, o, n) -> Printf.sprintf "requests %s %s %d" v o n)

@@ -67,7 +67,12 @@ val snapshot : t -> snapshot
     the payload of a [STATS] reply. [cache] adds the query-cache
     counters [(hits, misses, entries)]; [injected_faults] is the fault
     registry's running injection count (0 when disarmed); [magic_facts]
-    is the store's live magic-tuple count (0 outside demand mode). *)
+    is the store's live magic-tuple count (0 outside demand mode);
+    [regex_plans] and [product_states] are the process-wide regular-path
+    counters (automata compiled, (object, state) pairs popped by the
+    product join — {!Semantics.Solve.regex_plans_total} and
+    {!Semantics.Solve.product_states_expanded}). *)
 val render :
   ?cache:int * int * int -> ?injected_faults:int -> ?magic_facts:int ->
+  ?regex_plans:int -> ?product_states:int ->
   snapshot -> store:Oodb.Store.stats -> string list

@@ -526,7 +526,9 @@ let stats_reply t =
        ~cache:(c.Qcache.hits, c.Qcache.misses, c.Qcache.entries)
        ~injected_faults:(Fault.injected_total ())
        ~magic_facts:
-         (Engine.Demand.magic_fact_total (Program.store t.program)))
+         (Engine.Demand.magic_fact_total (Program.store t.program))
+       ~regex_plans:(Atomic.get Semantics.Solve.regex_plans_total)
+       ~product_states:(Atomic.get Semantics.Solve.product_states_expanded))
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)

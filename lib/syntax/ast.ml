@@ -7,8 +7,17 @@ type reference =
   | Var of string
   | Paren of reference
   | Path of path
+  | Regex of { x_recv : reference; x_re : regex }
   | Filter of filter
   | Isa of { recv : reference; cls : reference }
+
+and regex =
+  | Rlit of { l_sep : scal; l_meth : reference; l_args : reference list }
+  | Rseq of regex list
+  | Ralt of regex list
+  | Rstar of regex
+  | Rplus of regex
+  | Ropt of regex
 
 and path = {
   p_recv : reference;
@@ -46,7 +55,31 @@ let equal_statement (a : statement) b = a = b
 
 let is_simple = function
   | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ -> true
-  | Path _ | Filter _ | Isa _ -> false
+  | Path _ | Regex _ | Filter _ | Isa _ -> false
+
+(* Leading separator of the leftmost literal: the one the printer emits
+   before the whole regular step and the parser threads back in. *)
+let rec regex_lead_sep = function
+  | Rlit { l_sep; _ } -> l_sep
+  | Rseq (r :: _) | Ralt (r :: _) -> regex_lead_sep r
+  | Rseq [] | Ralt [] -> Dot
+  | Rstar r | Rplus r | Ropt r -> regex_lead_sep r
+
+let rec fold_regex f acc = function
+  | Rlit { l_meth; l_args; _ } ->
+    let acc = f acc l_meth in
+    List.fold_left f acc l_args
+  | Rseq rs | Ralt rs -> List.fold_left (fold_regex f) acc rs
+  | Rstar r | Rplus r | Ropt r -> fold_regex f acc r
+
+(* Does the regex accept the empty word? (The closure step for [*] and
+   [?]; [Rseq []] is the empty word itself.) *)
+let rec regex_nullable = function
+  | Rlit _ -> false
+  | Rseq rs -> List.for_all regex_nullable rs
+  | Ralt rs -> List.exists regex_nullable rs
+  | Rstar _ | Ropt _ -> true
+  | Rplus r -> regex_nullable r
 
 let fact head = { head; body = [] }
 
@@ -59,6 +92,9 @@ let rec fold_reference f acc t =
     let acc = fold_reference f acc p_recv in
     let acc = fold_reference f acc p_meth in
     List.fold_left (fold_reference f) acc p_args
+  | Regex { x_recv; x_re } ->
+    let acc = fold_reference f acc x_recv in
+    fold_regex (fold_reference f) acc x_re
   | Filter { f_recv; f_meth; f_args; f_rhs } ->
     let acc = fold_reference f acc f_recv in
     let acc = fold_reference f acc f_meth in
@@ -75,7 +111,8 @@ let vars_of_reference t =
   let add acc = function
     | Var "_" -> acc  (* anonymous: fresh at every occurrence *)
     | Var v -> if List.mem v acc then acc else v :: acc
-    | Name _ | Int_lit _ | Str_lit _ | Paren _ | Path _ | Filter _ | Isa _ ->
+    | Name _ | Int_lit _ | Str_lit _ | Paren _ | Path _ | Regex _ | Filter _
+    | Isa _ ->
       acc
   in
   List.rev (fold_reference add [] t)

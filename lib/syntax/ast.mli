@@ -17,8 +17,22 @@ type reference =
   | Var of string  (** capitalised identifier *)
   | Paren of reference  (** [(t)] *)
   | Path of path  (** [t.m@(t1,...,tk)] or [t..m@(t1,...,tk)] *)
+  | Regex of { x_recv : reference; x_re : regex }
+      (** [t.m*], [t.(a|b)+], ... — a regular path step (X2Traverse-style
+          Or/Concat/StarLike over path literals); denotes the set of
+          objects reachable from [x_recv] along any word of [x_re] *)
   | Filter of filter  (** [t[m@(args) -> r]] and the other molecule forms *)
   | Isa of { recv : reference; cls : reference }  (** [t : c] *)
+
+and regex =
+  | Rlit of { l_sep : scal; l_meth : reference; l_args : reference list }
+      (** one step: a named method with constant arguments; [l_sep]
+          selects the scalar ([.]) or set-valued ([..]) edge relation *)
+  | Rseq of regex list  (** concatenation, flattened (length >= 2) *)
+  | Ralt of regex list  (** alternation [a|b], flattened (length >= 2) *)
+  | Rstar of regex
+  | Rplus of regex
+  | Ropt of regex
 
 and path = {
   p_recv : reference;
@@ -80,5 +94,17 @@ val vars_of_rule : rule -> string list
 (** [fact r] is the rule [r <- .] *)
 val fact : reference -> rule
 
-(** Fold over every sub-reference (pre-order, including the root). *)
+(** Fold over every sub-reference (pre-order, including the root and the
+    method/argument references of regular path literals). *)
 val fold_reference : ('a -> reference -> 'a) -> 'a -> reference -> 'a
+
+(** Fold over the method and argument references of every literal. *)
+val fold_regex : ('a -> reference -> 'a) -> 'a -> regex -> 'a
+
+(** Separator of the leftmost literal — the separator printed before the
+    whole regular step. All heads of an alternation share it. *)
+val regex_lead_sep : regex -> scal
+
+(** Whether the regex accepts the empty word (the step then relates every
+    receiver to itself). *)
+val regex_nullable : regex -> bool

@@ -132,9 +132,12 @@ let next_token st : Token.t =
     | '<' ->
       if peek st 1 = Some '-' then (advance st 2; IMPLIED)
       else error st "expected '<-' after '<'"
+    | '*' -> advance st 1; STAR
+    | '+' -> advance st 1; PLUS
+    | '|' -> advance st 1; PIPE
     | '?' ->
       if peek st 1 = Some '-' then (advance st 2; QUERY)
-      else error st "expected '?-' after '?'"
+      else (advance st 1; QMARK)
     | c when is_digit c -> INT (lex_int st)
     | c when is_lower c ->
       let id = lex_ident st in

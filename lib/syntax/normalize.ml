@@ -28,6 +28,9 @@ let rec normalize (t : reference) : reference =
         p_meth = normalize_simple p_meth;
         p_args = List.map normalize p_args;
       }
+  | Regex { x_recv; x_re } ->
+    (* literals hold ground constants; only the receiver can change *)
+    Regex { x_recv = normalize x_recv; x_re }
   | Filter _ | Isa _ ->
     (* decompose the maximal restriction chain over its base *)
     let base, restrictions = collect t [] in
@@ -60,7 +63,8 @@ and collect (t : reference) acc =
   | Filter { f_recv; f_meth; f_args; f_rhs } ->
     collect f_recv (Rfilter (f_meth, f_args, f_rhs) :: acc)
   | Isa { recv; cls } -> collect recv (Risa cls :: acc)
-  | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ -> (t, acc)
+  | Name _ | Int_lit _ | Str_lit _ | Var _ | Paren _ | Path _ | Regex _ ->
+    (t, acc)
 
 and normalize_restriction = function
   | Rfilter (meth, args, rhs) ->

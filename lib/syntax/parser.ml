@@ -123,20 +123,129 @@ and filter_item st (recv : Ast.reference) : Ast.reference =
         f_rhs = Rscalar meth;
       }
 
+and check_regex_args pos (args : Ast.reference list) =
+  List.iter
+    (fun (a : Ast.reference) ->
+      match a with
+      | Name _ | Int_lit _ | Str_lit _ -> ()
+      | Var _ | Paren _ | Path _ | Regex _ | Filter _ | Isa _ ->
+        error_at pos
+          "arguments of a regular path step must be constants (names, \
+           integers or strings)")
+    args
+
+(* One step after '.' or '..': a plain path step (back-compat), or a
+   regular step when repetition operators or grouped alternation appear.
+   Grammar (X2Traverse): Or = Concat {'|' Concat};
+   Concat = StarLike {('.'|'..') StarLike};
+   StarLike = (name args | '(' Or ')') {'*'|'+'|'?'}.
+   Alternation is only valid inside parentheses; '(r)' without any
+   regular operator keeps its existing meaning (a parenthesised method
+   reference). *)
+and regex_ops st (r : Ast.regex) : Ast.regex =
+  match peek st with
+  | STAR, _ ->
+    advance st;
+    regex_ops st (Rstar r)
+  | PLUS, _ ->
+    advance st;
+    regex_ops st (Rplus r)
+  | QMARK, _ ->
+    advance st;
+    regex_ops st (Ropt r)
+  | _ -> r
+
+and regex_atom st ~(sep : Ast.scal) : Ast.regex =
+  match peek st with
+  | LPAREN, _ ->
+    advance st;
+    let r = regex_or st ~sep in
+    expect st RPAREN;
+    r
+  | NAME n, p ->
+    advance st;
+    let args = args_opt st in
+    check_regex_args p args;
+    Rlit { l_sep = sep; l_meth = Name n; l_args = args }
+  | t, p ->
+    error_at p "expected a method name or '(' in a regular path but found %a"
+      Token.pp t
+
+and regex_starlike st ~sep : Ast.regex = regex_ops st (regex_atom st ~sep)
+
+and regex_concat st ~sep : Ast.regex =
+  let first = regex_starlike st ~sep in
+  let rec go acc =
+    match peek st with
+    | DOT, _ ->
+      advance st;
+      go (regex_starlike st ~sep:Dot :: acc)
+    | DOTDOT, _ ->
+      advance st;
+      go (regex_starlike st ~sep:Dotdot :: acc)
+    | _ -> List.rev acc
+  in
+  match go [ first ] with [ r ] -> r | rs -> Rseq rs
+
+and regex_or st ~sep : Ast.regex =
+  let first = regex_concat st ~sep in
+  let rec go acc =
+    match peek st with
+    | PIPE, _ ->
+      advance st;
+      go (regex_concat st ~sep :: acc)
+    | _ -> List.rev acc
+  in
+  match go [ first ] with [ r ] -> r | rs -> Ralt rs
+
+and path_step st (r : Ast.reference) (sep : Ast.scal) : Ast.reference =
+  match peek st with
+  | LPAREN, _ -> (
+    (* Try the established parenthesised-method parse first; fall back to
+       a regular group when it fails ('|' inside) or is followed by a
+       repetition operator. *)
+    let saved = st.toks in
+    match
+      let m = simple st in
+      let args = args_opt st in
+      match peek st with
+      | (STAR | PLUS | QMARK), _ -> None
+      | _ -> Some (m, args)
+    with
+    | Some (m, args) ->
+      Path { p_recv = r; p_sep = sep; p_meth = m; p_args = args }
+    | None | (exception Error _) ->
+      st.toks <- saved;
+      Regex { x_recv = r; x_re = regex_starlike st ~sep })
+  | NAME _, p -> (
+    let m = simple st in
+    let args = args_opt st in
+    match peek st with
+    | (STAR | PLUS | QMARK), _ ->
+      check_regex_args p args;
+      Regex
+        {
+          x_recv = r;
+          x_re =
+            regex_ops st (Rlit { l_sep = sep; l_meth = m; l_args = args });
+        }
+    | _ -> Path { p_recv = r; p_sep = sep; p_meth = m; p_args = args })
+  | _, p -> (
+    let m = simple st in
+    let args = args_opt st in
+    match peek st with
+    | (STAR | PLUS | QMARK), _ ->
+      error_at p "regular path steps must use named methods"
+    | _ -> Path { p_recv = r; p_sep = sep; p_meth = m; p_args = args })
+
 and postfixes st (r : Ast.reference) : Ast.reference =
   match peek st with
   | DOT, _ ->
     advance st;
-    let m = simple st in
-    let args = args_opt st in
-    postfixes st
-      (Path { p_recv = r; p_sep = Dot; p_meth = m; p_args = args })
+    postfixes st (path_step st r Dot)
   | DOTDOT, _ ->
     advance st;
-    let m = simple st in
-    let args = args_opt st in
-    postfixes st
-      (Path { p_recv = r; p_sep = Dotdot; p_meth = m; p_args = args })
+    postfixes st (path_step st r Dotdot)
   | (COLON | COLONCOLON), _ ->
     advance st;
     let c = simple st in

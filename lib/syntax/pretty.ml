@@ -22,6 +22,9 @@ let rec pp_reference ppf = function
     let sep = match p_sep with Dot -> "." | Dotdot -> ".." in
     Format.fprintf ppf "%a%s%a%a" pp_reference p_recv sep pp_simple p_meth
       pp_args p_args
+  | Regex { x_recv; x_re } ->
+    let sep = match regex_lead_sep x_re with Dot -> "." | Dotdot -> ".." in
+    Format.fprintf ppf "%a%s%a" pp_reference x_recv sep (pp_regex 2) x_re
   | Filter { f_recv; f_meth; f_args; f_rhs } ->
     Format.fprintf ppf "%a[%a%a%a]" pp_reference f_recv pp_simple f_meth
       pp_args f_args pp_rhs f_rhs
@@ -32,6 +35,36 @@ let rec pp_reference ppf = function
 and pp_simple ppf t =
   if is_simple t then pp_reference ppf t
   else Format.fprintf ppf "(%a)" pp_reference t
+
+(* Minimal parentheses via precedence levels: 0 admits alternation,
+   1 admits concatenation, 2 only star-like steps. Leading separators of
+   alternation branches and of the leftmost literal are implied by
+   position and not printed; every other literal prints its own. *)
+and pp_regex level ppf (re : Ast.regex) =
+  match re with
+  | Rlit { l_meth; l_args; _ } ->
+    Format.fprintf ppf "%a%a" pp_simple l_meth pp_args l_args
+  | Rstar r -> Format.fprintf ppf "%a*" (pp_regex 2) r
+  | Rplus r -> Format.fprintf ppf "%a+" (pp_regex 2) r
+  | Ropt r -> Format.fprintf ppf "%a?" (pp_regex 2) r
+  | Rseq rs ->
+    let items ppf rs =
+      List.iteri
+        (fun i r ->
+          if i > 0 then
+            Format.pp_print_string ppf
+              (match regex_lead_sep r with Dot -> "." | Dotdot -> "..");
+          pp_regex 2 ppf r)
+        rs
+    in
+    if level > 1 then Format.fprintf ppf "(%a)" items rs else items ppf rs
+  | Ralt rs ->
+    (* alternation is only valid inside parentheses *)
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "|")
+         (pp_regex 1))
+      rs
 
 and pp_args ppf = function
   | [] -> ()

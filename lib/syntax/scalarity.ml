@@ -17,6 +17,7 @@ let rec of_reference : Ast.reference -> t = function
       || List.exists (fun a -> of_reference a = Set_valued) p_args
     then Set_valued
     else Scalar
+  | Regex _ -> Set_valued  (* a regular step denotes a set of objects *)
   | Filter { f_recv; _ } -> of_reference f_recv
   | Isa { recv; _ } -> of_reference recv
 

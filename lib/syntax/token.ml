@@ -24,6 +24,10 @@ type t =
   | IMPLIED
   | QUERY
   | NOT
+  | STAR
+  | PLUS
+  | QMARK
+  | PIPE
   | EOF
 
 type pos = { line : int; col : int; offset : int }
@@ -56,6 +60,10 @@ let pp ppf = function
   | IMPLIED -> Format.pp_print_string ppf "'<-'"
   | QUERY -> Format.pp_print_string ppf "'?-'"
   | NOT -> Format.pp_print_string ppf "'not'"
+  | STAR -> Format.pp_print_string ppf "'*'"
+  | PLUS -> Format.pp_print_string ppf "'+'"
+  | QMARK -> Format.pp_print_string ppf "'?'"
+  | PIPE -> Format.pp_print_string ppf "'|'"
   | EOF -> Format.pp_print_string ppf "end of input"
 
 let pp_pos ppf { line; col; offset = _ } =

@@ -26,6 +26,10 @@ type t =
   | IMPLIED  (** [<-] *)
   | QUERY  (** [?-] *)
   | NOT
+  | STAR  (** [*] — regular path repetition *)
+  | PLUS  (** [+] — regular path repetition, one or more *)
+  | QMARK  (** [?] — regular path option *)
+  | PIPE  (** [|] — regular path alternation *)
   | EOF
 
 type pos = { line : int; col : int; offset : int }

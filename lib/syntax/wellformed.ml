@@ -9,6 +9,7 @@ type error =
   | Set_valued_head of Ast.reference
   | Unsafe_head_variable of string
   | Unsafe_negated_variable of string
+  | Regex_in_head of Ast.reference
 
 exception Ill_formed of error
 
@@ -44,6 +45,11 @@ let pp_error ppf = function
   | Unsafe_negated_variable v ->
     Format.fprintf ppf
       "variable %s occurs only under 'not' and is never bound positively" v
+  | Regex_in_head t ->
+    Format.fprintf ppf
+      "rule head %a contains a regular path; regular paths may only appear \
+       in rule bodies and queries"
+      Pretty.pp_reference t
 
 let require_scalar t =
   if Scalarity.is_set_valued t then
@@ -59,6 +65,13 @@ let rec check ?(sig_ok = false) t =
     check p_recv;
     check p_meth;
     List.iter check p_args
+  | Regex { x_recv; x_re } ->
+    check x_recv;
+    fold_regex
+      (fun () r ->
+        check r;
+        require_scalar r)
+      () x_re
   | Isa { recv; cls } ->
     check recv;
     check cls;
@@ -112,9 +125,15 @@ let has_anonymous t =
     (fun acc sub -> acc || (match sub with Var "_" -> true | _ -> false))
     false t
 
+let has_regex t =
+  fold_reference
+    (fun acc sub -> acc || (match sub with Regex _ -> true | _ -> false))
+    false t
+
 let check_rule_exn { head; body } =
   check ~sig_ok:(body = []) head;
   if has_anonymous head then raise (Ill_formed Anonymous_variable_in_head);
+  if has_regex head then raise (Ill_formed (Regex_in_head head));
   List.iter
     (function
       | Pos _ -> ()

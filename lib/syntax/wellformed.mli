@@ -28,6 +28,8 @@ type error =
       (** head variable not bound by any positive body literal *)
   | Unsafe_negated_variable of string
       (** variable occurring only under [not] *)
+  | Regex_in_head of Ast.reference
+      (** a regular path step in a rule head (evaluation-only construct) *)
 
 exception Ill_formed of error
 

@@ -26,4 +26,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("incremental", Test_incremental.suite);
       ("demand", Test_demand.suite);
+      ("regex", Test_regex.suite);
     ]

@@ -1,0 +1,335 @@
+(* PR 9: regular path expressions.
+
+   The automaton-product join is property-tested against hand-expanded
+   recursive rules: a random regex over a small edge vocabulary is
+   translated into the recursive closure program it abbreviates, and
+   both must return the same answers — with a bound receiver, with both
+   endpoints free, at jobs 1 and 4, and through the demand-driven
+   (magic-sets) path. Plus the parse/pretty round trip on canonical
+   regexes, and deterministic anchors for the seed directions and the
+   PL060 emptiness warning. *)
+
+open Helpers
+module Ast = Syntax.Ast
+module Program = Pathlog.Program
+module Fixpoint = Pathlog.Fixpoint
+
+(* ------------------------------------------------------------------ *)
+(* Generators.
+
+   Canonical regexes only — shapes the parser itself can produce, so
+   pretty-printing and reparsing is the identity: no empty or singleton
+   [Rseq]/[Ralt], and the leading separator of a sequence head or an
+   alternation branch equals the separator that leads into the group
+   (the grammar threads that separator through [|] and into [( )]). *)
+
+let scalar_meths = [ "boss"; "mentor" ]
+let set_meths = [ "kids"; "likes" ]
+
+let gen_sep = QCheck.Gen.oneofl [ Ast.Dot; Ast.Dotdot ]
+
+let gen_lit ~sep =
+  let meths = match sep with Ast.Dot -> scalar_meths | Ast.Dotdot -> set_meths in
+  QCheck.Gen.map
+    (fun m -> Ast.Rlit { l_sep = sep; l_meth = Ast.Name m; l_args = [] })
+    (QCheck.Gen.oneofl meths)
+
+let rec gen_regex ~sep n =
+  let open QCheck.Gen in
+  if n <= 0 then gen_lit ~sep
+  else
+    frequency
+      [
+        (3, gen_lit ~sep);
+        (2, map (fun r -> Ast.Rstar r) (gen_regex ~sep (n - 1)));
+        (2, map (fun r -> Ast.Rplus r) (gen_regex ~sep (n - 1)));
+        (1, map (fun r -> Ast.Ropt r) (gen_regex ~sep (n - 1)));
+        ( 2,
+          let* first = gen_regex ~sep (n - 1) in
+          let* rest =
+            list_size (int_range 1 2)
+              (let* s = gen_sep in
+               gen_regex ~sep:s (n - 1))
+          in
+          return (Ast.Rseq (first :: rest)) );
+        ( 2,
+          let* branches = list_size (int_range 2 3) (gen_regex ~sep (n - 1)) in
+          return (Ast.Ralt branches) );
+      ]
+
+(* A top-level regex must carry a regular operator or an alternation —
+   an operator-free sequence like [a.b.c] is ordinary path syntax and
+   never reaches the regex grammar. *)
+let gen_top =
+  let open QCheck.Gen in
+  let* sep = gen_sep in
+  let* re =
+    oneof
+      [
+        map (fun r -> Ast.Rstar r) (gen_regex ~sep 2);
+        map (fun r -> Ast.Rplus r) (gen_regex ~sep 2);
+        map (fun r -> Ast.Ropt r) (gen_regex ~sep 2);
+        (let* branches = list_size (int_range 2 3) (gen_regex ~sep 2) in
+         return (Ast.Ralt branches));
+      ]
+  in
+  return re
+
+let regex_query_lit recv re =
+  Ast.Pos
+    (Ast.Filter
+       {
+         f_recv = Ast.Regex { x_recv = recv; x_re = re };
+         f_meth = Ast.Name "self";
+         f_args = [];
+         f_rhs = Ast.Rscalar (Ast.Var "Y");
+       })
+
+let query_text lits = Syntax.Pretty.statement_to_string (Ast.Query lits)
+
+let print_regex re = query_text [ regex_query_lit (Ast.Name "o1") re ]
+
+let arb_top = QCheck.make ~print:print_regex gen_top
+
+(* ------------------------------------------------------------------ *)
+(* Random edge graphs over six objects. Scalar methods get at most one
+   target per receiver (no functional conflicts); set methods are free.
+   Every object is a [node], the class the hand expansion's identity
+   rules range over. *)
+
+let objs = [ "o1"; "o2"; "o3"; "o4"; "o5"; "o6" ]
+
+let gen_graph =
+  let open QCheck.Gen in
+  let edge m o r = Printf.sprintf "%s[%s -> %s]. " o m r in
+  let sedge m o r = Printf.sprintf "%s[%s ->> {%s}]. " o m r in
+  let* scalar_facts =
+    flatten_l
+      (List.concat_map
+         (fun m ->
+           List.map
+             (fun o ->
+               frequency
+                 [
+                   (1, return "");
+                   (2, map (fun r -> edge m o r) (oneofl objs));
+                 ])
+             objs)
+         scalar_meths)
+  in
+  let* set_facts =
+    list_size (int_range 0 12)
+      (let* m = oneofl set_meths in
+       let* o = oneofl objs in
+       let* r = oneofl objs in
+       return (sedge m o r))
+  in
+  let classes = List.map (fun o -> Printf.sprintf "%s : node. " o) objs in
+  return (String.concat "" (classes @ scalar_facts @ set_facts))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (g, re) -> g ^ "\n" ^ print_regex re)
+    QCheck.Gen.(pair gen_graph gen_top)
+
+(* ------------------------------------------------------------------ *)
+(* Hand expansion: each regex node becomes a fresh set-valued relation
+   computing exactly the pairs the sub-expression relates. *)
+
+let translate re =
+  let b = Buffer.create 256 in
+  let k = ref 0 in
+  let fresh () =
+    incr k;
+    Printf.sprintf "q%d" !k
+  in
+  let rule fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let rec go re =
+    let r = fresh () in
+    (match (re : Ast.regex) with
+    | Rlit { l_sep = Dot; l_meth = Name m; _ } ->
+      rule "X[%s ->> {Y}] <- X[%s -> Y]. " r m
+    | Rlit { l_sep = Dotdot; l_meth = Name m; _ } ->
+      rule "X[%s ->> {Y}] <- X[%s ->> {Y}]. " r m
+    | Rlit _ -> invalid_arg "translate: non-name method"
+    | Rseq rs ->
+      let subs = List.map go rs in
+      let n = List.length subs in
+      let var i = if i = n then "Y" else Printf.sprintf "Z%d" i in
+      let body =
+        List.mapi
+          (fun i s ->
+            Printf.sprintf "%s[%s ->> {%s}]"
+              (if i = 0 then "X" else var i)
+              s
+              (var (i + 1)))
+          subs
+      in
+      rule "X[%s ->> {Y}] <- %s. " r (String.concat ", " body)
+    | Ralt rs ->
+      List.iter (fun s -> rule "X[%s ->> {Y}] <- X[%s ->> {Y}]. " r s) (List.map go rs)
+    | Ropt s ->
+      let s = go s in
+      rule "X[%s ->> {Y}] <- X[%s ->> {Y}]. " r s;
+      rule "X[%s ->> {X}] <- X : node. " r
+    | Rstar s ->
+      let s = go s in
+      rule "X[%s ->> {X}] <- X : node. " r;
+      rule "X[%s ->> {Y}] <- X[%s ->> {Z}], Z[%s ->> {Y}]. " r s r
+    | Rplus s ->
+      let s = go s in
+      rule "X[%s ->> {Y}] <- X[%s ->> {Y}]. " r s;
+      rule "X[%s ->> {Y}] <- X[%s ->> {Z}], Z[%s ->> {Y}]. " r s r);
+    r
+  in
+  let top = go re in
+  (Buffer.contents b, top)
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence. *)
+
+let rows p (a : Program.answer) =
+  List.sort_uniq compare (List.map (Program.row_to_string p) a.Program.rows)
+
+let load ?(jobs = 1) text =
+  let config = { Fixpoint.default_config with jobs } in
+  let p = Program.of_string ~config text in
+  ignore (Program.run p);
+  p
+
+let unbound_lits re top =
+  let guard = Ast.Pos (Ast.Isa { recv = Ast.Var "X"; cls = Ast.Name "node" }) in
+  ( query_text [ guard; regex_query_lit (Ast.Var "X") re ],
+    Printf.sprintf "X : node, X[%s ->> {Y}]" top )
+
+let equiv ~jobs (graph, re) =
+  let rules, top = translate re in
+  let p_regex = load ~jobs graph in
+  let p_rules = load ~jobs (graph ^ rules) in
+  let agree q_regex q_rules =
+    let a = rows p_regex (Program.query_string p_regex q_regex) in
+    let b = rows p_rules (Program.query_string p_rules q_rules) in
+    if a <> b then
+      QCheck.Test.fail_reportf
+        "disagreement on %s vs %s:\n  regex: [%s]\n  rules: [%s]" q_regex
+        q_rules (String.concat "; " a) (String.concat "; " b)
+    else true
+  in
+  List.for_all
+    (fun o ->
+      agree
+        (query_text [ regex_query_lit (Ast.Name o) re ])
+        (Printf.sprintf "%s[%s ->> {Y}]" o top))
+    [ "o1"; "o4" ]
+  &&
+  let qx, rx = unbound_lits re top in
+  agree qx rx
+
+let equiv_1j =
+  QCheck.Test.make ~count:60
+    ~name:"regex = hand-expanded recursive rules (jobs=1)" arb_case
+    (equiv ~jobs:1)
+
+let equiv_4j =
+  QCheck.Test.make ~count:20
+    ~name:"regex = hand-expanded recursive rules (jobs=4)" arb_case
+    (equiv ~jobs:4)
+
+(* The demanded answer to a regex query must equal the answer over the
+   fully materialised model; regex label relations are demanded at
+   level F (full), so the transform must not fall back. *)
+let equiv_demand =
+  QCheck.Test.make ~count:30 ~name:"regex under --demand = regex full"
+    arb_case (fun (graph, re) ->
+      let q = query_text [ regex_query_lit (Ast.Name "o1") re ] in
+      let p_full = load graph in
+      let full = rows p_full (Program.query_string p_full q) in
+      let p_demand = Program.of_string graph in
+      let a, report = Program.query_demand_string p_demand q in
+      (match report.Program.d_fallback with
+      | Some fb ->
+        QCheck.Test.fail_reportf "unexpected demand fallback: %s"
+          (Pathlog.Demand.fallback_to_string fb)
+      | None -> ());
+      let demanded = rows p_demand a in
+      if full <> demanded then
+        QCheck.Test.fail_reportf
+          "demand disagreement on %s:\n  full:   [%s]\n  demand: [%s]" q
+          (String.concat "; " full)
+          (String.concat "; " demanded)
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty round trip: parse (pretty re) = re on canonical regexes. *)
+
+let roundtrip =
+  QCheck.Test.make ~count:300 ~name:"parse (pretty re) = re" arb_top
+    (fun re ->
+      let text = print_regex re in
+      match Syntax.Parser.program text with
+      | [ Ast.Query [ Ast.Pos (Ast.Filter { f_recv = Ast.Regex { x_re; _ }; _ }) ] ]
+        ->
+        if x_re = re then true
+        else QCheck.Test.fail_reportf "reparsed differently: %s" text
+      | _ -> QCheck.Test.fail_reportf "did not reparse as a regex query: %s" text)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic anchors. *)
+
+let chain =
+  "e1 : node. e2 : node. e3 : node. m1 : node. \
+   e1[boss -> e2]. e2[boss -> e3]. e3[boss -> m1]. \
+   e1[mentor -> e9]."
+
+let test_forward () =
+  let p = load chain in
+  check_answers "boss+ forward" p "e1.boss+[Y]" [ "e2"; "e3"; "m1" ];
+  check_answers "boss* includes the receiver" p "e1.boss*[Y]"
+    [ "e1"; "e2"; "e3"; "m1" ];
+  check_answers "optional then step" p "e1.boss?.boss[Y]" [ "e2"; "e3" ]
+
+let test_backward () =
+  let p = load chain in
+  check_answers "boss+ backward from bound result" p "X.boss+[m1]"
+    [ "e1"; "e2"; "e3" ]
+
+let test_alternation () =
+  let p = load chain in
+  check_answers "alternation" p "e1.(boss|mentor)[Y]" [ "e2"; "e9" ]
+
+let test_pl060 () =
+  let t = Pathlog.Check.analyze "a : node. ?- a.gone+[Y]." in
+  (match
+     List.find_opt
+       (fun (d : Pathlog.Diagnostic.t) -> d.code = "PL060")
+       t.Pathlog.Check.diagnostics
+   with
+  | Some d ->
+    Alcotest.(check string)
+      "PL060 severity" "warning"
+      (Pathlog.Diagnostic.severity_to_string d.severity)
+  | None -> Alcotest.fail "expected PL060 on an unproducible regex label");
+  let clean = Pathlog.Check.analyze "a : node. a[next -> a]. ?- a.next+[Y]." in
+  List.iter
+    (fun (d : Pathlog.Diagnostic.t) ->
+      if d.code = "PL060" then Alcotest.fail "spurious PL060")
+    clean.Pathlog.Check.diagnostics;
+  (* nullable: the empty word survives, the expression degenerates to
+     the identity but still matches — not flagged *)
+  let nullable = Pathlog.Check.analyze "a : node. ?- a.gone*[Y]." in
+  List.iter
+    (fun (d : Pathlog.Diagnostic.t) ->
+      if d.code = "PL060" then Alcotest.fail "PL060 on a nullable automaton")
+    nullable.Pathlog.Check.diagnostics
+
+let suite =
+  [
+    Alcotest.test_case "forward seeds" `Quick test_forward;
+    Alcotest.test_case "backward seeds" `Quick test_backward;
+    Alcotest.test_case "alternation" `Quick test_alternation;
+    Alcotest.test_case "PL060 emptiness warning" `Quick test_pl060;
+    qtest equiv_1j;
+    qtest equiv_4j;
+    qtest equiv_demand;
+    qtest roundtrip;
+  ]

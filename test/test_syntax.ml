@@ -66,8 +66,11 @@ let test_lexer_errors () =
   expect_error "a & b";
   expect_error "= x";
   expect_error "< y";
-  expect_error "? z";
-  expect_error "-x"
+  expect_error "-x";
+  (* '?' alone is the optional operator since regular paths landed *)
+  match tokens "? z" with
+  | [ QMARK; NAME "z"; EOF ] -> ()
+  | _ -> Alcotest.fail "'?' should lex as the optional operator"
 
 let test_lexer_positions () =
   match Syntax.Lexer.tokenize "a.\n  !" with

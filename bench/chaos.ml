@@ -318,8 +318,509 @@ let mutation_storm ~seed ~writers ~batches =
     List.iter (fun m -> Printf.printf "chaos FAILURE: %s\n" m) (List.rev fs);
     exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Kill-and-recover storm: crash-recovery proven by SIGKILL.
+
+   A child process serves [mutation_base] durably (--data semantics: WAL
+   fsync'd per accepted batch, snapshots every few batches). Writers in
+   the parent storm it with ASSERT/RETRACT; at a seed-deterministic
+   committed count the child is SIGKILLed mid-storm, restarted over the
+   same data directory, and the storm continues — for ROUNDS cycles,
+   then one fault-free verification round.
+
+   Invariants:
+   1. durability: every batch a client saw OK for is in the recovered
+      model (the batch-log replay equals the served model exactly);
+   2. atomicity at the crash edge: an op torn mid-flight is resolved by
+      probing after recovery — present or absent, never half-applied;
+   3. the restarted server sheds requests with BUSY (retry-after) while
+      the WAL suffix replays, and retrying clients land after it;
+   4. byte-level corruption appended to the WAL is CRC-detected and
+      truncated on the next open, never silently loaded.
+
+   dune exec bench/main.exe -- chaos kill [SEED] [WRITERS] [BATCHES] [ROUNDS] *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun n -> rm_rf (Filename.concat path n))
+      (try Sys.readdir path with Sys_error _ -> [||]);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+(* The op as the writer will resolve it after a torn connection. *)
+type pending = {
+  pd_writer : int;
+  pd_op : op;
+  pd_probe : string;  (** query deciding whether it committed *)
+  pd_expect : bool;  (** probe answer "yes" <=> committed *)
+}
+
+let kill_storm ~seed ~writers ~batches ~rounds =
+  Printf.printf
+    "=== chaos kill: seed %d, %d writers x %d batches, %d kill rounds ===\n%!"
+    seed writers batches rounds;
+  let failures = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+  in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "plkill-%d-%d" (Unix.getpid ()) seed)
+  in
+  rm_rf root;
+  Unix.mkdir root 0o755;
+  let data = Filename.concat root "data" in
+  let port_file = Filename.concat root "port" in
+
+  (* -- the serving child ------------------------------------------- *)
+  let spawn_child () =
+    (try Sys.remove port_file with Sys_error _ -> ());
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (try
+         (* jitter the fsync so kills land mid-append with real odds *)
+         ignore
+           (Fault.configure_string
+              (Printf.sprintf "seed=%d;wal_fsync:delay@0.3:0.002" seed)
+             : (unit, string) result);
+         let p = Pathlog.load mutation_base in
+         let config =
+           {
+             Pathlog.Server.default_config with
+             workers = 2;
+             queue_capacity = 4 * writers;
+             busy_retry_after_ms = 2;
+             data_dir = Some data;
+             snapshot_every = 8;
+             (* stretch the replay so the parent reliably observes the
+                BUSY-while-recovering window after each restart *)
+             recovery_delay_s = 0.15;
+           }
+         in
+         let srv =
+           Pathlog.Server.create ~config ~program:p
+             (Pathlog.Server.Tcp ("127.0.0.1", 0))
+         in
+         Pathlog.Server.install_signal_handlers srv;
+         let port =
+           match Pathlog.Server.address srv with
+           | Pathlog.Server.Tcp (_, port) -> port
+           | Pathlog.Server.Unix_path _ -> 0
+         in
+         let tmp = port_file ^ ".tmp" in
+         let oc = open_out tmp in
+         output_string oc (string_of_int port);
+         close_out oc;
+         Sys.rename tmp port_file;
+         Pathlog.Server.serve srv
+       with _ -> ());
+      Unix._exit 0
+    | pid -> pid
+  in
+  let wait_port () =
+    let deadline = Unix.gettimeofday () +. 30. in
+    let rec go () =
+      if Unix.gettimeofday () > deadline then failwith "child never bound"
+      else
+        match open_in port_file with
+        | exception Sys_error _ ->
+          Thread.delay 0.005;
+          go ()
+        | ic ->
+          let line = try input_line ic with End_of_file -> "" in
+          close_in ic;
+          (match int_of_string_opt line with
+          | Some port when port > 0 -> port
+          | _ ->
+            Thread.delay 0.005;
+            go ())
+    in
+    go ()
+  in
+
+  (* committed ops, per writer in commit order; disjoint namespaces make
+     the cross-writer interleaving irrelevant to the final model *)
+  let logs = Array.make writers [] in
+  let log_lock = Mutex.create () in
+  let committed_total = ref 0 in
+  let commit k op =
+    Mutex.lock log_lock;
+    logs.(k) <- op :: logs.(k);
+    incr committed_total;
+    Mutex.unlock log_lock
+  in
+  let busy_observed = ref 0 and torn = ref 0 and resolved_in = ref 0 in
+  let tally = Mutex.create () in
+
+  (* block until the replay finishes: the BUSY shed clears and ordinary
+     queries are answered again *)
+  let wait_ready addr =
+    let deadline = Unix.gettimeofday () +. 30. in
+    let rec go () =
+      if Unix.gettimeofday () > deadline then fail "server never became ready"
+      else
+        match Pathlog.Client.connect addr with
+        | exception Unix.Unix_error _ ->
+          Thread.delay 0.01;
+          go ()
+        | c ->
+          let r = Pathlog.Client.request c "QUERY seed0[tc ->> {Y}]" in
+          Pathlog.Client.close c;
+          (match r with
+          | Ok (Pathlog.Protocol.Ok _ | Pathlog.Protocol.Degraded _) -> ()
+          | Ok _ | Error _ ->
+            Thread.delay 0.01;
+            go ())
+    in
+    go ()
+  in
+
+  (* resolve ops left torn by the previous kill: probe the recovered
+     server; "yes"/"no" decides whether the op made it into the log *)
+  let resolve_pending addr pending =
+    List.iter
+      (fun pd ->
+        match Pathlog.Client.connect addr with
+        | exception Unix.Unix_error _ -> fail "probe connect failed"
+        | c ->
+          Fun.protect
+            ~finally:(fun () -> Pathlog.Client.close c)
+            (fun () ->
+              match Pathlog.Client.query c pd.pd_probe with
+              | Ok [ "yes" ] ->
+                if pd.pd_expect then begin
+                  commit pd.pd_writer pd.pd_op;
+                  incr resolved_in
+                end
+              | Ok [ "no" ] ->
+                if not pd.pd_expect then begin
+                  commit pd.pd_writer pd.pd_op;
+                  incr resolved_in
+                end
+              | Ok _ -> fail "probe %S: unexpected payload" pd.pd_probe
+              | Error e -> fail "probe %S failed: %s" pd.pd_probe e))
+      pending
+  in
+
+  (* -- one storm round --------------------------------------------- *)
+  (* Returns the ops torn at the kill. [kill_at = None] runs the round
+     to completion (the fault-free verification round). *)
+  let storm_round ~round ~kill_at pid addr =
+    let pending = ref [] in
+    let pending_lock = Mutex.create () in
+    let server_dead = ref false in
+    let drained = ref false in
+    let writer_thread k =
+      let rng = Random.State.make [| seed; round; k |] in
+      let conn = ref (Some (Pathlog.Client.connect addr)) in
+      let committed = ref [] in
+      let obj i = Printf.sprintf "w%d_r%d_n%d" k round i in
+      let mutate op probe expect =
+        (* true = committed. A torn connection means the kill caught the
+           op in flight; its fate is unknowable until the restart — any
+           probe now races the dying server's still-running session (the
+           mutation can commit to the WAL after the client's read fails).
+           So the op is parked in [pending], resolved by a probe against
+           the RECOVERED server (quiescent: prior writers joined, next
+           round's not yet started), and the writer stops. *)
+        let rec attempt tries c =
+          let verb = if op.op_retract then "RETRACT" else "ASSERT" in
+          match
+            Pathlog.Client.request_with_retry ~max_attempts:8
+              ~base_delay_s:0.002
+              ~seed:((seed * 263) + (round * 31) + k)
+              c (verb ^ " " ^ op.op_text)
+          with
+          | Ok (Pathlog.Protocol.Ok _) -> true
+          | Ok (Pathlog.Protocol.Busy _) when tries < 20 ->
+            Thread.delay 0.005;
+            attempt (tries + 1) c
+          | Ok _ -> false
+          | Error (`Eof | `Malformed _) ->
+            Mutex.lock tally;
+            incr torn;
+            Mutex.unlock tally;
+            (try Pathlog.Client.close c with _ -> ());
+            conn := None;
+            Mutex.lock pending_lock;
+            pending :=
+              { pd_writer = k; pd_op = op; pd_probe = probe;
+                pd_expect = expect }
+              :: !pending;
+            Mutex.unlock pending_lock;
+            server_dead := true;
+            raise Exit
+        in
+        match !conn with None -> false | Some c -> attempt 0 c
+      in
+      let next = ref 0 in
+      (try
+         for _ = 1 to batches do
+           if !server_dead then raise Exit;
+           let retractable = !committed in
+           if retractable <> [] && Random.State.int rng 3 = 0 then begin
+             let i = Random.State.int rng (List.length retractable) in
+             let fact = List.nth retractable i in
+             let op = { op_retract = true; op_text = fact ^ "." } in
+             if mutate op fact false then begin
+               committed := List.filteri (fun j _ -> j <> i) retractable;
+               commit k op
+             end
+           end
+           else begin
+             let a, b =
+               if Random.State.int rng 4 = 0 then
+                 ("seed2", obj (Random.State.int rng 5))
+               else begin
+                 let i = !next in
+                 incr next;
+                 (obj (i mod 7), obj ((i + 1 + Random.State.int rng 3) mod 7))
+               end
+             in
+             let fact = Printf.sprintf "%s[edge ->> {%s}]" a b in
+             if not (List.mem fact !committed) then begin
+               let op = { op_retract = false; op_text = fact ^ "." } in
+               if mutate op fact true then begin
+                 committed := fact :: !committed;
+                 commit k op
+               end
+             end
+           end
+         done
+       with Exit -> ());
+      match !conn with
+      | Some c -> Pathlog.Client.close c
+      | None -> ()
+    in
+    let killer =
+      match kill_at with
+      | None -> None
+      | Some target ->
+        Some
+          (Thread.create
+             (fun () ->
+               (* seed-deterministic instant: SIGKILL as soon as the
+                  shared commit counter reaches the target (or the storm
+                  drains first) *)
+               let rec watch () =
+                 let n =
+                   Mutex.lock log_lock;
+                   let n = !committed_total in
+                   Mutex.unlock log_lock;
+                   n
+                 in
+                 if n < target && not !server_dead && not !drained then begin
+                   Thread.delay 0.002;
+                   watch ()
+                 end
+               in
+               watch ();
+               Unix.kill pid Sys.sigkill)
+             ())
+    in
+    let threads = List.init writers (fun k -> Thread.create writer_thread k) in
+    List.iter Thread.join threads;
+    drained := true;
+    (match killer with Some th -> Thread.join th | None -> ());
+    (match kill_at with
+    | Some _ ->
+      ignore (Unix.waitpid [] pid : int * Unix.process_status)
+    | None -> ());
+    !pending
+  in
+
+  (* -- drive the rounds -------------------------------------------- *)
+  let committed_before_kills = ref 0 in
+  let pending = ref [] in
+  let final_pid = ref (-1) in
+  let final_addr = ref None in
+  for round = 1 to rounds + 1 do
+    let pid = spawn_child () in
+    let port = wait_port () in
+    let addr = Pathlog.Server.Tcp ("127.0.0.1", port) in
+    (* observe the recovery window: the first query after the restart
+       must be shed with BUSY + retry-after while the replay runs *)
+    (match Pathlog.Client.connect addr with
+    | exception Unix.Unix_error _ -> fail "round %d: cannot connect" round
+    | c ->
+      (match Pathlog.Client.request c "QUERY seed0[tc ->> {Y}]" with
+      | Ok (Pathlog.Protocol.Busy (retry_ms, _)) ->
+        if retry_ms <= 0 then fail "BUSY without a retry-after hint";
+        incr busy_observed
+      | Ok _ -> ()
+      | Error _ -> fail "round %d: probe request failed" round);
+      Pathlog.Client.close c);
+    wait_ready addr;
+    resolve_pending addr !pending;
+    pending := [];
+    if round <= rounds then begin
+      let target =
+        !committed_before_kills + 4 + ((seed + (3 * round)) mod (2 * writers))
+      in
+      pending := storm_round ~round ~kill_at:(Some target) pid addr;
+      committed_before_kills := !committed_total
+    end
+    else begin
+      (* verification round: mutations after recovery, no kill *)
+      ignore (storm_round ~round ~kill_at:None pid addr : pending list);
+      final_pid := pid;
+      final_addr := Some addr
+    end
+  done;
+
+  (* -- verify: served model = batch-log replay --------------------- *)
+  let replay = Pathlog.Live.attach (Pathlog.load mutation_base) in
+  let replayed = ref 0 in
+  Array.iter
+    (fun ops ->
+      List.iter
+        (fun op ->
+          incr replayed;
+          try
+            if op.op_retract then
+              ignore
+                (Pathlog.Live.retract_batch replay op.op_text
+                  : Pathlog.Live.batch_stats)
+            else
+              ignore
+                (Pathlog.Live.assert_batch replay op.op_text
+                  : Pathlog.Live.batch_stats)
+          with Pathlog.Live.Rejected m ->
+            fail "replay rejected %S: %s" op.op_text m)
+        (List.rev ops))
+    logs;
+  (match !final_addr with
+  | None -> fail "no final server"
+  | Some addr -> (
+    match Pathlog.Client.connect addr with
+    | exception Unix.Unix_error (e, _, _) ->
+      fail "final server dead: %s" (Unix.error_message e)
+    | c ->
+      Fun.protect
+        ~finally:(fun () -> Pathlog.Client.close c)
+        (fun () ->
+          List.iter
+            (fun q ->
+              let expected =
+                List.sort compare
+                  (expected_payload
+                     (Pathlog.Live.program replay)
+                     (Program.query_string (Pathlog.Live.program replay) q))
+              in
+              match Pathlog.Client.query c q with
+              | Ok lines ->
+                if List.sort compare lines <> expected then
+                  fail "served %S differs from the batch-log replay" q
+              | Error e -> fail "final query %S failed: %s" q e)
+            [ "X[edge ->> {Y}]"; "X[tc ->> {Y}]"; "seed0[tc ->> {Y}]" ];
+          match Pathlog.Client.stats c with
+          | Ok lines ->
+            let has prefix =
+              List.exists
+                (fun l ->
+                  String.length l > String.length prefix
+                  && String.sub l 0 (String.length prefix) = prefix)
+                lines
+            in
+            if not (has "wal_appends_total") then
+              fail "STATS misses the WAL counters";
+            if not (has "last_recovery_ms") then
+              fail "STATS misses last_recovery_ms"
+          | Error e -> fail "final STATS failed: %s" e)));
+  (* graceful stop: SIGTERM drains and closes the log *)
+  if !final_pid > 0 then begin
+    Unix.kill !final_pid Sys.sigterm;
+    ignore (Unix.waitpid [] !final_pid : int * Unix.process_status)
+  end;
+
+  (* -- in-process recovery equals the replay too -------------------- *)
+  let recover_live () =
+    let d, r = Pathlog.Durable.open_dir data in
+    Pathlog.Durable.close d;
+    let src =
+      match r.Pathlog.Durable.r_snapshot with
+      | Some (_, _, src) -> src
+      | None -> mutation_base
+    in
+    let p = Pathlog.Program.of_string src in
+    ignore (Pathlog.Program.run p);
+    let live = Pathlog.Live.attach p in
+    List.iter
+      (fun (rc : Pathlog.Durable.record) ->
+        let apply =
+          if rc.Pathlog.Durable.retract then Pathlog.Live.retract_batch
+          else Pathlog.Live.assert_batch
+        in
+        ignore (apply live rc.Pathlog.Durable.text : Pathlog.Live.batch_stats))
+      r.Pathlog.Durable.r_tail;
+    (live, r)
+  in
+  let recovered, _ = recover_live () in
+  let added, removed =
+    Pathlog.Program.diff_models
+      ~before:(Pathlog.Live.program replay)
+      ~after:(Pathlog.Live.program recovered)
+  in
+  if added <> [] || removed <> [] then begin
+    List.iter (fun f -> Printf.printf "  only recovered: %s\n" f) added;
+    List.iter (fun f -> Printf.printf "  only replay:    %s\n" f) removed;
+    fail "in-process recovery differs from the replay (+%d -%d)"
+      (List.length added) (List.length removed)
+  end;
+  (match Pathlog.Store.check_invariants (Pathlog.Live.store recovered) with
+  | [] -> ()
+  | broken -> List.iter (fun m -> fail "recovered store: %s" m) broken);
+
+  (* -- byte-level corruption: CRC-detected, truncated, never loaded - *)
+  let wal = Pathlog.Durable.wal_path data in
+  let clean_size = (Unix.stat wal).Unix.st_size in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 wal in
+  output_string oc "\xde\xad\xbe\xefgarbage torn mid-frame";
+  close_out oc;
+  let recovered2, r2 = recover_live () in
+  if r2.Pathlog.Durable.r_torn_bytes = 0 then
+    fail "appended garbage was not detected as torn";
+  if (Unix.stat wal).Unix.st_size <> clean_size then
+    fail "torn tail was not truncated back to the valid boundary";
+  let added2, removed2 =
+    Pathlog.Program.diff_models
+      ~before:(Pathlog.Live.program replay)
+      ~after:(Pathlog.Live.program recovered2)
+  in
+  if added2 <> [] || removed2 <> [] then
+    fail "corruption changed the recovered model (+%d -%d)"
+      (List.length added2) (List.length removed2);
+
+  Printf.printf
+    "committed batches: %d replayed (%d resolved by post-kill probes); %d \
+     torn connections; BUSY-while-recovering observed %d/%d restarts\n"
+    !replayed !resolved_in !torn !busy_observed (rounds + 1);
+  if !committed_total = 0 then fail "the storm committed nothing";
+  if !busy_observed = 0 then
+    fail "no restart was observed recovering (BUSY window missed)";
+  rm_rf root;
+  match !failures with
+  | [] -> print_endline "chaos kill: ok"
+  | fs ->
+    List.iter (fun m -> Printf.printf "chaos FAILURE: %s\n" m) (List.rev fs);
+    exit 1
+
 let rec main args =
   match args with
+  | "kill" :: rest ->
+    let arg i default =
+      match List.nth_opt rest i with
+      | Some s -> int_of_string s
+      | None -> default
+    in
+    kill_storm ~seed:(arg 0 1) ~writers:(arg 1 3) ~batches:(arg 2 12)
+      ~rounds:(arg 3 2)
   | "mutation" :: rest ->
     let arg i default =
       match List.nth_opt rest i with

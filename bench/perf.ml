@@ -757,6 +757,111 @@ let emit_programs args =
       exit 2)
 
 (* ------------------------------------------------------------------ *)
+(* Durable recovery cost: build a logged history on disk once — a live
+   reach closure fed ASSERT batches of disjoint chain edges through the
+   Durable commit hook, with a snapshot cut halfway so recovery stitches
+   snapshot + WAL suffix — then time exactly what `serve --data` does at
+   startup: open the data dir (CRC scan of the log), rebuild the
+   snapshot source, replay the suffix through Live. Recovery is
+   read-only on a clean directory, so the timed run repeats under
+   best-of. ops = WAL records replayed. *)
+let recovery_time ~reps =
+  let batches = 120 and per = 6 in
+  let base =
+    "X[reach ->> {Y}] <- X[edge ->> {Y}]. X[reach ->> {Y}] <- X[edge ->> \
+     {Z}], Z[reach ->> {Y}]."
+  in
+  let batch_text j =
+    let b = Buffer.create (per * 32) in
+    for i = 0 to per - 1 do
+      Buffer.add_string b
+        (Printf.sprintf "r%d_%d[edge ->> {r%d_%d}]. " j i j (i + 1))
+    done;
+    Buffer.contents b
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "plperf-recovery-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* history on disk, once, outside the timer *)
+      let builder = Pathlog.Live.attach (Pathlog.load base) in
+      let d, _ = Pathlog.Durable.open_dir dir in
+      Pathlog.Live.set_commit_hook builder
+        (Some
+           (fun ~retract ~epoch ~text ->
+             ignore (Pathlog.Durable.append d ~retract ~epoch text : int)));
+      for j = 0 to batches - 1 do
+        ignore
+          (Pathlog.Live.assert_batch builder (batch_text j)
+            : Pathlog.Live.batch_stats);
+        if j = (batches / 2) - 1 then
+          ignore
+            (Pathlog.Durable.snapshot_now d
+               ~epoch:(Pathlog.Store.epoch (Pathlog.Live.store builder))
+               ~source:(Pathlog.Live.dump_source builder)
+              : bool)
+      done;
+      Pathlog.Durable.close d;
+      let run () =
+        let d, r = Pathlog.Durable.open_dir dir in
+        Pathlog.Durable.close d;
+        let src =
+          match r.Pathlog.Durable.r_snapshot with
+          | Some (_, _, src) -> src
+          | None -> failwith "recovery_time: snapshot not recovered"
+        in
+        let live = Pathlog.Live.attach (Pathlog.load src) in
+        List.iter
+          (fun (rec_ : Pathlog.Durable.record) ->
+            let apply =
+              if rec_.Pathlog.Durable.retract then Pathlog.Live.retract_batch
+              else Pathlog.Live.assert_batch
+            in
+            ignore (apply live rec_.Pathlog.Durable.text : Pathlog.Live.batch_stats))
+          r.Pathlog.Durable.r_tail;
+        (List.length r.Pathlog.Durable.r_tail, live)
+      in
+      let (replayed, recovered), w = best_of reps run in
+      if replayed <> batches / 2 then
+        failwith
+          (Printf.sprintf "recovery_time: replayed %d WAL records, expected %d"
+             replayed (batches / 2));
+      (match
+         Pathlog.Program.diff_models
+           ~before:(Pathlog.Live.program builder)
+           ~after:(Pathlog.Live.program recovered)
+       with
+      | [], [] -> ()
+      | _ -> failwith "recovery_time: recovered model differs from builder");
+      {
+        name = Printf.sprintf "wal_recovery_%dx%d" batches per;
+        wall_s = w;
+        ops_per_s = Some (float_of_int replayed /. w);
+        rule_evaluations = None;
+        firings = None;
+        rounds = None;
+        speedup_vs_1j = None;
+        speedup_vs_full = None;
+        detail =
+          "open data dir + rebuild mid-history snapshot + replay 60-record \
+           WAL suffix through the live closure; ops = records replayed";
+      })
+
+(* ------------------------------------------------------------------ *)
 (* Estimator accuracy: the cardinality abstract interpreter's predicted
    fixpoint size (summed relation bounds evaluated at the final universe
    size) vs the measured insertion count, over the deterministic
@@ -1126,6 +1231,7 @@ let main args =
       ("regex_bound_tc_10k", fun () -> regex_bound_tc ~reps);
       ("regex_unbound_tc_10k", fun () -> regex_unbound_tc ~reps);
       ("regex_alt_bound_10k", fun () -> regex_alt ~reps);
+      ("wal_recovery", fun () -> recovery_time ~reps);
       ("estimator_accuracy", fun () -> estimator_accuracy ());
     ]
   in
@@ -1166,7 +1272,7 @@ let main args =
         ( "meta",
           Obj
             [
-              ("pr", Num 9.);
+              ("pr", Num 10.);
               ("mode", Str (if quick then "quick" else "full"));
               ("jobs", Num (float_of_int jobs));
               ( "cores",

@@ -377,7 +377,7 @@ let server_address ~host ~port ~unix_sock =
   | None -> Pathlog.Server.Tcp (host, port)
 
 let serve_cmd file host port unix_sock workers queue max_request deadline jobs
-    faults demand admit_cost =
+    faults demand admit_cost data snapshot_every =
   (match faults with
   | None -> ()
   | Some spec -> (
@@ -416,13 +416,29 @@ let serve_cmd file host port unix_sock workers queue max_request deadline jobs
       deadline_s = deadline;
       demand;
       admit_cost;
+      data_dir = data;
+      snapshot_every;
     }
   in
   let srv =
-    Pathlog.Server.create ~config ~program:p
-      (server_address ~host ~port ~unix_sock)
+    match
+      Pathlog.Server.create ~config ~program:p
+        (server_address ~host ~port ~unix_sock)
+    with
+    | srv -> srv
+    | exception Failure msg ->
+      (* a recovered snapshot refused by the analysis gate *)
+      Printf.eprintf "error: %s\n" msg;
+      exit Pathlog.Err.exit_analysis
   in
   Pathlog.Server.install_signal_handlers srv;
+  (match data with
+  | Some dir ->
+    Format.printf
+      "pathlog: durable under %s (WAL fsync'd per batch, snapshot every %d \
+       batches); recovery replays behind the socket@."
+      dir snapshot_every
+  | None -> ());
   Format.printf
     "pathlog: serving %s%s on %a (%d %s workers, queue %d); SIGINT/SIGTERM \
      drains@."
@@ -774,11 +790,34 @@ let admit_cost_arg =
            derivation count exceeds $(docv) with ERR COST, before any \
            evaluation starts.")
 
+let data_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data" ] ~docv:"DIR"
+        ~doc:
+          "Durability: keep a write-ahead log and epoch snapshots under \
+           $(docv) (created if missing). Every accepted ASSERT/RETRACT is \
+           fsync'd before its OK; restarting with the same $(docv) \
+           recovers every acknowledged batch (snapshot + WAL replay, torn \
+           tail truncated). Clients are answered BUSY while the replay \
+           runs.")
+
+let snapshot_every_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "With --data: cut a snapshot every $(docv) committed batches (0 \
+           disables periodic snapshots; the WAL alone still recovers \
+           everything).")
+
 let serve_t =
   Term.(
     const serve_cmd $ file_arg $ host_arg $ port_arg $ unix_sock_arg
     $ workers_arg $ queue_arg $ max_request_arg $ deadline_arg
-    $ serve_jobs_arg $ faults_arg $ demand_arg $ admit_cost_arg)
+    $ serve_jobs_arg $ faults_arg $ demand_arg $ admit_cost_arg $ data_arg
+    $ snapshot_every_arg)
 
 let connect_t =
   Term.(const connect_cmd $ host_arg $ port_arg $ unix_sock_arg $ queries_arg)

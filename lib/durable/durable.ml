@@ -1,0 +1,406 @@
+(* Append-only binary write-ahead log + epoch snapshots.
+
+   Record frame:   [u32 payload_len | u32 crc32(payload) | payload]
+   Record payload: [u8 verb | u64 seq | u64 epoch | batch text]
+   Log file:       8-byte magic "PLWAL001", then frames, nothing else.
+   Snapshot file:  8-byte magic "PLSNP001", then one frame whose payload
+                   is [u64 seq | u64 epoch | source text].
+
+   All integers little-endian. The log is append-only: snapshots never
+   rewrite it — recovery filters replay by sequence number instead — so
+   the only mutation the log file ever sees is truncation of a torn
+   tail back to the last valid frame boundary. *)
+
+type record = {
+  seq : int;
+  retract : bool;
+  epoch : int;
+  text : string;
+}
+
+type recovery = {
+  r_snapshot : (int * int * string) option;
+  r_tail : record list;
+  r_wal_records : int;
+  r_torn_bytes : int;
+  r_snapshots_skipped : int;
+}
+
+type stats = {
+  wal_appends_total : int;
+  wal_bytes : int;
+  snapshots_total : int;
+  last_recovery_ms : float;
+}
+
+type t = {
+  dir : string;
+  fd : Unix.file_descr;  (* the log, positioned at its valid end *)
+  mutable wal_len : int;  (* valid bytes in the log file *)
+  mutable next_seq : int;
+  mutable appends : int;
+  mutable since_snapshot : int;  (* records since the last snapshot cut *)
+  mutable snapshots : int;
+  mutable last_snap_seq : int;
+  mutable last_recovery_ms : float;
+}
+
+let wal_magic = "PLWAL001"
+
+let snap_magic = "PLSNP001"
+
+let wal_path dir = Filename.concat dir "pathlog.wal"
+
+(* Refuse to allocate for a length field that is plainly garbage: a torn
+   tail can leave any four bytes where a length should be. *)
+let max_payload = 64 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3), table-driven.                                  *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s pos len =
+  let t = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+(* ------------------------------------------------------------------ *)
+(* Binary plumbing                                                      *)
+
+let u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let get_u32 s off =
+  Int32.to_int (String.get_int32_le s off) land 0xffffffff
+
+let get_u64 s off = Int64.to_int (String.get_int64_le s off)
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      match Unix.write fd b off len with
+      | n -> n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+let read_whole_file path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let len = (Unix.fstat fd).Unix.st_size in
+        let b = Bytes.create len in
+        let rec go off =
+          if off < len then
+            match Unix.read fd b off (len - off) with
+            | 0 -> off
+            | n -> go (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          else off
+        in
+        let got = go 0 in
+        Some (Bytes.sub_string b 0 got))
+
+(* A frame at [off] in [s]: [Ok (payload_pos, payload_len, next_off)] or
+   [Error] when the frame is short or fails its CRC — the torn tail. *)
+let parse_frame s off =
+  let len = String.length s in
+  if off + 8 > len then Error `Torn
+  else
+    let plen = get_u32 s off in
+    let crc = get_u32 s (off + 4) in
+    if plen > max_payload || off + 8 + plen > len then Error `Torn
+    else if crc32 s (off + 8) plen <> crc then Error `Torn
+    else Ok (off + 8, plen, off + 8 + plen)
+
+let frame payload =
+  let plen = String.length payload in
+  let b = Bytes.create (8 + plen) in
+  u32 b 0 plen;
+  u32 b 4 (crc32 payload 0 plen);
+  Bytes.blit_string payload 0 b 8 plen;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Record payloads                                                      *)
+
+let record_payload ~seq ~retract ~epoch text =
+  let tlen = String.length text in
+  let b = Bytes.create (17 + tlen) in
+  Bytes.set b 0 (if retract then '\001' else '\000');
+  u64 b 1 seq;
+  u64 b 9 epoch;
+  Bytes.blit_string text 0 b 17 tlen;
+  Bytes.unsafe_to_string b
+
+let parse_record s pos plen =
+  if plen < 17 then None
+  else
+    let verb = String.get s pos in
+    if verb <> '\000' && verb <> '\001' then None
+    else
+      Some
+        {
+          seq = get_u64 s (pos + 1);
+          retract = verb = '\001';
+          epoch = get_u64 s (pos + 9);
+          text = String.sub s (pos + 17) (plen - 17);
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot files                                                       *)
+
+let snap_name seq = Printf.sprintf "snap-%012d.snap" seq
+
+let is_snap_name n =
+  String.length n > 10
+  && Filename.check_suffix n ".snap"
+  && String.sub n 0 5 = "snap-"
+
+let load_snapshot path =
+  match read_whole_file path with
+  | None -> None
+  | Some s ->
+    if String.length s < 8 || String.sub s 0 8 <> snap_magic then None
+    else (
+      match parse_frame s 8 with
+      | Error `Torn -> None
+      | Ok (pos, plen, _) ->
+        if plen < 16 then None
+        else
+          Some
+            ( get_u64 s pos,
+              get_u64 s (pos + 8),
+              String.sub s (pos + 16) (plen - 16) ))
+
+(* Newest snapshot that validates wins; corrupt files newer than it are
+   skipped (and counted), so bit rot in one snapshot costs replay time,
+   never data. *)
+let scan_snapshots dir =
+  let names =
+    (try Array.to_list (Sys.readdir dir) with Sys_error _ -> [])
+    |> List.filter is_snap_name
+    |> List.sort (fun a b -> compare b a)
+  in
+  let skipped = ref 0 in
+  let found =
+    List.find_map
+      (fun n ->
+        match load_snapshot (Filename.concat dir n) with
+        | Some s -> Some s
+        | None ->
+          incr skipped;
+          None)
+      names
+  in
+  (found, !skipped)
+
+(* ------------------------------------------------------------------ *)
+(* Opening a data directory                                             *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Scan the log: every valid frame in order, the offset of the valid
+   end, and the highest sequence number seen. A frame that parses but
+   holds no record (impossible unless written by a different tool) ends
+   the scan like a torn frame — nothing after it can be trusted. *)
+let scan_wal s =
+  let records = ref [] in
+  let last_seq = ref 0 in
+  let rec go off =
+    if off >= String.length s then off
+    else
+      match parse_frame s off with
+      | Error `Torn -> off
+      | Ok (pos, plen, next) -> (
+        match parse_record s pos plen with
+        | None -> off
+        | Some r ->
+          records := r :: !records;
+          last_seq := max !last_seq r.seq;
+          go next)
+  in
+  let valid_end = go (String.length wal_magic) in
+  (List.rev !records, valid_end, !last_seq)
+
+let open_dir dir =
+  mkdir_p dir;
+  let path = wal_path dir in
+  let contents = Option.value ~default:"" (read_whole_file path) in
+  let mlen = String.length wal_magic in
+  let fresh = String.length contents < mlen
+              || String.sub contents 0 mlen <> wal_magic in
+  let records, valid_end, last_seq =
+    if fresh then ([], mlen, 0) else scan_wal contents
+  in
+  let torn =
+    if fresh then String.length contents
+    else max 0 (String.length contents - valid_end)
+  in
+  let fd =
+    Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644
+  in
+  (* make the file a clean prefix of valid frames again: rewrite the
+     magic when the header itself was torn or missing, drop the tail *)
+  if fresh then begin
+    Unix.ftruncate fd 0;
+    write_all fd (Bytes.of_string wal_magic) 0 mlen
+  end
+  else if torn > 0 then Unix.ftruncate fd valid_end;
+  ignore (Unix.lseek fd 0 Unix.SEEK_END : int);
+  if torn > 0 then Unix.fsync fd;
+  let snapshot, snapshots_skipped = scan_snapshots dir in
+  let snap_seq = match snapshot with Some (s, _, _) -> s | None -> 0 in
+  let tail = List.filter (fun r -> r.seq > snap_seq) records in
+  let t =
+    {
+      dir;
+      fd;
+      wal_len = (if fresh then mlen else valid_end);
+      next_seq = max last_seq snap_seq + 1;
+      appends = 0;
+      since_snapshot = 0;
+      snapshots = 0;
+      last_snap_seq = snap_seq;
+      last_recovery_ms = 0.;
+    }
+  in
+  ( t,
+    {
+      r_snapshot = snapshot;
+      r_tail = tail;
+      r_wal_records = List.length records;
+      r_torn_bytes = torn;
+      r_snapshots_skipped = snapshots_skipped;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                            *)
+
+(* The fsync-before-ack contract: when [append] returns, the record is
+   on stable storage; the server replies OK only after that. On any
+   failure the partial frame is cut away so the log ends at a frame
+   boundary — the caller's rollback and the disk then tell the same
+   story. *)
+let append t ~retract ~epoch text =
+  let seq = t.next_seq in
+  let b = frame (record_payload ~seq ~retract ~epoch text) in
+  let saved = t.wal_len in
+  try
+    (match Fault.ask Fault.Wal_append with
+    | None -> ()
+    | Some (Fault.Delay d) -> if d > 0. then Unix.sleepf d
+    | Some Fault.Fail -> raise (Fault.Injected Fault.Wal_append)
+    | Some Fault.Short ->
+      (* model a torn write: half the frame reaches the file before the
+         failure, and the recovery contract must cut it away *)
+      write_all t.fd b 0 (max 1 (Bytes.length b / 2));
+      raise (Fault.Injected Fault.Wal_append));
+    write_all t.fd b 0 (Bytes.length b);
+    Fault.hit Fault.Wal_fsync;
+    Unix.fsync t.fd;
+    t.wal_len <- saved + Bytes.length b;
+    t.next_seq <- seq + 1;
+    t.appends <- t.appends + 1;
+    t.since_snapshot <- t.since_snapshot + 1;
+    seq
+  with e ->
+    (try
+       Unix.ftruncate t.fd saved;
+       ignore (Unix.lseek t.fd 0 Unix.SEEK_END : int)
+     with Unix.Unix_error _ -> ());
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+
+let write_snapshot t ~epoch source =
+  let seq = t.next_seq - 1 in
+  let plen = 16 + String.length source in
+  let payload = Bytes.create plen in
+  u64 payload 0 seq;
+  u64 payload 8 epoch;
+  Bytes.blit_string source 0 payload 16 (String.length source);
+  let b = frame (Bytes.unsafe_to_string payload) in
+  let final = Filename.concat t.dir (snap_name seq) in
+  let tmp = final ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
+  in
+  (try
+     Fault.hit Fault.Snapshot_write;
+     write_all fd (Bytes.of_string snap_magic) 0 (String.length snap_magic);
+     write_all fd b 0 (Bytes.length b);
+     Unix.fsync fd;
+     Unix.close fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (* the rename publishes the snapshot atomically: readers see the old
+     set of snapshots or the new one, never a half-written file *)
+  Unix.rename tmp final;
+  t.snapshots <- t.snapshots + 1;
+  t.since_snapshot <- 0;
+  t.last_snap_seq <- seq;
+  (* retain the two newest snapshots: the previous one is the fallback
+     if the new file bit-rots, and the untruncated log covers the rest *)
+  (try
+     Sys.readdir t.dir |> Array.to_list
+     |> List.filter is_snap_name
+     |> List.sort (fun a b -> compare b a)
+     |> List.iteri (fun i n ->
+            if i >= 2 then
+              try Sys.remove (Filename.concat t.dir n) with Sys_error _ -> ())
+   with Sys_error _ -> ())
+
+(* Snapshot failure is contained by design: every record is still in
+   the log, so a failed cut only means a longer replay next time. *)
+let snapshot_now t ~epoch ~source =
+  match write_snapshot t ~epoch source with
+  | () -> true
+  | exception (Fault.Injected _ | Unix.Unix_error _ | Sys_error _) -> false
+
+let maybe_snapshot t ~every ~epoch ~source =
+  if every > 0 && t.since_snapshot >= every && t.next_seq > 1 then
+    snapshot_now t ~epoch ~source:(source ())
+  else false
+
+(* ------------------------------------------------------------------ *)
+
+let stats t =
+  {
+    wal_appends_total = t.appends;
+    wal_bytes = t.wal_len;
+    snapshots_total = t.snapshots;
+    last_recovery_ms = t.last_recovery_ms;
+  }
+
+let set_recovery_ms t ms = t.last_recovery_ms <- ms
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,4 +1,12 @@
-type point = Store_write | Solver_step | Wire_read | Wire_write | Pool_dispatch
+type point =
+  | Store_write
+  | Solver_step
+  | Wire_read
+  | Wire_write
+  | Pool_dispatch
+  | Wal_append
+  | Wal_fsync
+  | Snapshot_write
 
 type action =
   | Delay of float
@@ -13,6 +21,9 @@ let point_to_string = function
   | Wire_read -> "wire_read"
   | Wire_write -> "wire_write"
   | Pool_dispatch -> "pool_dispatch"
+  | Wal_append -> "wal_append"
+  | Wal_fsync -> "wal_fsync"
+  | Snapshot_write -> "snapshot_write"
 
 let point_of_string = function
   | "store_write" -> Some Store_write
@@ -20,6 +31,9 @@ let point_of_string = function
   | "wire_read" -> Some Wire_read
   | "wire_write" -> Some Wire_write
   | "pool_dispatch" -> Some Pool_dispatch
+  | "wal_append" -> Some Wal_append
+  | "wal_fsync" -> Some Wal_fsync
+  | "snapshot_write" -> Some Snapshot_write
   | _ -> None
 
 let point_index = function
@@ -28,8 +42,11 @@ let point_index = function
   | Wire_read -> 2
   | Wire_write -> 3
   | Pool_dispatch -> 4
+  | Wal_append -> 5
+  | Wal_fsync -> 6
+  | Snapshot_write -> 7
 
-let n_points = 5
+let n_points = 8
 
 type registry = {
   seed : int;
@@ -219,4 +236,13 @@ let counts () =
         let n = Atomic.get reg.injected.(point_index p) in
         if Array.length reg.rules.(point_index p) = 0 then None
         else Some (p, n))
-      [ Store_write; Solver_step; Wire_read; Wire_write; Pool_dispatch ]
+      [
+        Store_write;
+        Solver_step;
+        Wire_read;
+        Wire_write;
+        Pool_dispatch;
+        Wal_append;
+        Wal_fsync;
+        Snapshot_write;
+      ]

@@ -28,9 +28,10 @@
 
     Each fault segment is [POINT:ACTION\@RATE] where [POINT] is one of
     [store_write], [solver_step], [wire_read], [wire_write],
-    [pool_dispatch]; [ACTION] is [fail], [short], or [delay] (with an
-    optional [:MILLIS] duration suffix, default 1ms); and [RATE] is a
-    probability in [0, 1]. *)
+    [pool_dispatch], [wal_append], [wal_fsync], [snapshot_write];
+    [ACTION] is [fail], [short], or [delay] (with an optional [:MILLIS]
+    duration suffix, default 1ms); and [RATE] is a probability in
+    [0, 1]. *)
 
 type point =
   | Store_write  (** {!Engine.Head.execute}, retried as transient *)
@@ -38,6 +39,9 @@ type point =
   | Wire_read  (** server reading a request line *)
   | Wire_write  (** server writing a reply frame *)
   | Pool_dispatch  (** admission into the server worker pool *)
+  | Wal_append  (** the durable log's record write (see {!Durable}) *)
+  | Wal_fsync  (** the fsync that makes an appended record durable *)
+  | Snapshot_write  (** cutting a snapshot file *)
 
 type action =
   | Delay of float  (** seconds *)

@@ -80,6 +80,11 @@ type t = {
   uses : deriv list ref Fact_tbl.t;  (* body fact -> derivations (over-approx) *)
   heads_of : deriv list ref Fact_tbl.t;  (* head fact -> derivations *)
   dedup : (string, deriv) Hashtbl.t;  (* live derivations by key *)
+  mutable commit_hook :
+    (retract:bool -> epoch:int -> text:string -> unit) option;
+      (* durability: called after the maintenance run succeeds, before
+         the batch is reported committed; a raise here rolls the batch
+         back like any other mid-batch failure *)
 }
 
 (* Per-batch working state: the net model delta, the EDB bump log (for
@@ -385,26 +390,11 @@ let capture_baseline t =
    unsound (negation or inclusion over an affected relation, rule
    retraction) and the recovery path after a mid-batch failure. *)
 let iter_live_facts t f =
-  Vec.iter
-    (fun (e : Store.ientry) ->
-      if Store.isa_live e then f (Fact.F_isa (e.i_sub, e.i_cls)))
-    (Store.isa_log t.store);
-  List.iter
-    (fun m ->
-      Vec.iter
-        (fun (e : Store.mentry) ->
-          if Store.live e then
-            f (Fact.F_scalar { meth = m; recv = e.recv; args = e.args; res = e.res }))
-        (Store.scalar_bucket t.store m))
-    (Store.scalar_meths t.store);
-  List.iter
-    (fun m ->
-      Vec.iter
-        (fun (e : Store.mentry) ->
-          if Store.live e then
-            f (Fact.F_set { meth = m; recv = e.recv; args = e.args; res = e.res }))
-        (Store.set_bucket t.store m))
-    (Store.set_meths t.store)
+  Store.iter_live_isa t.store (fun sub cls -> f (Fact.F_isa (sub, cls)));
+  Store.iter_live_scalar t.store (fun m (e : Store.mentry) ->
+      f (Fact.F_scalar { meth = m; recv = e.recv; args = e.args; res = e.res }));
+  Store.iter_live_set t.store (fun m (e : Store.mentry) ->
+      f (Fact.F_set { meth = m; recv = e.recv; args = e.args; res = e.res }))
 
 let refresh t ctx =
   let garbage = ref [] in
@@ -591,6 +581,18 @@ let store t = t.store
 
 let rules t = t.rules
 
+let set_commit_hook t hook = t.commit_hook <- hook
+
+(* The pre-commit log hook (durability): fires after the maintenance run
+   has succeeded but before the batch is reported committed, inside the
+   batch's exception scope — if the hook raises (injected WAL fault,
+   disk error), [recover] rolls the whole batch back and the caller sees
+   the failure, so a batch is on disk iff it is in the model. *)
+let run_commit_hook t ~retract ~text =
+  match t.commit_hook with
+  | None -> ()
+  | Some hook -> hook ~retract ~epoch:(Store.epoch t.store) ~text
+
 let attach p =
   ignore (Program.run p : Fixpoint.stats);
   let t =
@@ -609,6 +611,7 @@ let attach p =
       uses = Fact_tbl.create 256;
       heads_of = Fact_tbl.create 256;
       dedup = Hashtbl.create 256;
+      commit_hook = None;
     }
   in
   recompute_strat_meta t;
@@ -677,6 +680,7 @@ let assert_batch t src =
         (Recompute, Some (full_tracing_run t ctx))
       else (Counting, Some (delta_run t ctx baseline))
     in
+    run_commit_hook t ~retract:false ~text:src;
     finish t ctx strategy fp
   with e ->
     recover t ctx saved;
@@ -725,6 +729,7 @@ let retract_batch t src =
         else (Counting, None)
       end
     in
+    run_commit_hook t ~retract:true ~text:src;
     finish t ctx strategy fp
   with e ->
     recover t ctx saved;
@@ -742,7 +747,15 @@ let dump_source t =
   let u = Store.universe t.store in
   let b = Buffer.create 1024 in
   Fact_tbl.fold
-    (fun f r acc -> if !r > 0 then Format.asprintf "%a." (Fact.pp u) f :: acc else acc)
+    (fun f r acc ->
+      if !r > 0 then
+        (* one statement per extensional multiplicity: [attach] bumps the
+           edb count once per fact statement, so a reload preserves how
+           many retracts the fact survives — a fact asserted twice and
+           dumped once would vanish on the first post-reload retract *)
+        let line = Format.asprintf "%a." (Fact.pp u) f in
+        List.rev_append (List.init !r (fun _ -> line)) acc
+      else acc)
     t.edb []
   |> List.sort compare
   |> List.iter (fun line ->

@@ -75,10 +75,23 @@ val assert_batch : t -> string -> batch_stats
     @raise Rejected *)
 val retract_batch : t -> string -> batch_stats
 
+(** Install (or clear) the pre-commit log hook, the durability seam:
+    called with the batch verb, the post-commit store epoch and the
+    batch text after the maintenance run succeeds but {e before}
+    {!assert_batch}/{!retract_batch} return. If the hook raises — an
+    injected WAL fault, a real disk error — the batch is rolled back
+    exactly like any other mid-batch failure and the exception
+    propagates: a batch reaches the log iff it reaches the model. *)
+val set_commit_hook :
+  t -> (retract:bool -> epoch:int -> text:string -> unit) option -> unit
+
 (** The live source: current extensional facts plus current rules, as a
     loadable PathLog program. [Program.of_string] on this text rebuilds an
     isomorphic model — the reference point for equivalence testing and
-    chaos replay. *)
+    chaos replay. A fact appears once per extensional multiplicity
+    (asserting twice takes two retracts to undo), so {!attach} on the
+    reloaded program restores the multiset exactly — snapshots would
+    otherwise flatten the counts and recovery would over-retract. *)
 val dump_source : t -> string
 
 (** Support-index audit: every live derivation rests on live facts,

@@ -531,6 +531,23 @@ let snapshot_iter_set s m f =
     (pinned s.s_set_lens m)
 
 (* ------------------------------------------------------------------ *)
+(* Live iteration — the basis of model dumps, support-index audits and
+   durable snapshots: every live tuple, dead entries filtered. *)
+
+let iter_live_isa st f =
+  Vec.iter (fun e -> if isa_live e then f e.i_sub e.i_cls) st.isa_log
+
+let iter_live_scalar st f =
+  List.iter
+    (fun m -> Vec.iter (fun e -> if live e then f m e) (scalar_bucket st m))
+    (scalar_meths st)
+
+let iter_live_set st f =
+  List.iter
+    (fun m -> Vec.iter (fun e -> if live e then f m e) (set_bucket st m))
+    (set_meths st)
+
+(* ------------------------------------------------------------------ *)
 (* Statistics and printing                                             *)
 
 type stats = {

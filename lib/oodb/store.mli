@@ -149,6 +149,20 @@ val remove_set :
     (additions patch them incrementally; deletions rebuild lazily). *)
 val remove_isa : t -> Obj_id.t -> Obj_id.t -> bool
 
+(** {1 Live iteration}
+
+    Visit every {e live} tuple of the store — tombstoned entries
+    filtered, buckets in method order. These are the building blocks of
+    model dumps, the incremental layer's support-index audit, and the
+    durability layer's snapshot content. *)
+
+val iter_live_isa : t -> (Obj_id.t -> Obj_id.t -> unit) -> unit
+
+(** The callback receives the method and the (live) bucket entry. *)
+val iter_live_scalar : t -> (Obj_id.t -> mentry -> unit) -> unit
+
+val iter_live_set : t -> (Obj_id.t -> mentry -> unit) -> unit
+
 (** {1 Statistics} *)
 
 type stats = {

@@ -44,6 +44,7 @@ module Provenance = Engine.Provenance
 module Topdown = Engine.Topdown
 module Demand = Engine.Demand
 module Live = Incremental.Live
+module Durable = Durable
 module Typecheck = Engine.Typecheck
 module Diagnostic = Pathlog_analysis.Diagnostic
 module Analyses = Pathlog_analysis.Analyses

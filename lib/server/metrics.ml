@@ -149,7 +149,7 @@ let snapshot t =
 let us s = int_of_float (ceil (s *. 1e6))
 
 let render ?cache ?(injected_faults = 0) ?(magic_facts = 0)
-    ?(regex_plans = 0) ?(product_states = 0) snap ~store =
+    ?(regex_plans = 0) ?(product_states = 0) ?durable snap ~store =
   let { Oodb.Store.objects; isa_edges; scalar_tuples; set_tuples } = store in
   [
     Printf.sprintf "uptime_s %.3f" snap.uptime_s;
@@ -199,3 +199,13 @@ let render ?cache ?(injected_faults = 0) ?(magic_facts = 0)
         Printf.sprintf "cache_misses %d" misses;
         Printf.sprintf "cache_entries %d" entries;
       ])
+  @
+  match durable with
+  | None -> []
+  | Some (appends, bytes, snapshots, recovery_ms) ->
+    [
+      Printf.sprintf "wal_appends_total %d" appends;
+      Printf.sprintf "wal_bytes %d" bytes;
+      Printf.sprintf "snapshots_total %d" snapshots;
+      Printf.sprintf "last_recovery_ms %.3f" recovery_ms;
+    ]

@@ -71,8 +71,12 @@ val snapshot : t -> snapshot
     [regex_plans] and [product_states] are the process-wide regular-path
     counters (automata compiled, (object, state) pairs popped by the
     product join — {!Semantics.Solve.regex_plans_total} and
-    {!Semantics.Solve.product_states_expanded}). *)
+    {!Semantics.Solve.product_states_expanded}); [durable] adds the
+    write-ahead-log counters
+    [(wal_appends_total, wal_bytes, snapshots_total, last_recovery_ms)]
+    when the server runs with a data directory. *)
 val render :
   ?cache:int * int * int -> ?injected_faults:int -> ?magic_facts:int ->
   ?regex_plans:int -> ?product_states:int ->
+  ?durable:int * int * int * float ->
   snapshot -> store:Oodb.Store.stats -> string list

@@ -20,6 +20,9 @@ type config = {
   cache_capacity : int;
   demand : bool;
   admit_cost : int option;
+  data_dir : string option;
+  snapshot_every : int;
+  recovery_delay_s : float;
 }
 
 let default_config =
@@ -35,6 +38,9 @@ let default_config =
     cache_capacity = 1024;
     demand = false;
     admit_cost = None;
+    data_dir = None;
+    snapshot_every = 64;
+    recovery_delay_s = 0.;
   }
 
 (* A one-shot mailbox: the session thread parks on it while a pool worker
@@ -100,7 +106,14 @@ type t = {
          a genuine read-only violation. *)
   mutable live : Incremental.Live.t option;
       (* incremental-maintenance state, attached lazily by the first
-         mutation batch; guarded by [store_lock] *)
+         mutation batch (eagerly by recovery); guarded by [store_lock] *)
+  durable : Durable.t option;
+      (* the write-ahead log + snapshot manager when [data_dir] is set;
+         appends run inside the Live commit hook under [store_lock] *)
+  recovering : bool Atomic.t;
+      (* true while the WAL suffix is replaying after a restart: every
+         request except PING/STATS/QUIT is shed with BUSY, because the
+         half-replayed store must not answer queries *)
   demand_lock : Mutex.t;
   mutable demand_materialised : bool;
       (* demand mode only: the full model has been materialised (a
@@ -131,6 +144,15 @@ let address t = t.bound
 let metrics t = t.metrics
 
 let config t = t.config
+
+let recovering t = Atomic.get t.recovering
+
+(* Block until recovery (if any) has finished replaying; clients are
+   answered BUSY until then. *)
+let await_ready t =
+  while Atomic.get t.recovering do
+    Thread.delay 0.002
+  done
 
 let cache_stats t = Qcache.stats t.qcache
 
@@ -462,13 +484,33 @@ let handle_mutation t ~retract text =
           Protocol.Err (Protocol.Badreq, msg)
         | exception Program.Invalid msg -> Protocol.Err (Protocol.Parse, msg)
         | exception Fault.Injected _ ->
-          (* an injected store fault escaped the engine's bounded retry;
-             the batch was rolled back — shed it like a full queue *)
+          (* an injected store or WAL fault escaped the engine's bounded
+             retry; the batch was rolled back (and any partial log frame
+             truncated) — shed it like a full queue *)
           Protocol.Busy
             ( t.config.busy_retry_after_ms,
               "transient fault during mutation; retry" )
+        | exception Unix.Unix_error (e, fn, _) ->
+          (* a real I/O failure in the WAL append: the batch was rolled
+             back, nothing reached the log — the client must not see OK *)
+          Protocol.Err
+            ( Protocol.Internal,
+              Printf.sprintf "durable log write failed: %s (%s)"
+                (Unix.error_message e) fn )
         | st ->
           Metrics.batch_committed t.metrics ~retract;
+          (* snapshot cadence: every [snapshot_every] committed batches,
+             cut a snapshot at this epoch boundary while the store is
+             quiescent (we still hold the write lock). Failure is
+             contained — the WAL has everything *)
+          (match t.durable with
+          | Some d ->
+            ignore
+              (Durable.maybe_snapshot d ~every:t.config.snapshot_every
+                 ~epoch:st.Incremental.Live.epoch
+                 ~source:(fun () -> Incremental.Live.dump_source (live_of t))
+                : bool)
+          | None -> ());
           push_deltas t;
           render_batch_stats st))
 
@@ -519,6 +561,17 @@ let unsubscribe_session t fd =
 
 let stats_reply t =
   let c = Qcache.stats t.qcache in
+  let durable =
+    match t.durable with
+    | None -> None
+    | Some d ->
+      let s = Durable.stats d in
+      Some
+        ( s.Durable.wal_appends_total,
+          s.Durable.wal_bytes,
+          s.Durable.snapshots_total,
+          s.Durable.last_recovery_ms )
+  in
   Protocol.Ok
     (Metrics.render
        (Metrics.snapshot t.metrics)
@@ -528,7 +581,8 @@ let stats_reply t =
        ~magic_facts:
          (Engine.Demand.magic_fact_total (Program.store t.program))
        ~regex_plans:(Atomic.get Semantics.Solve.regex_plans_total)
-       ~product_states:(Atomic.get Semantics.Solve.product_states_expanded))
+       ~product_states:(Atomic.get Semantics.Solve.product_states_expanded)
+       ?durable)
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)
@@ -732,6 +786,17 @@ let session t fd =
           write_reply oc reply;
           record verb reply started;
           loop ()
+        | Protocol.Assert _ | Protocol.Retract _ | Protocol.Subscribe _
+        | Protocol.Query _ | Protocol.Why _
+          when Atomic.get t.recovering ->
+          (* the store is half-replayed: answering from it would expose
+             a state that never existed. Shed with the retry-after hint
+             — Client.request_with_retry backs off and lands after the
+             replay finishes *)
+          let reply = busy t "recovering: replaying the write-ahead log" in
+          write_reply oc reply;
+          record verb reply started;
+          loop ()
         | Protocol.Assert text ->
           let reply = handle_mutation t ~retract:false text in
           write_reply oc reply;
@@ -802,9 +867,87 @@ let inet_addr_of host =
       failwith ("cannot resolve host " ^ host)
     | { Unix.h_addr_list; _ } -> h_addr_list.(0))
 
+(* Replay the WAL suffix into the freshly attached Live state, then
+   install the commit hook so every later batch is logged before its OK.
+   Runs under the store write lock in a dedicated thread: the listening
+   socket is already up, and sessions shed everything but PING/STATS
+   with BUSY until [recovering] clears. *)
+let run_recovery t d (recovery : Durable.recovery) =
+  let t0 = Unix.gettimeofday () in
+  with_store_write t (fun () ->
+      if t.config.recovery_delay_s > 0. then
+        Thread.delay t.config.recovery_delay_s;
+      let live = live_of t in
+      if t.config.demand then begin
+        (* attaching Live materialised the full model *)
+        Mutex.lock t.demand_lock;
+        t.demand_materialised <- true;
+        Mutex.unlock t.demand_lock
+      end;
+      List.iter
+        (fun (r : Durable.record) ->
+          (* each record was gated when first accepted; re-validate with
+             the same static-analysis gate so a log doctored (or rotted)
+             into something provably broken is refused, not replayed *)
+          match Pathlog_analysis.Check.gate r.Durable.text with
+          | Error msg ->
+            Printf.eprintf
+              "pathlog: recovery: WAL record %d refused by the analysis \
+               gate, skipped:\n%s\n%!"
+              r.Durable.seq msg
+          | Ok _ -> (
+            let apply =
+              if r.Durable.retract then Incremental.Live.retract_batch
+              else Incremental.Live.assert_batch
+            in
+            match apply live r.Durable.text with
+            | (_ : Incremental.Live.batch_stats) -> ()
+            | exception e ->
+              Printf.eprintf
+                "pathlog: recovery: WAL record %d failed to replay, \
+                 skipped: %s\n%!"
+                r.Durable.seq (Printexc.to_string e)))
+        recovery.Durable.r_tail;
+      Incremental.Live.set_commit_hook live
+        (Some
+           (fun ~retract ~epoch ~text ->
+             ignore (Durable.append d ~retract ~epoch text : int))));
+  Durable.set_recovery_ms d ((Unix.gettimeofday () -. t0) *. 1000.);
+  Atomic.set t.recovering false
+
 let create ?(config = default_config) ~program addr =
   if Sys.os_type <> "Win32" then
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Durability: open the data directory first — recovery may replace
+     the program wholesale with the newest valid snapshot's source
+     (re-gated by the static analysis), and the WAL suffix beyond it
+     replays through Live once the socket is listening. *)
+  let durable, recovery, program =
+    match config.data_dir with
+    | None -> (None, None, program)
+    | Some dir ->
+      let d, r = Durable.open_dir dir in
+      if r.Durable.r_torn_bytes > 0 then
+        Printf.eprintf
+          "pathlog: recovery: truncated %d torn byte(s) from the \
+           write-ahead log tail\n%!"
+          r.Durable.r_torn_bytes;
+      let program =
+        match r.Durable.r_snapshot with
+        | None -> program
+        | Some (seq, _epoch, src) -> (
+          match Pathlog_analysis.Check.gate src with
+          | Ok _ -> Program.of_string ~config:(Program.config program) src
+          | Error msg ->
+            Durable.close d;
+            failwith
+              (Printf.sprintf
+                 "recovery: snapshot %d refused by the static-analysis \
+                  gate:\n%s"
+                 seq msg))
+      in
+      (Some d, Some r, program)
+  in
   let listen_fd, bound =
     match addr with
     | Tcp (host, port) ->
@@ -857,6 +1000,8 @@ let create ?(config = default_config) ~program addr =
       store_lock = Mutex.create ();
       write_seq = Atomic.make 0;
       live = None;
+      durable;
+      recovering = Atomic.make (durable <> None);
       demand_lock = Mutex.create ();
       demand_materialised = false;
       demand_ready = Hashtbl.create 16;
@@ -874,6 +1019,12 @@ let create ?(config = default_config) ~program addr =
     }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  (match (durable, recovery) with
+  | Some d, Some r ->
+    (* replay runs behind the listening socket: clients connect at once
+       and are shed with BUSY until the tail is in the model *)
+    ignore (Thread.create (fun () -> run_recovery t d r) () : Thread.t)
+  | _ -> ());
   t
 
 let shutdown t =
@@ -910,6 +1061,11 @@ let shutdown t =
     List.iter (fun (_, th) -> Thread.join th) sessions;
     (* 5. release the listener *)
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* 6. close the durable log — every acknowledged batch was already
+       fsync'd at commit time, so this is bookkeeping, not a flush *)
+    (match t.durable with
+    | Some d -> ( try Durable.close d with Unix.Unix_error _ -> ())
+    | None -> ());
     match t.bound with
     | Unix_path path -> (
       try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())

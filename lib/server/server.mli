@@ -102,6 +102,27 @@ type config = {
           the engine. Composes with [deadline_s]: admission refuses work
           that is predictably too large, budgets stop work that turns
           out too large. [None] (default) admits everything. *)
+  data_dir : string option;
+      (** durability: when set, the server keeps a write-ahead log and
+          epoch snapshots under this directory ({!Durable}). Every
+          accepted [ASSERT]/[RETRACT] batch is appended and fsync'd
+          {e before} the client sees [OK], and startup recovers the
+          state a previous process had acknowledged: load the newest
+          valid snapshot (its source re-validated by the static-analysis
+          gate), replay the WAL suffix beyond it, truncate any torn
+          tail. While the suffix replays, mutating and querying requests
+          are shed with [BUSY] plus the retry-after hint —
+          [PING]/[STATS]/[QUIT] stay answered. [None] (default): fully
+          in-memory, as before. *)
+  snapshot_every : int;
+      (** cut a snapshot every this many committed batches (at the epoch
+          boundary, while the store is quiescent under the write lock);
+          [0] disables periodic snapshots. Only meaningful with
+          [data_dir]. *)
+  recovery_delay_s : float;
+      (** artificial delay at the start of WAL replay; 0 in production —
+          tests use it to observe the [BUSY]-while-recovering window
+          deterministically *)
 }
 
 val default_config : config
@@ -110,9 +131,24 @@ type t
 
 (** Bind, listen, and start the accept thread. The listening socket is
     ready (and for [Tcp _ 0] the real port is known) when [create]
-    returns.
-    @raise Unix.Unix_error if the address cannot be bound *)
+    returns. With [data_dir] set, recovery runs {e behind} the socket:
+    the newest valid snapshot has replaced the program when [create]
+    returns, and a background thread replays the WAL suffix while
+    sessions shed requests with [BUSY] (see {!recovering}).
+    @raise Unix.Unix_error if the address cannot be bound
+    @raise Failure if a recovered snapshot fails the static-analysis
+    gate *)
 val create : ?config:config -> program:Engine.Program.t -> address -> t
+
+(** Is startup recovery still replaying the WAL suffix? Requests other
+    than [PING]/[STATS]/[QUIT] are answered [BUSY] until this clears.
+    Always [false] without [data_dir]. *)
+val recovering : t -> bool
+
+(** Block (polling) until {!recovering} is false — test and embedding
+    convenience; network clients get the same effect from
+    {!Client.request_with_retry} backing off on [BUSY]. *)
+val await_ready : t -> unit
 
 (** The bound address, with the actual port filled in. *)
 val address : t -> address

@@ -25,6 +25,7 @@ let () =
       ("budget", Test_budget.suite);
       ("chaos", Test_chaos.suite);
       ("incremental", Test_incremental.suite);
+      ("durable", Test_durable.suite);
       ("demand", Test_demand.suite);
       ("regex", Test_regex.suite);
     ]
